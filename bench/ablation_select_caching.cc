@@ -1,0 +1,78 @@
+// Ablation C: select-driven caching on vs off.
+//
+// The paper calls out (Sec. IX, contrasting with Siberia and OS-paging
+// schemes): "in our work selects can also bring rows to the IMRS, which is
+// not a feature supported in these alternate schemes." This ablation
+// quantifies what that admission path buys: read-mostly tables (item,
+// customer point reads, stock reads in StockLevel) only ever enter the
+// IMRS via selects.
+
+#include <cstdio>
+
+#include "harness/experiment.h"
+
+using namespace btrim;
+using namespace btrim::bench;
+
+int main() {
+  PrintHeader("Ablation C — select-driven caching (Sec. IX differentiator)",
+              "hit rate and read routing with the select->IMRS admission "
+              "path on vs off.");
+
+  struct Outcome {
+    const char* name;
+    RunOutcome run;
+  };
+  std::vector<Outcome> outcomes;
+  for (bool caching : {true, false}) {
+    RunConfig config;
+    config.label = caching ? "select_caching=on" : "select_caching=off";
+    config.scale = DefaultScale();
+    config.select_caching = caching;
+    outcomes.push_back(Outcome{caching ? "on" : "off", RunTpcc(config)});
+  }
+
+  printf("%-28s %14s %14s\n", "metric", "caching_on", "caching_off");
+  auto row = [&](const char* name, auto getter) {
+    printf("%-28s %14.1f %14.1f\n", name,
+           getter(outcomes[0].run), getter(outcomes[1].run));
+  };
+  row("TPM (k)", [](const RunOutcome& r) { return r.tpm / 1000.0; });
+  row("hit rate %", [](const RunOutcome& r) { return 100.0 * r.HitRate(); });
+  row("rows cached via select", [](const RunOutcome& r) {
+    double total = 0;
+    for (const TableReport& t : r.table_reports) {
+      total += static_cast<double>(t.cachings);
+    }
+    return total;
+  });
+  row("item IMRS reuse ops", [](const RunOutcome& r) {
+    for (const TableReport& t : r.table_reports) {
+      if (t.name == "item") return static_cast<double>(t.reuse_select);
+    }
+    return 0.0;
+  });
+  row("item page-store ops", [](const RunOutcome& r) {
+    for (const TableReport& t : r.table_reports) {
+      if (t.name == "item") return static_cast<double>(t.page_ops);
+    }
+    return 0.0;
+  });
+
+  printf("\nexpected: without select-caching the read-only item table (and "
+         "other read-dominated access) stays on the page store forever — "
+         "its page-op count explodes and the overall hit rate drops. This "
+         "is the capability the paper highlights over Siberia/OS-paging "
+         "(Sec. IX). Note on TPM: with the whole database resident in the "
+         "buffer cache and no device latency, a page-store read costs about "
+         "as much as an IMRS read here, so the hit-rate gain does not "
+         "translate into throughput at this scale; it does on a real "
+         "latch-contended buffer cache, which is the paper's setting.\n");
+
+  printf("\n# CSV ablation_select_caching\n# mode,tpm,hit_rate_pct\n");
+  for (const Outcome& o : outcomes) {
+    printf("# %s,%.0f,%.2f\n", o.name, o.run.tpm,
+           100.0 * o.run.HitRate());
+  }
+  return 0;
+}

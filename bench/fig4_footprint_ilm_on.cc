@@ -1,0 +1,50 @@
+// Figure 4: per-table IMRS memory footprint over the run with ILM_ON.
+//
+// Paper result: footprints are mostly *stable*: hot tables (warehouse,
+// district) keep the same footprint as under ILM_OFF, while the large
+// low-reuse tables (order_line, orders, history) are held down by packing.
+
+#include <cstdio>
+
+#include "harness/experiment.h"
+
+using namespace btrim;
+using namespace btrim::bench;
+
+int main() {
+  PrintHeader("Fig. 4 — Per-table IMRS footprint, ILM_ON",
+              "Series: per-table IMRS MiB per txn window (pack active).");
+
+  RunConfig on;
+  on.label = "ILM_ON";
+  on.scale = DefaultScale();
+  on.ilm_enabled = true;
+  RunOutcome run = RunTpcc(on);
+
+  std::vector<std::string> columns = {"txns"};
+  for (const std::string& name : TableNames()) columns.push_back(name);
+
+  std::vector<std::vector<double>> rows;
+  for (const WindowSample& s : run.samples) {
+    std::vector<double> row = {static_cast<double>(s.txns)};
+    for (int64_t bytes : s.per_table_imrs_bytes) {
+      row.push_back(ToMiB(bytes));
+    }
+    rows.push_back(std::move(row));
+  }
+  PrintSeries("fig4", columns, rows);
+
+  // Stability summary: footprint at mid-run vs end of run.
+  printf("stability (MiB, mid -> last window):\n");
+  const WindowSample& mid = run.samples[run.samples.size() / 2];
+  const WindowSample& last = run.samples.back();
+  for (size_t t = 0; t < TableNames().size(); ++t) {
+    const double m = ToMiB(mid.per_table_imrs_bytes[t]);
+    const double l = ToMiB(last.per_table_imrs_bytes[t]);
+    printf("  %-11s %8.2f -> %8.2f  %s\n", TableNames()[t].c_str(), m, l,
+           l <= m * 1.5 ? "stable" : "growing");
+  }
+  printf("paper shape: stable for all tables; hot tables keep their "
+         "(small) footprint, cold bulk is packed away.\n");
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Figure 5: Pack overhead — normalized TPM of ILM_ON (vs the ILM_OFF
+// reference) against cumulative MiB packed, per transaction window.
+//
+// Paper result: the volume packed grows continuously through the run while
+// TPM stays within ~10% of the ILM_OFF reference: pack is a cheap
+// background activity (logged data movement by background threads on cold
+// data).
+
+#include <cstdio>
+
+#include "harness/experiment.h"
+
+using namespace btrim;
+using namespace btrim::bench;
+
+int main() {
+  PrintHeader("Fig. 5 — Pack overhead",
+              "Normalized TPM (ILM_ON / ILM_OFF mean) and cumulative MiB "
+              "packed, per window.");
+
+  RunConfig off;
+  off.label = "ILM_OFF";
+  off.scale = DefaultScale();
+  off.ilm_enabled = false;
+  off.imrs_cache_bytes = 256ull << 20;
+  RunOutcome off_run = RunTpcc(off);
+
+  RunConfig on;
+  on.label = "ILM_ON";
+  on.scale = DefaultScale();
+  RunOutcome on_run = RunTpcc(on);
+
+  // Reference TPM: ILM_OFF per-window mean.
+  const double ref_tpm = off_run.tpm;
+
+  std::vector<std::vector<double>> rows;
+  double prev_wall = 0.0;
+  for (const WindowSample& s : on_run.samples) {
+    const double window_wall = s.wall_seconds - prev_wall;
+    prev_wall = s.wall_seconds;
+    const double window_tpm =
+        window_wall > 0
+            ? 60.0 * static_cast<double>(on_run.samples.front().txns) /
+                  window_wall
+            : 0.0;
+    rows.push_back({static_cast<double>(s.txns), window_tpm / ref_tpm,
+                    ToMiB(s.bytes_packed),
+                    static_cast<double>(s.rows_packed)});
+  }
+  PrintSeries("fig5",
+              {"txns", "normalized_tpm", "cum_mib_packed",
+               "cum_rows_packed"},
+              rows);
+
+  printf("summary: ILM_ON packed %.1f MiB (%lld rows, %lld pack txns) "
+         "while overall TPM was %.0f%% of the ILM_OFF reference\n",
+         ToMiB(on_run.samples.back().bytes_packed),
+         static_cast<long long>(on_run.samples.back().rows_packed),
+         static_cast<long long>(
+             on_run.db->GetStats().pack.pack_transactions),
+         100.0 * on_run.tpm / ref_tpm);
+  printf("paper shape: MiB packed grows with the run; normalized TPM stays "
+         "within ~10%% of the reference.\n");
+  return 0;
+}

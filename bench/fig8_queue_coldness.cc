@@ -1,0 +1,98 @@
+// Figure 8: percentage of cold rows in every 10% band of the partition
+// ILM queues, head to tail, per table.
+//
+// Paper result: the relaxed-LRU queues are "well behaved" — for large
+// low-reuse tables (history, order_line) the head bands are nearly all
+// cold and coldness falls toward the tail; for hot tables (warehouse,
+// district, stock) every band is hot. This is what makes head-first pack
+// selection efficient and justifies per-partition queues.
+
+#include <cstdio>
+#include <vector>
+
+#include "harness/experiment.h"
+
+using namespace btrim;
+using namespace btrim::bench;
+
+int main() {
+  PrintHeader("Fig. 8 — Cold rows per 10% queue band",
+              "TSF-classified coldness across each table's ILM queues "
+              "(head = band 1).");
+
+  RunConfig on;
+  on.label = "ILM_ON";
+  on.scale = DefaultScale();
+  // Size the cache so pack stays idle: the figure characterizes the queue
+  // state pack *would find* (cold rows accumulated at the head). With pack
+  // active the cold heads are continuously consumed and the residual
+  // ordering reflects pack's scan position, not row temperature.
+  on.imrs_cache_bytes = 128ull << 20;
+  RunOutcome run = RunTpcc(on);
+
+  Database* db = run.db.get();
+  const uint64_t now = db->Now();
+  // Ʈ as a production-sized cache would learn it (Sec. VI.D): the number
+  // of commits that grow utilization by the steady percentage of the
+  // *reference* 12 MiB cache, derived from this run's observed growth rate.
+  const double bytes_per_txn =
+      static_cast<double>(db->GetStats().imrs_cache.in_use_bytes) /
+      static_cast<double>(run.driver.committed);
+  const uint64_t tau = static_cast<uint64_t>(
+      0.70 * static_cast<double>(12ull << 20) / bytes_per_txn);
+  printf("derived TSF Ʈ = %llu (commit-ts units; 70%% of a 12 MiB cache at "
+         "%.0f bytes/txn), now = %llu\n\n",
+         static_cast<unsigned long long>(tau), bytes_per_txn,
+         static_cast<unsigned long long>(now));
+  auto is_recent = [&](uint64_t last_access) {
+    return now - last_access <= tau;
+  };
+
+  printf("%-11s %7s", "table", "rows");
+  for (int band = 1; band <= 10; ++band) printf("  b%02d%%", band);
+  printf("\n");
+
+  printf("\n# CSV fig8\n# table,band,cold_pct\n");
+  std::string csv;
+  for (Table* table : db->Tables()) {
+    PartitionState* state = table->partition(0).ilm;
+    // Walk the three source queues head-first and concatenate: within each
+    // queue the relaxed-LRU order is what pack consumes.
+    std::vector<uint64_t> access_ts;
+    for (int src = 0; src < kNumRowSources; ++src) {
+      state->queues[src].ForEach([&](ImrsRow* row) {
+        access_ts.push_back(
+            row->last_access_ts.load(std::memory_order_relaxed));
+        return true;
+      });
+    }
+    printf("%-11s %7zu", table->name().c_str(), access_ts.size());
+    if (access_ts.empty()) {
+      printf("  (empty)\n");
+      continue;
+    }
+    const size_t n = access_ts.size();
+    for (int band = 0; band < 10; ++band) {
+      const size_t from = n * static_cast<size_t>(band) / 10;
+      const size_t to = n * static_cast<size_t>(band + 1) / 10;
+      int cold = 0;
+      int total = 0;
+      for (size_t i = from; i < to && i < n; ++i) {
+        ++total;
+        if (!is_recent(access_ts[i])) ++cold;
+      }
+      const double pct = total > 0 ? 100.0 * cold / total : 0.0;
+      printf(" %5.0f", pct);
+      char line[128];
+      snprintf(line, sizeof(line), "# %s,%d,%.1f\n", table->name().c_str(),
+               band + 1, pct);
+      csv += line;
+    }
+    printf("\n");
+  }
+  printf("%s", csv.c_str());
+  printf("\npaper shape: history/order_line nearly 100%% cold at the head, "
+         "dropping toward the tail; warehouse/district/stock hot in every "
+         "band.\n");
+  return 0;
+}

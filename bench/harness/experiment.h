@@ -1,0 +1,115 @@
+#ifndef BTRIM_BENCH_HARNESS_EXPERIMENT_H_
+#define BTRIM_BENCH_HARNESS_EXPERIMENT_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "tpcc/driver.h"
+#include "tpcc/loader.h"
+
+namespace btrim {
+namespace bench {
+
+/// Per-window sample of engine state, taken every `window_txns` commits
+/// (the experiments' time axis — see DESIGN.md: windows of committed
+/// transactions replace the paper's wall-clock minutes).
+struct WindowSample {
+  int64_t txns = 0;
+  double wall_seconds = 0.0;
+  int64_t imrs_bytes = 0;
+  int64_t imrs_ops = 0;
+  int64_t page_ops = 0;
+  int64_t rows_packed = 0;
+  int64_t rows_skipped_hot = 0;
+  int64_t bytes_packed = 0;
+  std::vector<int64_t> per_table_imrs_bytes;  // indexed like TableNames()
+};
+
+/// Final per-table metrics.
+struct TableReport {
+  std::string name;
+  int64_t imrs_bytes = 0;
+  int64_t imrs_rows = 0;
+  int64_t reuse_ops = 0;
+  int64_t reuse_select = 0;
+  int64_t reuse_update = 0;
+  int64_t reuse_delete = 0;
+  int64_t new_rows = 0;
+  int64_t inserts = 0;
+  int64_t migrations = 0;
+  int64_t cachings = 0;
+  int64_t page_ops = 0;
+  int64_t rows_packed = 0;
+  int64_t rows_skipped_hot = 0;
+  int64_t bytes_packed = 0;
+  bool imrs_enabled = true;
+};
+
+/// Everything one benchmark run produces. The Database (and TPC-C context)
+/// stay alive so figure code can inspect live structures (e.g. the ILM
+/// queues for Fig. 8).
+struct RunOutcome {
+  std::unique_ptr<Database> db;
+  tpcc::Tables tables;
+  std::unique_ptr<tpcc::TpccContext> ctx;
+  tpcc::DriverStats driver;
+  std::vector<WindowSample> samples;
+  std::vector<TableReport> table_reports;
+  double tpm = 0.0;
+
+  /// Hit rate: fraction of ISUD row operations served by the IMRS.
+  double HitRate() const;
+};
+
+/// One experiment configuration.
+struct RunConfig {
+  std::string label = "ILM_ON";
+  tpcc::Scale scale;
+
+  /// ILM mode.
+  bool ilm_enabled = true;
+  /// Page-store-only baseline (the paper's fully buffer-cache-resident
+  /// reference run): no IMRS at all.
+  bool page_store_only = false;
+
+  size_t imrs_cache_bytes = 12ull << 20;   // small enough that ILM_ON packs
+  size_t buffer_cache_frames = 8192;       // 64 MiB: DB fully cacheable
+  double steady_cache_pct = 0.70;
+  double pack_cycle_pct = 0.05;
+  QueueMode queue_mode = QueueMode::kPerPartition;
+  ApportionMode apportion_mode = ApportionMode::kPackabilityIndex;
+  uint64_t tuning_window_txns = 2000;
+  bool select_caching = true;
+
+  int workers = 3;
+  int64_t total_txns = 12000;
+  int64_t window_txns = 1000;
+  uint64_t seed = 7;
+};
+
+/// Default scaled-down TPC-C size used by the figure benches.
+tpcc::Scale DefaultScale();
+
+/// Names of the nine TPC-C tables in fixed report order.
+const std::vector<std::string>& TableNames();
+
+/// Loads and runs one TPC-C experiment, sampling every window.
+RunOutcome RunTpcc(const RunConfig& config);
+
+/// --- output helpers (ASCII table + CSV blocks on stdout) -------------------
+
+void PrintHeader(const std::string& title, const std::string& description);
+
+/// Prints a series table: one row per sample, named columns.
+void PrintSeries(const std::string& csv_tag,
+                 const std::vector<std::string>& columns,
+                 const std::vector<std::vector<double>>& rows);
+
+/// Formats bytes as MiB with 2 decimals.
+double ToMiB(int64_t bytes);
+
+}  // namespace bench
+}  // namespace btrim
+
+#endif  // BTRIM_BENCH_HARNESS_EXPERIMENT_H_

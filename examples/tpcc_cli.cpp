@@ -1,0 +1,168 @@
+// tpcc_cli: standalone TPC-C runner over BTrimDB with command-line knobs —
+// the quickest way to poke at ILM behaviour interactively.
+//
+//   ./build/examples/tpcc_cli [options]
+//     --warehouses N      scale factor                     (default 2)
+//     --txns N            committed transactions to run    (default 12000)
+//     --workers N         concurrent terminals             (default 3)
+//     --imrs-mb N         IMRS cache size in MiB           (default 12)
+//     --steady-pct N      steady cache utilization %       (default 70)
+//     --ilm on|off        ILM heuristics                   (default on)
+//     --page-only         page-store baseline (no IMRS)
+//     --partitioned       partition tables by warehouse
+//     --window N          report every N commits           (default 2000)
+//     --seed N            workload seed                    (default 7)
+//
+// Example: compare ILM on/off at a glance:
+//   ./build/examples/tpcc_cli --ilm on  --txns 20000
+//   ./build/examples/tpcc_cli --ilm off --txns 20000
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "engine/stats_printer.h"
+#include "tpcc/driver.h"
+#include "tpcc/loader.h"
+
+using namespace btrim;
+using namespace btrim::tpcc;
+
+namespace {
+
+struct CliOptions {
+  int warehouses = 2;
+  int64_t txns = 12000;
+  int workers = 3;
+  int imrs_mb = 12;
+  int steady_pct = 70;
+  bool ilm = true;
+  bool page_only = false;
+  bool partitioned = false;
+  int64_t window = 2000;
+  uint64_t seed = 7;
+};
+
+bool ParseArgs(int argc, char** argv, CliOptions* opts) {
+  for (int i = 1; i < argc; ++i) {
+    auto int_arg = [&](const char* name, auto* out) {
+      if (strcmp(argv[i], name) == 0 && i + 1 < argc) {
+        *out = static_cast<std::remove_pointer_t<decltype(out)>>(
+            atoll(argv[++i]));
+        return true;
+      }
+      return false;
+    };
+    if (int_arg("--warehouses", &opts->warehouses)) continue;
+    if (int_arg("--txns", &opts->txns)) continue;
+    if (int_arg("--workers", &opts->workers)) continue;
+    if (int_arg("--imrs-mb", &opts->imrs_mb)) continue;
+    if (int_arg("--steady-pct", &opts->steady_pct)) continue;
+    if (int_arg("--window", &opts->window)) continue;
+    if (int_arg("--seed", &opts->seed)) continue;
+    if (strcmp(argv[i], "--ilm") == 0 && i + 1 < argc) {
+      opts->ilm = strcmp(argv[++i], "on") == 0;
+      continue;
+    }
+    if (strcmp(argv[i], "--page-only") == 0) {
+      opts->page_only = true;
+      continue;
+    }
+    if (strcmp(argv[i], "--partitioned") == 0) {
+      opts->partitioned = true;
+      continue;
+    }
+    fprintf(stderr, "unknown option: %s (see the header of tpcc_cli.cpp)\n",
+            argv[i]);
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliOptions cli;
+  if (!ParseArgs(argc, argv, &cli)) return 2;
+
+  DatabaseOptions options;
+  options.buffer_cache_frames = 8192;
+  options.imrs_cache_bytes =
+      static_cast<size_t>(cli.imrs_mb) << 20;
+  options.lock_timeout_ms = 50;
+  options.ilm.ilm_enabled = cli.ilm;
+  options.ilm.steady_cache_pct = cli.steady_pct / 100.0;
+  if (!cli.ilm) options.imrs_cache_bytes = 512ull << 20;  // "unlimited"
+
+  Result<std::unique_ptr<Database>> opened = Database::Open(options);
+  if (!opened.ok()) {
+    fprintf(stderr, "open: %s\n", opened.status().ToString().c_str());
+    return 1;
+  }
+  std::unique_ptr<Database> db = std::move(*opened);
+
+  Scale scale;
+  scale.warehouses = cli.warehouses;
+  scale.partition_by_warehouse = cli.partitioned;
+  Result<Tables> tables = CreateTables(db.get(), scale);
+  if (!tables.ok()) {
+    fprintf(stderr, "tables: %s\n", tables.status().ToString().c_str());
+    return 1;
+  }
+
+  printf("loading TPC-C: %d warehouse(s)...\n", cli.warehouses);
+  WallTimer load_timer;
+  Status load = LoadDatabase(db.get(), *tables, scale, cli.seed);
+  if (!load.ok()) {
+    fprintf(stderr, "load: %s\n", load.ToString().c_str());
+    return 1;
+  }
+  printf("loaded in %.2fs\n\n", load_timer.ElapsedSeconds());
+
+  if (cli.page_only) db->ilm()->SetForcePageStore(true);
+
+  TpccContext ctx;
+  ctx.db = db.get();
+  ctx.tables = *tables;
+  ctx.scale = scale;
+  ctx.next_history_id = static_cast<int64_t>(scale.warehouses) *
+                            scale.districts_per_warehouse *
+                            scale.customers_per_district +
+                        1;
+
+  db->StartBackground();
+  DriverOptions dopt;
+  dopt.workers = cli.workers;
+  dopt.total_txns = cli.txns;
+  dopt.seed = cli.seed;
+  dopt.window_txns = cli.window;
+  WallTimer run_timer;
+  dopt.window_observer = [&](int64_t committed) {
+    DatabaseStats s = db->GetStats();
+    const double hit =
+        100.0 * static_cast<double>(s.imrs_operations) /
+        static_cast<double>(
+            std::max<int64_t>(s.imrs_operations + s.page_operations, 1));
+    printf("  %8lld txns  %7.1fs  imrs=%6lld KiB  hit=%5.1f%%  "
+           "packed=%lld rows\n",
+           static_cast<long long>(committed), run_timer.ElapsedSeconds(),
+           static_cast<long long>(s.imrs_cache.in_use_bytes / 1024), hit,
+           static_cast<long long>(s.pack.rows_packed));
+  };
+  TpccDriver driver(&ctx, dopt);
+  DriverStats stats = driver.Run();
+  db->StopBackground();
+
+  printf("\n%.0f TPM  (%lld committed, %lld aborts, %lld rollbacks)\n",
+         stats.Tpm(), static_cast<long long>(stats.committed),
+         static_cast<long long>(stats.system_aborts),
+         static_cast<long long>(stats.user_aborts));
+  printf("latency us: mean=%.0f p50=%lld p95=%lld p99=%lld\n\n",
+         stats.latency_mean_us,
+         static_cast<long long>(stats.latency_p50_us),
+         static_cast<long long>(stats.latency_p95_us),
+         static_cast<long long>(stats.latency_p99_us));
+  printf("%s\n%s", FormatDatabaseStats(db->GetStats()).c_str(),
+         FormatTableBreakdown(db.get()).c_str());
+  return 0;
+}

@@ -1,0 +1,59 @@
+#ifndef BTRIM_COMMON_CLOCK_H_
+#define BTRIM_COMMON_CLOCK_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+namespace btrim {
+
+/// Monotone logical clock.
+///
+/// The engine's notion of time for ILM purposes is the database commit
+/// timestamp: an atomic counter incremented at every transaction commit
+/// (Sec. VI.D). Row access timestamps, the timestamp filter Ʈ, and tuning
+/// windows are all expressed in this unit, which makes experiments
+/// deterministic and machine-independent.
+class LogicalClock {
+ public:
+  LogicalClock() = default;
+  LogicalClock(const LogicalClock&) = delete;
+  LogicalClock& operator=(const LogicalClock&) = delete;
+
+  /// Returns the new timestamp after advancing.
+  uint64_t Tick() { return now_.fetch_add(1, std::memory_order_acq_rel) + 1; }
+
+  uint64_t Now() const { return now_.load(std::memory_order_acquire); }
+
+  void Reset(uint64_t value = 0) { now_.store(value, std::memory_order_release); }
+
+ private:
+  std::atomic<uint64_t> now_{0};
+};
+
+/// Wall-clock stopwatch for throughput (TPM) reporting.
+class WallTimer {
+ public:
+  WallTimer() : start_(std::chrono::steady_clock::now()) {}
+
+  void Restart() { start_ = std::chrono::steady_clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+
+  int64_t ElapsedMicros() const {
+    return std::chrono::duration_cast<std::chrono::microseconds>(
+               std::chrono::steady_clock::now() - start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace btrim
+
+#endif  // BTRIM_COMMON_CLOCK_H_

@@ -1,0 +1,98 @@
+#ifndef BTRIM_COMMON_COUNTERS_H_
+#define BTRIM_COMMON_COUNTERS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+
+namespace btrim {
+
+/// Cache line size used to pad per-shard counter slots so that concurrent
+/// updates from different shards never share a line (the paper's "per-CPU
+/// core-friendly counters", Sec. V.A).
+inline constexpr size_t kCacheLineSize = 64;
+
+/// Number of shards used by ShardedCounter. The paper shards per CPU core;
+/// we shard by a hashed thread id over a fixed pool, which exercises the
+/// same code path (one writer core per slot in steady state) on any machine.
+inline constexpr size_t kCounterShards = 16;
+
+namespace internal_counters {
+
+/// Stable small index for the calling thread, in [0, kCounterShards).
+inline size_t ThreadShard() {
+  // Distribute consecutive thread ids across shards; thread_local makes the
+  // lookup a single TLS read on the hot path.
+  static std::atomic<size_t> next_id{0};
+  thread_local size_t shard =
+      next_id.fetch_add(1, std::memory_order_relaxed) % kCounterShards;
+  return shard;
+}
+
+}  // namespace internal_counters
+
+/// A statistics counter striped across cache-line-padded shards.
+///
+/// Add() touches only the calling thread's shard, so the line stays in that
+/// core's L1/L2 cache and no cross-core invalidation traffic is generated
+/// (Sec. V.A). Load() aggregates across shards; it is intended for the
+/// tuner / pack threads, which read counters once per tuning window, so the
+/// aggregation cost is irrelevant.
+///
+/// Values may transiently under- or over-read while writers are active;
+/// the ILM heuristics only need windowed deltas and tolerate this.
+class ShardedCounter {
+ public:
+  ShardedCounter() = default;
+  ShardedCounter(const ShardedCounter&) = delete;
+  ShardedCounter& operator=(const ShardedCounter&) = delete;
+
+  void Add(int64_t delta) {
+    shards_[internal_counters::ThreadShard()].value.fetch_add(
+        delta, std::memory_order_relaxed);
+  }
+
+  void Inc() { Add(1); }
+
+  int64_t Load() const {
+    int64_t sum = 0;
+    for (const auto& s : shards_) {
+      sum += s.value.load(std::memory_order_relaxed);
+    }
+    return sum;
+  }
+
+  void Reset() {
+    for (auto& s : shards_) {
+      s.value.store(0, std::memory_order_relaxed);
+    }
+  }
+
+ private:
+  struct alignas(kCacheLineSize) Shard {
+    std::atomic<int64_t> value{0};
+  };
+  Shard shards_[kCounterShards];
+};
+
+/// A plain atomic gauge for values that are inherently single-writer or
+/// low-frequency (e.g. per-partition IMRS byte footprint maintained by the
+/// memory manager).
+class AtomicGauge {
+ public:
+  AtomicGauge() = default;
+  AtomicGauge(const AtomicGauge&) = delete;
+  AtomicGauge& operator=(const AtomicGauge&) = delete;
+
+  void Add(int64_t delta) { value_.fetch_add(delta, std::memory_order_relaxed); }
+  void Sub(int64_t delta) { value_.fetch_sub(delta, std::memory_order_relaxed); }
+  void Set(int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  int64_t Load() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+}  // namespace btrim
+
+#endif  // BTRIM_COMMON_COUNTERS_H_

@@ -1,0 +1,34 @@
+#ifndef BTRIM_COMMON_HASH_H_
+#define BTRIM_COMMON_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+
+namespace btrim {
+
+/// 64-bit avalanche mix (Murmur3 finalizer). Good bucket dispersion for
+/// integer keys (RIDs, lock ids, hash-index keys).
+inline uint64_t Mix64(uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdull;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ull;
+  x ^= x >> 33;
+  return x;
+}
+
+/// FNV-1a over a byte range, for variable-length keys.
+inline uint64_t HashBytes(const void* data, size_t len) {
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  uint64_t h = 14695981039346656037ull;
+  for (size_t i = 0; i < len; ++i) {
+    h ^= p[i];
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+}  // namespace btrim
+
+#endif  // BTRIM_COMMON_HASH_H_

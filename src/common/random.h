@@ -1,0 +1,64 @@
+#ifndef BTRIM_COMMON_RANDOM_H_
+#define BTRIM_COMMON_RANDOM_H_
+
+#include <cstdint>
+
+namespace btrim {
+
+/// xoshiro256** pseudo-random generator.
+///
+/// Deterministic given a seed, fast, and good enough for workload
+/// generation and randomized property tests. Not cryptographic.
+class Random {
+ public:
+  explicit Random(uint64_t seed = 0x9e3779b97f4a7c15ull) {
+    // SplitMix64 seeding to fill the state from a single word.
+    uint64_t z = seed;
+    for (auto& s : state_) {
+      z += 0x9e3779b97f4a7c15ull;
+      uint64_t t = z;
+      t = (t ^ (t >> 30)) * 0xbf58476d1ce4e5b9ull;
+      t = (t ^ (t >> 27)) * 0x94d049bb133111ebull;
+      s = t ^ (t >> 31);
+    }
+  }
+
+  uint64_t Next() {
+    const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform in [0, n). n must be > 0.
+  uint64_t Uniform(uint64_t n) { return Next() % n; }
+
+  /// Uniform in [lo, hi], inclusive on both ends. Requires lo <= hi.
+  int64_t UniformRange(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(Uniform(static_cast<uint64_t>(hi - lo + 1)));
+  }
+
+  /// True with probability pct/100.
+  bool PercentChance(int pct) { return static_cast<int>(Uniform(100)) < pct; }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  uint64_t state_[4];
+};
+
+}  // namespace btrim
+
+#endif  // BTRIM_COMMON_RANDOM_H_

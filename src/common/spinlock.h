@@ -1,0 +1,103 @@
+#ifndef BTRIM_COMMON_SPINLOCK_H_
+#define BTRIM_COMMON_SPINLOCK_H_
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+
+namespace btrim {
+
+/// Test-and-test-and-set spinlock with exponential-ish backoff.
+///
+/// Used for short critical sections (free-list manipulation, queue splicing)
+/// where a futex-based mutex would dominate the cost of the protected work.
+class SpinLock {
+ public:
+  SpinLock() = default;
+  SpinLock(const SpinLock&) = delete;
+  SpinLock& operator=(const SpinLock&) = delete;
+
+  void lock() {
+    int spins = 0;
+    while (flag_.exchange(true, std::memory_order_acquire)) {
+      while (flag_.load(std::memory_order_relaxed)) {
+        if (++spins > 256) {
+          std::this_thread::yield();
+          spins = 0;
+        }
+      }
+    }
+  }
+
+  bool try_lock() {
+    return !flag_.exchange(true, std::memory_order_acquire);
+  }
+
+  void unlock() { flag_.store(false, std::memory_order_release); }
+
+ private:
+  std::atomic<bool> flag_{false};
+};
+
+/// Reader-writer spinlock with try_* variants.
+///
+/// Buffer-cache frame latches use this; failed try-acquisitions are how the
+/// engine observes page-store contention (Sec. III "Contention on the
+/// page-store"). State: kWriter when write-held, else count of readers.
+class RwSpinLock {
+ public:
+  RwSpinLock() = default;
+  RwSpinLock(const RwSpinLock&) = delete;
+  RwSpinLock& operator=(const RwSpinLock&) = delete;
+
+  bool try_lock_shared() {
+    uint32_t cur = state_.load(std::memory_order_relaxed);
+    while (cur != kWriter) {
+      if (state_.compare_exchange_weak(cur, cur + 1,
+                                       std::memory_order_acquire,
+                                       std::memory_order_relaxed)) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  void lock_shared() {
+    int spins = 0;
+    while (!try_lock_shared()) {
+      if (++spins > 64) {
+        std::this_thread::yield();
+        spins = 0;
+      }
+    }
+  }
+
+  void unlock_shared() { state_.fetch_sub(1, std::memory_order_release); }
+
+  bool try_lock() {
+    uint32_t expected = 0;
+    return state_.compare_exchange_strong(expected, kWriter,
+                                          std::memory_order_acquire,
+                                          std::memory_order_relaxed);
+  }
+
+  void lock() {
+    int spins = 0;
+    while (!try_lock()) {
+      if (++spins > 64) {
+        std::this_thread::yield();
+        spins = 0;
+      }
+    }
+  }
+
+  void unlock() { state_.store(0, std::memory_order_release); }
+
+ private:
+  static constexpr uint32_t kWriter = 0xffffffffu;
+  std::atomic<uint32_t> state_{0};
+};
+
+}  // namespace btrim
+
+#endif  // BTRIM_COMMON_SPINLOCK_H_

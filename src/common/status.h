@@ -1,0 +1,131 @@
+#ifndef BTRIM_COMMON_STATUS_H_
+#define BTRIM_COMMON_STATUS_H_
+
+#include <string>
+#include <utility>
+
+namespace btrim {
+
+/// Outcome of an operation that can fail.
+///
+/// BTrimDB does not use exceptions on its hot paths; fallible operations
+/// return a Status (or a Result<T>, see below). Statuses are cheap to copy
+/// in the OK case (no allocation) and carry a code plus a human-readable
+/// message otherwise.
+class Status {
+ public:
+  enum class Code : unsigned char {
+    kOk = 0,
+    kNotFound = 1,
+    kCorruption = 2,
+    kInvalidArgument = 3,
+    kIOError = 4,
+    kBusy = 5,            // conditional lock not granted, caller should skip
+    kAborted = 6,         // transaction aborted (deadlock timeout, conflict)
+    kNoSpace = 7,         // allocator / page out of space
+    kAlreadyExists = 8,   // unique key violation
+    kNotSupported = 9,
+    kShutdown = 10,       // database is stopping
+  };
+
+  Status() = default;
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  static Status OK() { return Status(); }
+  static Status NotFound(std::string msg = "") {
+    return Status(Code::kNotFound, std::move(msg));
+  }
+  static Status Corruption(std::string msg = "") {
+    return Status(Code::kCorruption, std::move(msg));
+  }
+  static Status InvalidArgument(std::string msg = "") {
+    return Status(Code::kInvalidArgument, std::move(msg));
+  }
+  static Status IOError(std::string msg = "") {
+    return Status(Code::kIOError, std::move(msg));
+  }
+  static Status Busy(std::string msg = "") {
+    return Status(Code::kBusy, std::move(msg));
+  }
+  static Status Aborted(std::string msg = "") {
+    return Status(Code::kAborted, std::move(msg));
+  }
+  static Status NoSpace(std::string msg = "") {
+    return Status(Code::kNoSpace, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg = "") {
+    return Status(Code::kAlreadyExists, std::move(msg));
+  }
+  static Status NotSupported(std::string msg = "") {
+    return Status(Code::kNotSupported, std::move(msg));
+  }
+  static Status Shutdown(std::string msg = "") {
+    return Status(Code::kShutdown, std::move(msg));
+  }
+
+  bool ok() const { return code_ == Code::kOk; }
+  bool IsNotFound() const { return code_ == Code::kNotFound; }
+  bool IsCorruption() const { return code_ == Code::kCorruption; }
+  bool IsInvalidArgument() const { return code_ == Code::kInvalidArgument; }
+  bool IsIOError() const { return code_ == Code::kIOError; }
+  bool IsBusy() const { return code_ == Code::kBusy; }
+  bool IsAborted() const { return code_ == Code::kAborted; }
+  bool IsNoSpace() const { return code_ == Code::kNoSpace; }
+  bool IsAlreadyExists() const { return code_ == Code::kAlreadyExists; }
+  bool IsNotSupported() const { return code_ == Code::kNotSupported; }
+  bool IsShutdown() const { return code_ == Code::kShutdown; }
+
+  Code code() const { return code_; }
+  const std::string& message() const { return msg_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+ private:
+  Status(Code code, std::string msg) : code_(code), msg_(std::move(msg)) {}
+
+  Code code_ = Code::kOk;
+  std::string msg_;
+};
+
+/// A value or an error. Minimal Result type for functions that produce a
+/// value but can fail; avoids out-parameters on most APIs.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}        // NOLINT(runtime/explicit)
+  Result(Status status) : status_(std::move(status)) {}  // NOLINT(runtime/explicit)
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  T& value() & { return value_; }
+  const T& value() const& { return value_; }
+  T&& value() && { return std::move(value_); }
+
+  T& operator*() & { return value_; }
+  const T& operator*() const& { return value_; }
+  T&& operator*() && { return std::move(value_); }
+
+  T* operator->() { return &value_; }
+  const T* operator->() const { return &value_; }
+
+ private:
+  T value_{};
+  Status status_;
+};
+
+/// Propagates a non-OK Status to the caller.
+#define BTRIM_RETURN_IF_ERROR(expr)               \
+  do {                                            \
+    ::btrim::Status _st = (expr);                 \
+    if (!_st.ok()) return _st;                    \
+  } while (0)
+
+}  // namespace btrim
+
+#endif  // BTRIM_COMMON_STATUS_H_

@@ -1,0 +1,566 @@
+#include "engine/database.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "wal/log_record.h"
+
+namespace btrim {
+
+Database::Database(DatabaseOptions options)
+    : options_(options),
+      buffer_cache_(options.buffer_cache_frames),
+      imrs_allocator_(options.imrs_cache_bytes),
+      txn_manager_(&lock_manager_) {}
+
+Database::~Database() { StopBackground(); }
+
+Result<std::unique_ptr<Database>> Database::Open(DatabaseOptions options) {
+  auto db = std::unique_ptr<Database>(new Database(options));
+  Status s = db->Init();
+  if (!s.ok()) return s;
+  return db;
+}
+
+Status Database::Init() {
+  // File id 0 is reserved (null RID); occupy the slot.
+  devices_.push_back(nullptr);
+
+  // Logs.
+  if (options_.in_memory) {
+    syslogs_ = std::make_unique<Log>(std::make_unique<MemLogStorage>(),
+                                     /*sync_on_commit=*/false);
+    sysimrslogs_ = std::make_unique<Log>(std::make_unique<MemLogStorage>(),
+                                         /*sync_on_commit=*/false);
+  } else {
+    Result<std::unique_ptr<FileLogStorage>> sys =
+        FileLogStorage::Open(options_.data_dir + "/syslogs.wal");
+    if (!sys.ok()) return sys.status();
+    Result<std::unique_ptr<FileLogStorage>> imrs =
+        FileLogStorage::Open(options_.data_dir + "/sysimrslogs.wal");
+    if (!imrs.ok()) return imrs.status();
+    syslogs_ =
+        std::make_unique<Log>(std::move(*sys), options_.sync_commits);
+    sysimrslogs_ =
+        std::make_unique<Log>(std::move(*imrs), options_.sync_commits);
+  }
+
+  // IMRS.
+  imrs_ = std::make_unique<ImrsStore>(&imrs_allocator_, &rid_map_);
+
+  // ILM (needs `this` as PackClient).
+  ilm_ = std::make_unique<IlmManager>(options_.ilm, &imrs_allocator_, this);
+
+  // GC, wired to ILM queues and the page-store purge transaction.
+  GcHooks hooks;
+  hooks.enqueue_to_ilm_queue = [this](ImrsRow* row) { ilm_->EnqueueRow(row); };
+  hooks.unlink_from_ilm_queue = [this](ImrsRow* row) { ilm_->UnlinkRow(row); };
+  hooks.purge_page_store_home = [this](ImrsRow* row) {
+    return PurgePageStoreHome(row);
+  };
+  hooks.on_freed = [this](uint32_t table_id, uint32_t partition_id,
+                          int64_t bytes, int64_t rows) {
+    PartitionState* part = ilm_->FindPartition(table_id, partition_id);
+    if (part != nullptr) {
+      part->metrics.imrs_bytes.Sub(bytes);
+      part->metrics.imrs_rows.Sub(rows);
+    }
+  };
+  gc_ = std::make_unique<ImrsGc>(imrs_.get(), std::move(hooks));
+  return Status::OK();
+}
+
+Result<uint16_t> Database::NewFile(const std::string& hint) {
+  std::lock_guard<std::mutex> guard(file_mu_);
+  const uint16_t file_id = static_cast<uint16_t>(devices_.size());
+  std::unique_ptr<Device> device;
+  if (options_.in_memory) {
+    device = std::make_unique<MemDevice>(options_.device_latency_micros);
+  } else {
+    Result<std::unique_ptr<FileDevice>> fd = FileDevice::Open(
+        options_.data_dir + "/" + hint + "." + std::to_string(file_id) +
+        ".dat");
+    if (!fd.ok()) return fd.status();
+    device = std::move(*fd);
+  }
+  buffer_cache_.AttachDevice(file_id, device.get());
+  devices_.push_back(std::move(device));
+  return file_id;
+}
+
+Result<Table*> Database::CreateTable(TableOptions options) {
+  if (options.primary_key.empty()) {
+    return Status::InvalidArgument("table needs a primary key");
+  }
+  if (options.num_partitions < 1) {
+    return Status::InvalidArgument("num_partitions must be >= 1");
+  }
+  if (!options.range_bounds.empty()) {
+    if (options.partition_column < 0) {
+      return Status::InvalidArgument(
+          "range partitioning needs a partition column");
+    }
+    if (!std::is_sorted(options.range_bounds.begin(),
+                        options.range_bounds.end())) {
+      return Status::InvalidArgument("range bounds must be ascending");
+    }
+    options.num_partitions =
+        static_cast<int>(options.range_bounds.size()) + 1;
+  }
+
+  auto table = std::make_unique<Table>();
+  {
+    std::lock_guard<std::mutex> guard(catalog_mu_);
+    table->id_ = static_cast<uint32_t>(tables_.size() + 1);
+  }
+  table->name_ = options.name;
+  table->schema_ = options.schema;
+  table->use_hash_index_ = options.use_hash_index;
+  table->partition_column_ = options.partition_column;
+  table->range_bounds_ = options.range_bounds;
+  table->pk_encoder_ =
+      std::make_unique<KeyEncoder>(&table->schema_, options.primary_key);
+
+  // Slots per page: worst-case record size + one slot entry each.
+  const size_t max_record = table->schema_.MaxRecordSize();
+  const size_t usable = kPageSize - 16;
+  if (max_record + 4 > usable) {
+    return Status::InvalidArgument("record too large for a page");
+  }
+  const uint16_t slots_per_page =
+      static_cast<uint16_t>(usable / (max_record + 4));
+
+  // Primary index.
+  Result<uint16_t> pk_file = NewFile(options.name + ".pk");
+  if (!pk_file.ok()) return pk_file.status();
+  table->primary_ =
+      std::make_unique<BTree>(*pk_file, &buffer_cache_, /*unique=*/true);
+  BTRIM_RETURN_IF_ERROR(table->primary_->Create());
+
+  // Secondary indexes.
+  for (const IndexDef& def : options.secondary_indexes) {
+    Result<uint16_t> file = NewFile(options.name + "." + def.name);
+    if (!file.ok()) return file.status();
+    SecondaryIndex sec;
+    sec.def = def;
+    sec.encoder = std::make_unique<KeyEncoder>(&table->schema_,
+                                               def.key_columns);
+    // Non-unique entries get a RID suffix; the tree itself is "unique" over
+    // the suffixed key.
+    sec.tree = std::make_unique<BTree>(*file, &buffer_cache_,
+                                       /*unique=*/def.unique);
+    BTRIM_RETURN_IF_ERROR(sec.tree->Create());
+    table->secondaries_.push_back(std::move(sec));
+  }
+
+  // Partitions.
+  table->partitions_.resize(static_cast<size_t>(options.num_partitions));
+  for (int p = 0; p < options.num_partitions; ++p) {
+    Result<uint16_t> file =
+        NewFile(options.name + ".heap" + std::to_string(p));
+    if (!file.ok()) return file.status();
+    TablePartition& part = table->partitions_[p];
+    part.id = static_cast<uint32_t>(p);
+    part.heap = std::make_unique<HeapFile>(*file, &buffer_cache_,
+                                           slots_per_page);
+    part.ilm = ilm_->RegisterPartition(
+        table->id_, part.id,
+        options.name + "/" + std::to_string(p));
+    part.ilm->pinned.store(options.pin_in_imrs, std::memory_order_relaxed);
+    table->partition_by_file_[*file] = static_cast<size_t>(p);
+  }
+
+  Table* raw = table.get();
+  {
+    std::lock_guard<std::mutex> guard(catalog_mu_);
+    for (size_t p = 0; p < raw->partitions_.size(); ++p) {
+      part_by_file_[raw->partitions_[p].heap->file_id()] = {raw, p};
+    }
+    tables_by_name_[raw->name_] = raw;
+    tables_.push_back(std::move(table));
+  }
+  return raw;
+}
+
+Table* Database::GetTable(const std::string& name) const {
+  std::lock_guard<std::mutex> guard(catalog_mu_);
+  auto it = tables_by_name_.find(name);
+  return it == tables_by_name_.end() ? nullptr : it->second;
+}
+
+Table* Database::GetTable(uint32_t table_id) const {
+  std::lock_guard<std::mutex> guard(catalog_mu_);
+  if (table_id == 0 || table_id > tables_.size()) return nullptr;
+  return tables_[table_id - 1].get();
+}
+
+std::vector<Table*> Database::Tables() const {
+  std::lock_guard<std::mutex> guard(catalog_mu_);
+  std::vector<Table*> out;
+  out.reserve(tables_.size());
+  for (const auto& t : tables_) out.push_back(t.get());
+  return out;
+}
+
+Status Database::WriteCommitRecords(Transaction* txn, uint64_t cts) {
+  if (txn->has_imrs_changes()) {
+    std::string group = std::move(*txn->imrs_redo_buffer());
+    LogRecord commit;
+    commit.type = LogRecordType::kImrsCommit;
+    commit.txn_id = txn->id();
+    commit.cts = cts;
+    AppendLogRecord(&group, commit);
+    BTRIM_RETURN_IF_ERROR(
+        sysimrslogs_->AppendGroup(group, txn->imrs_record_count() + 1));
+    BTRIM_RETURN_IF_ERROR(sysimrslogs_->Commit());
+  }
+  if (txn->has_pagestore_changes()) {
+    LogRecord commit;
+    commit.type = LogRecordType::kPsCommit;
+    commit.txn_id = txn->id();
+    commit.cts = cts;
+    BTRIM_RETURN_IF_ERROR(syslogs_->AppendRecord(commit));
+    BTRIM_RETURN_IF_ERROR(syslogs_->Commit());
+  }
+  return Status::OK();
+}
+
+Status Database::Commit(Transaction* txn) {
+  return txn_manager_.Commit(txn, [this](Transaction* t, uint64_t cts) {
+    return WriteCommitRecords(t, cts);
+  });
+}
+
+Status Database::Abort(Transaction* txn) {
+  if (txn->state() == TxnState::kActive && txn->has_pagestore_changes()) {
+    LogRecord rec;
+    rec.type = LogRecordType::kPsAbort;
+    rec.txn_id = txn->id();
+    Status s = syslogs_->AppendRecord(rec);
+    (void)s;  // abort proceeds regardless; recovery treats it as a loser
+  }
+  return txn_manager_.Abort(txn);
+}
+
+void Database::StartBackground() {
+  bool expected = false;
+  if (!background_running_.compare_exchange_strong(expected, true)) return;
+
+  for (int i = 0; i < options_.pack_threads; ++i) {
+    background_threads_.emplace_back([this] {
+      while (background_running_.load(std::memory_order_relaxed)) {
+        ilm_->BackgroundTick(Now());
+        std::this_thread::sleep_for(
+            std::chrono::microseconds(options_.background_interval_us));
+      }
+    });
+  }
+  for (int i = 0; i < options_.gc_threads; ++i) {
+    background_threads_.emplace_back([this] {
+      while (background_running_.load(std::memory_order_relaxed)) {
+        gc_->RunOnce(txn_manager_.OldestActiveSnapshot(), Now());
+        std::this_thread::sleep_for(
+            std::chrono::microseconds(options_.background_interval_us));
+      }
+    });
+  }
+}
+
+void Database::StopBackground() {
+  if (!background_running_.exchange(false)) return;
+  for (auto& t : background_threads_) {
+    if (t.joinable()) t.join();
+  }
+  background_threads_.clear();
+}
+
+void Database::RunGcOnce() {
+  gc_->RunOnce(txn_manager_.OldestActiveSnapshot(), Now());
+}
+
+void Database::RunIlmTickOnce() { ilm_->BackgroundTick(Now()); }
+
+Status Database::Checkpoint() {
+  BTRIM_RETURN_IF_ERROR(buffer_cache_.FlushAll());
+  for (const auto& dev : devices_) {
+    if (dev != nullptr) BTRIM_RETURN_IF_ERROR(dev->Sync());
+  }
+  LogRecord rec;
+  rec.type = LogRecordType::kCheckpoint;
+  BTRIM_RETURN_IF_ERROR(syslogs_->AppendRecord(rec));
+  // Quiescent contract: no active transactions -> every logged page-store
+  // change is reflected in the flushed pages, so syslogs can restart.
+  if (txn_manager_.GetStats().active == 0) {
+    BTRIM_RETURN_IF_ERROR(syslogs_->Truncate());
+  }
+  return Status::OK();
+}
+
+int64_t Database::PackBatch(PartitionState* partition,
+                            const std::vector<ImrsRow*>& batch,
+                            std::vector<ImrsRow*>* requeue) {
+  Table* table = GetTable(partition->table_id);
+  if (table == nullptr) {
+    for (ImrsRow* row : batch) requeue->push_back(row);
+    return 0;
+  }
+
+  std::unique_ptr<Transaction> txn = Begin();
+  int64_t released = 0;
+  int64_t rows_moved = 0;
+
+  for (ImrsRow* row : batch) {
+    if (row->HasFlag(kRowPurged) || row->HasFlag(kRowPacked)) continue;
+
+    // Conditional lock: never block user DMLs (Sec. VII.B).
+    if (!txn->TryAcquireLock(row->rid.Encode(), LockMode::kExclusive).ok()) {
+      requeue->push_back(row);
+      continue;
+    }
+    if (rid_map_.Lookup(row->rid) != row) continue;  // raced with removal
+
+    RowVersion* latest = ImrsStore::LatestCommitted(row);
+    if (latest == nullptr) {
+      requeue->push_back(row);
+      continue;
+    }
+    if (latest->is_delete) {
+      // Dead row awaiting GC purge; leave it to GC (it is off the queue).
+      continue;
+    }
+
+    TablePartition* tpart = table->PartitionForRid(row->rid);
+    if (tpart == nullptr) continue;
+
+    const std::string payload = latest->payload().ToString();
+
+    // Move the latest image to the page store: logged insert (no home yet)
+    // or logged update (stale home image).
+    LogRecord rec;
+    rec.txn_id = txn->id();
+    rec.table_id = table->id();
+    rec.partition_id = partition->partition_id;
+    rec.rid = row->rid.Encode();
+    Status ps;
+    if (tpart->heap->Exists(row->rid)) {
+      std::string before;
+      ps = tpart->heap->Read(row->rid, &before);
+      if (ps.ok()) {
+        rec.type = LogRecordType::kPsUpdate;
+        rec.before = std::move(before);
+        rec.after = payload;
+        ps = tpart->heap->Update(row->rid, payload);
+      }
+    } else {
+      rec.type = LogRecordType::kPsInsert;
+      rec.after = payload;
+      ps = tpart->heap->Place(row->rid, payload);
+    }
+    if (!ps.ok()) {
+      requeue->push_back(row);
+      continue;
+    }
+    Status ls = syslogs_->AppendRecord(rec);
+    (void)ls;
+    txn->MarkPageStoreChange();
+
+    // Remove the row from the IMRS: logged delete in sysimrslogs
+    // (kImrsPack), RID-map + hash index removal, deferred memory release.
+    LogRecord pack_rec;
+    pack_rec.type = LogRecordType::kImrsPack;
+    pack_rec.txn_id = txn->id();
+    pack_rec.table_id = table->id();
+    pack_rec.partition_id = partition->partition_id;
+    pack_rec.rid = row->rid.Encode();
+    AppendLogRecord(txn->imrs_redo_buffer(), pack_rec);
+    txn->CountImrsRecord();
+
+    row->SetFlag(kRowPacked);
+    rid_map_.Erase(row->rid);
+    if (table->hash_index() != nullptr) {
+      table->hash_index()->Erase(
+          table->pk_encoder().KeyForRecord(Slice(payload)));
+    }
+
+    const int64_t footprint = ImrsStore::RowFootprint(row);
+    const uint64_t now = Now();
+    for (RowVersion* v = row->latest.load(std::memory_order_acquire);
+         v != nullptr; v = v->older.load(std::memory_order_relaxed)) {
+      gc_->DeferFree(v, now);
+    }
+    gc_->DeferFree(row, now);
+
+    partition->metrics.imrs_bytes.Sub(footprint);
+    partition->metrics.imrs_rows.Sub(1);
+    released += footprint;
+    ++rows_moved;
+  }
+
+  Status s = Commit(txn.get());
+  if (!s.ok()) {
+    // Commit hook failures abort the transaction; the IMRS rows were
+    // already detached, which is safe (their data is in the page store
+    // image in memory) but the run should surface the error.
+    return released;
+  }
+  (void)rows_moved;
+  return released;
+}
+
+Result<int64_t> Database::CompactImrsLog() {
+  if (txn_manager_.GetStats().active != 0) {
+    return Status::Busy("IMRS log compaction requires quiescence");
+  }
+  // Serialize one committed group that recreates the current IMRS exactly:
+  // a live row becomes kImrsInsert; a not-yet-purged tombstone becomes
+  // kImrsInsert + kImrsDelete so it keeps masking its page-store home.
+  std::string group;
+  int64_t records = 0;
+  rid_map_.ForEach([&](Rid rid, ImrsRow* row) {
+    if (row->HasFlag(kRowPurged) || row->HasFlag(kRowPacked)) return;
+    RowVersion* latest = ImrsStore::LatestCommitted(row);
+    if (latest == nullptr) return;
+
+    LogRecord rec;
+    rec.type = LogRecordType::kImrsInsert;
+    rec.txn_id = 0;
+    rec.table_id = row->table_id;
+    rec.partition_id = row->partition_id;
+    rec.rid = rid.Encode();
+    rec.source = static_cast<uint8_t>(row->source);
+    rec.after.assign(latest->data(), latest->data_size);
+    AppendLogRecord(&group, rec);
+    ++records;
+    if (latest->is_delete) {
+      LogRecord del;
+      del.type = LogRecordType::kImrsDelete;
+      del.txn_id = 0;
+      del.table_id = row->table_id;
+      del.partition_id = row->partition_id;
+      del.rid = rid.Encode();
+      del.before.assign(latest->data(), latest->data_size);
+      AppendLogRecord(&group, del);
+      ++records;
+    }
+  });
+  LogRecord commit;
+  commit.type = LogRecordType::kImrsCommit;
+  commit.txn_id = 0;
+  commit.cts = Now();
+  AppendLogRecord(&group, commit);
+
+  BTRIM_RETURN_IF_ERROR(sysimrslogs_->Truncate());
+  BTRIM_RETURN_IF_ERROR(sysimrslogs_->AppendGroup(group, records + 1));
+  BTRIM_RETURN_IF_ERROR(sysimrslogs_->Commit());
+  return records;
+}
+
+Result<int64_t> Database::PrewarmTable(Table* table) {
+  int64_t warmed = 0;
+  for (size_t p = 0; p < table->num_partitions(); ++p) {
+    TablePartition& part = table->partition(p);
+
+    // Collect candidate RIDs first (ScanAll holds page latches; the cache
+    // inserts below take row locks and must not nest inside them).
+    std::vector<std::pair<Rid, std::string>> candidates;
+    Status s = part.heap->ScanAll([&](Rid rid, Slice payload) {
+      if (rid_map_.Lookup(rid) == nullptr) {
+        candidates.emplace_back(rid, payload.ToString());
+      }
+      return true;
+    });
+    BTRIM_RETURN_IF_ERROR(s);
+
+    size_t i = 0;
+    while (i < candidates.size()) {
+      std::unique_ptr<Transaction> txn = Begin();
+      Status batch_status = Status::OK();
+      const size_t batch_end = std::min(i + 128, candidates.size());
+      for (; i < batch_end; ++i) {
+        const auto& [rid, payload] = candidates[i];
+        if (!txn->TryAcquireLock(rid.Encode(), LockMode::kExclusive).ok()) {
+          continue;  // busy row: skip, a later access will cache it
+        }
+        if (rid_map_.Lookup(rid) != nullptr) continue;  // raced in already
+        const std::string pk =
+            table->pk_encoder().KeyForRecord(Slice(payload));
+        Status ins = InsertToImrs(txn.get(), table, &part, rid,
+                                  Slice(payload), Slice(pk),
+                                  RowSource::kCached);
+        if (ins.IsNoSpace()) {
+          batch_status = ins;  // cache full: stop warming entirely
+          break;
+        }
+        if (ins.ok()) ++warmed;
+      }
+      BTRIM_RETURN_IF_ERROR(Commit(txn.get()));
+      if (batch_status.IsNoSpace()) return warmed;
+    }
+  }
+  return warmed;
+}
+
+bool Database::PurgePageStoreHome(ImrsRow* row) {
+  Table* table = GetTable(row->table_id);
+  if (table == nullptr) return true;
+  TablePartition* tpart = table->PartitionForRid(row->rid);
+  if (tpart == nullptr) return true;
+
+  std::unique_ptr<Transaction> txn = Begin();
+  if (!txn->TryAcquireLock(row->rid.Encode(), LockMode::kExclusive).ok()) {
+    Status s = Abort(txn.get());
+    (void)s;
+    return false;
+  }
+
+  // The delete marker carries the final payload so index keys can be
+  // reconstructed here.
+  RowVersion* marker = ImrsStore::LatestCommitted(row);
+  if (marker != nullptr && marker->is_delete && marker->data_size > 0) {
+    const std::string payload = marker->payload().ToString();
+    const std::string pk = table->pk_encoder().KeyForRecord(Slice(payload));
+    RemoveIndexEntries(table, Slice(payload), Slice(pk), row->rid);
+    if (table->hash_index() != nullptr) {
+      table->hash_index()->Erase(pk);
+    }
+  }
+
+  if (tpart->heap->Exists(row->rid)) {
+    std::string before;
+    if (tpart->heap->Read(row->rid, &before).ok()) {
+      LogRecord rec;
+      rec.type = LogRecordType::kPsDelete;
+      rec.txn_id = txn->id();
+      rec.table_id = table->id();
+      rec.partition_id = tpart->id;
+      rec.rid = row->rid.Encode();
+      rec.before = std::move(before);
+      Status ls = syslogs_->AppendRecord(rec);
+      (void)ls;
+      txn->MarkPageStoreChange();
+      Status ds = tpart->heap->Delete(row->rid);
+      (void)ds;
+    }
+  }
+  Status s = Commit(txn.get());
+  (void)s;
+  return true;
+}
+
+DatabaseStats Database::GetStats() const {
+  DatabaseStats s;
+  s.txns = txn_manager_.GetStats();
+  s.buffer_cache = buffer_cache_.GetStats();
+  s.imrs_cache = imrs_allocator_.GetStats();
+  s.locks = lock_manager_.GetStats();
+  s.gc = gc_->GetStats();
+  s.pack = ilm_->pack()->GetStats();
+  s.rid_map = rid_map_.GetStats();
+  s.syslogs = syslogs_->GetStats();
+  s.sysimrslogs = sysimrslogs_->GetStats();
+  s.imrs_operations = imrs_ops_.Load();
+  s.page_operations = page_ops_.Load();
+  return s;
+}
+
+}  // namespace btrim

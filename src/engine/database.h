@@ -1,0 +1,295 @@
+#ifndef BTRIM_ENGINE_DATABASE_H_
+#define BTRIM_ENGINE_DATABASE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "alloc/fragment_allocator.h"
+#include "engine/table.h"
+#include "ilm/ilm_manager.h"
+#include "imrs/gc.h"
+#include "imrs/rid_map.h"
+#include "imrs/store.h"
+#include "page/buffer_cache.h"
+#include "txn/transaction.h"
+#include "wal/log.h"
+
+namespace btrim {
+
+/// Construction-time options for a Database.
+struct DatabaseOptions {
+  /// Buffer cache frames (8 KiB each).
+  size_t buffer_cache_frames = 4096;
+
+  /// IMRS fragment cache logical capacity.
+  size_t imrs_cache_bytes = 256ull << 20;
+
+  /// ILM tunables (see IlmConfig). `ilm.ilm_enabled = false` reproduces the
+  /// paper's ILM_OFF setup.
+  IlmConfig ilm;
+
+  /// In-memory devices/logs (fast, volatile) versus file-backed under
+  /// `data_dir` (durable across restarts).
+  bool in_memory = true;
+  std::string data_dir;
+
+  /// fsync both logs on commit (file-backed mode only).
+  bool sync_commits = false;
+
+  /// Artificial device latency per page I/O (simulated disk; 0 = off).
+  uint32_t device_latency_micros = 0;
+
+  /// Background threads.
+  int pack_threads = 1;
+  int gc_threads = 1;
+  int64_t background_interval_us = 500;
+
+  /// Lock wait budget before timeout-abort (deadlock resolution).
+  int64_t lock_timeout_ms = 1000;
+};
+
+/// One decoded row returned by scans.
+struct ScanRow {
+  Rid rid;
+  std::string payload;
+  bool from_imrs = false;
+};
+
+/// Aggregate engine statistics snapshot (feeds the experiment harness).
+struct DatabaseStats {
+  TransactionManagerStats txns;
+  BufferCacheStats buffer_cache;
+  FragmentAllocatorStats imrs_cache;
+  LockManagerStats locks;
+  GcStats gc;
+  PackStats pack;
+  RidMapStats rid_map;
+  LogStats syslogs;
+  LogStats sysimrslogs;
+  int64_t imrs_operations = 0;  ///< ISUD ops served by the IMRS
+  int64_t page_operations = 0;  ///< ISUD ops served by the page store
+};
+
+/// The BTrim hybrid storage engine (paper Sec. II).
+///
+/// Owns the page-store substrate (devices, buffer cache, heap files,
+/// B+Trees), the IMRS (fragment allocator, RID-map, versioned row store,
+/// GC), the dual transaction logs, the transaction manager, and the ILM
+/// machinery (monitor, tuner, TSF, Pack). The DML API is row-oriented and
+/// transparently resolves each RID to whichever store currently holds the
+/// row's truth.
+///
+/// Consistency model: IMRS-resident rows get timestamp-based snapshot
+/// isolation through in-memory versioning; page-store-resident rows are
+/// protected by strict two-phase row locking (read-committed or better).
+/// Writers always lock exclusively to commit, so write-write conflicts are
+/// impossible in either store.
+class Database : public PackClient {
+ public:
+  static Result<std::unique_ptr<Database>> Open(DatabaseOptions options);
+  ~Database() override;
+
+  Database(const Database&) = delete;
+  Database& operator=(const Database&) = delete;
+
+  /// --- schema -----------------------------------------------------------
+
+  Result<Table*> CreateTable(TableOptions options);
+  Table* GetTable(const std::string& name) const;
+  Table* GetTable(uint32_t table_id) const;
+  std::vector<Table*> Tables() const;
+
+  /// --- transactions ------------------------------------------------------
+
+  std::unique_ptr<Transaction> Begin() { return txn_manager_.Begin(); }
+  Status Commit(Transaction* txn);
+  Status Abort(Transaction* txn);
+
+  /// --- DML (access methods, Sec. II/IV/VII) -------------------------------
+
+  /// Inserts an encoded record. The row's RID is pre-allocated from the
+  /// partition heap; storage (IMRS vs page store) follows ILM rules.
+  Status Insert(Transaction* txn, Table* table, Slice record);
+
+  /// Point select by primary key. Sets `*out` to the visible payload.
+  Status SelectByKey(Transaction* txn, Table* table, Slice pk,
+                     std::string* out);
+
+  /// Point update by primary key: `mutator` receives the current payload
+  /// and rewrites it (must not change key columns).
+  Status Update(Transaction* txn, Table* table, Slice pk,
+                const std::function<void(std::string*)>& mutator);
+
+  /// Point delete by primary key.
+  Status Delete(Transaction* txn, Table* table, Slice pk);
+
+  /// Range scan over an index (`index_no` = -1 for the primary, else the
+  /// secondary index position). Returns visible rows with
+  /// lower <= key < upper (empty upper = to the end).
+  Status ScanIndex(Transaction* txn, Table* table, int index_no, Slice lower,
+                   Slice upper, size_t limit, std::vector<ScanRow>* out);
+
+  /// --- background / lifecycle ----------------------------------------------
+
+  /// Starts pack + GC threads. Idempotent.
+  void StartBackground();
+  /// Stops and joins background threads. Idempotent; called by destructor.
+  void StopBackground();
+
+  /// Runs one synchronous GC pass (tests / deterministic experiments).
+  void RunGcOnce();
+  /// Runs one synchronous ILM background tick (TSF/tuning/pack).
+  void RunIlmTickOnce();
+
+  /// Flushes the buffer cache and (quiescently) truncates syslogs. The
+  /// IMRS log is never truncated: IMRS contents are recovered by redo-only
+  /// replay (paper Sec. II).
+  Status Checkpoint();
+
+  /// Rebuilds page store, IMRS, and all indexes from the two logs. Call on
+  /// a freshly opened database after re-creating the tables (the catalog is
+  /// not persisted). Existing in-memory state must be empty.
+  Status Recover();
+
+  /// Rewrites sysimrslogs as one snapshot of the current IMRS contents.
+  /// The paper never truncates the IMRS log (recovery is a full redo); this
+  /// keeps that recovery model while bounding log growth: after compaction
+  /// the log replays to exactly the current committed IMRS state. Requires
+  /// quiescence (no active transactions) — returns Busy otherwise. Returns
+  /// the number of snapshot records written.
+  ///
+  /// Durability caveat: the rewrite is truncate-then-append on the same
+  /// storage; a crash between the two loses the IMRS log (the page store is
+  /// unaffected). A production engine would write to a side file and rename.
+  Result<int64_t> CompactImrsLog();
+
+  /// Pre-warms the IMRS with every page-store-resident row of `table`
+  /// (the paper's Sec. X "pre-warmed IMRS caches"): rows are cached as if
+  /// point-selected, in batched system transactions. Rows whose locks are
+  /// held, or that no longer fit (NoSpace), are skipped. Returns the number
+  /// of rows brought in.
+  Result<int64_t> PrewarmTable(Table* table);
+
+  /// --- introspection ---------------------------------------------------------
+
+  DatabaseStats GetStats() const;
+  IlmManager* ilm() { return ilm_.get(); }
+  TransactionManager* txn_manager() { return &txn_manager_; }
+  BufferCache* buffer_cache() { return &buffer_cache_; }
+  FragmentAllocator* imrs_allocator() { return &imrs_allocator_; }
+  ImrsGc* gc() { return gc_.get(); }
+  RidMap* rid_map() { return &rid_map_; }
+  Log* syslogs() { return syslogs_.get(); }
+  Log* sysimrslogs() { return sysimrslogs_.get(); }
+  const DatabaseOptions& options() const { return options_; }
+
+  /// Commit-timestamp "now" (the ILM time axis).
+  uint64_t Now() const { return txn_manager_.CurrentTimestamp(); }
+
+  /// --- PackClient --------------------------------------------------------------
+
+  int64_t PackBatch(PartitionState* partition,
+                    const std::vector<ImrsRow*>& batch,
+                    std::vector<ImrsRow*>* requeue) override;
+
+ private:
+  explicit Database(DatabaseOptions options);
+
+  Status Init();
+
+  /// Creates a device for a new file id and attaches it to the cache.
+  Result<uint16_t> NewFile(const std::string& hint);
+
+  /// Durability hook run inside TransactionManager::Commit.
+  Status WriteCommitRecords(Transaction* txn, uint64_t cts);
+
+  /// --- DML internals (access.cc) -----------------------------------------
+
+  struct Located {
+    ImrsRow* row = nullptr;  // non-null when the IMRS holds the truth
+    Rid rid;
+    TablePartition* part = nullptr;
+  };
+
+  /// Resolves a primary key to a location (hash index -> BTree -> RID-map).
+  Status LocateByKey(Table* table, Slice pk, Located* loc);
+
+  /// Reads the visible version of a located row into *out (IMRS: snapshot
+  /// read; page store: lock-based committed read). Used by select/scan.
+  /// `*from_imrs` reports which store served the read.
+  Status ReadVisible(Transaction* txn, Table* table, const Located& loc,
+                     std::string* out, bool* from_imrs);
+
+  Status InsertIndexEntries(Transaction* txn, Table* table, Slice record,
+                            Slice pk, Rid rid);
+  void RemoveIndexEntries(Table* table, Slice record, Slice pk, Rid rid);
+
+  Status InsertToImrs(Transaction* txn, Table* table, TablePartition* part,
+                      Rid rid, Slice record, Slice pk, RowSource source);
+  Status InsertToPageStore(Transaction* txn, Table* table,
+                           TablePartition* part, Rid rid, Slice record);
+
+  Status UpdateImrsRow(Transaction* txn, Table* table, TablePartition* part,
+                       ImrsRow* row, const std::function<void(std::string*)>&
+                           mutator);
+  Status UpdatePageStoreRow(Transaction* txn, Table* table,
+                            TablePartition* part, Rid rid, Slice pk,
+                            const std::function<void(std::string*)>& mutator);
+
+  /// Tries to cache a page-store row read by point access into the IMRS
+  /// (Sec. IV "selects can also bring rows"). Best effort.
+  void MaybeCacheOnSelect(Transaction* txn, Table* table, TablePartition* part,
+                          Rid rid, Slice pk, Slice payload);
+
+  /// GC hook: delete the page-store home of a dead IMRS row in a system
+  /// transaction. Returns false when the row lock is unavailable.
+  bool PurgePageStoreHome(ImrsRow* row);
+
+  /// --- members ------------------------------------------------------------
+
+  DatabaseOptions options_;
+
+  // Page store.
+  BufferCache buffer_cache_;
+  std::vector<std::unique_ptr<Device>> devices_;  // index = file_id
+  std::mutex file_mu_;
+
+  // IMRS.
+  FragmentAllocator imrs_allocator_;
+  RidMap rid_map_;
+  std::unique_ptr<ImrsStore> imrs_;
+  std::unique_ptr<ImrsGc> gc_;
+
+  // Transactions & logs.
+  LockManager lock_manager_;
+  TransactionManager txn_manager_;
+  std::unique_ptr<Log> syslogs_;
+  std::unique_ptr<Log> sysimrslogs_;
+
+  // ILM.
+  std::unique_ptr<IlmManager> ilm_;
+
+  // Catalog.
+  mutable std::mutex catalog_mu_;
+  std::vector<std::unique_ptr<Table>> tables_;
+  std::unordered_map<std::string, Table*> tables_by_name_;
+  std::unordered_map<uint16_t, std::pair<Table*, size_t>> part_by_file_;
+
+  // Background threads.
+  std::atomic<bool> background_running_{false};
+  std::vector<std::thread> background_threads_;
+
+  // Engine-level ISUD routing counters (hit-rate reporting, Fig. 1).
+  mutable ShardedCounter imrs_ops_, page_ops_;
+};
+
+}  // namespace btrim
+
+#endif  // BTRIM_ENGINE_DATABASE_H_

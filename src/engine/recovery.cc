@@ -1,0 +1,300 @@
+// Crash recovery (paper Sec. II).
+//
+// The two logs are recovered with lock-step ordering:
+//
+//   1. syslogs, redo-undo: an analysis pass finds winner transactions
+//      (those with a kPsCommit record); a redo pass re-applies winners'
+//      changes in log order; an undo pass rolls back losers' changes in
+//      reverse order using before-images. All physical operations are
+//      value-logged and tolerant, so replay is idempotent regardless of
+//      which dirty pages reached disk.
+//
+//   2. sysimrslogs, redo-only: a transaction's records form one contiguous
+//      group terminated by kImrsCommit, so groups without a commit (torn
+//      tail) are simply dropped. Applying the committed groups in order
+//      rebuilds exactly the set of rows that were IMRS-resident at the
+//      crash: inserts create rows, updates replace the latest version
+//      (history older than the crash is unreachable by any snapshot),
+//      deletes leave a tombstone for GC, and pack records remove rows whose
+//      truth moved to the page store (whose image step 1 already restored).
+//
+// Afterwards the RID allocation cursors, B+Tree / hash indexes, ILM queue
+// memberships, and the commit clock are rebuilt from the recovered data.
+// The catalog itself (CreateTable calls) is not persisted; the application
+// re-creates tables in the same order before calling Recover().
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "engine/database.h"
+#include "wal/log_record.h"
+
+namespace btrim {
+
+namespace {
+
+/// Tracks the highest row index seen per heap file, to restore cursors.
+class CursorTracker {
+ public:
+  void See(Rid rid, uint16_t slots_per_page) {
+    const uint64_t row_index =
+        static_cast<uint64_t>(rid.page_no) * slots_per_page + rid.slot;
+    uint64_t& cur = max_row_[rid.file_id];
+    if (row_index + 1 > cur) cur = row_index + 1;
+  }
+  uint64_t CursorFor(uint16_t file_id) const {
+    auto it = max_row_.find(file_id);
+    return it == max_row_.end() ? 0 : it->second;
+  }
+
+ private:
+  std::unordered_map<uint16_t, uint64_t> max_row_;
+};
+
+}  // namespace
+
+Status Database::Recover() {
+  // Map file_id -> (table, partition) for record application.
+  auto part_for_rid = [this](uint64_t rid_enc,
+                             Rid* rid) -> TablePartition* {
+    *rid = Rid::Decode(rid_enc);
+    std::lock_guard<std::mutex> guard(catalog_mu_);
+    auto it = part_by_file_.find(rid->file_id);
+    if (it == part_by_file_.end()) return nullptr;
+    return &it->second.first->partition(it->second.second);
+  };
+
+  CursorTracker cursors;
+  uint64_t max_cts = 0;
+
+  // --- syslogs pass 1: analysis -------------------------------------------
+  std::unordered_map<uint64_t, uint64_t> winners;  // txn -> cts
+  std::vector<LogRecord> ps_records;
+  BTRIM_RETURN_IF_ERROR(syslogs_->Replay([&](const LogRecord& rec) {
+    switch (rec.type) {
+      case LogRecordType::kPsCommit:
+        winners[rec.txn_id] = rec.cts;
+        if (rec.cts > max_cts) max_cts = rec.cts;
+        break;
+      case LogRecordType::kPsInsert:
+      case LogRecordType::kPsUpdate:
+      case LogRecordType::kPsDelete:
+        ps_records.push_back(rec);
+        break;
+      default:
+        break;  // aborts/checkpoints carry no work
+    }
+    return true;
+  }));
+
+  // Tolerant physical appliers (idempotent value logging).
+  auto place_or_update = [&](TablePartition* part, Rid rid,
+                             const std::string& data) {
+    if (part->heap->Exists(rid)) {
+      Status s = part->heap->Update(rid, Slice(data));
+      (void)s;
+    } else {
+      Status s = part->heap->Place(rid, Slice(data));
+      (void)s;
+    }
+  };
+  auto delete_tolerant = [&](TablePartition* part, Rid rid) {
+    Status s = part->heap->Delete(rid);
+    (void)s;
+  };
+
+  // --- syslogs pass 2: redo winners in log order ----------------------------
+  for (const LogRecord& rec : ps_records) {
+    if (winners.find(rec.txn_id) == winners.end()) continue;
+    Rid rid;
+    TablePartition* part = part_for_rid(rec.rid, &rid);
+    if (part == nullptr) continue;
+    cursors.See(rid, part->heap->slots_per_page());
+    switch (rec.type) {
+      case LogRecordType::kPsInsert:
+      case LogRecordType::kPsUpdate:
+        place_or_update(part, rid, rec.after);
+        break;
+      case LogRecordType::kPsDelete:
+        delete_tolerant(part, rid);
+        break;
+      default:
+        break;
+    }
+  }
+
+  // --- syslogs pass 3: undo losers in reverse order -------------------------
+  for (auto it = ps_records.rbegin(); it != ps_records.rend(); ++it) {
+    const LogRecord& rec = *it;
+    if (winners.find(rec.txn_id) != winners.end()) continue;
+    Rid rid;
+    TablePartition* part = part_for_rid(rec.rid, &rid);
+    if (part == nullptr) continue;
+    cursors.See(rid, part->heap->slots_per_page());
+    switch (rec.type) {
+      case LogRecordType::kPsInsert:
+        delete_tolerant(part, rid);
+        break;
+      case LogRecordType::kPsUpdate:
+      case LogRecordType::kPsDelete:
+        place_or_update(part, rid, rec.before);
+        break;
+      default:
+        break;
+    }
+  }
+
+  // --- sysimrslogs: redo-only replay of committed groups --------------------
+  std::unordered_map<uint64_t, std::vector<LogRecord>> pending;
+  Status apply_status = Status::OK();
+  BTRIM_RETURN_IF_ERROR(sysimrslogs_->Replay([&](const LogRecord& rec) {
+    if (rec.type != LogRecordType::kImrsCommit) {
+      pending[rec.txn_id].push_back(rec);
+      return true;
+    }
+    const uint64_t cts = rec.cts;
+    if (cts > max_cts) max_cts = cts;
+    auto group_it = pending.find(rec.txn_id);
+    if (group_it == pending.end()) return true;
+
+    for (const LogRecord& op : group_it->second) {
+      Rid rid;
+      TablePartition* part = part_for_rid(op.rid, &rid);
+      if (part == nullptr) continue;
+      cursors.See(rid, part->heap->slots_per_page());
+      PartitionState* pstate = part->ilm;
+      ImrsRow* row = rid_map_.Lookup(rid);
+
+      switch (op.type) {
+        case LogRecordType::kImrsInsert: {
+          if (row != nullptr) break;  // duplicate insert cannot happen
+          int64_t bytes = 0;
+          Result<ImrsRow*> created = imrs_->CreateRow(
+              rid, op.table_id, op.partition_id,
+              static_cast<RowSource>(op.source), Slice(op.after),
+              /*txn_id=*/0, /*now=*/cts, &bytes);
+          if (!created.ok()) {
+            apply_status = created.status();
+            break;
+          }
+          (*created)->latest.load(std::memory_order_acquire)
+              ->commit_ts.store(cts, std::memory_order_release);
+          pstate->metrics.imrs_bytes.Add(bytes);
+          pstate->metrics.imrs_rows.Add(1);
+          break;
+        }
+        case LogRecordType::kImrsUpdate:
+        case LogRecordType::kImrsDelete: {
+          if (row == nullptr) break;  // packed earlier in the log
+          const bool is_delete = op.type == LogRecordType::kImrsDelete;
+          const std::string& data = is_delete ? op.before : op.after;
+          // Replace the latest version: pre-crash history is unreachable
+          // by every post-recovery snapshot.
+          RowVersion* old = row->latest.load(std::memory_order_acquire);
+          int64_t bytes = 0;
+          Result<RowVersion*> added = imrs_->AddVersion(
+              row, Slice(data), is_delete, /*txn_id=*/0, &bytes);
+          if (!added.ok()) {
+            apply_status = added.status();
+            break;
+          }
+          (*added)->commit_ts.store(cts, std::memory_order_release);
+          (*added)->older.store(nullptr, std::memory_order_release);
+          pstate->metrics.imrs_bytes.Add(bytes);
+          if (old != nullptr) {
+            pstate->metrics.imrs_bytes.Sub(ImrsStore::FragmentCharge(old));
+            imrs_->FreeVersion(old);
+          }
+          row->Touch(cts);
+          break;
+        }
+        case LogRecordType::kImrsPack: {
+          if (row == nullptr) break;
+          const int64_t footprint = ImrsStore::RowFootprint(row);
+          rid_map_.Erase(rid);
+          RowVersion* v = row->latest.load(std::memory_order_acquire);
+          while (v != nullptr) {
+            RowVersion* next = v->older.load(std::memory_order_relaxed);
+            imrs_->FreeVersion(v);
+            v = next;
+          }
+          imrs_->FreeRow(row);
+          pstate->metrics.imrs_bytes.Sub(footprint);
+          pstate->metrics.imrs_rows.Sub(1);
+          break;
+        }
+        default:
+          break;
+      }
+    }
+    pending.erase(group_it);
+    return true;
+  }));
+  BTRIM_RETURN_IF_ERROR(apply_status);
+
+  // --- restore allocation cursors (before any heap scan) --------------------
+  for (Table* table : Tables()) {
+    for (size_t p = 0; p < table->num_partitions(); ++p) {
+      HeapFile* heap = table->partition(p).heap.get();
+      heap->SetRowCursor(cursors.CursorFor(heap->file_id()));
+    }
+  }
+
+  // --- rebuild indexes --------------------------------------------------------
+  for (Table* table : Tables()) {
+    // Page-store rows, skipping those masked by an IMRS-resident row.
+    for (size_t p = 0; p < table->num_partitions(); ++p) {
+      TablePartition& part = table->partition(p);
+      Status s = part.heap->ScanAll([&](Rid rid, Slice payload) {
+        if (rid_map_.Lookup(rid) != nullptr) return true;  // IMRS is truth
+        const std::string pk = table->pk_encoder().KeyForRecord(payload);
+        Status is = table->primary_index()->Insert(Slice(pk), rid.Encode());
+        (void)is;
+        for (SecondaryIndex& sec : table->secondaries()) {
+          std::string skey = sec.encoder->KeyForRecord(payload);
+          if (!sec.def.unique) {
+            skey = BTree::MakeNonUniqueKey(Slice(skey), rid);
+          }
+          is = sec.tree->Insert(Slice(skey), rid.Encode());
+          (void)is;
+        }
+        return true;
+      });
+      BTRIM_RETURN_IF_ERROR(s);
+    }
+  }
+  // IMRS rows (all tables in one RID-map sweep).
+  rid_map_.ForEach([&](Rid rid, ImrsRow* row) {
+    Table* table = GetTable(row->table_id);
+    if (table == nullptr) return;
+    RowVersion* latest = ImrsStore::LatestCommitted(row);
+    if (latest == nullptr) return;
+    const Slice payload(latest->data(), latest->data_size);
+    const std::string pk = table->pk_encoder().KeyForRecord(payload);
+    // Tombstones keep their index entries until GC purges them (older
+    // snapshots are gone after a crash, but purge also removes the
+    // page-store home, so the entries stay until then).
+    Status is = table->primary_index()->Insert(Slice(pk), rid.Encode());
+    (void)is;
+    for (SecondaryIndex& sec : table->secondaries()) {
+      std::string skey = sec.encoder->KeyForRecord(payload);
+      if (!sec.def.unique) {
+        skey = BTree::MakeNonUniqueKey(Slice(skey), rid);
+      }
+      is = sec.tree->Insert(Slice(skey), rid.Encode());
+      (void)is;
+    }
+    if (!latest->is_delete && table->hash_index() != nullptr) {
+      table->hash_index()->Upsert(Slice(pk), row);
+    }
+    // Rejoin ILM tracking and GC processing.
+    ilm_->EnqueueRow(row);
+    gc_->EnqueueCommitted(row, /*newly_created=*/false);
+  });
+
+  // --- restore the commit clock ------------------------------------------------
+  txn_manager_.commit_clock()->Reset(max_cts);
+  return Status::OK();
+}
+
+}  // namespace btrim

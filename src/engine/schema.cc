@@ -1,0 +1,244 @@
+#include "engine/schema.h"
+
+#include <cassert>
+#include <cstring>
+
+#include "common/coding.h"
+
+namespace btrim {
+
+Schema::Schema(std::vector<Column> columns) : columns_(std::move(columns)) {
+  for (const Column& c : columns_) {
+    switch (c.type) {
+      case ColumnType::kInt32:
+        max_record_size_ += 4;
+        break;
+      case ColumnType::kInt64:
+      case ColumnType::kDouble:
+        max_record_size_ += 8;
+        break;
+      case ColumnType::kString:
+        max_record_size_ += 2 + c.max_len;
+        break;
+    }
+  }
+}
+
+int Schema::FindColumn(const std::string& name) const {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i].name == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+RecordBuilder& RecordBuilder::AddInt32(int32_t v) {
+  assert(next_col_ < schema_->num_columns() &&
+         schema_->column(next_col_).type == ColumnType::kInt32);
+  PutFixed32(&buf_, static_cast<uint32_t>(v));
+  ++next_col_;
+  return *this;
+}
+
+RecordBuilder& RecordBuilder::AddInt64(int64_t v) {
+  assert(next_col_ < schema_->num_columns() &&
+         schema_->column(next_col_).type == ColumnType::kInt64);
+  PutFixed64(&buf_, static_cast<uint64_t>(v));
+  ++next_col_;
+  return *this;
+}
+
+RecordBuilder& RecordBuilder::AddDouble(double v) {
+  assert(next_col_ < schema_->num_columns() &&
+         schema_->column(next_col_).type == ColumnType::kDouble);
+  uint64_t bits;
+  memcpy(&bits, &v, 8);
+  PutFixed64(&buf_, bits);
+  ++next_col_;
+  return *this;
+}
+
+RecordBuilder& RecordBuilder::AddString(Slice v) {
+  assert(next_col_ < schema_->num_columns() &&
+         schema_->column(next_col_).type == ColumnType::kString);
+  assert(v.size() <= schema_->column(next_col_).max_len);
+  PutFixed16(&buf_, static_cast<uint16_t>(v.size()));
+  buf_.append(v.data(), v.size());
+  ++next_col_;
+  return *this;
+}
+
+Slice RecordBuilder::Finish() const {
+  assert(next_col_ == schema_->num_columns());
+  return Slice(buf_);
+}
+
+RecordView::RecordView(const Schema* schema, Slice data)
+    : schema_(schema), data_(data) {
+  offsets_.reserve(schema->num_columns());
+  size_t off = 0;
+  for (size_t i = 0; i < schema->num_columns(); ++i) {
+    offsets_.push_back(static_cast<uint32_t>(off));
+    switch (schema->column(i).type) {
+      case ColumnType::kInt32:
+        off += 4;
+        break;
+      case ColumnType::kInt64:
+      case ColumnType::kDouble:
+        off += 8;
+        break;
+      case ColumnType::kString: {
+        if (off + 2 > data.size()) return;
+        const uint16_t len = DecodeFixed16(data.data() + off);
+        off += 2 + len;
+        break;
+      }
+    }
+    if (off > data.size()) return;
+  }
+  valid_ = off <= data.size();
+}
+
+int32_t RecordView::GetInt32(size_t col) const {
+  assert(valid_ && schema_->column(col).type == ColumnType::kInt32);
+  return static_cast<int32_t>(DecodeFixed32(data_.data() + offsets_[col]));
+}
+
+int64_t RecordView::GetInt64(size_t col) const {
+  assert(valid_ && schema_->column(col).type == ColumnType::kInt64);
+  return static_cast<int64_t>(DecodeFixed64(data_.data() + offsets_[col]));
+}
+
+double RecordView::GetDouble(size_t col) const {
+  assert(valid_ && schema_->column(col).type == ColumnType::kDouble);
+  uint64_t bits = DecodeFixed64(data_.data() + offsets_[col]);
+  double v;
+  memcpy(&v, &bits, 8);
+  return v;
+}
+
+Slice RecordView::GetString(size_t col) const {
+  assert(valid_ && schema_->column(col).type == ColumnType::kString);
+  const char* p = data_.data() + offsets_[col];
+  const uint16_t len = DecodeFixed16(p);
+  return Slice(p + 2, len);
+}
+
+int64_t RecordView::GetInt(size_t col) const {
+  return schema_->column(col).type == ColumnType::kInt32
+             ? GetInt32(col)
+             : GetInt64(col);
+}
+
+RecordEditor::RecordEditor(const Schema* schema, Slice data)
+    : schema_(schema) {
+  RecordView view(schema, data);
+  if (!view.valid()) return;
+  values_.resize(schema->num_columns());
+  for (size_t i = 0; i < schema->num_columns(); ++i) {
+    switch (schema->column(i).type) {
+      case ColumnType::kInt32:
+        values_[i].i = view.GetInt32(i);
+        break;
+      case ColumnType::kInt64:
+        values_[i].i = view.GetInt64(i);
+        break;
+      case ColumnType::kDouble:
+        values_[i].d = view.GetDouble(i);
+        break;
+      case ColumnType::kString:
+        values_[i].s = view.GetString(i).ToString();
+        break;
+    }
+  }
+  valid_ = true;
+}
+
+void RecordEditor::SetInt32(size_t col, int32_t v) { values_[col].i = v; }
+void RecordEditor::SetInt64(size_t col, int64_t v) { values_[col].i = v; }
+void RecordEditor::SetDouble(size_t col, double v) { values_[col].d = v; }
+void RecordEditor::SetString(size_t col, Slice v) {
+  values_[col].s.assign(v.data(), v.size());
+}
+
+int64_t RecordEditor::GetInt(size_t col) const { return values_[col].i; }
+double RecordEditor::GetDouble(size_t col) const { return values_[col].d; }
+std::string RecordEditor::GetString(size_t col) const {
+  return values_[col].s;
+}
+
+std::string RecordEditor::Encode() const {
+  RecordBuilder builder(schema_);
+  for (size_t i = 0; i < schema_->num_columns(); ++i) {
+    switch (schema_->column(i).type) {
+      case ColumnType::kInt32:
+        builder.AddInt32(static_cast<int32_t>(values_[i].i));
+        break;
+      case ColumnType::kInt64:
+        builder.AddInt64(values_[i].i);
+        break;
+      case ColumnType::kDouble:
+        builder.AddDouble(values_[i].d);
+        break;
+      case ColumnType::kString:
+        builder.AddString(Slice(values_[i].s));
+        break;
+    }
+  }
+  return builder.Finish().ToString();
+}
+
+void KeyEncoder::AppendInt(std::string* out, int64_t v) {
+  // Sign-bias so that negative values sort before positive under memcmp.
+  PutBigEndian64(out, static_cast<uint64_t>(v) + (1ull << 63));
+}
+
+void KeyEncoder::AppendPaddedString(std::string* out, Slice v,
+                                    uint32_t max_len) {
+  out->append(v.data(), v.size());
+  out->append(max_len - v.size(), '\0');
+}
+
+std::string KeyEncoder::KeyForRecord(Slice record) const {
+  RecordView view(schema_, record);
+  assert(view.valid());
+  std::string key;
+  for (int col : key_columns_) {
+    const Column& c = schema_->column(col);
+    switch (c.type) {
+      case ColumnType::kInt32:
+        AppendInt(&key, view.GetInt32(col));
+        break;
+      case ColumnType::kInt64:
+        AppendInt(&key, view.GetInt64(col));
+        break;
+      case ColumnType::kString:
+        AppendPaddedString(&key, view.GetString(col), c.max_len);
+        break;
+      case ColumnType::kDouble:
+        assert(false && "double key columns are not supported");
+        break;
+    }
+  }
+  return key;
+}
+
+std::string KeyEncoder::KeyForInts(const std::vector<int64_t>& values) const {
+  assert(values.size() == key_columns_.size());
+  std::string key;
+  for (int64_t v : values) {
+    AppendInt(&key, v);
+  }
+  return key;
+}
+
+std::string KeyEncoder::PrefixForInts(
+    const std::vector<int64_t>& values) const {
+  assert(values.size() <= key_columns_.size());
+  std::string key;
+  for (int64_t v : values) {
+    AppendInt(&key, v);
+  }
+  return key;
+}
+
+}  // namespace btrim

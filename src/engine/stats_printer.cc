@@ -1,0 +1,106 @@
+#include "engine/stats_printer.h"
+
+#include <cinttypes>
+#include <cstdarg>
+#include <cstdio>
+
+namespace btrim {
+
+namespace {
+
+void Appendf(std::string* out, const char* fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
+void Appendf(std::string* out, const char* fmt, ...) {
+  char buf[512];
+  va_list args;
+  va_start(args, fmt);
+  vsnprintf(buf, sizeof(buf), fmt, args);
+  va_end(args);
+  out->append(buf);
+}
+
+double Pct(int64_t part, int64_t whole) {
+  return whole > 0 ? 100.0 * static_cast<double>(part) /
+                         static_cast<double>(whole)
+                   : 0.0;
+}
+
+}  // namespace
+
+std::string FormatDatabaseStats(const DatabaseStats& s) {
+  std::string out;
+  Appendf(&out, "transactions : %" PRId64 " committed, %" PRId64
+                " aborted, %" PRId64 " active\n",
+          s.txns.committed, s.txns.aborted, s.txns.active);
+  Appendf(&out,
+          "op routing   : %" PRId64 " IMRS / %" PRId64
+          " page-store (hit rate %.1f%%)\n",
+          s.imrs_operations, s.page_operations,
+          Pct(s.imrs_operations, s.imrs_operations + s.page_operations));
+  Appendf(&out,
+          "IMRS cache   : %" PRId64 " / %" PRId64 " KiB in use (%.1f%%), "
+          "%" PRId64 " rows mapped\n",
+          s.imrs_cache.in_use_bytes / 1024, s.imrs_cache.capacity_bytes / 1024,
+          Pct(s.imrs_cache.in_use_bytes, s.imrs_cache.capacity_bytes),
+          s.rid_map.entries);
+  Appendf(&out,
+          "buffer cache : %" PRId64 " fixes, %.1f%% hits, %" PRId64
+          " evictions, %" PRId64 " latch waits\n",
+          s.buffer_cache.fixes,
+          Pct(s.buffer_cache.hits, s.buffer_cache.fixes),
+          s.buffer_cache.evictions, s.buffer_cache.latch_contention);
+  Appendf(&out,
+          "locks        : %" PRId64 " acquisitions, %" PRId64
+          " waits, %" PRId64 " timeouts, %" PRId64 " cond. denials\n",
+          s.locks.acquisitions, s.locks.waits, s.locks.timeouts,
+          s.locks.try_failures);
+  Appendf(&out,
+          "GC           : %" PRId64 " versions freed (%" PRId64
+          " KiB), %" PRId64 " rows purged, %" PRId64 " pending\n",
+          s.gc.versions_freed, s.gc.bytes_freed / 1024, s.gc.rows_purged,
+          s.gc.work_pending);
+  Appendf(&out,
+          "Pack         : %" PRId64 " cycles, %" PRId64 " rows (%" PRId64
+          " KiB) packed, %" PRId64 " skipped hot, %" PRId64
+          " pack txns, %" PRId64 " bypasses\n",
+          s.pack.cycles, s.pack.rows_packed, s.pack.bytes_packed / 1024,
+          s.pack.rows_skipped_hot, s.pack.pack_transactions,
+          s.pack.bypass_activations);
+  Appendf(&out,
+          "syslogs      : %" PRId64 " records, %" PRId64 " KiB, %" PRId64
+          " syncs\n",
+          s.syslogs.records_appended, s.syslogs.bytes_appended / 1024,
+          s.syslogs.syncs);
+  Appendf(&out,
+          "sysimrslogs  : %" PRId64 " records in %" PRId64
+          " groups, %" PRId64 " KiB\n",
+          s.sysimrslogs.records_appended, s.sysimrslogs.groups_appended,
+          s.sysimrslogs.bytes_appended / 1024);
+  return out;
+}
+
+std::string FormatTableBreakdown(Database* db) {
+  std::string out;
+  Appendf(&out, "%-24s %-9s %9s %10s %10s %10s %9s\n", "table/partition",
+          "imrs", "rows", "KiB", "reuse", "new_rows", "packed");
+  for (Table* table : db->Tables()) {
+    for (size_t p = 0; p < table->num_partitions(); ++p) {
+      PartitionState* state = table->partition(p).ilm;
+      MetricsSnapshot snap = state->metrics.Snapshot();
+      const char* mode = state->pinned.load()
+                             ? "pinned"
+                             : state->imrs_enabled.load() ? "enabled"
+                                                          : "disabled";
+      Appendf(&out,
+              "%-24s %-9s %9" PRId64 " %10" PRId64 " %10" PRId64
+              " %10" PRId64 " %9" PRId64 "\n",
+              state->name.c_str(), mode, snap.imrs_rows,
+              snap.imrs_bytes / 1024, snap.ReuseOps(), snap.NewRows(),
+              snap.rows_packed);
+    }
+  }
+  return out;
+}
+
+}  // namespace btrim

@@ -1,0 +1,22 @@
+#ifndef BTRIM_ENGINE_STATS_PRINTER_H_
+#define BTRIM_ENGINE_STATS_PRINTER_H_
+
+#include <string>
+
+#include "engine/database.h"
+
+namespace btrim {
+
+/// Human-readable report of the engine-wide statistics snapshot: one block
+/// per subsystem (transactions, IMRS cache, buffer cache, locks, GC, Pack,
+/// logs). Intended for operator tooling, examples, and debugging.
+std::string FormatDatabaseStats(const DatabaseStats& stats);
+
+/// Per-table / per-partition ILM breakdown: residency, footprint, reuse,
+/// pack activity and tuner state — the BTrim equivalent of a monitoring
+/// table over Sec. V.A's counters.
+std::string FormatTableBreakdown(Database* db);
+
+}  // namespace btrim
+
+#endif  // BTRIM_ENGINE_STATS_PRINTER_H_

@@ -1,0 +1,111 @@
+#ifndef BTRIM_ILM_CONFIG_H_
+#define BTRIM_ILM_CONFIG_H_
+
+#include <cstdint>
+
+namespace btrim {
+
+/// Queue layout used by the Pack subsystem (Sec. VI.B; the single global
+/// queue exists for the ablation experiment that justifies per-partition
+/// queues).
+enum class QueueMode : uint8_t {
+  kPerPartition,  ///< 3 relaxed-LRU queues per partition (paper design)
+  kSingleGlobal,  ///< one database-wide queue (ablation baseline)
+};
+
+/// Apportioning strategy for a pack cycle's byte budget (Sec. VI.C).
+enum class ApportionMode : uint8_t {
+  kPackabilityIndex,  ///< UI/CUI/PI-proportional (paper design)
+  kUniform,           ///< naive equal split across active partitions
+};
+
+/// Tunables for the ILM subsystem. Defaults follow the paper's described
+/// operating points where given (steady cache utilization 70%, pack a small
+/// percentage per cycle, tuning windows of "a large number of transactions").
+struct IlmConfig {
+  /// -- steady cache utilization (Sec. VI.A) --------------------------------
+
+  /// Target utilization of the IMRS cache; pack activates above it.
+  double steady_cache_pct = 0.70;
+
+  /// Aggressive pack starts when utilization exceeds
+  /// steady + (1 - steady) * aggressive_fraction (the paper: "more than
+  /// half the difference between the configured value and the cache size").
+  double aggressive_fraction = 0.5;
+
+  /// Fraction of *current* cache usage packed per cycle (NumBytesToPack).
+  double pack_cycle_pct = 0.05;
+
+  /// Rows handed to one pack transaction (small transactions, frequent
+  /// commits — Sec. VII.B).
+  int pack_batch_rows = 64;
+
+  /// Scan budget per partition per cycle: at most
+  /// scan_budget_factor * (target rows) queue pops before giving up (bounds
+  /// the cost of skipping hot rows).
+  int scan_budget_factor = 8;
+
+  /// -- timestamp filter (Sec. VI.D) -----------------------------------------
+
+  /// Utilization growth (fraction of capacity) observed per TSF learning
+  /// step ("small percentage, e.g. 1-5%").
+  double tsf_observe_pct = 0.02;
+
+  /// Relearn the TSF after this many commit timestamps.
+  uint64_t tsf_relearn_interval = 20000;
+
+  /// Partitions whose per-row reuse rate (reuse ops / IMRS rows, per tuning
+  /// window) is below this do not get TSF protection: their rows pack
+  /// regardless of recency (Sec. VI.D.2 "frequency of access").
+  double low_reuse_rate = 0.5;
+
+  /// -- auto partition tuning (Sec. V) ---------------------------------------
+
+  /// Commits between tuner wake-ups (the "tuning window").
+  uint64_t tuning_window_txns = 2000;
+
+  /// Consecutive identical verdicts required before flipping a partition's
+  /// IMRS enablement (hysteresis, Sec. V.B).
+  int hysteresis_windows = 3;
+
+  /// Partitions using less than this fraction of the IMRS cache are never
+  /// disabled (Sec. V.C "Partition IMRS utilization", "say < 1%").
+  double small_footprint_pct = 0.01;
+
+  /// No partition is disabled while overall cache utilization is below this
+  /// (Sec. V.C "IMRS cache utilization", "say < 50%").
+  double min_cache_util_for_tuning = 0.50;
+
+  /// Minimum new rows brought into the IMRS per window for a partition to
+  /// be considered for disablement (Sec. V.C "New IMRS usage").
+  int64_t min_new_rows_for_disable = 64;
+
+  /// Average per-row reuse (window SUD ops / IMRS rows) below which a
+  /// partition votes for disablement (Sec. V.C "Average reuse of rows").
+  double disable_reuse_threshold = 0.5;
+
+  /// Page-store contention events per window that re-enable a disabled
+  /// partition (Sec. V.D).
+  int64_t reenable_contention_threshold = 32;
+
+  /// Reuse-growth factor vs. the window in which the partition was disabled
+  /// that re-enables it (Sec. V.D "increase in reuse operation").
+  double reenable_reuse_factor = 2.0;
+
+  /// -- strategy toggles ------------------------------------------------------
+
+  QueueMode queue_mode = QueueMode::kPerPartition;
+  ApportionMode apportion_mode = ApportionMode::kPackabilityIndex;
+
+  /// Master switch: when false, no tuning, no TSF, no pack (the ILM_OFF
+  /// experimental setup).
+  bool ilm_enabled = true;
+
+  /// Allow SELECT statements through a unique index to cache page-store
+  /// rows in the IMRS (Sec. IX notes this is unique to this design).
+  bool select_caching = true;
+};
+
+}  // namespace btrim
+
+#endif  // BTRIM_ILM_CONFIG_H_

@@ -1,0 +1,115 @@
+#include "ilm/ilm_manager.h"
+
+namespace btrim {
+
+IlmManager::IlmManager(IlmConfig config, FragmentAllocator* allocator,
+                       PackClient* pack_client)
+    : config_(config),
+      allocator_(allocator),
+      tsf_(config_),
+      tuner_(&config_),
+      pack_(&config_, allocator, &tsf_, pack_client) {}
+
+PartitionState* IlmManager::RegisterPartition(uint32_t table_id,
+                                              uint32_t partition_id,
+                                              std::string name) {
+  std::lock_guard<std::mutex> guard(registry_mu_);
+  auto part = std::make_unique<PartitionState>();
+  part->table_id = table_id;
+  part->partition_id = partition_id;
+  part->name = std::move(name);
+  PartitionState* raw = part.get();
+  partitions_.push_back(std::move(part));
+  by_key_[Key(table_id, partition_id)] = raw;
+  return raw;
+}
+
+PartitionState* IlmManager::FindPartition(uint32_t table_id,
+                                          uint32_t partition_id) const {
+  std::lock_guard<std::mutex> guard(registry_mu_);
+  auto it = by_key_.find(Key(table_id, partition_id));
+  return it == by_key_.end() ? nullptr : it->second;
+}
+
+std::vector<PartitionState*> IlmManager::Partitions() const {
+  std::lock_guard<std::mutex> guard(registry_mu_);
+  std::vector<PartitionState*> out;
+  out.reserve(partitions_.size());
+  for (const auto& p : partitions_) out.push_back(p.get());
+  return out;
+}
+
+bool IlmManager::ShouldInsertToImrs(const PartitionState* part) const {
+  if (force_page_store_.load(std::memory_order_relaxed)) return false;
+  if (part->pinned.load(std::memory_order_relaxed)) return true;
+  if (!config_.ilm_enabled) return true;  // ILM_OFF: everything in-memory
+  if (pack_.BypassActive()) return false;
+  return part->imrs_enabled.load(std::memory_order_relaxed);
+}
+
+bool IlmManager::ShouldMigrateOnUpdate(const PartitionState* part,
+                                       bool unique_index_access,
+                                       bool contended) const {
+  if (force_page_store_.load(std::memory_order_relaxed)) return false;
+  if (part->pinned.load(std::memory_order_relaxed)) return true;
+  if (!config_.ilm_enabled) return true;
+  if (pack_.BypassActive()) return false;
+  if (!part->imrs_enabled.load(std::memory_order_relaxed)) return false;
+  // Sec. IV: point access through a unique index anticipates re-access;
+  // observed page contention argues for moving the row out of the page
+  // store regardless of access path.
+  return unique_index_access || contended;
+}
+
+bool IlmManager::ShouldCacheOnSelect(const PartitionState* part,
+                                     bool unique_index_access) const {
+  if (force_page_store_.load(std::memory_order_relaxed)) return false;
+  if (part->pinned.load(std::memory_order_relaxed)) return true;
+  if (!config_.ilm_enabled) return true;
+  if (!config_.select_caching) return false;
+  if (pack_.BypassActive()) return false;
+  if (!part->imrs_enabled.load(std::memory_order_relaxed)) return false;
+  return unique_index_access;
+}
+
+void IlmManager::EnqueueRow(ImrsRow* row) {
+  if (config_.queue_mode == QueueMode::kSingleGlobal) {
+    pack_.global_queue()->PushTail(row);
+    return;
+  }
+  PartitionState* part = FindPartition(row->table_id, row->partition_id);
+  if (part != nullptr) {
+    part->QueueFor(row->source).PushTail(row);
+  }
+}
+
+void IlmManager::UnlinkRow(ImrsRow* row) {
+  if (config_.queue_mode == QueueMode::kSingleGlobal) {
+    pack_.global_queue()->Remove(row);
+    return;
+  }
+  PartitionState* part = FindPartition(row->table_id, row->partition_id);
+  if (part != nullptr) {
+    part->QueueFor(row->source).Remove(row);
+  }
+}
+
+void IlmManager::BackgroundTick(uint64_t now) {
+  tsf_.Observe(now, allocator_->InUseBytes(), allocator_->CapacityBytes());
+
+  if (!config_.ilm_enabled) return;
+
+  if (now - last_tuning_ts_ >= config_.tuning_window_txns) {
+    last_tuning_ts_ = now;
+    tuner_.RunWindow(Partitions(), allocator_->InUseBytes(),
+                     allocator_->CapacityBytes());
+  }
+
+  PackCycleResult result = pack_.RunPackCycle(Partitions(), now);
+  {
+    std::lock_guard<std::mutex> guard(last_cycle_mu_);
+    last_cycle_ = result;
+  }
+}
+
+}  // namespace btrim

@@ -1,0 +1,128 @@
+#ifndef BTRIM_ILM_ILM_MANAGER_H_
+#define BTRIM_ILM_ILM_MANAGER_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "alloc/fragment_allocator.h"
+#include "ilm/config.h"
+#include "ilm/pack.h"
+#include "ilm/partition_state.h"
+#include "ilm/tsf.h"
+#include "ilm/tuner.h"
+
+namespace btrim {
+
+/// Façade composing the ILM components: the partition registry, workload
+/// monitor, timestamp-filter learner, auto partition tuner, and the Pack
+/// subsystem. The engine consults it on every row access for storage
+/// decisions (Sec. IV) and drives its background work from the pack thread.
+class IlmManager {
+ public:
+  IlmManager(IlmConfig config, FragmentAllocator* allocator,
+             PackClient* pack_client);
+
+  IlmManager(const IlmManager&) = delete;
+  IlmManager& operator=(const IlmManager&) = delete;
+
+  const IlmConfig& config() const { return config_; }
+
+  /// --- partition registry ---------------------------------------------------
+
+  PartitionState* RegisterPartition(uint32_t table_id, uint32_t partition_id,
+                                    std::string name);
+  PartitionState* FindPartition(uint32_t table_id, uint32_t partition_id) const;
+  std::vector<PartitionState*> Partitions() const;
+
+  /// --- storage decisions (Sec. IV) -----------------------------------------
+  ///
+  /// With ILM disabled (the ILM_OFF experimental setup) every operation
+  /// stores its row in the IMRS and nothing is ever packed.
+
+  /// New rows: inserts go to the IMRS unless the partition is tuner-disabled
+  /// or the bypass backpressure is active.
+  bool ShouldInsertToImrs(const PartitionState* part) const;
+
+  /// Updates of page-store rows migrate the row into the IMRS when the
+  /// access anticipates re-use: unique-index (point) access, or observed
+  /// page-store contention on this access.
+  bool ShouldMigrateOnUpdate(const PartitionState* part,
+                             bool unique_index_access, bool contended) const;
+
+  /// Selects of page-store rows may cache the row in the IMRS (point access
+  /// through a unique index only).
+  bool ShouldCacheOnSelect(const PartitionState* part,
+                           bool unique_index_access) const;
+
+  /// True while Pack's backpressure redirects all new rows to the page
+  /// store (Sec. VI.A).
+  bool BypassActive() const { return pack_.BypassActive(); }
+
+  /// Bulk-load mode: route every new row to the page store regardless of
+  /// ILM rules (initial database population; the workload then pulls hot
+  /// rows into the IMRS through the normal admission paths).
+  void SetForcePageStore(bool on) {
+    force_page_store_.store(on, std::memory_order_relaxed);
+  }
+  bool ForcePageStore() const {
+    return force_page_store_.load(std::memory_order_relaxed);
+  }
+
+  /// --- queue maintenance (GC piggyback hooks, Sec. VI.B) --------------------
+
+  /// Pushes a newly committed row at the tail of its queue.
+  void EnqueueRow(ImrsRow* row);
+
+  /// Unlinks a row being purged/packed.
+  void UnlinkRow(ImrsRow* row);
+
+  /// --- background driving ----------------------------------------------------
+
+  /// Called periodically from the pack thread with the current commit
+  /// timestamp. Feeds the TSF learner, runs tuning windows when due, and
+  /// runs a pack cycle. No-ops (except TSF/tuning bookkeeping) when ILM is
+  /// disabled.
+  void BackgroundTick(uint64_t now);
+
+  TsfLearner* tsf() { return &tsf_; }
+  PackSubsystem* pack() { return &pack_; }
+  PartitionTuner* tuner() { return &tuner_; }
+  FragmentAllocator* allocator() { return allocator_; }
+
+  /// Result of the most recent pack cycle (experiments).
+  PackCycleResult last_pack_cycle() const {
+    std::lock_guard<std::mutex> guard(last_cycle_mu_);
+    return last_cycle_;
+  }
+
+ private:
+  static uint64_t Key(uint32_t table_id, uint32_t partition_id) {
+    return (static_cast<uint64_t>(table_id) << 32) | partition_id;
+  }
+
+  const IlmConfig config_;
+  FragmentAllocator* const allocator_;
+
+  TsfLearner tsf_;
+  PartitionTuner tuner_;
+  PackSubsystem pack_;
+
+  mutable std::mutex registry_mu_;
+  std::vector<std::unique_ptr<PartitionState>> partitions_;
+  std::unordered_map<uint64_t, PartitionState*> by_key_;
+
+  std::atomic<bool> force_page_store_{false};
+
+  uint64_t last_tuning_ts_ = 0;  // pack thread only
+
+  mutable std::mutex last_cycle_mu_;
+  PackCycleResult last_cycle_;
+};
+
+}  // namespace btrim
+
+#endif  // BTRIM_ILM_ILM_MANAGER_H_

@@ -1,0 +1,106 @@
+#ifndef BTRIM_ILM_ILM_QUEUE_H_
+#define BTRIM_ILM_ILM_QUEUE_H_
+
+#include <cstdint>
+#include <mutex>
+
+#include "common/spinlock.h"
+#include "imrs/row.h"
+
+namespace btrim {
+
+/// A partition-level relaxed-LRU queue of IMRS rows (paper Sec. VI.B).
+///
+/// Cold rows accumulate at the head, hot rows at the tail:
+///  * GC threads push newly committed rows at the tail (queue maintenance is
+///    offloaded from transactions);
+///  * Pack pops from the head; if the popped row turns out hot it is pushed
+///    back to the tail ("bubbling up colder rows"), otherwise it is packed.
+///
+/// Rows are linked intrusively (ImrsRow::q_next/q_prev) and carry the
+/// kRowInQueue flag while linked. A spinlock guards the list: only the few
+/// background threads (GC, Pack) touch it, so contention is negligible —
+/// exactly the property the paper's design relies on.
+class IlmQueue {
+ public:
+  IlmQueue() = default;
+  IlmQueue(const IlmQueue&) = delete;
+  IlmQueue& operator=(const IlmQueue&) = delete;
+
+  /// Appends `row` at the (hot) tail. No-op if already linked.
+  void PushTail(ImrsRow* row) {
+    std::lock_guard<SpinLock> guard(lock_);
+    if (row->HasFlag(kRowInQueue)) return;
+    row->q_prev = tail_;
+    row->q_next = nullptr;
+    if (tail_ != nullptr) {
+      tail_->q_next = row;
+    } else {
+      head_ = row;
+    }
+    tail_ = row;
+    ++size_;
+    row->SetFlag(kRowInQueue);
+  }
+
+  /// Detaches and returns the (cold) head, or nullptr when empty. The
+  /// returned row has kRowInQueue cleared; the caller either packs it or
+  /// re-inserts it with PushTail.
+  ImrsRow* PopHead() {
+    std::lock_guard<SpinLock> guard(lock_);
+    ImrsRow* row = head_;
+    if (row == nullptr) return nullptr;
+    UnlinkLocked(row);
+    return row;
+  }
+
+  /// Unlinks a specific row (GC purge / pack cleanup). Safe to call when
+  /// the row is not linked.
+  void Remove(ImrsRow* row) {
+    std::lock_guard<SpinLock> guard(lock_);
+    if (!row->HasFlag(kRowInQueue)) return;
+    UnlinkLocked(row);
+  }
+
+  int64_t Size() const {
+    std::lock_guard<SpinLock> guard(lock_);
+    return size_;
+  }
+
+  /// Copies up to `max` row pointers head-first (experiment instrumentation
+  /// for Fig. 8; rows may be concurrently unlinked afterwards, callers only
+  /// read loose fields).
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    std::lock_guard<SpinLock> guard(lock_);
+    for (ImrsRow* r = head_; r != nullptr; r = r->q_next) {
+      if (!fn(r)) break;
+    }
+  }
+
+ private:
+  void UnlinkLocked(ImrsRow* row) {
+    if (row->q_prev != nullptr) {
+      row->q_prev->q_next = row->q_next;
+    } else {
+      head_ = row->q_next;
+    }
+    if (row->q_next != nullptr) {
+      row->q_next->q_prev = row->q_prev;
+    } else {
+      tail_ = row->q_prev;
+    }
+    row->q_prev = row->q_next = nullptr;
+    --size_;
+    row->ClearFlag(kRowInQueue);
+  }
+
+  mutable SpinLock lock_;
+  ImrsRow* head_ = nullptr;
+  ImrsRow* tail_ = nullptr;
+  int64_t size_ = 0;
+};
+
+}  // namespace btrim
+
+#endif  // BTRIM_ILM_ILM_QUEUE_H_

@@ -1,0 +1,110 @@
+#ifndef BTRIM_ILM_METRICS_H_
+#define BTRIM_ILM_METRICS_H_
+
+#include <cstdint>
+
+#include "common/counters.h"
+
+namespace btrim {
+
+/// Plain-value snapshot of a partition's ILM counters, comparable across
+/// tuning windows (the tuner works on window *deltas*, not lifetime totals —
+/// Sec. V.B "access-pattern based ageing").
+struct MetricsSnapshot {
+  int64_t imrs_bytes = 0;
+  int64_t imrs_rows = 0;
+  int64_t reuse_select = 0;
+  int64_t reuse_update = 0;
+  int64_t reuse_delete = 0;
+  int64_t inserts_imrs = 0;
+  int64_t migrations = 0;
+  int64_t cachings = 0;
+  int64_t page_ops = 0;
+  int64_t page_contention = 0;
+  int64_t rows_packed = 0;
+  int64_t rows_skipped_hot = 0;
+  int64_t bytes_packed = 0;
+
+  /// Total re-use operations: SELECT + UPDATE + DELETE on rows resident in
+  /// the IMRS (inserts deliberately excluded — Sec. VI.C, Usefulness Index).
+  int64_t ReuseOps() const { return reuse_select + reuse_update + reuse_delete; }
+
+  /// Rows newly brought into the IMRS by any path.
+  int64_t NewRows() const { return inserts_imrs + migrations + cachings; }
+
+  /// Counter-wise difference (gauges keep the *current* value, counters the
+  /// delta) — the "what happened during this window" view.
+  MetricsSnapshot WindowDelta(const MetricsSnapshot& prev) const {
+    MetricsSnapshot d = *this;
+    d.reuse_select -= prev.reuse_select;
+    d.reuse_update -= prev.reuse_update;
+    d.reuse_delete -= prev.reuse_delete;
+    d.inserts_imrs -= prev.inserts_imrs;
+    d.migrations -= prev.migrations;
+    d.cachings -= prev.cachings;
+    d.page_ops -= prev.page_ops;
+    d.page_contention -= prev.page_contention;
+    d.rows_packed -= prev.rows_packed;
+    d.rows_skipped_hot -= prev.rows_skipped_hot;
+    d.bytes_packed -= prev.bytes_packed;
+    return d;
+  }
+};
+
+/// Per-partition workload counters (paper Sec. V.A).
+///
+/// Event counters use ShardedCounter (per-core-style striping) because the
+/// execution engine updates them on every row access; the byte/row gauges
+/// are maintained by commit actions and background threads at far lower
+/// frequency and use plain atomics.
+class PartitionMetrics {
+ public:
+  PartitionMetrics() = default;
+  PartitionMetrics(const PartitionMetrics&) = delete;
+  PartitionMetrics& operator=(const PartitionMetrics&) = delete;
+
+  // Gauges (current state).
+  AtomicGauge imrs_bytes;  ///< fragment bytes charged to this partition
+  AtomicGauge imrs_rows;   ///< live IMRS rows of this partition
+
+  // Re-use operations on IMRS-resident rows.
+  ShardedCounter reuse_select;
+  ShardedCounter reuse_update;
+  ShardedCounter reuse_delete;
+
+  // New IMRS usage, by arrival path.
+  ShardedCounter inserts_imrs;
+  ShardedCounter migrations;
+  ShardedCounter cachings;
+
+  // Page-store activity.
+  ShardedCounter page_ops;
+  ShardedCounter page_contention;
+
+  // Pack outcomes.
+  ShardedCounter rows_packed;
+  ShardedCounter rows_skipped_hot;
+  ShardedCounter bytes_packed;
+
+  MetricsSnapshot Snapshot() const {
+    MetricsSnapshot s;
+    s.imrs_bytes = imrs_bytes.Load();
+    s.imrs_rows = imrs_rows.Load();
+    s.reuse_select = reuse_select.Load();
+    s.reuse_update = reuse_update.Load();
+    s.reuse_delete = reuse_delete.Load();
+    s.inserts_imrs = inserts_imrs.Load();
+    s.migrations = migrations.Load();
+    s.cachings = cachings.Load();
+    s.page_ops = page_ops.Load();
+    s.page_contention = page_contention.Load();
+    s.rows_packed = rows_packed.Load();
+    s.rows_skipped_hot = rows_skipped_hot.Load();
+    s.bytes_packed = bytes_packed.Load();
+    return s;
+  }
+};
+
+}  // namespace btrim
+
+#endif  // BTRIM_ILM_METRICS_H_

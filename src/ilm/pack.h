@@ -1,0 +1,160 @@
+#ifndef BTRIM_ILM_PACK_H_
+#define BTRIM_ILM_PACK_H_
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "alloc/fragment_allocator.h"
+#include "common/counters.h"
+#include "ilm/config.h"
+#include "ilm/ilm_queue.h"
+#include "ilm/partition_state.h"
+#include "ilm/tsf.h"
+
+namespace btrim {
+
+/// Pack intensity, derived from IMRS cache utilization (Sec. VI.A).
+enum class PackLevel : uint8_t {
+  kIdle,        ///< utilization below the steady threshold — no packing
+  kSteady,      ///< pack cold rows only (ILM hotness rules apply)
+  kAggressive,  ///< pack without hotness filtering; even hot rows go
+};
+
+/// Outcome of one pack cycle.
+struct PackCycleResult {
+  PackLevel level = PackLevel::kIdle;
+  bool bypass_active = false;
+  int64_t target_bytes = 0;
+  int64_t bytes_packed = 0;
+  int64_t rows_packed = 0;
+  int64_t rows_skipped_hot = 0;
+  int64_t partitions_packed = 0;
+};
+
+/// Cumulative pack counters (Figs. 5, 7, 10).
+struct PackStats {
+  int64_t cycles = 0;
+  int64_t bytes_packed = 0;
+  int64_t rows_packed = 0;
+  int64_t rows_skipped_hot = 0;
+  int64_t pack_transactions = 0;
+  int64_t bypass_activations = 0;
+};
+
+/// Physical relocation service implemented by the engine: the Pack
+/// subsystem selects rows; the client moves them (logged-delete from the
+/// IMRS + logged-insert/update in the page store, in one small pack
+/// transaction with conditional row locks — Sec. VI.B, VII.B).
+class PackClient {
+ public:
+  virtual ~PackClient() = default;
+
+  /// Packs `batch` (all from one partition in per-partition mode). Rows
+  /// that could not be packed right now (conditional lock denied, row
+  /// already gone) are appended to `requeue` and returned to their queue by
+  /// the caller. Returns the fragment bytes released.
+  virtual int64_t PackBatch(PartitionState* partition,
+                            const std::vector<ImrsRow*>& batch,
+                            std::vector<ImrsRow*>* requeue) = 0;
+};
+
+/// The Pack subsystem (paper Sec. VI): locates cold rows via the
+/// partition-level relaxed-LRU queues, applies the timestamp filter, and
+/// relocates them to the page store through the PackClient, apportioning
+/// each cycle's byte budget across partitions by Packability Index.
+///
+/// Per cycle (Sec. VI.C):
+///   NumBytesToPack = pack_cycle_pct * bytes_in_use
+///   UI(p)  = reuse_w(p) / Σ reuse_w          (window SUD ops on IMRS rows)
+///   CUI(p) = mem(p) / Σ mem                  (IMRS footprint share)
+///   PI(p)  = (CUI/UI) / Σ (CUI/UI)
+///   PACK_BYTES(p) = PI(p) * NumBytesToPack
+///
+/// Levels (Sec. VI.A): packing starts above the steady-utilization
+/// threshold; beyond threshold + (capacity-threshold)/2 packing turns
+/// aggressive (no hotness checks), and if utilization still grows the
+/// subsystem raises the IMRS-bypass flag: the engine stops admitting new
+/// rows to the IMRS until utilization drops back under the aggressive line.
+class PackSubsystem {
+ public:
+  PackSubsystem(const IlmConfig* config, FragmentAllocator* allocator,
+                TsfLearner* tsf, PackClient* client);
+
+  PackSubsystem(const PackSubsystem&) = delete;
+  PackSubsystem& operator=(const PackSubsystem&) = delete;
+
+  /// Runs one pack cycle over `partitions`. `now` is the current commit
+  /// timestamp. Must be called from pack threads only; concurrent calls are
+  /// allowed (each packs disjoint queue pops) but the typical deployment is
+  /// one cycle at a time.
+  PackCycleResult RunPackCycle(const std::vector<PartitionState*>& partitions,
+                               uint64_t now);
+
+  /// True while the engine must route new rows to the page store
+  /// (utilization grew during aggressive pack — Sec. VI.A).
+  bool BypassActive() const {
+    return bypass_.load(std::memory_order_relaxed);
+  }
+
+  /// Level that a cycle starting now would run at.
+  PackLevel LevelForUtilization(double util) const;
+
+  /// The single database-wide queue used in QueueMode::kSingleGlobal.
+  IlmQueue* global_queue() { return &global_queue_; }
+
+  /// Routes a row back to the queue it is popped from (its partition's
+  /// source queue, or the global queue).
+  void Requeue(PartitionState* partition, ImrsRow* row);
+
+  PackStats GetStats() const;
+
+ private:
+  struct PartitionBudget {
+    PartitionState* part;
+    int64_t bytes_target;
+    double window_reuse_rate;
+  };
+
+  /// Computes per-partition byte targets for this cycle.
+  std::vector<PartitionBudget> Apportion(
+      const std::vector<PartitionState*>& partitions, int64_t total_bytes);
+
+  /// Packs up to `budget.bytes_target` bytes from one partition's queues.
+  void PackPartition(const PartitionBudget& budget, PackLevel level,
+                     uint64_t now, PackCycleResult* result);
+
+  /// Global-queue variant (ablation mode).
+  void PackGlobal(const std::vector<PartitionState*>& partitions,
+                  int64_t total_bytes, PackLevel level, uint64_t now,
+                  PackCycleResult* result);
+
+  /// Pops the next row from a partition, cycling through the three source
+  /// queues. Returns nullptr when all are empty.
+  static ImrsRow* PopNext(PartitionState* part, int* source_cursor);
+
+  /// True when the row is protected by the timestamp filter.
+  bool IsRowHot(const ImrsRow* row, double window_reuse_rate,
+                uint64_t now) const;
+
+  void FlushBatch(PartitionState* part, std::vector<ImrsRow*>* batch,
+                  PackCycleResult* result, int64_t* remaining);
+
+  const IlmConfig* const config_;
+  FragmentAllocator* const allocator_;
+  TsfLearner* const tsf_;
+  PackClient* const client_;
+
+  IlmQueue global_queue_;
+
+  std::atomic<bool> bypass_{false};
+  double last_cycle_util_ = 0.0;  // pack thread only
+  PackLevel last_cycle_level_ = PackLevel::kIdle;
+
+  mutable ShardedCounter cycles_, bytes_packed_, rows_packed_, rows_skipped_,
+      pack_txns_, bypass_activations_;
+};
+
+}  // namespace btrim
+
+#endif  // BTRIM_ILM_PACK_H_

@@ -1,0 +1,78 @@
+#ifndef BTRIM_ILM_PARTITION_STATE_H_
+#define BTRIM_ILM_PARTITION_STATE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "ilm/ilm_queue.h"
+#include "ilm/metrics.h"
+
+namespace btrim {
+
+/// Per-partition bookkeeping owned by the auto partition tuner (Sec. V.B):
+/// last window's snapshot, consecutive votes, and the reuse level at the
+/// moment of disablement (needed by the re-enable heuristic, Sec. V.D).
+/// Only the tuner thread touches this struct.
+struct TunerState {
+  MetricsSnapshot last_window;
+  bool have_last_window = false;
+  int consecutive_disable_votes = 0;
+  int consecutive_enable_votes = 0;
+  int64_t reuse_at_disable = 0;  ///< window reuse when IMRS use was disabled
+  int64_t windows_seen = 0;
+};
+
+/// All ILM state for one partition (table-level for unpartitioned tables,
+/// Sec. V). Created by IlmManager::RegisterPartition; the engine's Partition
+/// holds a pointer.
+struct PartitionState {
+  uint32_t table_id = 0;
+  uint32_t partition_id = 0;
+  std::string name;  ///< e.g. "order_line/0", for experiment reports
+
+  PartitionMetrics metrics;
+
+  /// Relaxed-LRU queues, one per row arrival path (Sec. VI.B: inserted /
+  /// migrated / cached rows have different hotness characteristics).
+  IlmQueue queues[kNumRowSources];
+
+  /// Partition-level IMRS enablement, flipped by the auto partition tuner.
+  /// When false, ISUDs on this partition run page-store-direct.
+  std::atomic<bool> imrs_enabled{true};
+
+  /// User pinning (the paper's Sec. X future work: "a small table be fully
+  /// memory-resident, overriding ILM rules"). Pinned partitions are never
+  /// tuner-disabled, never packed, and admit rows even under bypass
+  /// backpressure (NoSpace still falls back to the page store).
+  std::atomic<bool> pinned{false};
+
+  TunerState tuner;
+
+  /// Pack-cycle bookkeeping (only the pack thread touches these): snapshot
+  /// at the previous cycle, for windowed reuse rates in the UI computation.
+  MetricsSnapshot pack_last;
+  bool pack_have_last = false;
+
+  IlmQueue& QueueFor(RowSource source) {
+    return queues[static_cast<int>(source)];
+  }
+
+  int64_t TotalQueuedRows() const {
+    int64_t n = 0;
+    for (const auto& q : queues) n += q.Size();
+    return n;
+  }
+
+  /// Window reuse rate per IMRS-resident row (Sec. VI.D.2). `window` must
+  /// be a WindowDelta except for the gauges.
+  static double ReuseRate(const MetricsSnapshot& window) {
+    const int64_t rows = window.imrs_rows;
+    if (rows <= 0) return 0.0;
+    return static_cast<double>(window.ReuseOps()) / static_cast<double>(rows);
+  }
+};
+
+}  // namespace btrim
+
+#endif  // BTRIM_ILM_PARTITION_STATE_H_

@@ -1,0 +1,113 @@
+#include "ilm/tuner.h"
+
+#include <algorithm>
+
+namespace btrim {
+
+TuningReport PartitionTuner::RunWindow(
+    const std::vector<PartitionState*>& partitions, int64_t cache_used,
+    int64_t cache_capacity) {
+  TuningReport report;
+  const double cache_util =
+      cache_capacity > 0
+          ? static_cast<double>(cache_used) / static_cast<double>(cache_capacity)
+          : 0.0;
+
+  for (PartitionState* part : partitions) {
+    if (part->pinned.load(std::memory_order_relaxed)) continue;
+    TunerState& ts = part->tuner;
+    const MetricsSnapshot cur = part->metrics.Snapshot();
+    if (!ts.have_last_window) {
+      ts.last_window = cur;
+      ts.have_last_window = true;
+      continue;
+    }
+    MetricsSnapshot win = cur.WindowDelta(ts.last_window);
+    ts.last_window = cur;
+    ++ts.windows_seen;
+    ++report.partitions_evaluated;
+
+    if (part->imrs_enabled.load(std::memory_order_relaxed)) {
+      // --- disablement analysis (Sec. V.C) ---------------------------------
+      bool vote = true;
+
+      // Guard: plenty of free IMRS memory -> no partition is disabled.
+      if (cache_util < config_->min_cache_util_for_tuning) vote = false;
+
+      // Guard: tiny footprint -> disabling gains nothing (also protects
+      // freshly created / just-loaded partitions).
+      if (vote &&
+          static_cast<double>(cur.imrs_bytes) <
+              config_->small_footprint_pct *
+                  static_cast<double>(cache_capacity)) {
+        vote = false;
+      }
+
+      // Guard: slow-growing partitions put no load on the cache.
+      if (vote && win.NewRows() < config_->min_new_rows_for_disable) {
+        vote = false;
+      }
+
+      // Heuristic: low average reuse of the rows this partition brings
+      // into the IMRS. Normalizing by the window's *new* rows (not by all
+      // resident rows) keeps a growing partition whose fresh rows are
+      // re-used — e.g. the current month of a date-range-partitioned table
+      // (Sec. V's example) — correctly classified as hot even while it
+      // retains a long resident tail.
+      const double reuse_per_new_row =
+          static_cast<double>(win.ReuseOps()) /
+          static_cast<double>(std::max<int64_t>(win.NewRows(), 1));
+      if (vote && reuse_per_new_row >= config_->disable_reuse_threshold) {
+        vote = false;
+      }
+
+      if (vote) {
+        ++report.disable_votes;
+        ++ts.consecutive_disable_votes;
+        if (ts.consecutive_disable_votes >= config_->hysteresis_windows) {
+          part->imrs_enabled.store(false, std::memory_order_relaxed);
+          ts.reuse_at_disable = win.ReuseOps();
+          ts.consecutive_disable_votes = 0;
+          ts.consecutive_enable_votes = 0;
+          ++report.partitions_disabled;
+          ++total_disables_;
+        }
+      } else {
+        ts.consecutive_disable_votes = 0;
+      }
+    } else {
+      // --- re-enablement analysis (Sec. V.D) --------------------------------
+      bool vote = false;
+
+      // Contention on the page store while the partition runs page-direct.
+      if (win.page_contention >= config_->reenable_contention_threshold) {
+        vote = true;
+      }
+
+      // Reuse grew considerably versus the window that caused disablement.
+      const int64_t baseline = ts.reuse_at_disable > 0 ? ts.reuse_at_disable : 1;
+      if (!vote && static_cast<double>(win.ReuseOps()) >=
+                       config_->reenable_reuse_factor *
+                           static_cast<double>(baseline)) {
+        vote = true;
+      }
+
+      if (vote) {
+        ++report.enable_votes;
+        ++ts.consecutive_enable_votes;
+        if (ts.consecutive_enable_votes >= config_->hysteresis_windows) {
+          part->imrs_enabled.store(true, std::memory_order_relaxed);
+          ts.consecutive_enable_votes = 0;
+          ts.consecutive_disable_votes = 0;
+          ++report.partitions_reenabled;
+          ++total_reenables_;
+        }
+      } else {
+        ts.consecutive_enable_votes = 0;
+      }
+    }
+  }
+  return report;
+}
+
+}  // namespace btrim

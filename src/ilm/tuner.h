@@ -1,0 +1,65 @@
+#ifndef BTRIM_ILM_TUNER_H_
+#define BTRIM_ILM_TUNER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "ilm/config.h"
+#include "ilm/partition_state.h"
+
+namespace btrim {
+
+/// Outcome of one tuning window.
+struct TuningReport {
+  int64_t partitions_evaluated = 0;
+  int64_t disable_votes = 0;
+  int64_t enable_votes = 0;
+  int64_t partitions_disabled = 0;   ///< flips applied this window
+  int64_t partitions_reenabled = 0;  ///< flips applied this window
+};
+
+/// Auto IMRS partition tuning (paper Sec. V).
+///
+/// Runs in the background Pack thread after every tuning window (a fixed
+/// number of committed transactions). For each partition it compares the
+/// current counters against the previous window's snapshot — deltas, not
+/// lifetime totals, so a partition that *was* hot but cooled off is seen as
+/// cold ("access-pattern based ageing", Sec. V.B).
+///
+/// Disablement (Sec. V.C) requires ALL of:
+///   * global cache utilization is high enough to need relief,
+///   * the partition's IMRS footprint is not negligible (>= ~1% of cache),
+///   * the partition brought enough new rows in this window (slow-growing
+///     or periodically-idle partitions are left alone),
+///   * the window's per-row reuse rate is below the threshold.
+///
+/// Re-enablement (Sec. V.D) requires page-store contention on the disabled
+/// partition, or window reuse considerably above the level at disablement.
+///
+/// Either flip is applied only after `hysteresis_windows` consecutive
+/// identical votes (Sec. V.B, avoiding enable/disable oscillation).
+class PartitionTuner {
+ public:
+  explicit PartitionTuner(const IlmConfig* config) : config_(config) {}
+
+  PartitionTuner(const PartitionTuner&) = delete;
+  PartitionTuner& operator=(const PartitionTuner&) = delete;
+
+  /// Evaluates one window over `partitions`. `cache_used`/`cache_capacity`
+  /// describe the IMRS fragment cache. Must be called from a single thread.
+  TuningReport RunWindow(const std::vector<PartitionState*>& partitions,
+                         int64_t cache_used, int64_t cache_capacity);
+
+  /// Cumulative flip counters (experiments).
+  int64_t total_disables() const { return total_disables_; }
+  int64_t total_reenables() const { return total_reenables_; }
+
+ private:
+  const IlmConfig* const config_;
+  int64_t total_disables_ = 0;
+  int64_t total_reenables_ = 0;
+};
+
+}  // namespace btrim
+
+#endif  // BTRIM_ILM_TUNER_H_

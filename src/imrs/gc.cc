@@ -1,0 +1,177 @@
+#include "imrs/gc.h"
+
+namespace btrim {
+
+ImrsGc::ImrsGc(ImrsStore* store, GcHooks hooks)
+    : store_(store), hooks_(std::move(hooks)) {}
+
+void ImrsGc::EnqueueCommitted(ImrsRow* row, bool newly_created) {
+  std::lock_guard<std::mutex> guard(work_mu_);
+  work_.push_back(WorkItem{row, newly_created});
+}
+
+void ImrsGc::DeferFree(void* fragment, uint64_t not_before_ts) {
+  std::lock_guard<std::mutex> guard(deferred_mu_);
+  deferred_.push_back(Deferred{fragment, not_before_ts});
+}
+
+bool ImrsGc::ProcessRow(ImrsRow* row, bool newly_created,
+                        uint64_t oldest_snapshot, uint64_t now) {
+  if (row->HasFlag(kRowPurged)) return false;
+  if (row->HasFlag(kRowPacked)) return false;  // Pack owns its cleanup
+
+  if (newly_created && !row->HasFlag(kRowInQueue) &&
+      hooks_.enqueue_to_ilm_queue) {
+    hooks_.enqueue_to_ilm_queue(row);
+    rows_enqueued_.Inc();
+  }
+
+  // Find the pivot: the newest committed version visible to the oldest
+  // active snapshot. Everything strictly older is unreachable.
+  RowVersion* pivot = nullptr;
+  int chain_len = 0;
+  for (RowVersion* v = row->latest.load(std::memory_order_acquire);
+       v != nullptr; v = v->older.load(std::memory_order_acquire)) {
+    ++chain_len;
+    const uint64_t cts = v->commit_ts.load(std::memory_order_acquire);
+    if (cts != 0 && cts <= oldest_snapshot) {
+      pivot = v;
+      break;
+    }
+  }
+  if (pivot == nullptr) {
+    // Every version is newer than the oldest snapshot (or uncommitted);
+    // nothing reclaimable yet. Revisit if there is a chain to trim.
+    return chain_len > 1;
+  }
+
+  // Trim versions older than the pivot. Readers never traverse past a
+  // version visible to their snapshot, so immediate free is safe (see
+  // ImrsStore concurrency contract).
+  RowVersion* dead = pivot->older.exchange(nullptr, std::memory_order_acq_rel);
+  int64_t freed_bytes = 0;
+  int64_t freed_versions = 0;
+  while (dead != nullptr) {
+    RowVersion* next = dead->older.load(std::memory_order_relaxed);
+    freed_bytes += ImrsStore::FragmentCharge(dead);
+    ++freed_versions;
+    store_->FreeVersion(dead);
+    dead = next;
+  }
+  if (freed_versions > 0) {
+    versions_freed_.Add(freed_versions);
+    bytes_freed_.Add(freed_bytes);
+    if (hooks_.on_freed) {
+      hooks_.on_freed(row->table_id, row->partition_id, freed_bytes, 0);
+    }
+  }
+
+  // Dead-row purge: the newest version is a committed delete marker that
+  // every current and future snapshot observes.
+  RowVersion* head = row->latest.load(std::memory_order_acquire);
+  const uint64_t head_cts = head->commit_ts.load(std::memory_order_acquire);
+  if (head->is_delete && head_cts != 0 && head_cts <= oldest_snapshot) {
+    if (hooks_.purge_page_store_home && !hooks_.purge_page_store_home(row)) {
+      return true;  // page-store home busy; retry later
+    }
+    row->SetFlag(kRowPurged);
+    store_->rid_map()->Erase(row->rid);
+    if (hooks_.unlink_from_ilm_queue) hooks_.unlink_from_ilm_queue(row);
+
+    // Readers may still hold the row pointer: defer all frees past every
+    // snapshot that could have obtained it.
+    int64_t purged_bytes = 0;
+    for (RowVersion* v = head; v != nullptr;
+         v = v->older.load(std::memory_order_relaxed)) {
+      purged_bytes += ImrsStore::FragmentCharge(v);
+      DeferFree(v, now);
+    }
+    purged_bytes += ImrsStore::FragmentCharge(row);
+    DeferFree(row, now);
+
+    rows_purged_.Inc();
+    bytes_freed_.Add(purged_bytes);
+    if (hooks_.on_freed) {
+      hooks_.on_freed(row->table_id, row->partition_id, purged_bytes, 1);
+    }
+    return false;
+  }
+
+  // Revisit rows that still have history to reclaim later.
+  RowVersion* remaining = row->latest.load(std::memory_order_acquire);
+  return remaining != nullptr &&
+         remaining->older.load(std::memory_order_relaxed) != nullptr;
+}
+
+int64_t ImrsGc::RunOnce(uint64_t oldest_snapshot, uint64_t now,
+                        int64_t max_items) {
+  size_t budget;
+  {
+    std::lock_guard<std::mutex> guard(work_mu_);
+    budget = work_.size();
+  }
+  if (max_items > 0 && static_cast<size_t>(max_items) < budget) {
+    budget = static_cast<size_t>(max_items);
+  }
+
+  std::vector<WorkItem> revisit;
+  int64_t processed = 0;
+  for (size_t i = 0; i < budget; ++i) {
+    WorkItem item;
+    {
+      std::lock_guard<std::mutex> guard(work_mu_);
+      if (work_.empty()) break;
+      item = work_.front();
+      work_.pop_front();
+    }
+    ++processed;
+    if (ProcessRow(item.row, item.newly_created, oldest_snapshot, now)) {
+      revisit.push_back(WorkItem{item.row, false});
+    }
+  }
+  if (!revisit.empty()) {
+    std::lock_guard<std::mutex> guard(work_mu_);
+    for (const auto& item : revisit) work_.push_back(item);
+  }
+
+  DrainDeferred(oldest_snapshot);
+  return processed;
+}
+
+void ImrsGc::DrainDeferred(uint64_t oldest_snapshot) {
+  std::vector<void*> to_free;
+  {
+    std::lock_guard<std::mutex> guard(deferred_mu_);
+    size_t w = 0;
+    for (size_t i = 0; i < deferred_.size(); ++i) {
+      if (deferred_[i].not_before_ts < oldest_snapshot) {
+        to_free.push_back(deferred_[i].fragment);
+      } else {
+        deferred_[w++] = deferred_[i];
+      }
+    }
+    deferred_.resize(w);
+  }
+  for (void* p : to_free) {
+    store_->allocator()->Free(p);
+  }
+}
+
+GcStats ImrsGc::GetStats() const {
+  GcStats s;
+  s.versions_freed = versions_freed_.Load();
+  s.bytes_freed = bytes_freed_.Load();
+  s.rows_purged = rows_purged_.Load();
+  s.rows_enqueued_to_ilm = rows_enqueued_.Load();
+  {
+    std::lock_guard<std::mutex> guard(work_mu_);
+    s.work_pending = static_cast<int64_t>(work_.size());
+  }
+  {
+    std::lock_guard<std::mutex> guard(deferred_mu_);
+    s.deferred_pending = static_cast<int64_t>(deferred_.size());
+  }
+  return s;
+}
+
+}  // namespace btrim

@@ -1,0 +1,122 @@
+#ifndef BTRIM_IMRS_GC_H_
+#define BTRIM_IMRS_GC_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <vector>
+
+#include "common/counters.h"
+#include "imrs/store.h"
+
+namespace btrim {
+
+/// Callbacks wiring GC into the engine / ILM layers without a dependency
+/// cycle (the GC piggybacks ILM-queue maintenance, paper Sec. VI.B).
+struct GcHooks {
+  /// A newly committed row is ready for ILM tracking: push it to the tail
+  /// of its partition queue. Must set kRowInQueue.
+  std::function<void(ImrsRow*)> enqueue_to_ilm_queue;
+
+  /// A fully dead row (committed delete older than every snapshot) is being
+  /// purged: remove its ILM-queue linkage. Must clear kRowInQueue.
+  std::function<void(ImrsRow*)> unlink_from_ilm_queue;
+
+  /// Remove the dead row's page-store home, if materialized (a background
+  /// system transaction in the engine). Returns false when it could not run
+  /// now (e.g. the row lock is held); GC retries the purge later.
+  std::function<bool(ImrsRow*)> purge_page_store_home;
+
+  /// Partition accounting: `bytes` fragment bytes were freed and `rows`
+  /// rows purged for (table_id, partition_id).
+  std::function<void(uint32_t, uint32_t, int64_t, int64_t)> on_freed;
+};
+
+/// GC activity counters.
+struct GcStats {
+  int64_t versions_freed = 0;
+  int64_t bytes_freed = 0;
+  int64_t rows_purged = 0;
+  int64_t rows_enqueued_to_ilm = 0;
+  int64_t work_pending = 0;
+  int64_t deferred_pending = 0;
+};
+
+/// Non-blocking garbage collection for the IMRS (paper Sec. II "IMRS-GC").
+///
+/// Transactions never free version memory inline; at commit the engine
+/// hands each touched row to the GC, which runs on background threads and:
+///
+///  1. pushes newly created rows onto their partition ILM queue (the
+///     queue-maintenance piggybacking of Sec. VI.B),
+///  2. trims version chains: every version older than the newest version
+///     visible to the oldest active snapshot is unreachable and freed,
+///  3. purges dead rows (committed delete marker older than every
+///     snapshot): RID-map entry removed, queue unlinked, page-store home
+///     deleted, and memory released after a grace period.
+///
+/// The grace period (deferred free list) plays the role of the paper's
+/// "statement registration": concurrent readers that obtained a row
+/// pointer from the RID-map before removal can still dereference it; the
+/// memory is recycled only after every snapshot that could hold the
+/// pointer has finished.
+class ImrsGc {
+ public:
+  ImrsGc(ImrsStore* store, GcHooks hooks);
+
+  ImrsGc(const ImrsGc&) = delete;
+  ImrsGc& operator=(const ImrsGc&) = delete;
+
+  /// Registers a committed row for processing. `newly_created` marks the
+  /// commit that created the row (insert / migration / caching).
+  void EnqueueCommitted(ImrsRow* row, bool newly_created);
+
+  /// Defers freeing an arbitrary fragment until every transaction whose
+  /// snapshot predates `not_before_ts` has finished (used by Pack for the
+  /// headers/versions of rows it removed).
+  void DeferFree(void* fragment, uint64_t not_before_ts);
+
+  /// One GC pass. `oldest_snapshot` is
+  /// TransactionManager::OldestActiveSnapshot() and `now` the current
+  /// commit timestamp (used to stamp the grace period of deferred frees).
+  /// `max_items` caps the items processed (0 = one sweep over the current
+  /// queue). Rows that still carry reclaimable-later state are re-queued.
+  /// Returns items processed.
+  int64_t RunOnce(uint64_t oldest_snapshot, uint64_t now,
+                  int64_t max_items = 0);
+
+  GcStats GetStats() const;
+
+ private:
+  struct WorkItem {
+    ImrsRow* row;
+    bool newly_created;
+  };
+  struct Deferred {
+    void* fragment;
+    uint64_t not_before_ts;
+  };
+
+  /// Processes one row; returns true when the row needs a later revisit.
+  bool ProcessRow(ImrsRow* row, bool newly_created, uint64_t oldest_snapshot,
+                  uint64_t now);
+
+  void DrainDeferred(uint64_t oldest_snapshot);
+
+  ImrsStore* const store_;
+  const GcHooks hooks_;
+
+  mutable std::mutex work_mu_;
+  std::deque<WorkItem> work_;
+
+  mutable std::mutex deferred_mu_;
+  std::vector<Deferred> deferred_;
+
+  mutable ShardedCounter versions_freed_, bytes_freed_, rows_purged_,
+      rows_enqueued_;
+};
+
+}  // namespace btrim
+
+#endif  // BTRIM_IMRS_GC_H_

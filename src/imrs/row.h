@@ -1,0 +1,85 @@
+#ifndef BTRIM_IMRS_ROW_H_
+#define BTRIM_IMRS_ROW_H_
+
+#include <atomic>
+#include <cstdint>
+
+#include "common/slice.h"
+#include "page/page.h"
+
+namespace btrim {
+
+/// How a row arrived in the IMRS; selects which partition-level ILM queue
+/// tracks it (paper Sec. VI.B: separate queues for inserted, migrated, and
+/// cached rows).
+enum class RowSource : uint8_t {
+  kInserted = 0,  ///< new insert, no page-store footprint yet
+  kMigrated = 1,  ///< update of a page-store row moved it in
+  kCached = 2,    ///< select of a page-store row cached it
+};
+inline constexpr int kNumRowSources = 3;
+
+/// One version of an IMRS row. Versions form a newest-first singly linked
+/// chain from ImrsRow::latest. `commit_ts == 0` marks an uncommitted
+/// version owned by `txn_id`; commit stamps the timestamp (in-memory
+/// versioning supporting timestamp-based snapshot isolation, paper Sec. II).
+///
+/// Memory layout: the row payload follows the struct in the same fragment
+/// (allocated as sizeof(RowVersion) + data_size from the fragment
+/// allocator).
+struct RowVersion {
+  std::atomic<uint64_t> commit_ts{0};
+  uint64_t txn_id = 0;
+  std::atomic<RowVersion*> older{nullptr};  // GC unlinks concurrently
+  uint32_t data_size = 0;
+  bool is_delete = false;  ///< delete marker (no payload)
+
+  char* data() { return reinterpret_cast<char*>(this) + sizeof(RowVersion); }
+  const char* data() const {
+    return reinterpret_cast<const char*>(this) + sizeof(RowVersion);
+  }
+  Slice payload() const { return Slice(data(), data_size); }
+};
+
+/// Row flag bits (ImrsRow::flags).
+enum RowFlags : uint8_t {
+  kRowInQueue = 1,       ///< linked into a partition ILM queue
+  kRowPacked = 2,        ///< pack relocated it; IMRS copy is defunct
+  kRowPurged = 4,        ///< GC removed it (fully dead row)
+};
+
+/// In-memory row header: identity, version chain, loose access timestamp,
+/// and intrusive linkage for the partition-level relaxed-LRU queues.
+///
+/// `last_access_ts` is updated with relaxed stores on reads/updates — the
+/// "occasionally updated, not seen to cause overheads" per-row timestamps of
+/// paper Sec. V.A. Pack compares it against the learned timestamp filter.
+struct ImrsRow {
+  Rid rid{};
+  uint32_t table_id = 0;
+  uint32_t partition_id = 0;
+  RowSource source = RowSource::kInserted;
+  std::atomic<uint8_t> flags{0};
+  std::atomic<RowVersion*> latest{nullptr};
+  std::atomic<uint64_t> last_access_ts{0};
+
+  // Intrusive ILM-queue links, guarded by the owning queue's lock.
+  ImrsRow* q_next = nullptr;
+  ImrsRow* q_prev = nullptr;
+
+  void Touch(uint64_t now) {
+    last_access_ts.store(now, std::memory_order_relaxed);
+  }
+
+  bool HasFlag(RowFlags f) const {
+    return (flags.load(std::memory_order_acquire) & f) != 0;
+  }
+  void SetFlag(RowFlags f) { flags.fetch_or(f, std::memory_order_acq_rel); }
+  void ClearFlag(RowFlags f) {
+    flags.fetch_and(static_cast<uint8_t>(~f), std::memory_order_acq_rel);
+  }
+};
+
+}  // namespace btrim
+
+#endif  // BTRIM_IMRS_ROW_H_

@@ -1,0 +1,128 @@
+#include "imrs/store.h"
+
+#include <cstring>
+#include <new>
+
+namespace btrim {
+
+ImrsStore::ImrsStore(FragmentAllocator* allocator, RidMap* rid_map)
+    : allocator_(allocator), rid_map_(rid_map) {}
+
+int64_t ImrsStore::FragmentCharge(const void* p) {
+  // FragmentSize is the payload; add back the 16-byte block header so the
+  // charge matches the allocator's in-use accounting granularity.
+  return static_cast<int64_t>(FragmentAllocator::FragmentSize(p)) + 16;
+}
+
+Result<RowVersion*> ImrsStore::AllocVersion(Slice data, bool is_delete,
+                                            uint64_t txn_id,
+                                            int64_t* bytes_charged) {
+  void* mem = allocator_->Allocate(sizeof(RowVersion) + data.size());
+  if (mem == nullptr) {
+    return Status::NoSpace("IMRS cache full (version)");
+  }
+  auto* v = new (mem) RowVersion();
+  v->txn_id = txn_id;
+  v->data_size = static_cast<uint32_t>(data.size());
+  v->is_delete = is_delete;
+  if (!data.empty()) {
+    memcpy(v->data(), data.data(), data.size());
+  }
+  if (bytes_charged != nullptr) *bytes_charged += FragmentCharge(mem);
+  return v;
+}
+
+Result<ImrsRow*> ImrsStore::CreateRow(Rid rid, uint32_t table_id,
+                                      uint32_t partition_id, RowSource source,
+                                      Slice data, uint64_t txn_id,
+                                      uint64_t now, int64_t* bytes_charged) {
+  void* mem = allocator_->Allocate(sizeof(ImrsRow));
+  if (mem == nullptr) {
+    return Status::NoSpace("IMRS cache full (row header)");
+  }
+  auto* row = new (mem) ImrsRow();
+  row->rid = rid;
+  row->table_id = table_id;
+  row->partition_id = partition_id;
+  row->source = source;
+  row->last_access_ts.store(now, std::memory_order_relaxed);
+  if (bytes_charged != nullptr) *bytes_charged += FragmentCharge(mem);
+
+  Result<RowVersion*> v = AllocVersion(data, /*is_delete=*/false, txn_id,
+                                       bytes_charged);
+  if (!v.ok()) {
+    if (bytes_charged != nullptr) *bytes_charged -= FragmentCharge(mem);
+    row->~ImrsRow();
+    allocator_->Free(mem);
+    return v.status();
+  }
+  row->latest.store(*v, std::memory_order_release);
+  rid_map_->Insert(rid, row);
+  return row;
+}
+
+Result<RowVersion*> ImrsStore::AddVersion(ImrsRow* row, Slice data,
+                                          bool is_delete, uint64_t txn_id,
+                                          int64_t* bytes_charged) {
+  Result<RowVersion*> v = AllocVersion(data, is_delete, txn_id, bytes_charged);
+  if (!v.ok()) return v.status();
+  (*v)->older.store(row->latest.load(std::memory_order_acquire),
+                 std::memory_order_release);
+  row->latest.store(*v, std::memory_order_release);
+  return v;
+}
+
+RowVersion* ImrsStore::VisibleVersion(const ImrsRow* row, uint64_t snapshot_ts,
+                                      uint64_t txn_id) {
+  for (RowVersion* v = row->latest.load(std::memory_order_acquire);
+       v != nullptr; v = v->older.load(std::memory_order_acquire)) {
+    const uint64_t cts = v->commit_ts.load(std::memory_order_acquire);
+    if (cts == 0) {
+      if (v->txn_id == txn_id) return v;  // own uncommitted write
+      continue;
+    }
+    if (cts <= snapshot_ts) return v;
+  }
+  return nullptr;
+}
+
+RowVersion* ImrsStore::LatestCommitted(const ImrsRow* row) {
+  for (RowVersion* v = row->latest.load(std::memory_order_acquire);
+       v != nullptr; v = v->older.load(std::memory_order_acquire)) {
+    if (v->commit_ts.load(std::memory_order_acquire) != 0) return v;
+  }
+  return nullptr;
+}
+
+RowVersion* ImrsStore::PopUncommitted(ImrsRow* row, uint64_t txn_id) {
+  RowVersion* v = row->latest.load(std::memory_order_acquire);
+  if (v == nullptr || v->commit_ts.load(std::memory_order_acquire) != 0 ||
+      v->txn_id != txn_id) {
+    return nullptr;
+  }
+  row->latest.store(v->older.load(std::memory_order_acquire),
+                    std::memory_order_release);
+  v->older.store(nullptr, std::memory_order_relaxed);
+  return v;
+}
+
+void ImrsStore::FreeVersion(RowVersion* v) {
+  v->~RowVersion();
+  allocator_->Free(v);
+}
+
+void ImrsStore::FreeRow(ImrsRow* row) {
+  row->~ImrsRow();
+  allocator_->Free(row);
+}
+
+int64_t ImrsStore::RowFootprint(const ImrsRow* row) {
+  int64_t bytes = FragmentCharge(row);
+  for (RowVersion* v = row->latest.load(std::memory_order_acquire);
+       v != nullptr; v = v->older.load(std::memory_order_acquire)) {
+    bytes += FragmentCharge(v);
+  }
+  return bytes;
+}
+
+}  // namespace btrim

@@ -1,0 +1,85 @@
+#ifndef BTRIM_IMRS_STORE_H_
+#define BTRIM_IMRS_STORE_H_
+
+#include <cstdint>
+
+#include "alloc/fragment_allocator.h"
+#include "common/status.h"
+#include "imrs/rid_map.h"
+#include "imrs/row.h"
+
+namespace btrim {
+
+/// The In-Memory Row Store: allocates row headers and versions from the
+/// fragment memory manager, registers rows in the RID-map, and implements
+/// version-chain operations and snapshot visibility.
+///
+/// Concurrency contract: a row's version chain has at most one writer at a
+/// time (the transaction holding the row's exclusive lock, or the Pack/GC
+/// thread that owns the row after flagging it). Readers walk the chain
+/// lock-free via the atomic `latest` pointer and per-version atomic commit
+/// timestamps.
+class ImrsStore {
+ public:
+  ImrsStore(FragmentAllocator* allocator, RidMap* rid_map);
+
+  ImrsStore(const ImrsStore&) = delete;
+  ImrsStore& operator=(const ImrsStore&) = delete;
+
+  /// Creates a new IMRS row (header + first uncommitted version) and
+  /// registers it in the RID-map. NoSpace when the IMRS cache is full.
+  /// `bytes_charged` (optional) reports the fragment bytes consumed, for
+  /// partition-level accounting.
+  Result<ImrsRow*> CreateRow(Rid rid, uint32_t table_id, uint32_t partition_id,
+                             RowSource source, Slice data, uint64_t txn_id,
+                             uint64_t now, int64_t* bytes_charged = nullptr);
+
+  /// Prepends an uncommitted version (update, or delete marker when
+  /// `is_delete`). NoSpace when the IMRS cache is full.
+  Result<RowVersion*> AddVersion(ImrsRow* row, Slice data, bool is_delete,
+                                 uint64_t txn_id,
+                                 int64_t* bytes_charged = nullptr);
+
+  /// The version a snapshot read at `snapshot_ts` by transaction `txn_id`
+  /// observes: the transaction's own uncommitted version if any, else the
+  /// newest version with commit_ts <= snapshot_ts. nullptr when the row is
+  /// invisible to this snapshot. A returned delete marker means "row
+  /// deleted" for this snapshot.
+  static RowVersion* VisibleVersion(const ImrsRow* row, uint64_t snapshot_ts,
+                                    uint64_t txn_id);
+
+  /// The newest committed version (read-committed / update path, caller
+  /// holds the row lock). nullptr if only uncommitted versions exist.
+  static RowVersion* LatestCommitted(const ImrsRow* row);
+
+  /// Unlinks and returns the uncommitted head version owned by `txn_id`
+  /// (abort path). nullptr if the head is not ours/uncommitted.
+  RowVersion* PopUncommitted(ImrsRow* row, uint64_t txn_id);
+
+  /// Frees a version fragment immediately (safe only when provably
+  /// unreachable, e.g. abort of a version no reader could have seen).
+  void FreeVersion(RowVersion* v);
+
+  /// Frees a row header fragment immediately (same caveat).
+  void FreeRow(ImrsRow* row);
+
+  /// Fragment bytes charged for an allocation (block size incl. header).
+  static int64_t FragmentCharge(const void* p);
+
+  /// Total fragment bytes for header + entire version chain.
+  static int64_t RowFootprint(const ImrsRow* row);
+
+  FragmentAllocator* allocator() { return allocator_; }
+  RidMap* rid_map() { return rid_map_; }
+
+ private:
+  Result<RowVersion*> AllocVersion(Slice data, bool is_delete, uint64_t txn_id,
+                                   int64_t* bytes_charged);
+
+  FragmentAllocator* const allocator_;
+  RidMap* const rid_map_;
+};
+
+}  // namespace btrim
+
+#endif  // BTRIM_IMRS_STORE_H_

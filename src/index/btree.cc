@@ -1,0 +1,483 @@
+#include "index/btree.h"
+
+#include <cassert>
+#include <cstring>
+
+#include "common/coding.h"
+
+namespace btrim {
+
+namespace {
+
+// Node page layout:
+//   [NodeHeader][slot offsets (u16, ascending key order) -> ... <- cells]
+// Cell: [u16 klen][key bytes][u64 value]. For internal nodes the value is a
+// child page number; keys >= separator live under that child, and keys
+// below the first separator live under header.leftmost_child.
+struct NodeHeader {
+  uint32_t magic;
+  uint8_t level;  // 0 = leaf
+  uint8_t pad_;
+  uint16_t count;
+  uint16_t cell_start;  // lowest offset used by cells
+  uint16_t garbage;     // freed cell bytes
+  uint32_t right_sibling;
+  uint32_t leftmost_child;
+};
+
+constexpr uint32_t kNodeMagic = 0xB7EE0001u;
+constexpr size_t kSlotBytes = sizeof(uint16_t);
+
+class Node {
+ public:
+  explicit Node(char* data) : data_(data) {}
+
+  void Init(uint8_t level) {
+    memset(data_, 0, kPageSize);
+    NodeHeader* h = header();
+    h->magic = kNodeMagic;
+    h->level = level;
+    h->count = 0;
+    h->cell_start = static_cast<uint16_t>(kPageSize);
+    h->garbage = 0;
+    h->right_sibling = BTree::kInvalidPage;
+    h->leftmost_child = BTree::kInvalidPage;
+  }
+
+  bool IsInitialized() const { return header()->magic == kNodeMagic; }
+  bool IsLeaf() const { return header()->level == 0; }
+  uint8_t level() const { return header()->level; }
+  uint16_t count() const { return header()->count; }
+
+  uint32_t right_sibling() const { return header()->right_sibling; }
+  void set_right_sibling(uint32_t p) { header()->right_sibling = p; }
+  uint32_t leftmost_child() const { return header()->leftmost_child; }
+  void set_leftmost_child(uint32_t p) { header()->leftmost_child = p; }
+
+  Slice KeyAt(uint16_t i) const {
+    const char* cell = data_ + slots()[i];
+    const uint16_t klen = DecodeFixed16(cell);
+    return Slice(cell + 2, klen);
+  }
+
+  uint64_t ValueAt(uint16_t i) const {
+    const char* cell = data_ + slots()[i];
+    const uint16_t klen = DecodeFixed16(cell);
+    return DecodeFixed64(cell + 2 + klen);
+  }
+
+  void SetValueAt(uint16_t i, uint64_t v) {
+    char* cell = data_ + slots()[i];
+    const uint16_t klen = DecodeFixed16(cell);
+    EncodeFixed64(cell + 2 + klen, v);
+  }
+
+  /// First index i with KeyAt(i) >= key; count() if none.
+  uint16_t LowerBound(Slice key) const {
+    uint16_t lo = 0, hi = count();
+    while (lo < hi) {
+      const uint16_t mid = (lo + hi) / 2;
+      if (KeyAt(mid).compare(key) < 0) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    return lo;
+  }
+
+  /// First index i with KeyAt(i) > key; count() if none.
+  uint16_t UpperBound(Slice key) const {
+    uint16_t lo = 0, hi = count();
+    while (lo < hi) {
+      const uint16_t mid = (lo + hi) / 2;
+      if (KeyAt(mid).compare(key) <= 0) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    return lo;
+  }
+
+  /// Child page for `key` in an internal node.
+  uint32_t ChildFor(Slice key) const {
+    const uint16_t i = UpperBound(key);
+    if (i == 0) return leftmost_child();
+    return static_cast<uint32_t>(ValueAt(i - 1));
+  }
+
+  size_t CellBytes(Slice key) const { return 2 + key.size() + 8; }
+
+  size_t ContiguousFree() const {
+    const NodeHeader* h = header();
+    const size_t dir_end =
+        sizeof(NodeHeader) + static_cast<size_t>(h->count) * kSlotBytes;
+    return h->cell_start - dir_end;
+  }
+
+  size_t FreeSpace() const { return ContiguousFree() + header()->garbage; }
+
+  void Compact() {
+    NodeHeader* h = header();
+    std::vector<char> scratch(kPageSize);
+    size_t write = kPageSize;
+    uint16_t* dir = slots();
+    for (uint16_t i = 0; i < h->count; ++i) {
+      const char* cell = data_ + dir[i];
+      const size_t len = 2 + DecodeFixed16(cell) + 8;
+      write -= len;
+      memcpy(scratch.data() + write, cell, len);
+      dir[i] = static_cast<uint16_t>(write);
+    }
+    memcpy(data_ + write, scratch.data() + write, kPageSize - write);
+    h->cell_start = static_cast<uint16_t>(write);
+    h->garbage = 0;
+  }
+
+  /// Inserts (key, value) at position `pos`, shifting later slots right.
+  /// Fails with NoSpace when the node must split.
+  Status InsertAt(uint16_t pos, Slice key, uint64_t value) {
+    NodeHeader* h = header();
+    const size_t need = CellBytes(key) + kSlotBytes;
+    if (ContiguousFree() < need) {
+      if (FreeSpace() < need) return Status::NoSpace("node full");
+      Compact();
+      if (ContiguousFree() < need) return Status::NoSpace("node full");
+    }
+    h->cell_start = static_cast<uint16_t>(h->cell_start - CellBytes(key));
+    char* cell = data_ + h->cell_start;
+    EncodeFixed16(cell, static_cast<uint16_t>(key.size()));
+    memcpy(cell + 2, key.data(), key.size());
+    EncodeFixed64(cell + 2 + key.size(), value);
+
+    uint16_t* dir = slots();
+    memmove(dir + pos + 1, dir + pos,
+            (h->count - pos) * kSlotBytes);
+    dir[pos] = h->cell_start;
+    h->count++;
+    return Status::OK();
+  }
+
+  void RemoveAt(uint16_t pos) {
+    NodeHeader* h = header();
+    const char* cell = data_ + slots()[pos];
+    h->garbage = static_cast<uint16_t>(h->garbage + 2 + DecodeFixed16(cell) + 8);
+    uint16_t* dir = slots();
+    memmove(dir + pos, dir + pos + 1,
+            (h->count - pos - 1) * kSlotBytes);
+    h->count--;
+  }
+
+  /// Moves entries [from, count) into `dst` (appending in order) and
+  /// truncates this node.
+  void MoveTail(uint16_t from, Node* dst) {
+    NodeHeader* h = header();
+    for (uint16_t i = from; i < h->count; ++i) {
+      Status s = dst->InsertAt(dst->count(), KeyAt(i), ValueAt(i));
+      assert(s.ok());
+      (void)s;
+    }
+    // Mark moved cells as garbage.
+    for (uint16_t i = from; i < h->count; ++i) {
+      const char* cell = data_ + slots()[i];
+      h->garbage =
+          static_cast<uint16_t>(h->garbage + 2 + DecodeFixed16(cell) + 8);
+    }
+    h->count = from;
+  }
+
+ private:
+  NodeHeader* header() { return reinterpret_cast<NodeHeader*>(data_); }
+  const NodeHeader* header() const {
+    return reinterpret_cast<const NodeHeader*>(data_);
+  }
+  uint16_t* slots() {
+    return reinterpret_cast<uint16_t*>(data_ + sizeof(NodeHeader));
+  }
+  const uint16_t* slots() const {
+    return reinterpret_cast<const uint16_t*>(data_ + sizeof(NodeHeader));
+  }
+
+  char* data_;
+};
+
+}  // namespace
+
+BTree::BTree(uint16_t file_id, BufferCache* cache, bool unique)
+    : file_id_(file_id), cache_(cache), unique_(unique) {}
+
+uint32_t BTree::AllocatePage() {
+  return next_page_.fetch_add(1, std::memory_order_relaxed);
+}
+
+Status BTree::Create() {
+  const uint32_t root = AllocatePage();
+  root_page_.store(root, std::memory_order_release);
+  Result<PageGuard> guard =
+      cache_->FixPage(PageId{file_id_, root}, LatchMode::kExclusive);
+  if (!guard.ok()) return guard.status();
+  Node node(guard->data());
+  node.Init(0);
+  guard->MarkDirty();
+  return Status::OK();
+}
+
+std::string BTree::MakeNonUniqueKey(Slice user_key, Rid rid) {
+  std::string k(user_key.data(), user_key.size());
+  PutBigEndian64(&k, rid.Encode());
+  return k;
+}
+
+Status BTree::InsertRec(uint32_t page_no, Slice key, uint64_t value,
+                        std::string* split_key, uint32_t* split_child) {
+  split_key->clear();
+  *split_child = kInvalidPage;
+
+  // Read the routing decision, then release the latch before recursing so
+  // at most one page latch is held at a time (tree_lock_ protects the
+  // structure; latches only protect the page image).
+  uint8_t level;
+  uint32_t child = kInvalidPage;
+  {
+    Result<PageGuard> guard =
+        cache_->FixPage(PageId{file_id_, page_no}, LatchMode::kShared);
+    if (!guard.ok()) return guard.status();
+    Node node(guard->data());
+    level = node.level();
+    if (level > 0) child = node.ChildFor(key);
+  }
+
+  std::string child_split_key;
+  uint32_t child_split_page = kInvalidPage;
+  if (level > 0) {
+    BTRIM_RETURN_IF_ERROR(
+        InsertRec(child, key, value, &child_split_key, &child_split_page));
+    if (child_split_page == kInvalidPage) return Status::OK();
+  }
+
+  // Perform the local modification (leaf entry or separator from a child
+  // split) with the page latched exclusive.
+  Slice insert_key = level == 0 ? key : Slice(child_split_key);
+  const uint64_t insert_value = level == 0 ? value : child_split_page;
+
+  Result<PageGuard> guard =
+      cache_->FixPage(PageId{file_id_, page_no}, LatchMode::kExclusive);
+  if (!guard.ok()) return guard.status();
+  Node node(guard->data());
+
+  uint16_t pos = node.LowerBound(insert_key);
+  if (level == 0 && unique_ && pos < node.count() &&
+      node.KeyAt(pos) == insert_key) {
+    return Status::AlreadyExists("duplicate key");
+  }
+
+  Status s = node.InsertAt(pos, insert_key, insert_value);
+  if (s.ok()) {
+    guard->MarkDirty();
+    return Status::OK();
+  }
+  if (!s.IsNoSpace()) return s;
+
+  // Split: move the upper half to a fresh right sibling.
+  splits_.Inc();
+  const uint32_t right_no = AllocatePage();
+  Result<PageGuard> right_guard =
+      cache_->FixPage(PageId{file_id_, right_no}, LatchMode::kExclusive);
+  if (!right_guard.ok()) return right_guard.status();
+  Node right(right_guard->data());
+  right.Init(level);
+
+  const uint16_t mid = node.count() / 2;
+  if (level == 0) {
+    node.MoveTail(mid, &right);
+    right.set_right_sibling(node.right_sibling());
+    node.set_right_sibling(right_no);
+    *split_key = right.KeyAt(0).ToString();
+  } else {
+    // Promote the separator at mid; its child becomes the right node's
+    // leftmost child.
+    *split_key = node.KeyAt(mid).ToString();
+    right.set_leftmost_child(static_cast<uint32_t>(node.ValueAt(mid)));
+    node.MoveTail(mid + 1, &right);
+    // Drop the promoted separator from the left node.
+    node.RemoveAt(mid);
+  }
+  *split_child = right_no;
+
+  // Re-insert into whichever half now owns the key.
+  Node* target =
+      insert_key.compare(Slice(*split_key)) >= 0 ? &right : &node;
+  uint16_t tpos = target->LowerBound(insert_key);
+  s = target->InsertAt(tpos, insert_key, insert_value);
+  if (!s.ok()) return s;  // a half-full node must accept one entry
+  guard->MarkDirty();
+  right_guard->MarkDirty();
+  return Status::OK();
+}
+
+Status BTree::Insert(Slice key, uint64_t value) {
+  if (key.size() > kMaxKeySize) {
+    return Status::InvalidArgument("key too large");
+  }
+  inserts_.Inc();
+  std::lock_guard<RwSpinLock> guard(tree_lock_);
+
+  std::string split_key;
+  uint32_t split_child = kInvalidPage;
+  const uint32_t root = root_page_.load(std::memory_order_acquire);
+  BTRIM_RETURN_IF_ERROR(
+      InsertRec(root, key, value, &split_key, &split_child));
+  if (split_child == kInvalidPage) return Status::OK();
+
+  // Root split: grow the tree by one level.
+  const uint32_t new_root_no = AllocatePage();
+  Result<PageGuard> root_guard =
+      cache_->FixPage(PageId{file_id_, new_root_no}, LatchMode::kExclusive);
+  if (!root_guard.ok()) return root_guard.status();
+
+  uint8_t old_level;
+  {
+    Result<PageGuard> old_guard =
+        cache_->FixPage(PageId{file_id_, root}, LatchMode::kShared);
+    if (!old_guard.ok()) return old_guard.status();
+    old_level = Node(old_guard->data()).level();
+  }
+
+  Node new_root(root_guard->data());
+  new_root.Init(static_cast<uint8_t>(old_level + 1));
+  new_root.set_leftmost_child(root);
+  Status s = new_root.InsertAt(0, Slice(split_key), split_child);
+  if (!s.ok()) return s;
+  root_guard->MarkDirty();
+  root_page_.store(new_root_no, std::memory_order_release);
+  height_.fetch_add(1, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+Result<uint32_t> BTree::FindLeaf(Slice key) const {
+  uint32_t page_no = root_page_.load(std::memory_order_acquire);
+  while (true) {
+    Result<PageGuard> guard =
+        cache_->FixPage(PageId{file_id_, page_no}, LatchMode::kShared);
+    if (!guard.ok()) return guard.status();
+    Node node(guard->data());
+    if (node.IsLeaf()) return page_no;
+    page_no = node.ChildFor(key);
+  }
+}
+
+Result<uint64_t> BTree::Search(Slice key) const {
+  searches_.Inc();
+  tree_lock_.lock_shared();
+  struct Unlocker {
+    const BTree* t;
+    ~Unlocker() { t->tree_lock_.unlock_shared(); }
+  } unlocker{this};
+
+  Result<uint32_t> leaf = FindLeaf(key);
+  if (!leaf.ok()) return leaf.status();
+  Result<PageGuard> guard =
+      cache_->FixPage(PageId{file_id_, *leaf}, LatchMode::kShared);
+  if (!guard.ok()) return guard.status();
+  Node node(guard->data());
+  const uint16_t pos = node.LowerBound(key);
+  if (pos < node.count() && node.KeyAt(pos) == key) {
+    return node.ValueAt(pos);
+  }
+  return Status::NotFound("key absent");
+}
+
+Status BTree::UpdateValue(Slice key, uint64_t value) {
+  std::lock_guard<RwSpinLock> tguard(tree_lock_);
+  Result<uint32_t> leaf = FindLeaf(key);
+  if (!leaf.ok()) return leaf.status();
+  Result<PageGuard> guard =
+      cache_->FixPage(PageId{file_id_, *leaf}, LatchMode::kExclusive);
+  if (!guard.ok()) return guard.status();
+  Node node(guard->data());
+  const uint16_t pos = node.LowerBound(key);
+  if (pos < node.count() && node.KeyAt(pos) == key) {
+    node.SetValueAt(pos, value);
+    guard->MarkDirty();
+    return Status::OK();
+  }
+  return Status::NotFound("key absent");
+}
+
+Status BTree::Delete(Slice key) {
+  deletes_.Inc();
+  std::lock_guard<RwSpinLock> tguard(tree_lock_);
+  Result<uint32_t> leaf = FindLeaf(key);
+  if (!leaf.ok()) return leaf.status();
+  Result<PageGuard> guard =
+      cache_->FixPage(PageId{file_id_, *leaf}, LatchMode::kExclusive);
+  if (!guard.ok()) return guard.status();
+  Node node(guard->data());
+  const uint16_t pos = node.LowerBound(key);
+  if (pos < node.count() && node.KeyAt(pos) == key) {
+    node.RemoveAt(pos);
+    guard->MarkDirty();
+    return Status::OK();
+  }
+  return Status::NotFound("key absent");
+}
+
+Status BTree::Scan(Slice lower, Slice upper, size_t limit,
+                   std::vector<std::pair<std::string, uint64_t>>* out) const {
+  scans_.Inc();
+  tree_lock_.lock_shared();
+  struct Unlocker {
+    const BTree* t;
+    ~Unlocker() { t->tree_lock_.unlock_shared(); }
+  } unlocker{this};
+
+  Result<uint32_t> leaf = FindLeaf(lower);
+  if (!leaf.ok()) return leaf.status();
+  uint32_t page_no = *leaf;
+  while (page_no != kInvalidPage) {
+    Result<PageGuard> guard =
+        cache_->FixPage(PageId{file_id_, page_no}, LatchMode::kShared);
+    if (!guard.ok()) return guard.status();
+    Node node(guard->data());
+    uint16_t pos = node.LowerBound(lower);
+    for (; pos < node.count(); ++pos) {
+      Slice k = node.KeyAt(pos);
+      if (!upper.empty() && k.compare(upper) >= 0) return Status::OK();
+      out->emplace_back(k.ToString(), node.ValueAt(pos));
+      if (limit != 0 && out->size() >= limit) return Status::OK();
+    }
+    page_no = node.right_sibling();
+  }
+  return Status::OK();
+}
+
+Status BTree::ScanPrefix(
+    Slice prefix, size_t limit,
+    std::vector<std::pair<std::string, uint64_t>>* out) const {
+  // Upper bound: prefix with the last byte bumped; if all 0xff, scan to the
+  // end of the tree.
+  std::string upper(prefix.data(), prefix.size());
+  while (!upper.empty()) {
+    if (static_cast<unsigned char>(upper.back()) != 0xff) {
+      upper.back() = static_cast<char>(upper.back() + 1);
+      break;
+    }
+    upper.pop_back();
+  }
+  return Scan(prefix, Slice(upper), limit, out);
+}
+
+BTreeStats BTree::GetStats() const {
+  BTreeStats s;
+  s.inserts = inserts_.Load();
+  s.deletes = deletes_.Load();
+  s.searches = searches_.Load();
+  s.scans = scans_.Load();
+  s.splits = splits_.Load();
+  s.height = height_.load(std::memory_order_relaxed);
+  s.pages_allocated = next_page_.load(std::memory_order_relaxed);
+  return s;
+}
+
+}  // namespace btrim

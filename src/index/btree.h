@@ -1,0 +1,122 @@
+#ifndef BTRIM_INDEX_BTREE_H_
+#define BTRIM_INDEX_BTREE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/counters.h"
+#include "common/slice.h"
+#include "common/spinlock.h"
+#include "common/status.h"
+#include "page/buffer_cache.h"
+#include "page/page.h"
+
+namespace btrim {
+
+/// B+Tree traffic counters.
+struct BTreeStats {
+  int64_t inserts = 0;
+  int64_t deletes = 0;
+  int64_t searches = 0;
+  int64_t scans = 0;
+  int64_t splits = 0;
+  int64_t height = 0;
+  int64_t pages_allocated = 0;
+};
+
+/// Page-based B+Tree mapping variable-length byte-string keys (memcmp
+/// order) to 64-bit values (encoded RIDs).
+///
+/// This is the paper's "page-based BTree index" (Sec. II): its pages live in
+/// the shared buffer cache, so index traffic competes for frames and
+/// produces latch-contention signals exactly like heap traffic. Entries
+/// store RIDs; they are *not* touched when a row moves between the IMRS and
+/// the page store — residency is resolved through the RID-map at access
+/// time.
+///
+/// Concurrency: a tree-level reader-writer lock serializes structural
+/// writers against each other and against readers; page latches are held
+/// one at a time during descent. Keys are limited to kMaxKeySize bytes.
+///
+/// For a non-unique index, callers append the RID to the key to make
+/// entries distinct (see MakeNonUniqueKey); lookups then use prefix scans.
+///
+/// Deletion is by unlink only (no page merging); TPC-C's delete pattern
+/// (new_orders queue) leaves sparse pages that are reused by later inserts
+/// landing in the same key range.
+class BTree {
+ public:
+  static constexpr size_t kMaxKeySize = 1024;
+  static constexpr uint32_t kInvalidPage = 0xffffffffu;
+
+  /// `unique`: reject duplicate keys on insert.
+  BTree(uint16_t file_id, BufferCache* cache, bool unique);
+
+  BTree(const BTree&) = delete;
+  BTree& operator=(const BTree&) = delete;
+
+  /// One-time formatting of the (empty) root page. Call once per tree
+  /// lifetime before first use.
+  Status Create();
+
+  Status Insert(Slice key, uint64_t value);
+
+  /// Removes the entry with exactly `key`. NotFound if absent.
+  Status Delete(Slice key);
+
+  /// Point lookup (unique trees). NotFound if absent.
+  Result<uint64_t> Search(Slice key) const;
+
+  /// In-place value update for an existing key. NotFound if absent.
+  Status UpdateValue(Slice key, uint64_t value);
+
+  /// Collects all entries with lower <= key < upper into `out`
+  /// (set upper empty for "to the end"). `limit` of 0 means unlimited.
+  Status Scan(Slice lower, Slice upper, size_t limit,
+              std::vector<std::pair<std::string, uint64_t>>* out) const;
+
+  /// Collects all entries whose key starts with `prefix`.
+  Status ScanPrefix(Slice prefix, size_t limit,
+                    std::vector<std::pair<std::string, uint64_t>>* out) const;
+
+  /// Key for a non-unique index entry: user key + big-endian encoded RID.
+  static std::string MakeNonUniqueKey(Slice user_key, Rid rid);
+
+  bool unique() const { return unique_; }
+  uint16_t file_id() const { return file_id_; }
+
+  BTreeStats GetStats() const;
+
+ private:
+  struct DescentResult {
+    uint32_t leaf_page = 0;
+  };
+
+  uint32_t AllocatePage();
+
+  /// Recursive insert; sets *split_key / *split_child when `page_no` split
+  /// and the caller must add a separator.
+  Status InsertRec(uint32_t page_no, Slice key, uint64_t value,
+                   std::string* split_key, uint32_t* split_child);
+
+  /// Finds the leaf that may contain `key` (shared latching descent).
+  Result<uint32_t> FindLeaf(Slice key) const;
+
+  const uint16_t file_id_;
+  BufferCache* const cache_;
+  const bool unique_;
+
+  mutable RwSpinLock tree_lock_;
+  std::atomic<uint32_t> root_page_{0};
+  std::atomic<uint32_t> next_page_{0};
+  std::atomic<int64_t> height_{1};
+
+  mutable ShardedCounter inserts_, deletes_, searches_, scans_, splits_;
+};
+
+}  // namespace btrim
+
+#endif  // BTRIM_INDEX_BTREE_H_

@@ -1,0 +1,241 @@
+#include "page/buffer_cache.h"
+
+#include <cassert>
+#include <cstring>
+
+namespace btrim {
+
+PageGuard& PageGuard::operator=(PageGuard&& other) noexcept {
+  if (this != &other) {
+    Release();
+    cache_ = other.cache_;
+    frame_ = other.frame_;
+    data_ = other.data_;
+    pid_ = other.pid_;
+    mode_ = other.mode_;
+    contended_ = other.contended_;
+    other.cache_ = nullptr;
+    other.data_ = nullptr;
+  }
+  return *this;
+}
+
+void PageGuard::MarkDirty() {
+  assert(cache_ != nullptr && mode_ == LatchMode::kExclusive);
+  cache_->MarkFrameDirty(frame_);
+}
+
+void PageGuard::Release() {
+  if (cache_ != nullptr) {
+    cache_->Unfix(frame_, mode_);
+    cache_ = nullptr;
+    data_ = nullptr;
+  }
+}
+
+BufferCache::BufferCache(size_t num_frames)
+    : num_frames_(num_frames),
+      arena_(new char[num_frames * kPageSize]),
+      meta_(num_frames),
+      devices_(1 << 16, nullptr) {
+  free_frames_.reserve(num_frames);
+  for (size_t i = 0; i < num_frames; ++i) {
+    free_frames_.push_back(num_frames - 1 - i);
+  }
+}
+
+BufferCache::~BufferCache() = default;
+
+void BufferCache::AttachDevice(uint16_t file_id, Device* device) {
+  devices_[file_id] = device;
+}
+
+Device* BufferCache::device(uint16_t file_id) const {
+  return devices_[file_id];
+}
+
+bool BufferCache::EvictVictim(size_t* out_frame) {
+  // Walk from the LRU end; the first unpinned frame wins.
+  for (auto it = lru_.rbegin(); it != lru_.rend(); ++it) {
+    const size_t frame = *it;
+    FrameMeta& m = meta_[frame];
+    if (m.pin_count != 0) continue;
+
+    if (m.dirty.load(std::memory_order_relaxed)) {
+      Device* dev = devices_[m.pid.file_id];
+      assert(dev != nullptr);
+      Status s = dev->WritePage(m.pid.page_no, arena_.get() + frame * kPageSize);
+      if (!s.ok()) return false;
+      m.dirty.store(false, std::memory_order_relaxed);
+      dirty_writes_.Inc();
+    }
+    table_.erase(m.pid.Encode());
+    lru_.erase(std::next(it).base());
+    m.in_lru = false;
+    m.valid = false;
+    evictions_.Inc();
+    *out_frame = frame;
+    return true;
+  }
+  return false;
+}
+
+Result<PageGuard> BufferCache::FixPage(PageId pid, LatchMode mode) {
+  fixes_.Inc();
+  size_t frame;
+  bool needs_read = false;
+
+  {
+    std::lock_guard<std::mutex> guard(map_mu_);
+    auto it = table_.find(pid.Encode());
+    if (it != table_.end()) {
+      hits_.Inc();
+      frame = it->second;
+      FrameMeta& m = meta_[frame];
+      m.pin_count++;
+      if (m.in_lru) {
+        lru_.erase(m.lru_pos);
+        lru_.push_front(frame);
+        m.lru_pos = lru_.begin();
+      }
+    } else {
+      misses_.Inc();
+      if (!free_frames_.empty()) {
+        frame = free_frames_.back();
+        free_frames_.pop_back();
+      } else if (!EvictVictim(&frame)) {
+        fix_failures_.Inc();
+        return Status::Busy("buffer cache: all frames pinned");
+      }
+      FrameMeta& m = meta_[frame];
+      m.pid = pid;
+      m.valid = true;
+      m.dirty.store(false, std::memory_order_relaxed);
+      m.pin_count = 1;
+      // Take the frame's exclusive latch *before* publishing the table
+      // entry, so concurrent fixers of the same page block until the device
+      // read below has filled the frame. The latch is guaranteed free here:
+      // eviction only selects unpinned frames, and guards release the latch
+      // before unpinning.
+      bool latched = m.latch.try_lock();
+      assert(latched);
+      (void)latched;
+      table_[pid.Encode()] = frame;
+      lru_.push_front(frame);
+      m.lru_pos = lru_.begin();
+      m.in_lru = true;
+      needs_read = true;
+    }
+  }
+
+  char* data = arena_.get() + frame * kPageSize;
+
+  if (needs_read) {
+    FrameMeta& m = meta_[frame];
+    Device* dev = devices_[pid.file_id];
+    Status s = dev == nullptr
+                   ? Status::InvalidArgument("no device attached for file " +
+                                             std::to_string(pid.file_id))
+                   : dev->ReadPage(pid.page_no, data);
+    if (!s.ok()) {
+      // Leave the frame resident with a zeroed image so that concurrent
+      // waiters observe a consistent (uninitialized) page rather than a
+      // dangling frame; only this caller sees the error.
+      memset(data, 0, kPageSize);
+      m.latch.unlock();
+      std::lock_guard<std::mutex> guard(map_mu_);
+      m.pin_count--;
+      return s;
+    }
+    if (mode == LatchMode::kExclusive) {
+      return PageGuard(this, frame, data, pid, mode, false);
+    }
+    m.latch.unlock();
+    // Fall through to normal shared acquisition.
+  }
+
+  FrameMeta& m = meta_[frame];
+  bool contended = false;
+  if (mode == LatchMode::kExclusive) {
+    if (!m.latch.try_lock()) {
+      contended = true;
+      contention_.Inc();
+      m.latch.lock();
+    }
+  } else {
+    if (!m.latch.try_lock_shared()) {
+      contended = true;
+      contention_.Inc();
+      m.latch.lock_shared();
+    }
+  }
+  return PageGuard(this, frame, data, pid, mode, contended);
+}
+
+void BufferCache::Unfix(size_t frame, LatchMode mode) {
+  FrameMeta& m = meta_[frame];
+  if (mode == LatchMode::kExclusive) {
+    m.latch.unlock();
+  } else {
+    m.latch.unlock_shared();
+  }
+  std::lock_guard<std::mutex> guard(map_mu_);
+  assert(m.pin_count > 0);
+  m.pin_count--;
+}
+
+void BufferCache::MarkFrameDirty(size_t frame) {
+  meta_[frame].dirty.store(true, std::memory_order_relaxed);
+}
+
+Status BufferCache::FlushAll() {
+  std::lock_guard<std::mutex> guard(map_mu_);
+  for (size_t i = 0; i < num_frames_; ++i) {
+    FrameMeta& m = meta_[i];
+    if (!m.valid || !m.dirty.load(std::memory_order_relaxed)) continue;
+    Device* dev = devices_[m.pid.file_id];
+    assert(dev != nullptr);
+    // Latch shared so a concurrent writer cannot give us a torn image.
+    m.latch.lock_shared();
+    Status s = dev->WritePage(m.pid.page_no, arena_.get() + i * kPageSize);
+    m.latch.unlock_shared();
+    BTRIM_RETURN_IF_ERROR(s);
+    m.dirty.store(false, std::memory_order_relaxed);
+    dirty_writes_.Inc();
+  }
+  return Status::OK();
+}
+
+Status BufferCache::DropAll() {
+  BTRIM_RETURN_IF_ERROR(FlushAll());
+  std::lock_guard<std::mutex> guard(map_mu_);
+  for (size_t i = 0; i < num_frames_; ++i) {
+    FrameMeta& m = meta_[i];
+    if (!m.valid) continue;
+    if (m.pin_count != 0) {
+      return Status::Busy("DropAll with pinned pages");
+    }
+    table_.erase(m.pid.Encode());
+    if (m.in_lru) {
+      lru_.erase(m.lru_pos);
+      m.in_lru = false;
+    }
+    m.valid = false;
+    free_frames_.push_back(i);
+  }
+  return Status::OK();
+}
+
+BufferCacheStats BufferCache::GetStats() const {
+  BufferCacheStats s;
+  s.fixes = fixes_.Load();
+  s.hits = hits_.Load();
+  s.misses = misses_.Load();
+  s.evictions = evictions_.Load();
+  s.dirty_writes = dirty_writes_.Load();
+  s.latch_contention = contention_.Load();
+  s.fix_failures = fix_failures_.Load();
+  return s;
+}
+
+}  // namespace btrim

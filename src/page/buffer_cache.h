@@ -1,0 +1,165 @@
+#ifndef BTRIM_PAGE_BUFFER_CACHE_H_
+#define BTRIM_PAGE_BUFFER_CACHE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "common/counters.h"
+#include "common/spinlock.h"
+#include "common/status.h"
+#include "page/device.h"
+#include "page/page.h"
+
+namespace btrim {
+
+class BufferCache;
+
+/// Latch mode requested when fixing a page.
+enum class LatchMode : uint8_t { kShared, kExclusive };
+
+/// Counters exposed by the buffer cache.
+struct BufferCacheStats {
+  int64_t fixes = 0;
+  int64_t hits = 0;
+  int64_t misses = 0;
+  int64_t evictions = 0;
+  int64_t dirty_writes = 0;
+  int64_t latch_contention = 0;  ///< Latch attempts that had to wait.
+  int64_t fix_failures = 0;      ///< All frames pinned.
+};
+
+/// RAII handle to a pinned, latched buffer-cache page.
+///
+/// Destruction releases the latch and unpins the frame. `contended()`
+/// reports whether acquiring the latch had to wait, which is the signal the
+/// ILM layer records as page-store contention (paper Sec. III).
+class PageGuard {
+ public:
+  PageGuard() = default;
+  PageGuard(PageGuard&& other) noexcept { *this = std::move(other); }
+  PageGuard& operator=(PageGuard&& other) noexcept;
+  ~PageGuard() { Release(); }
+
+  PageGuard(const PageGuard&) = delete;
+  PageGuard& operator=(const PageGuard&) = delete;
+
+  bool valid() const { return cache_ != nullptr; }
+
+  /// Page image; writable only when fixed kExclusive.
+  char* data() const { return data_; }
+
+  /// Marks the frame dirty so eviction / checkpoint writes it back.
+  void MarkDirty();
+
+  /// True if the latch acquisition had to wait for another thread.
+  bool contended() const { return contended_; }
+
+  PageId page_id() const { return pid_; }
+
+  /// Releases latch + pin early (idempotent).
+  void Release();
+
+ private:
+  friend class BufferCache;
+  PageGuard(BufferCache* cache, size_t frame, char* data, PageId pid,
+            LatchMode mode, bool contended)
+      : cache_(cache),
+        frame_(frame),
+        data_(data),
+        pid_(pid),
+        mode_(mode),
+        contended_(contended) {}
+
+  BufferCache* cache_ = nullptr;
+  size_t frame_ = 0;
+  char* data_ = nullptr;
+  PageId pid_{};
+  LatchMode mode_ = LatchMode::kShared;
+  bool contended_ = false;
+};
+
+/// Fixed-capacity page cache shared by heap files and B+Tree index files.
+///
+/// Pages are identified by (file_id, page_no); each file_id is backed by a
+/// Device registered with AttachDevice. Replacement is strict LRU over
+/// unpinned frames; dirty victims are written back on eviction. Reading a
+/// page the device has never seen yields a zeroed image, which callers
+/// detect via their page-format magic and initialize.
+///
+/// Per-frame reader-writer latches protect page images. Failed first
+/// attempts at latch acquisition are counted as contention events, both
+/// globally and on the returned guard, feeding the ILM "contention on the
+/// page-store" heuristics.
+class BufferCache {
+ public:
+  explicit BufferCache(size_t num_frames);
+  ~BufferCache();
+
+  BufferCache(const BufferCache&) = delete;
+  BufferCache& operator=(const BufferCache&) = delete;
+
+  /// Registers the backing device for a file id. Not thread-safe with
+  /// concurrent Fix calls for the same file id; call during setup.
+  void AttachDevice(uint16_t file_id, Device* device);
+
+  Device* device(uint16_t file_id) const;
+
+  /// Pins + latches a page. Fails with Busy if every frame is pinned, or
+  /// IOError from the backing device.
+  Result<PageGuard> FixPage(PageId pid, LatchMode mode);
+
+  /// Writes all dirty frames back to their devices (checkpoint helper).
+  Status FlushAll();
+
+  /// Drops every frame (after FlushAll) — used by tests to simulate a cold
+  /// cache. All pages must be unpinned.
+  Status DropAll();
+
+  BufferCacheStats GetStats() const;
+
+  size_t num_frames() const { return num_frames_; }
+
+ private:
+  friend class PageGuard;
+
+  struct FrameMeta {
+    PageId pid{};
+    bool valid = false;
+    std::atomic<bool> dirty{false};
+    uint32_t pin_count = 0;  // guarded by map_mu_
+    RwSpinLock latch;
+    std::list<size_t>::iterator lru_pos;
+    bool in_lru = false;
+  };
+
+  void Unfix(size_t frame, LatchMode mode);
+  void MarkFrameDirty(size_t frame);
+
+  /// Picks an unpinned victim frame, evicting its current page (writing it
+  /// back if dirty). Returns false if all frames are pinned.
+  /// Called with map_mu_ held.
+  bool EvictVictim(size_t* out_frame);
+
+  const size_t num_frames_;
+  std::unique_ptr<char[]> arena_;  // num_frames_ * kPageSize
+  std::vector<FrameMeta> meta_;
+
+  mutable std::mutex map_mu_;
+  std::unordered_map<uint64_t, size_t> table_;  // PageId.Encode() -> frame
+  std::list<size_t> lru_;                       // front = MRU, back = LRU
+  std::vector<size_t> free_frames_;
+
+  std::vector<Device*> devices_;  // indexed by file_id
+
+  mutable ShardedCounter fixes_, hits_, misses_, evictions_, dirty_writes_,
+      contention_, fix_failures_;
+};
+
+}  // namespace btrim
+
+#endif  // BTRIM_PAGE_BUFFER_CACHE_H_

@@ -1,0 +1,97 @@
+#ifndef BTRIM_PAGE_DEVICE_H_
+#define BTRIM_PAGE_DEVICE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "page/page.h"
+
+namespace btrim {
+
+/// Counters describing device traffic (used by experiments to report I/O).
+struct DeviceStats {
+  int64_t page_reads = 0;
+  int64_t page_writes = 0;
+  int64_t syncs = 0;
+};
+
+/// Abstract page-granular storage device for data files and page-store
+/// structures. Reading a never-written page yields a zeroed image, which the
+/// buffer cache interprets as "fresh page".
+class Device {
+ public:
+  virtual ~Device() = default;
+
+  /// Reads page `page_no` into `buf` (kPageSize bytes).
+  virtual Status ReadPage(uint32_t page_no, char* buf) = 0;
+
+  /// Writes `buf` (kPageSize bytes) as page `page_no`, growing the device
+  /// if needed.
+  virtual Status WritePage(uint32_t page_no, const char* buf) = 0;
+
+  /// Pages currently addressable (highest written page + 1).
+  virtual uint32_t NumPages() const = 0;
+
+  /// Makes all previous writes durable.
+  virtual Status Sync() = 0;
+
+  virtual DeviceStats GetStats() const = 0;
+};
+
+/// Heap-memory device. Optionally injects a fixed per-I/O latency to
+/// simulate a disk (used by experiments that need a visible gap between
+/// buffer-cache hits and misses).
+class MemDevice : public Device {
+ public:
+  /// `latency_micros` is applied to every read and write when non-zero.
+  explicit MemDevice(uint32_t latency_micros = 0);
+
+  Status ReadPage(uint32_t page_no, char* buf) override;
+  Status WritePage(uint32_t page_no, const char* buf) override;
+  uint32_t NumPages() const override;
+  Status Sync() override;
+  DeviceStats GetStats() const override;
+
+ private:
+  void SimulateLatency();
+
+  const uint32_t latency_micros_;
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<char[]>> pages_;
+  std::atomic<int64_t> reads_{0};
+  std::atomic<int64_t> writes_{0};
+  std::atomic<int64_t> syncs_{0};
+};
+
+/// File-backed device using pread/pwrite.
+class FileDevice : public Device {
+ public:
+  /// Factory; creates or opens `path`.
+  static Result<std::unique_ptr<FileDevice>> Open(const std::string& path);
+  ~FileDevice() override;
+
+  Status ReadPage(uint32_t page_no, char* buf) override;
+  Status WritePage(uint32_t page_no, const char* buf) override;
+  uint32_t NumPages() const override;
+  Status Sync() override;
+  DeviceStats GetStats() const override;
+
+ private:
+  FileDevice(int fd, std::string path, uint32_t num_pages);
+
+  const int fd_;
+  const std::string path_;
+  std::atomic<uint32_t> num_pages_;
+  std::atomic<int64_t> reads_{0};
+  std::atomic<int64_t> writes_{0};
+  std::atomic<int64_t> syncs_{0};
+};
+
+}  // namespace btrim
+
+#endif  // BTRIM_PAGE_DEVICE_H_

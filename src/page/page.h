@@ -1,0 +1,84 @@
+#ifndef BTRIM_PAGE_PAGE_H_
+#define BTRIM_PAGE_PAGE_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace btrim {
+
+/// Size of every page-store page.
+inline constexpr size_t kPageSize = 8192;
+
+/// Identifies a page within a database: a file (heap file or index file)
+/// plus a page number within that file.
+struct PageId {
+  uint16_t file_id = 0;
+  uint32_t page_no = 0;
+
+  uint64_t Encode() const {
+    return (static_cast<uint64_t>(file_id) << 32) | page_no;
+  }
+  static PageId Decode(uint64_t v) {
+    return PageId{static_cast<uint16_t>(v >> 32), static_cast<uint32_t>(v)};
+  }
+
+  bool operator==(const PageId& o) const {
+    return file_id == o.file_id && page_no == o.page_no;
+  }
+};
+
+/// Row identifier: the row's (current or future) location in the page
+/// store. RIDs are allocated at insert time even for rows that live only in
+/// the IMRS, so B+Tree entries stay stable when a row is packed (see
+/// DESIGN.md "RID stability across stores").
+struct Rid {
+  uint16_t file_id = 0;
+  uint32_t page_no = 0;
+  uint16_t slot = 0;
+
+  uint64_t Encode() const {
+    return (static_cast<uint64_t>(file_id) << 48) |
+           (static_cast<uint64_t>(page_no) << 16) | slot;
+  }
+  static Rid Decode(uint64_t v) {
+    return Rid{static_cast<uint16_t>(v >> 48),
+               static_cast<uint32_t>((v >> 16) & 0xffffffffu),
+               static_cast<uint16_t>(v & 0xffffu)};
+  }
+
+  PageId page_id() const { return PageId{file_id, page_no}; }
+
+  bool IsNull() const { return file_id == 0 && page_no == 0 && slot == 0; }
+
+  std::string ToString() const {
+    return "(" + std::to_string(file_id) + ":" + std::to_string(page_no) +
+           ":" + std::to_string(slot) + ")";
+  }
+
+  bool operator==(const Rid& o) const {
+    return file_id == o.file_id && page_no == o.page_no && slot == o.slot;
+  }
+};
+
+/// The null RID (never allocated; file 0 is reserved).
+inline constexpr Rid kNullRid{};
+
+}  // namespace btrim
+
+namespace std {
+template <>
+struct hash<btrim::PageId> {
+  size_t operator()(const btrim::PageId& p) const noexcept {
+    return std::hash<uint64_t>()(p.Encode());
+  }
+};
+template <>
+struct hash<btrim::Rid> {
+  size_t operator()(const btrim::Rid& r) const noexcept {
+    return std::hash<uint64_t>()(r.Encode());
+  }
+};
+}  // namespace std
+
+#endif  // BTRIM_PAGE_PAGE_H_

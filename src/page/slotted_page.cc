@@ -1,0 +1,158 @@
+#include "page/slotted_page.h"
+
+#include <cstring>
+#include <vector>
+
+namespace btrim {
+
+void SlottedPage::Init() {
+  memset(data_, 0, kPageSize);
+  Header* h = header();
+  h->magic = kMagic;
+  h->slot_count = 0;
+  h->live_rows = 0;
+  h->data_start = static_cast<uint16_t>(kPageSize);
+  h->garbage = 0;
+}
+
+bool SlottedPage::IsInitialized() const { return header()->magic == kMagic; }
+
+uint16_t SlottedPage::SlotCount() const { return header()->slot_count; }
+
+uint16_t SlottedPage::LiveRows() const { return header()->live_rows; }
+
+bool SlottedPage::IsOccupied(uint16_t slot) const {
+  const Header* h = header();
+  return slot < h->slot_count && slots()[slot].offset != kFreeSlot;
+}
+
+size_t SlottedPage::FreeSpace() const {
+  const Header* h = header();
+  return ContiguousFree() + h->garbage;
+}
+
+Result<Slice> SlottedPage::ReadAt(uint16_t slot) const {
+  const Header* h = header();
+  if (slot >= h->slot_count || slots()[slot].offset == kFreeSlot) {
+    return Status::NotFound("slot " + std::to_string(slot) + " is empty");
+  }
+  const SlotEntry& e = slots()[slot];
+  return Slice(data_ + e.offset, e.length);
+}
+
+void SlottedPage::Compact() {
+  Header* h = header();
+  // Copy live payloads to a scratch area, then lay them back down from the
+  // page end. Page-sized scratch keeps this simple; compaction is rare.
+  std::vector<char> scratch(kPageSize);
+  size_t write = kPageSize;
+  SlotEntry* dir = slots();
+  for (uint16_t i = 0; i < h->slot_count; ++i) {
+    if (dir[i].offset == kFreeSlot) continue;
+    write -= dir[i].length;
+    memcpy(scratch.data() + write, data_ + dir[i].offset, dir[i].length);
+    dir[i].offset = static_cast<uint16_t>(write);
+  }
+  memcpy(data_ + write, scratch.data() + write, kPageSize - write);
+  h->data_start = static_cast<uint16_t>(write);
+  h->garbage = 0;
+}
+
+Status SlottedPage::EnsureRoom(uint16_t slot, size_t need) {
+  Header* h = header();
+  // Directory growth required to reach `slot`.
+  const uint16_t new_count =
+      slot >= h->slot_count ? static_cast<uint16_t>(slot + 1) : h->slot_count;
+  const size_t dir_growth =
+      (static_cast<size_t>(new_count) - h->slot_count) * sizeof(SlotEntry);
+
+  if (DirectoryEnd(new_count) > h->data_start) {
+    // Directory would collide with data even before payload; compaction
+    // cannot help (it only reclaims payload holes).
+    if (DirectoryEnd(new_count) + need > kPageSize) {
+      return Status::NoSpace("slot directory overflow");
+    }
+  }
+
+  if (ContiguousFree() < need + dir_growth) {
+    if (FreeSpace() < need + dir_growth) {
+      return Status::NoSpace("page full");
+    }
+    Compact();
+    if (ContiguousFree() < need + dir_growth) {
+      return Status::NoSpace("page full after compaction");
+    }
+  }
+  // Extend the directory, marking new entries free.
+  if (new_count > h->slot_count) {
+    SlotEntry* dir = slots();
+    for (uint16_t i = h->slot_count; i < new_count; ++i) {
+      dir[i].offset = kFreeSlot;
+      dir[i].length = 0;
+    }
+    h->slot_count = new_count;
+  }
+  return Status::OK();
+}
+
+Status SlottedPage::InsertAt(uint16_t slot, Slice payload) {
+  Header* h = header();
+  if (slot < h->slot_count && slots()[slot].offset != kFreeSlot) {
+    return Status::InvalidArgument("slot occupied");
+  }
+  BTRIM_RETURN_IF_ERROR(EnsureRoom(slot, payload.size()));
+  h = header();
+  h->data_start = static_cast<uint16_t>(h->data_start - payload.size());
+  memcpy(data_ + h->data_start, payload.data(), payload.size());
+  SlotEntry& e = slots()[slot];
+  e.offset = h->data_start;
+  e.length = static_cast<uint16_t>(payload.size());
+  h->live_rows++;
+  return Status::OK();
+}
+
+Status SlottedPage::UpdateAt(uint16_t slot, Slice payload) {
+  Header* h = header();
+  if (slot >= h->slot_count || slots()[slot].offset == kFreeSlot) {
+    return Status::NotFound("update of empty slot");
+  }
+  SlotEntry& e = slots()[slot];
+  if (payload.size() <= e.length) {
+    // Shrinking or same-size update: in place, leftover becomes garbage.
+    memcpy(data_ + e.offset, payload.data(), payload.size());
+    h->garbage = static_cast<uint16_t>(h->garbage + (e.length - payload.size()));
+    e.length = static_cast<uint16_t>(payload.size());
+    return Status::OK();
+  }
+  // Growing update: free old space, then place like an insert. The old
+  // payload is saved first because InsertAt may compact the page, which
+  // physically discards freed payloads.
+  std::vector<char> old(data_ + e.offset, data_ + e.offset + e.length);
+  h->garbage = static_cast<uint16_t>(h->garbage + e.length);
+  e.offset = kFreeSlot;
+  e.length = 0;
+  h->live_rows--;
+  Status s = InsertAt(slot, payload);
+  if (!s.ok()) {
+    // Roll back by re-inserting the saved payload; this cannot fail because
+    // the old payload's space was just freed.
+    Status rollback = InsertAt(slot, Slice(old.data(), old.size()));
+    (void)rollback;
+  }
+  return s;
+}
+
+Status SlottedPage::DeleteAt(uint16_t slot) {
+  Header* h = header();
+  if (slot >= h->slot_count || slots()[slot].offset == kFreeSlot) {
+    return Status::NotFound("delete of empty slot");
+  }
+  SlotEntry& e = slots()[slot];
+  h->garbage = static_cast<uint16_t>(h->garbage + e.length);
+  e.offset = kFreeSlot;
+  e.length = 0;
+  h->live_rows--;
+  return Status::OK();
+}
+
+}  // namespace btrim

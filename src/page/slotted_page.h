@@ -1,0 +1,110 @@
+#ifndef BTRIM_PAGE_SLOTTED_PAGE_H_
+#define BTRIM_PAGE_SLOTTED_PAGE_H_
+
+#include <cstdint>
+
+#include "common/slice.h"
+#include "common/status.h"
+#include "page/page.h"
+
+namespace btrim {
+
+/// View over one 8 KiB page buffer using the classic slotted layout.
+///
+///   [PageHeader][slot directory ->...        ...<- row data]
+///
+/// The slot directory grows upward from the header; row payloads grow
+/// downward from the end of the page. Deleting a row frees its payload
+/// space, which is reclaimed lazily by Compact() when an insert cannot find
+/// contiguous room.
+///
+/// Rows can be placed at a *caller-chosen* slot (InsertAt), which is how the
+/// heap file implements place-by-RID when the Pack subsystem relocates an
+/// IMRS row to its pre-allocated page-store location.
+///
+/// SlottedPage does not own the buffer; it is a cheap view constructed
+/// around a pinned buffer-cache frame.
+class SlottedPage {
+ public:
+  /// Wraps an existing page image. Call Init() first on fresh pages.
+  explicit SlottedPage(char* data) : data_(data) {}
+
+  /// Formats the buffer as an empty page.
+  void Init();
+
+  /// True if the buffer has been formatted by Init().
+  bool IsInitialized() const;
+
+  /// Places `payload` at slot `slot`, extending the slot directory if
+  /// needed. Fails with NoSpace when the page cannot hold the payload even
+  /// after compaction, and InvalidArgument if the slot is already occupied.
+  Status InsertAt(uint16_t slot, Slice payload);
+
+  /// Replaces the payload of an occupied slot. Grows are served from free
+  /// space (with compaction if needed).
+  Status UpdateAt(uint16_t slot, Slice payload);
+
+  /// Frees an occupied slot. The slot index remains valid (it may be
+  /// re-inserted later at the same position).
+  Status DeleteAt(uint16_t slot);
+
+  /// Reads the payload of a slot. NotFound if the slot is free or out of
+  /// range.
+  Result<Slice> ReadAt(uint16_t slot) const;
+
+  bool IsOccupied(uint16_t slot) const;
+
+  uint16_t SlotCount() const;
+
+  /// Bytes available for a new payload at a fresh slot (after compaction).
+  size_t FreeSpace() const;
+
+  /// Number of occupied slots.
+  uint16_t LiveRows() const;
+
+  /// Rewrites the data area to squeeze out holes left by deletes/updates.
+  void Compact();
+
+ private:
+  struct Header {
+    uint32_t magic;
+    uint16_t slot_count;    // size of the slot directory
+    uint16_t live_rows;     // occupied slots
+    uint16_t data_start;    // lowest offset used by row data
+    uint16_t garbage;       // freed payload bytes below data_start
+  };
+  struct SlotEntry {
+    uint16_t offset;  // kFreeSlot if unoccupied
+    uint16_t length;
+  };
+
+  static constexpr uint32_t kMagic = 0x51A77EDu;
+  static constexpr uint16_t kFreeSlot = 0xffff;
+
+  Header* header() { return reinterpret_cast<Header*>(data_); }
+  const Header* header() const { return reinterpret_cast<const Header*>(data_); }
+  SlotEntry* slots() {
+    return reinterpret_cast<SlotEntry*>(data_ + sizeof(Header));
+  }
+  const SlotEntry* slots() const {
+    return reinterpret_cast<const SlotEntry*>(data_ + sizeof(Header));
+  }
+
+  /// Offset of the first byte past the slot directory.
+  size_t DirectoryEnd(uint16_t slot_count) const {
+    return sizeof(Header) + static_cast<size_t>(slot_count) * sizeof(SlotEntry);
+  }
+
+  /// Contiguous free bytes between the directory and the data area.
+  size_t ContiguousFree() const {
+    return header()->data_start - DirectoryEnd(header()->slot_count);
+  }
+
+  Status EnsureRoom(uint16_t slot, size_t need);
+
+  char* data_;
+};
+
+}  // namespace btrim
+
+#endif  // BTRIM_PAGE_SLOTTED_PAGE_H_

@@ -1,0 +1,102 @@
+#include "tpcc/driver.h"
+
+#include <algorithm>
+
+namespace btrim {
+namespace tpcc {
+
+void TpccDriver::Worker(int worker_id, DriverStats* stats,
+                        std::vector<int64_t>* latencies_us) {
+  TpccRandom rnd(options_.seed * 1000003 + static_cast<uint64_t>(worker_id));
+  const Mix& mix = options_.mix;
+
+  while (committed_.load(std::memory_order_relaxed) < options_.total_txns) {
+    const int w_id = static_cast<int>(rnd.Uniform(1, ctx_->scale.warehouses));
+    const int dice = static_cast<int>(rnd.Uniform(1, 100));
+
+    WallTimer txn_timer;
+    TxnResult result;
+    int type;
+    if (dice <= mix.new_order) {
+      type = 0;
+      result = RunNewOrder(ctx_, &rnd, w_id);
+    } else if (dice <= mix.new_order + mix.payment) {
+      type = 1;
+      result = RunPayment(ctx_, &rnd, w_id);
+    } else if (dice <= mix.new_order + mix.payment + mix.order_status) {
+      type = 2;
+      result = RunOrderStatus(ctx_, &rnd, w_id);
+    } else if (dice <=
+               mix.new_order + mix.payment + mix.order_status + mix.delivery) {
+      type = 3;
+      result = RunDelivery(ctx_, &rnd, w_id);
+    } else {
+      type = 4;
+      result = RunStockLevel(ctx_, &rnd, w_id);
+    }
+
+    if (result.committed) {
+      latencies_us->push_back(txn_timer.ElapsedMicros());
+      ++stats->by_type[type];
+      const int64_t total =
+          committed_.fetch_add(1, std::memory_order_relaxed) + 1;
+      if (options_.window_observer && options_.window_txns > 0 &&
+          total % options_.window_txns == 0) {
+        options_.window_observer(total);
+      }
+    } else if (result.user_abort) {
+      ++stats->user_aborts;
+    } else {
+      ++stats->system_aborts;
+    }
+  }
+}
+
+DriverStats TpccDriver::Run() {
+  committed_.store(0, std::memory_order_relaxed);
+  std::vector<DriverStats> per_worker(
+      static_cast<size_t>(options_.workers));
+  std::vector<std::vector<int64_t>> per_worker_latencies(
+      static_cast<size_t>(options_.workers));
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<size_t>(options_.workers));
+
+  WallTimer timer;
+  for (int i = 0; i < options_.workers; ++i) {
+    threads.emplace_back([this, i, &per_worker, &per_worker_latencies] {
+      Worker(i, &per_worker[static_cast<size_t>(i)],
+             &per_worker_latencies[static_cast<size_t>(i)]);
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  DriverStats total;
+  total.wall_seconds = timer.ElapsedSeconds();
+  std::vector<int64_t> latencies;
+  for (size_t w = 0; w < per_worker.size(); ++w) {
+    total.system_aborts += per_worker[w].system_aborts;
+    total.user_aborts += per_worker[w].user_aborts;
+    for (int i = 0; i < 5; ++i) total.by_type[i] += per_worker[w].by_type[i];
+    latencies.insert(latencies.end(), per_worker_latencies[w].begin(),
+                     per_worker_latencies[w].end());
+  }
+  total.committed = committed_.load(std::memory_order_relaxed);
+  if (!latencies.empty()) {
+    std::sort(latencies.begin(), latencies.end());
+    auto at = [&](double q) {
+      return latencies[std::min(latencies.size() - 1,
+                                static_cast<size_t>(q * latencies.size()))];
+    };
+    total.latency_p50_us = at(0.50);
+    total.latency_p95_us = at(0.95);
+    total.latency_p99_us = at(0.99);
+    int64_t sum = 0;
+    for (int64_t v : latencies) sum += v;
+    total.latency_mean_us =
+        static_cast<double>(sum) / static_cast<double>(latencies.size());
+  }
+  return total;
+}
+
+}  // namespace tpcc
+}  // namespace btrim

@@ -1,0 +1,232 @@
+#include "tpcc/loader.h"
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include "tpcc/tpcc_random.h"
+
+namespace btrim {
+namespace tpcc {
+
+namespace {
+
+/// Commits every `batch` inserts; keeps transactions small during the load.
+class BatchWriter {
+ public:
+  BatchWriter(Database* db, int batch) : db_(db), batch_(batch) {}
+
+  ~BatchWriter() { Flush(); }
+
+  Status Insert(Table* table, Slice record) {
+    if (txn_ == nullptr) txn_ = db_->Begin();
+    Status s = db_->Insert(txn_.get(), table, record);
+    if (!s.ok()) {
+      Status abort = db_->Abort(txn_.get());
+      (void)abort;
+      txn_.reset();
+      return s;
+    }
+    if (++pending_ >= batch_) return Flush();
+    return Status::OK();
+  }
+
+  Status Flush() {
+    if (txn_ == nullptr) return Status::OK();
+    Status s = db_->Commit(txn_.get());
+    txn_.reset();
+    pending_ = 0;
+    return s;
+  }
+
+ private:
+  Database* const db_;
+  const int batch_;
+  std::unique_ptr<Transaction> txn_;
+  int pending_ = 0;
+};
+
+constexpr int64_t kLoadDate = 20260707;
+
+}  // namespace
+
+Status LoadDatabase(Database* db, const Tables& t, const Scale& scale,
+                    uint64_t seed) {
+  TpccRandom rnd(seed);
+  db->ilm()->SetForcePageStore(true);
+  BatchWriter w(db, scale.load_batch);
+  int64_t next_history_id = 1;
+
+  // --- item ------------------------------------------------------------------
+  for (int i = 1; i <= scale.items; ++i) {
+    RecordBuilder b(&t.item->schema());
+    std::string data = rnd.AString(26, 50);
+    if (rnd.Percent(10)) {
+      data.replace(rnd.rng().Uniform(data.size() - 8), 8, "ORIGINAL");
+    }
+    b.AddInt32(i)
+        .AddInt32(static_cast<int32_t>(rnd.Uniform(1, 10000)))
+        .AddString(rnd.AString(14, 24))
+        .AddDouble(static_cast<double>(rnd.Uniform(100, 10000)) / 100.0)
+        .AddString(data);
+    BTRIM_RETURN_IF_ERROR(w.Insert(t.item, b.Finish()));
+  }
+
+  for (int wid = 1; wid <= scale.warehouses; ++wid) {
+    // --- warehouse ------------------------------------------------------------
+    {
+      RecordBuilder b(&t.warehouse->schema());
+      b.AddInt32(wid)
+          .AddString(rnd.AString(6, 10))
+          .AddString(rnd.AString(10, 20))
+          .AddString(rnd.AString(10, 20))
+          .AddString(rnd.AString(10, 20))
+          .AddString(rnd.AString(2, 2))
+          .AddString(rnd.Zip())
+          .AddDouble(static_cast<double>(rnd.Uniform(0, 2000)) / 10000.0)
+          .AddDouble(300000.0);
+      BTRIM_RETURN_IF_ERROR(w.Insert(t.warehouse, b.Finish()));
+    }
+
+    // --- stock ------------------------------------------------------------------
+    for (int i = 1; i <= scale.items; ++i) {
+      RecordBuilder b(&t.stock->schema());
+      std::string data = rnd.AString(26, 50);
+      if (rnd.Percent(10)) {
+        data.replace(rnd.rng().Uniform(data.size() - 8), 8, "ORIGINAL");
+      }
+      b.AddInt32(wid)
+          .AddInt32(i)
+          .AddInt32(static_cast<int32_t>(rnd.Uniform(10, 100)))
+          .AddString(rnd.AString(24, 24))
+          .AddInt32(0)
+          .AddInt32(0)
+          .AddInt32(0)
+          .AddString(data);
+      BTRIM_RETURN_IF_ERROR(w.Insert(t.stock, b.Finish()));
+    }
+
+    for (int did = 1; did <= scale.districts_per_warehouse; ++did) {
+      // --- district --------------------------------------------------------------
+      {
+        RecordBuilder b(&t.district->schema());
+        b.AddInt32(wid)
+            .AddInt32(did)
+            .AddString(rnd.AString(6, 10))
+            .AddString(rnd.AString(10, 20))
+            .AddString(rnd.AString(10, 20))
+            .AddString(rnd.AString(10, 20))
+            .AddString(rnd.AString(2, 2))
+            .AddString(rnd.Zip())
+            .AddDouble(static_cast<double>(rnd.Uniform(0, 2000)) / 10000.0)
+            .AddDouble(30000.0)
+            .AddInt32(scale.orders_per_district + 1);
+        BTRIM_RETURN_IF_ERROR(w.Insert(t.district, b.Finish()));
+      }
+
+      // --- customer + history -----------------------------------------------------
+      for (int cid = 1; cid <= scale.customers_per_district; ++cid) {
+        const std::string last =
+            cid <= 1000 ? TpccRandom::LastName(cid - 1)
+                        : rnd.RandomLastName(scale.customers_per_district);
+        RecordBuilder b(&t.customer->schema());
+        b.AddInt32(wid)
+            .AddInt32(did)
+            .AddInt32(cid)
+            .AddString(rnd.AString(8, 16))
+            .AddString("OE")
+            .AddString(last)
+            .AddString(rnd.AString(10, 20))
+            .AddString(rnd.AString(10, 20))
+            .AddString(rnd.AString(10, 20))
+            .AddString(rnd.AString(2, 2))
+            .AddString(rnd.Zip())
+            .AddString(rnd.NString(16, 16))
+            .AddInt64(kLoadDate)
+            .AddString(rnd.Percent(10) ? "BC" : "GC")
+            .AddDouble(50000.0)
+            .AddDouble(static_cast<double>(rnd.Uniform(0, 5000)) / 10000.0)
+            .AddDouble(-10.0)
+            .AddDouble(10.0)
+            .AddInt32(1)
+            .AddInt32(0)
+            .AddString(rnd.AString(50, 100));
+        BTRIM_RETURN_IF_ERROR(w.Insert(t.customer, b.Finish()));
+
+        RecordBuilder h(&t.history->schema());
+        h.AddInt64(next_history_id++)
+            .AddInt32(cid)
+            .AddInt32(did)
+            .AddInt32(wid)
+            .AddInt32(did)
+            .AddInt32(wid)
+            .AddInt64(kLoadDate)
+            .AddDouble(10.0)
+            .AddString(rnd.AString(12, 24));
+        BTRIM_RETURN_IF_ERROR(w.Insert(t.history, h.Finish()));
+      }
+
+      // --- orders / order_line / new_orders ----------------------------------------
+      // Customers are assigned to the initial orders in a random permutation
+      // (clause 4.3.3.1).
+      std::vector<int> cust_perm(
+          static_cast<size_t>(scale.customers_per_district));
+      std::iota(cust_perm.begin(), cust_perm.end(), 1);
+      for (size_t i = cust_perm.size(); i > 1; --i) {
+        std::swap(cust_perm[i - 1], cust_perm[rnd.rng().Uniform(i)]);
+      }
+      const int undelivered_from =
+          scale.orders_per_district - scale.orders_per_district / 3 + 1;
+
+      for (int oid = 1; oid <= scale.orders_per_district; ++oid) {
+        const int cid =
+            cust_perm[(oid - 1) %
+                      static_cast<size_t>(scale.customers_per_district)];
+        const bool delivered = oid < undelivered_from;
+        const int ol_cnt = static_cast<int>(rnd.Uniform(5, 15));
+
+        RecordBuilder b(&t.orders->schema());
+        b.AddInt32(wid)
+            .AddInt32(did)
+            .AddInt32(oid)
+            .AddInt32(cid)
+            .AddInt64(kLoadDate)
+            .AddInt32(delivered ? static_cast<int32_t>(rnd.Uniform(1, 10)) : 0)
+            .AddInt32(ol_cnt)
+            .AddInt32(1);
+        BTRIM_RETURN_IF_ERROR(w.Insert(t.orders, b.Finish()));
+
+        for (int line = 1; line <= ol_cnt; ++line) {
+          RecordBuilder lb(&t.order_line->schema());
+          lb.AddInt32(wid)
+              .AddInt32(did)
+              .AddInt32(oid)
+              .AddInt32(line)
+              .AddInt32(static_cast<int32_t>(rnd.Uniform(1, scale.items)))
+              .AddInt32(wid)
+              .AddInt64(delivered ? kLoadDate : 0)
+              .AddInt32(5)
+              .AddDouble(delivered
+                             ? 0.0
+                             : static_cast<double>(rnd.Uniform(1, 999999)) /
+                                   100.0)
+              .AddString(rnd.AString(24, 24));
+          BTRIM_RETURN_IF_ERROR(w.Insert(t.order_line, lb.Finish()));
+        }
+
+        if (!delivered) {
+          RecordBuilder nb(&t.new_orders->schema());
+          nb.AddInt32(wid).AddInt32(did).AddInt32(oid);
+          BTRIM_RETURN_IF_ERROR(w.Insert(t.new_orders, nb.Finish()));
+        }
+      }
+    }
+  }
+
+  BTRIM_RETURN_IF_ERROR(w.Flush());
+  db->ilm()->SetForcePageStore(false);
+  return Status::OK();
+}
+
+}  // namespace tpcc
+}  // namespace btrim

@@ -1,0 +1,23 @@
+#ifndef BTRIM_TPCC_LOADER_H_
+#define BTRIM_TPCC_LOADER_H_
+
+#include "tpcc/schema.h"
+
+namespace btrim {
+namespace tpcc {
+
+/// Populates the nine tables per the TPC-C initial-population rules
+/// (clause 4.3), scaled by `scale`: customers per district, stock per
+/// warehouse, the oldest 2/3 of orders delivered, the newest 1/3 pending in
+/// new_orders.
+///
+/// Rows are loaded to the page store (IlmManager bulk-load mode) so the
+/// benchmark starts from the paper's operating point: a disk-resident
+/// database whose hot rows the workload then pulls into the IMRS.
+Status LoadDatabase(Database* db, const Tables& tables, const Scale& scale,
+                    uint64_t seed = 42);
+
+}  // namespace tpcc
+}  // namespace btrim
+
+#endif  // BTRIM_TPCC_LOADER_H_

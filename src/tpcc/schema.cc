@@ -1,0 +1,247 @@
+#include "tpcc/schema.h"
+
+namespace btrim {
+namespace tpcc {
+
+namespace {
+
+/// Applies warehouse hash-partitioning when the scale asks for it.
+void MaybePartition(TableOptions* o, const Scale& scale, int w_id_column) {
+  if (scale.partition_by_warehouse && scale.warehouses > 1) {
+    o->num_partitions = scale.warehouses;
+    o->partition_column = w_id_column;
+  }
+}
+
+TableOptions WarehouseOptions() {
+  TableOptions o;
+  o.name = "warehouse";
+  o.schema = Schema({
+      Column::Int32("w_id"),
+      Column::String("w_name", 10),
+      Column::String("w_street_1", 20),
+      Column::String("w_street_2", 20),
+      Column::String("w_city", 20),
+      Column::String("w_state", 2),
+      Column::String("w_zip", 9),
+      Column::Double("w_tax"),
+      Column::Double("w_ytd"),
+  });
+  o.primary_key = {wh::kWId};
+  return o;
+}
+
+TableOptions DistrictOptions() {
+  TableOptions o;
+  o.name = "district";
+  o.schema = Schema({
+      Column::Int32("d_w_id"),
+      Column::Int32("d_id"),
+      Column::String("d_name", 10),
+      Column::String("d_street_1", 20),
+      Column::String("d_street_2", 20),
+      Column::String("d_city", 20),
+      Column::String("d_state", 2),
+      Column::String("d_zip", 9),
+      Column::Double("d_tax"),
+      Column::Double("d_ytd"),
+      Column::Int32("d_next_o_id"),
+  });
+  o.primary_key = {dist::kWId, dist::kDId};
+  return o;
+}
+
+TableOptions CustomerOptions() {
+  TableOptions o;
+  o.name = "customer";
+  o.schema = Schema({
+      Column::Int32("c_w_id"),
+      Column::Int32("c_d_id"),
+      Column::Int32("c_id"),
+      Column::String("c_first", 16),
+      Column::String("c_middle", 2),
+      Column::String("c_last", 16),
+      Column::String("c_street_1", 20),
+      Column::String("c_street_2", 20),
+      Column::String("c_city", 20),
+      Column::String("c_state", 2),
+      Column::String("c_zip", 9),
+      Column::String("c_phone", 16),
+      Column::Int64("c_since"),
+      Column::String("c_credit", 2),
+      Column::Double("c_credit_lim"),
+      Column::Double("c_discount"),
+      Column::Double("c_balance"),
+      Column::Double("c_ytd_payment"),
+      Column::Int32("c_payment_cnt"),
+      Column::Int32("c_delivery_cnt"),
+      Column::String("c_data", 100),
+  });
+  o.primary_key = {cust::kWId, cust::kDId, cust::kCId};
+  o.secondary_indexes.push_back(
+      IndexDef{"by_last_name", {cust::kWId, cust::kDId, cust::kLast}, false});
+  return o;
+}
+
+TableOptions HistoryOptions() {
+  TableOptions o;
+  o.name = "history";
+  o.schema = Schema({
+      Column::Int64("h_id"),  // synthetic key (the spec table has no PK)
+      Column::Int32("h_c_id"),
+      Column::Int32("h_c_d_id"),
+      Column::Int32("h_c_w_id"),
+      Column::Int32("h_d_id"),
+      Column::Int32("h_w_id"),
+      Column::Int64("h_date"),
+      Column::Double("h_amount"),
+      Column::String("h_data", 24),
+  });
+  o.primary_key = {hist::kHId};
+  o.use_hash_index = false;  // never point-read in the workload
+  return o;
+}
+
+TableOptions NewOrdersOptions() {
+  TableOptions o;
+  o.name = "new_orders";
+  o.schema = Schema({
+      Column::Int32("no_w_id"),
+      Column::Int32("no_d_id"),
+      Column::Int32("no_o_id"),
+  });
+  o.primary_key = {no::kWId, no::kDId, no::kOId};
+  return o;
+}
+
+TableOptions OrdersOptions() {
+  TableOptions o;
+  o.name = "orders";
+  o.schema = Schema({
+      Column::Int32("o_w_id"),
+      Column::Int32("o_d_id"),
+      Column::Int32("o_id"),
+      Column::Int32("o_c_id"),
+      Column::Int64("o_entry_d"),
+      Column::Int32("o_carrier_id"),
+      Column::Int32("o_ol_cnt"),
+      Column::Int32("o_all_local"),
+  });
+  o.primary_key = {ord::kWId, ord::kDId, ord::kOId};
+  o.secondary_indexes.push_back(IndexDef{
+      "by_customer", {ord::kWId, ord::kDId, ord::kCId, ord::kOId}, false});
+  return o;
+}
+
+TableOptions OrderLineOptions() {
+  TableOptions o;
+  o.name = "order_line";
+  o.schema = Schema({
+      Column::Int32("ol_w_id"),
+      Column::Int32("ol_d_id"),
+      Column::Int32("ol_o_id"),
+      Column::Int32("ol_number"),
+      Column::Int32("ol_i_id"),
+      Column::Int32("ol_supply_w_id"),
+      Column::Int64("ol_delivery_d"),
+      Column::Int32("ol_quantity"),
+      Column::Double("ol_amount"),
+      Column::String("ol_dist_info", 24),
+  });
+  o.primary_key = {ol::kWId, ol::kDId, ol::kOId, ol::kNumber};
+  o.use_hash_index = false;  // accessed by range, not by point
+  return o;
+}
+
+TableOptions ItemOptions() {
+  TableOptions o;
+  o.name = "item";
+  o.schema = Schema({
+      Column::Int32("i_id"),
+      Column::Int32("i_im_id"),
+      Column::String("i_name", 24),
+      Column::Double("i_price"),
+      Column::String("i_data", 50),
+  });
+  o.primary_key = {item::kIId};
+  return o;
+}
+
+TableOptions StockOptions() {
+  TableOptions o;
+  o.name = "stock";
+  o.schema = Schema({
+      Column::Int32("s_w_id"),
+      Column::Int32("s_i_id"),
+      Column::Int32("s_quantity"),
+      Column::String("s_dist", 24),
+      Column::Int32("s_ytd"),
+      Column::Int32("s_order_cnt"),
+      Column::Int32("s_remote_cnt"),
+      Column::String("s_data", 50),
+  });
+  o.primary_key = {stk::kWId, stk::kIId};
+  return o;
+}
+
+}  // namespace
+
+Result<Tables> CreateTables(Database* db, const Scale& scale) {
+  Tables t;
+  TableOptions o = WarehouseOptions();
+  MaybePartition(&o, scale, wh::kWId);
+  Result<Table*> r = db->CreateTable(o);
+  if (!r.ok()) return r.status();
+  t.warehouse = *r;
+
+  o = DistrictOptions();
+  MaybePartition(&o, scale, dist::kWId);
+  r = db->CreateTable(o);
+  if (!r.ok()) return r.status();
+  t.district = *r;
+
+  o = CustomerOptions();
+  MaybePartition(&o, scale, cust::kWId);
+  r = db->CreateTable(o);
+  if (!r.ok()) return r.status();
+  t.customer = *r;
+
+  o = HistoryOptions();
+  MaybePartition(&o, scale, hist::kWId);
+  r = db->CreateTable(o);
+  if (!r.ok()) return r.status();
+  t.history = *r;
+
+  o = NewOrdersOptions();
+  MaybePartition(&o, scale, no::kWId);
+  r = db->CreateTable(o);
+  if (!r.ok()) return r.status();
+  t.new_orders = *r;
+
+  o = OrdersOptions();
+  MaybePartition(&o, scale, ord::kWId);
+  r = db->CreateTable(o);
+  if (!r.ok()) return r.status();
+  t.orders = *r;
+
+  o = OrderLineOptions();
+  MaybePartition(&o, scale, ol::kWId);
+  r = db->CreateTable(o);
+  if (!r.ok()) return r.status();
+  t.order_line = *r;
+
+  // item has no warehouse column; it stays single-partitioned.
+  r = db->CreateTable(ItemOptions());
+  if (!r.ok()) return r.status();
+  t.item = *r;
+
+  o = StockOptions();
+  MaybePartition(&o, scale, stk::kWId);
+  r = db->CreateTable(o);
+  if (!r.ok()) return r.status();
+  t.stock = *r;
+  return t;
+}
+
+}  // namespace tpcc
+}  // namespace btrim

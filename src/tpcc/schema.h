@@ -1,0 +1,106 @@
+#ifndef BTRIM_TPCC_SCHEMA_H_
+#define BTRIM_TPCC_SCHEMA_H_
+
+#include <cstdint>
+
+#include "engine/database.h"
+
+namespace btrim {
+namespace tpcc {
+
+/// Scale of the generated TPC-C database. Defaults are the paper's ratios
+/// scaled down ~10x so that a full benchmark run fits a laptop-class
+/// single-core machine (the paper ran 240 warehouses on a 60-core box; ILM
+/// behaviour depends on per-table access *patterns* and skew, which are
+/// scale-invariant, see DESIGN.md).
+struct Scale {
+  int warehouses = 2;
+  int districts_per_warehouse = 10;
+  int customers_per_district = 300;   // spec: 3000
+  int items = 1000;                   // spec: 100000
+  int orders_per_district = 300;      // spec: 3000 (oldest 2/3 delivered)
+  int load_batch = 200;               // rows per load transaction
+
+  /// Partition every warehouse-keyed table by warehouse id (item stays
+  /// unpartitioned). Exercises partition-level ILM: monitoring, tuning and
+  /// pack apportioning then operate per warehouse (paper Sec. V).
+  bool partition_by_warehouse = false;
+};
+
+/// Column indexes. Layouts follow the TPC-C spec with shortened string
+/// fields (c_data 500->100, i_data/s_data trimmed) to keep scaled-down rows
+/// proportionate.
+namespace wh {
+enum : int { kWId, kName, kStreet1, kStreet2, kCity, kState, kZip, kTax, kYtd };
+}
+namespace dist {
+enum : int {
+  kWId, kDId, kName, kStreet1, kStreet2, kCity, kState, kZip, kTax, kYtd,
+  kNextOId
+};
+}
+namespace cust {
+enum : int {
+  kWId, kDId, kCId, kFirst, kMiddle, kLast, kStreet1, kStreet2, kCity,
+  kState, kZip, kPhone, kSince, kCredit, kCreditLim, kDiscount, kBalance,
+  kYtdPayment, kPaymentCnt, kDeliveryCnt, kData
+};
+}
+namespace hist {
+enum : int { kHId, kCId, kCDId, kCWId, kDId, kWId, kDate, kAmount, kData };
+}
+namespace no {
+enum : int { kWId, kDId, kOId };
+}
+namespace ord {
+enum : int {
+  kWId, kDId, kOId, kCId, kEntryD, kCarrierId, kOlCnt, kAllLocal
+};
+}
+namespace ol {
+enum : int {
+  kWId, kDId, kOId, kNumber, kIId, kSupplyWId, kDeliveryD, kQuantity,
+  kAmount, kDistInfo
+};
+}
+namespace item {
+enum : int { kIId, kImId, kName, kPrice, kData };
+}
+namespace stk {
+enum : int {
+  kWId, kIId, kQuantity, kDist, kYtd, kOrderCnt, kRemoteCnt, kData
+};
+}
+
+/// Handles to the nine TPC-C tables after creation.
+struct Tables {
+  Table* warehouse = nullptr;
+  Table* district = nullptr;
+  Table* customer = nullptr;
+  Table* history = nullptr;
+  Table* new_orders = nullptr;
+  Table* orders = nullptr;
+  Table* order_line = nullptr;
+  Table* item = nullptr;
+  Table* stock = nullptr;
+
+  /// All nine, in creation order (stable across runs; recovery relies on
+  /// re-creating tables in this exact order).
+  std::vector<Table*> All() const {
+    return {warehouse, district,   customer, history, new_orders,
+            orders,    order_line, item,     stock};
+  }
+};
+
+/// Creates the nine tables (warehouse-partitioned where the paper's access
+/// patterns are warehouse-local). Must be called on an empty database.
+Result<Tables> CreateTables(Database* db, const Scale& scale);
+
+/// Secondary-index positions (into Table::secondaries()).
+inline constexpr int kCustomerByLastName = 0;  // (c_w_id, c_d_id, c_last)
+inline constexpr int kOrdersByCustomer = 0;    // (o_w_id, o_d_id, o_c_id, o_id)
+
+}  // namespace tpcc
+}  // namespace btrim
+
+#endif  // BTRIM_TPCC_SCHEMA_H_

@@ -1,0 +1,90 @@
+#ifndef BTRIM_TPCC_TPCC_RANDOM_H_
+#define BTRIM_TPCC_TPCC_RANDOM_H_
+
+#include <string>
+
+#include "common/random.h"
+
+namespace btrim {
+namespace tpcc {
+
+/// TPC-C random primitives (spec clause 2.1.6): the NURand skewed
+/// distribution, last-name syllables, and filler strings. One instance per
+/// worker thread; deterministic per seed.
+class TpccRandom {
+ public:
+  explicit TpccRandom(uint64_t seed)
+      : rng_(seed),
+        c_last_(rng_.Uniform(256)),
+        c_id_(rng_.Uniform(1024)),
+        ol_i_id_(rng_.Uniform(8192)) {}
+
+  Random& rng() { return rng_; }
+
+  /// Uniform in [lo, hi].
+  int64_t Uniform(int64_t lo, int64_t hi) { return rng_.UniformRange(lo, hi); }
+
+  /// Non-uniform random per spec: NURand(A, x, y).
+  int64_t NURand(int64_t a, int64_t x, int64_t y) {
+    const int64_t c = a == 255 ? c_last_ : (a == 1023 ? c_id_ : ol_i_id_);
+    return (((Uniform(0, a) | Uniform(x, y)) + c) % (y - x + 1)) + x;
+  }
+
+  /// Customer id skew (NURand 1023).
+  int CustomerId(int customers_per_district) {
+    return static_cast<int>(NURand(1023, 1, customers_per_district));
+  }
+
+  /// Item id skew (NURand 8191).
+  int ItemId(int items) { return static_cast<int>(NURand(8191, 1, items)); }
+
+  /// Spec last-name from a number in [0, 999].
+  static std::string LastName(int num) {
+    static const char* kSyllables[] = {"BAR", "OUGHT", "ABLE", "PRI",
+                                       "PRES", "ESE",   "ANTI", "CALLY",
+                                       "ATION", "EING"};
+    std::string name = kSyllables[(num / 100) % 10];
+    name += kSyllables[(num / 10) % 10];
+    name += kSyllables[num % 10];
+    return name;
+  }
+
+  /// Last name for the workload (NURand 255 over [0, 999]).
+  std::string RandomLastName(int max_c_id) {
+    const int bound = max_c_id > 1000 ? 999 : max_c_id - 1;
+    return LastName(static_cast<int>(NURand(255, 0, bound)));
+  }
+
+  /// Alphanumeric filler of length in [lo, hi].
+  std::string AString(int lo, int hi) {
+    static const char kChars[] =
+        "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789";
+    const int len = static_cast<int>(Uniform(lo, hi));
+    std::string s(static_cast<size_t>(len), ' ');
+    for (auto& ch : s) ch = kChars[rng_.Uniform(62)];
+    return s;
+  }
+
+  /// Numeric filler of length in [lo, hi].
+  std::string NString(int lo, int hi) {
+    const int len = static_cast<int>(Uniform(lo, hi));
+    std::string s(static_cast<size_t>(len), ' ');
+    for (auto& ch : s) ch = static_cast<char>('0' + rng_.Uniform(10));
+    return s;
+  }
+
+  std::string Zip() { return NString(4, 4) + "11111"; }
+
+  bool Percent(int pct) { return rng_.PercentChance(pct); }
+
+ private:
+  Random rng_;
+  const int64_t c_last_;
+  const int64_t c_id_;
+  const int64_t ol_i_id_;
+};
+
+}  // namespace tpcc
+}  // namespace btrim
+
+#endif  // BTRIM_TPCC_TPCC_RANDOM_H_

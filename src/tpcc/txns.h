@@ -1,0 +1,40 @@
+#ifndef BTRIM_TPCC_TXNS_H_
+#define BTRIM_TPCC_TXNS_H_
+
+#include <atomic>
+
+#include "tpcc/schema.h"
+#include "tpcc/tpcc_random.h"
+
+namespace btrim {
+namespace tpcc {
+
+/// Shared state for workload execution.
+struct TpccContext {
+  Database* db = nullptr;
+  Tables tables;
+  Scale scale;
+  std::atomic<int64_t> next_history_id{1};
+};
+
+/// Outcome of one transaction attempt.
+struct TxnResult {
+  bool committed = false;
+  bool user_abort = false;  ///< the spec's 1% NewOrder rollback
+  Status status;            ///< non-OK explains a system abort
+};
+
+/// The five TPC-C transactions (spec clause 2.4-2.8), implemented against
+/// the Database point/range DML API. Each call runs one complete
+/// transaction: it begins, executes, and commits or aborts before
+/// returning.
+TxnResult RunNewOrder(TpccContext* ctx, TpccRandom* rnd, int w_id);
+TxnResult RunPayment(TpccContext* ctx, TpccRandom* rnd, int w_id);
+TxnResult RunOrderStatus(TpccContext* ctx, TpccRandom* rnd, int w_id);
+TxnResult RunDelivery(TpccContext* ctx, TpccRandom* rnd, int w_id);
+TxnResult RunStockLevel(TpccContext* ctx, TpccRandom* rnd, int w_id);
+
+}  // namespace tpcc
+}  // namespace btrim
+
+#endif  // BTRIM_TPCC_TXNS_H_

@@ -1,0 +1,127 @@
+#include "txn/lock_manager.h"
+
+#include <chrono>
+
+#include "common/hash.h"
+
+namespace btrim {
+
+LockManager::LockManager(size_t stripes) : num_stripes_(stripes) {
+  stripes_.reserve(stripes);
+  for (size_t i = 0; i < stripes; ++i) {
+    stripes_.push_back(std::make_unique<Stripe>());
+  }
+}
+
+LockManager::Stripe& LockManager::StripeFor(uint64_t lock_id) const {
+  return *stripes_[Mix64(lock_id) % num_stripes_];
+}
+
+bool LockManager::TryGrantLocked(LockEntry* entry, uint64_t txn_id,
+                                 LockMode mode) {
+  bool already_holds_shared = false;
+  for (auto& h : entry->holders) {
+    if (h.txn_id == txn_id) {
+      if (h.mode == LockMode::kExclusive || mode == LockMode::kShared) {
+        return true;  // re-entrant, sufficient mode already held
+      }
+      already_holds_shared = true;
+      continue;
+    }
+    // Another transaction holds this lock.
+    if (mode == LockMode::kExclusive || h.mode == LockMode::kExclusive) {
+      return false;
+    }
+  }
+  if (already_holds_shared) {
+    // Upgrade: we are the only holder (loop above would have returned false
+    // otherwise).
+    for (auto& h : entry->holders) {
+      if (h.txn_id == txn_id) h.mode = LockMode::kExclusive;
+    }
+    return true;
+  }
+  entry->holders.push_back(Holder{txn_id, mode});
+  return true;
+}
+
+Status LockManager::Acquire(uint64_t txn_id, uint64_t lock_id, LockMode mode,
+                            int64_t timeout_ms) {
+  acquisitions_.Inc();
+  Stripe& stripe = StripeFor(lock_id);
+  std::unique_lock<std::mutex> lock(stripe.mu);
+  LockEntry& entry = stripe.locks[lock_id];
+  if (TryGrantLocked(&entry, txn_id, mode)) return Status::OK();
+
+  waits_.Inc();
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms);
+  while (true) {
+    if (stripe.cv.wait_until(lock, deadline) == std::cv_status::timeout) {
+      // Final attempt after timeout (the lock may have just been released).
+      LockEntry& e = stripe.locks[lock_id];
+      if (TryGrantLocked(&e, txn_id, mode)) return Status::OK();
+      timeouts_.Inc();
+      return Status::Aborted("lock timeout");
+    }
+    LockEntry& e = stripe.locks[lock_id];
+    if (TryGrantLocked(&e, txn_id, mode)) return Status::OK();
+  }
+}
+
+Status LockManager::TryAcquire(uint64_t txn_id, uint64_t lock_id,
+                               LockMode mode) {
+  Stripe& stripe = StripeFor(lock_id);
+  std::lock_guard<std::mutex> lock(stripe.mu);
+  LockEntry& entry = stripe.locks[lock_id];
+  if (TryGrantLocked(&entry, txn_id, mode)) {
+    acquisitions_.Inc();
+    return Status::OK();
+  }
+  try_failures_.Inc();
+  return Status::Busy("lock held");
+}
+
+void LockManager::Release(uint64_t txn_id, uint64_t lock_id) {
+  Stripe& stripe = StripeFor(lock_id);
+  std::lock_guard<std::mutex> lock(stripe.mu);
+  auto it = stripe.locks.find(lock_id);
+  if (it == stripe.locks.end()) return;
+  auto& holders = it->second.holders;
+  for (size_t i = 0; i < holders.size(); ++i) {
+    if (holders[i].txn_id == txn_id) {
+      holders[i] = holders.back();
+      holders.pop_back();
+      break;
+    }
+  }
+  if (holders.empty()) {
+    stripe.locks.erase(it);
+  }
+  stripe.cv.notify_all();
+}
+
+bool LockManager::Holds(uint64_t txn_id, uint64_t lock_id,
+                        LockMode mode) const {
+  Stripe& stripe = StripeFor(lock_id);
+  std::lock_guard<std::mutex> lock(stripe.mu);
+  auto it = stripe.locks.find(lock_id);
+  if (it == stripe.locks.end()) return false;
+  for (const auto& h : it->second.holders) {
+    if (h.txn_id == txn_id) {
+      return mode == LockMode::kShared || h.mode == LockMode::kExclusive;
+    }
+  }
+  return false;
+}
+
+LockManagerStats LockManager::GetStats() const {
+  LockManagerStats s;
+  s.acquisitions = acquisitions_.Load();
+  s.waits = waits_.Load();
+  s.timeouts = timeouts_.Load();
+  s.try_failures = try_failures_.Load();
+  return s;
+}
+
+}  // namespace btrim

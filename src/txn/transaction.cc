@@ -1,0 +1,116 @@
+#include "txn/transaction.h"
+
+namespace btrim {
+
+Status Transaction::AcquireLock(uint64_t lock_id, LockMode mode,
+                                int64_t timeout_ms) {
+  LockManager* lm = mgr_->lock_manager();
+  const bool held_before = lm->Holds(id_, lock_id, LockMode::kShared);
+  BTRIM_RETURN_IF_ERROR(lm->Acquire(id_, lock_id, mode, timeout_ms));
+  if (!held_before) held_locks_.push_back(lock_id);
+  return Status::OK();
+}
+
+Status Transaction::TryAcquireLock(uint64_t lock_id, LockMode mode) {
+  LockManager* lm = mgr_->lock_manager();
+  const bool held_before = lm->Holds(id_, lock_id, LockMode::kShared);
+  BTRIM_RETURN_IF_ERROR(lm->TryAcquire(id_, lock_id, mode));
+  if (!held_before) held_locks_.push_back(lock_id);
+  return Status::OK();
+}
+
+TransactionManager::TransactionManager(LockManager* lock_manager)
+    : lock_manager_(lock_manager) {}
+
+std::unique_ptr<Transaction> TransactionManager::Begin() {
+  begun_.Inc();
+  const uint64_t id = next_txn_id_.fetch_add(1, std::memory_order_relaxed);
+  const uint64_t begin_ts = clock_.Now();
+  auto txn = std::unique_ptr<Transaction>(new Transaction(this, id, begin_ts));
+  {
+    std::lock_guard<std::mutex> guard(active_mu_);
+    active_[id] = begin_ts;
+  }
+  return txn;
+}
+
+void TransactionManager::ReleaseAllLocks(Transaction* txn) {
+  for (uint64_t lock_id : txn->held_locks_) {
+    lock_manager_->Release(txn->id_, lock_id);
+  }
+  txn->held_locks_.clear();
+}
+
+void TransactionManager::Unregister(Transaction* txn) {
+  std::lock_guard<std::mutex> guard(active_mu_);
+  active_.erase(txn->id_);
+}
+
+Status TransactionManager::Commit(
+    Transaction* txn,
+    const std::function<Status(Transaction*, uint64_t)>& durability_hook) {
+  if (txn->state_ != TxnState::kActive) {
+    return Status::InvalidArgument("commit of finished transaction");
+  }
+  const uint64_t cts = clock_.Tick();
+  txn->commit_ts_ = cts;
+
+  if (durability_hook) {
+    Status s = durability_hook(txn, cts);
+    if (!s.ok()) {
+      Status abort_status = Abort(txn);
+      (void)abort_status;
+      return s;
+    }
+  }
+
+  for (auto& fn : txn->commit_fns_) fn(cts);
+  txn->commit_fns_.clear();
+  txn->undo_fns_.clear();
+  txn->state_ = TxnState::kCommitted;
+
+  ReleaseAllLocks(txn);
+  Unregister(txn);
+  committed_.Inc();
+  return Status::OK();
+}
+
+Status TransactionManager::Abort(Transaction* txn) {
+  if (txn->state_ != TxnState::kActive) {
+    return Status::InvalidArgument("abort of finished transaction");
+  }
+  for (auto it = txn->undo_fns_.rbegin(); it != txn->undo_fns_.rend(); ++it) {
+    (*it)();
+  }
+  txn->undo_fns_.clear();
+  txn->commit_fns_.clear();
+  txn->state_ = TxnState::kAborted;
+
+  ReleaseAllLocks(txn);
+  Unregister(txn);
+  aborted_.Inc();
+  return Status::OK();
+}
+
+uint64_t TransactionManager::OldestActiveSnapshot() const {
+  std::lock_guard<std::mutex> guard(active_mu_);
+  uint64_t oldest = clock_.Now();
+  for (const auto& [id, begin_ts] : active_) {
+    if (begin_ts < oldest) oldest = begin_ts;
+  }
+  return oldest;
+}
+
+TransactionManagerStats TransactionManager::GetStats() const {
+  TransactionManagerStats s;
+  s.begun = begun_.Load();
+  s.committed = committed_.Load();
+  s.aborted = aborted_.Load();
+  {
+    std::lock_guard<std::mutex> guard(active_mu_);
+    s.active = static_cast<int64_t>(active_.size());
+  }
+  return s;
+}
+
+}  // namespace btrim

@@ -1,0 +1,163 @@
+#ifndef BTRIM_TXN_TRANSACTION_H_
+#define BTRIM_TXN_TRANSACTION_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/counters.h"
+#include "common/status.h"
+#include "txn/lock_manager.h"
+
+namespace btrim {
+
+/// Transaction states.
+enum class TxnState : uint8_t { kActive, kCommitted, kAborted };
+
+class TransactionManager;
+
+/// One in-flight transaction.
+///
+/// Carries the snapshot timestamp (begin_ts), the held-lock set, undo
+/// actions for in-memory rollback, commit actions (version timestamp
+/// stamping, ILM accounting), and the transaction-local redo buffer for
+/// sysimrslogs (IMRS changes are logged at commit as one contiguous group,
+/// enabling the redo-only recovery of the IMRS log — paper Sec. II).
+class Transaction {
+ public:
+  uint64_t id() const { return id_; }
+  uint64_t begin_ts() const { return begin_ts_; }
+  uint64_t commit_ts() const { return commit_ts_; }
+  TxnState state() const { return state_; }
+
+  /// Snapshot visibility: a version with commit timestamp `cts` is visible
+  /// to this transaction's reads.
+  bool Sees(uint64_t cts) const { return cts != 0 && cts <= begin_ts_; }
+
+  /// --- lock tracking -----------------------------------------------------
+
+  /// Acquires (blocking) and remembers a lock for release at txn end.
+  Status AcquireLock(uint64_t lock_id, LockMode mode, int64_t timeout_ms);
+
+  /// Conditional variant (used by Pack transactions).
+  Status TryAcquireLock(uint64_t lock_id, LockMode mode);
+
+  /// --- undo / commit hooks ------------------------------------------------
+
+  /// Registers an action run (in reverse order) if the transaction aborts.
+  void AddUndo(std::function<void()> fn) { undo_fns_.push_back(std::move(fn)); }
+
+  /// Registers an action run at commit, receiving the commit timestamp.
+  void AddCommitAction(std::function<void(uint64_t)> fn) {
+    commit_fns_.push_back(std::move(fn));
+  }
+
+  /// --- IMRS redo buffer ----------------------------------------------------
+
+  /// Serialized sysimrslogs records for this transaction, appended by the
+  /// access layer, flushed as one group at commit.
+  std::string* imrs_redo_buffer() { return &imrs_redo_; }
+
+  bool has_imrs_changes() const { return !imrs_redo_.empty(); }
+  bool has_pagestore_changes() const { return ps_changes_; }
+  void MarkPageStoreChange() { ps_changes_ = true; }
+
+  int64_t imrs_record_count() const { return imrs_record_count_; }
+  void CountImrsRecord() { ++imrs_record_count_; }
+
+ private:
+  friend class TransactionManager;
+
+  Transaction(TransactionManager* mgr, uint64_t id, uint64_t begin_ts)
+      : mgr_(mgr), id_(id), begin_ts_(begin_ts) {}
+
+  TransactionManager* const mgr_;
+  const uint64_t id_;
+  const uint64_t begin_ts_;
+  uint64_t commit_ts_ = 0;
+  TxnState state_ = TxnState::kActive;
+
+  std::vector<uint64_t> held_locks_;
+  std::vector<std::function<void()>> undo_fns_;
+  std::vector<std::function<void(uint64_t)>> commit_fns_;
+  std::string imrs_redo_;
+  int64_t imrs_record_count_ = 0;
+  bool ps_changes_ = false;
+};
+
+/// Transaction-manager counters.
+struct TransactionManagerStats {
+  int64_t begun = 0;
+  int64_t committed = 0;
+  int64_t aborted = 0;
+  int64_t active = 0;
+};
+
+/// Creates transactions, assigns begin/commit timestamps from the database
+/// commit clock (the atomic counter of Sec. VI.D), tracks the active set
+/// for garbage collection, and drives commit/abort processing.
+///
+/// Durability hooks: the owner (Database) supplies a commit hook invoked
+/// *after* the commit timestamp is assigned and *before* in-memory commit
+/// actions run; the hook writes and syncs the log records. If the hook
+/// fails, the transaction aborts instead.
+class TransactionManager {
+ public:
+  explicit TransactionManager(LockManager* lock_manager);
+
+  TransactionManager(const TransactionManager&) = delete;
+  TransactionManager& operator=(const TransactionManager&) = delete;
+
+  /// Starts a transaction whose snapshot is the current commit timestamp.
+  std::unique_ptr<Transaction> Begin();
+
+  /// Commits: assigns commit_ts, calls `durability_hook` (may be null),
+  /// runs commit actions, releases locks. On hook failure the transaction
+  /// is aborted and the hook's status returned.
+  Status Commit(Transaction* txn,
+                const std::function<Status(Transaction*, uint64_t)>&
+                    durability_hook = nullptr);
+
+  /// Aborts: runs undo actions in reverse, releases locks.
+  Status Abort(Transaction* txn);
+
+  /// Oldest snapshot that any active transaction may still read; versions
+  /// with commit_ts <= horizon and a newer committed successor are garbage.
+  uint64_t OldestActiveSnapshot() const;
+
+  /// The database commit clock (shared with ILM components which express
+  /// row-age in commit-timestamp units).
+  LogicalClock* commit_clock() { return &clock_; }
+  uint64_t CurrentTimestamp() const { return clock_.Now(); }
+
+  LockManager* lock_manager() { return lock_manager_; }
+
+  TransactionManagerStats GetStats() const;
+
+  /// Default lock wait budget before declaring deadlock-by-timeout.
+  static constexpr int64_t kLockTimeoutMs = 1000;
+
+ private:
+  friend class Transaction;
+
+  void ReleaseAllLocks(Transaction* txn);
+  void Unregister(Transaction* txn);
+
+  LockManager* const lock_manager_;
+  LogicalClock clock_;
+  std::atomic<uint64_t> next_txn_id_{1};
+
+  mutable std::mutex active_mu_;
+  std::unordered_map<uint64_t, uint64_t> active_;  // txn_id -> begin_ts
+
+  mutable ShardedCounter begun_, committed_, aborted_;
+};
+
+}  // namespace btrim
+
+#endif  // BTRIM_TXN_TRANSACTION_H_

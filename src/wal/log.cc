@@ -1,0 +1,166 @@
+#include "wal/log.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cstring>
+
+namespace btrim {
+
+// --- MemLogStorage ----------------------------------------------------------
+
+Status MemLogStorage::Append(Slice data) {
+  std::lock_guard<std::mutex> guard(mu_);
+  buf_.append(data.data(), data.size());
+  return Status::OK();
+}
+
+Status MemLogStorage::Sync() { return Status::OK(); }
+
+Status MemLogStorage::ReadAll(std::string* out) {
+  std::lock_guard<std::mutex> guard(mu_);
+  *out = buf_;
+  return Status::OK();
+}
+
+Status MemLogStorage::Truncate() {
+  std::lock_guard<std::mutex> guard(mu_);
+  buf_.clear();
+  return Status::OK();
+}
+
+int64_t MemLogStorage::Size() const {
+  std::lock_guard<std::mutex> guard(mu_);
+  return static_cast<int64_t>(buf_.size());
+}
+
+// --- FileLogStorage ---------------------------------------------------------
+
+Result<std::unique_ptr<FileLogStorage>> FileLogStorage::Open(
+    const std::string& path) {
+  int fd = ::open(path.c_str(), O_RDWR | O_CREAT | O_APPEND, 0644);
+  if (fd < 0) {
+    return Status::IOError("open " + path + ": " + strerror(errno));
+  }
+  struct stat st;
+  if (fstat(fd, &st) != 0) {
+    ::close(fd);
+    return Status::IOError("fstat " + path + ": " + strerror(errno));
+  }
+  auto storage =
+      std::unique_ptr<FileLogStorage>(new FileLogStorage(fd, path));
+  storage->size_.store(st.st_size, std::memory_order_relaxed);
+  return storage;
+}
+
+FileLogStorage::FileLogStorage(int fd, std::string path)
+    : fd_(fd), path_(std::move(path)) {}
+
+FileLogStorage::~FileLogStorage() { ::close(fd_); }
+
+Status FileLogStorage::Append(Slice data) {
+  const char* p = data.data();
+  size_t left = data.size();
+  while (left > 0) {
+    const ssize_t n = ::write(fd_, p, left);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError("write " + path_ + ": " + strerror(errno));
+    }
+    p += n;
+    left -= static_cast<size_t>(n);
+  }
+  size_.fetch_add(static_cast<int64_t>(data.size()),
+                  std::memory_order_relaxed);
+  return Status::OK();
+}
+
+Status FileLogStorage::Sync() {
+  if (::fdatasync(fd_) != 0) {
+    return Status::IOError("fdatasync " + path_ + ": " + strerror(errno));
+  }
+  return Status::OK();
+}
+
+Status FileLogStorage::ReadAll(std::string* out) {
+  const int64_t size = size_.load(std::memory_order_relaxed);
+  out->resize(static_cast<size_t>(size));
+  int64_t off = 0;
+  while (off < size) {
+    const ssize_t n =
+        ::pread(fd_, out->data() + off, static_cast<size_t>(size - off), off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError("pread " + path_ + ": " + strerror(errno));
+    }
+    if (n == 0) break;
+    off += n;
+  }
+  out->resize(static_cast<size_t>(off));
+  return Status::OK();
+}
+
+Status FileLogStorage::Truncate() {
+  if (::ftruncate(fd_, 0) != 0) {
+    return Status::IOError("ftruncate " + path_ + ": " + strerror(errno));
+  }
+  size_.store(0, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+int64_t FileLogStorage::Size() const {
+  return size_.load(std::memory_order_relaxed);
+}
+
+// --- Log --------------------------------------------------------------------
+
+Log::Log(std::unique_ptr<LogStorage> storage, bool sync_on_commit)
+    : storage_(std::move(storage)), sync_on_commit_(sync_on_commit) {}
+
+Status Log::AppendRecord(const LogRecord& rec) {
+  std::string buf;
+  AppendLogRecord(&buf, rec);
+  records_.Inc();
+  bytes_.Add(static_cast<int64_t>(buf.size()));
+  return storage_->Append(buf);
+}
+
+Status Log::AppendGroup(Slice group, int64_t record_count) {
+  records_.Add(record_count);
+  bytes_.Add(static_cast<int64_t>(group.size()));
+  groups_.Inc();
+  return storage_->Append(group);
+}
+
+Status Log::Commit() {
+  if (!sync_on_commit_) return Status::OK();
+  syncs_.Inc();
+  return storage_->Sync();
+}
+
+Status Log::Replay(const std::function<bool(const LogRecord&)>& fn) {
+  std::string content;
+  BTRIM_RETURN_IF_ERROR(storage_->ReadAll(&content));
+  Slice input(content);
+  LogRecord rec;
+  while (true) {
+    Status s = ParseLogRecord(&input, &rec);
+    if (s.IsNotFound()) return Status::OK();  // clean or torn end
+    BTRIM_RETURN_IF_ERROR(s);
+    if (!fn(rec)) return Status::OK();
+  }
+}
+
+Status Log::Truncate() { return storage_->Truncate(); }
+
+LogStats Log::GetStats() const {
+  LogStats s;
+  s.records_appended = records_.Load();
+  s.bytes_appended = bytes_.Load();
+  s.groups_appended = groups_.Load();
+  s.syncs = syncs_.Load();
+  return s;
+}
+
+}  // namespace btrim

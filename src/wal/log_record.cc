@@ -1,0 +1,80 @@
+#include "wal/log_record.h"
+
+#include "common/coding.h"
+#include "common/hash.h"
+
+namespace btrim {
+
+namespace {
+
+void PutLengthPrefixed(std::string* dst, const std::string& s) {
+  PutFixed32(dst, static_cast<uint32_t>(s.size()));
+  dst->append(s);
+}
+
+bool GetLengthPrefixed(Slice* input, std::string* out) {
+  if (input->size() < 4) return false;
+  const uint32_t len = DecodeFixed32(input->data());
+  input->remove_prefix(4);
+  if (input->size() < len) return false;
+  out->assign(input->data(), len);
+  input->remove_prefix(len);
+  return true;
+}
+
+}  // namespace
+
+void AppendLogRecord(std::string* dst, const LogRecord& rec) {
+  std::string body;
+  body.push_back(static_cast<char>(rec.type));
+  PutFixed64(&body, rec.txn_id);
+  PutFixed32(&body, rec.table_id);
+  PutFixed32(&body, rec.partition_id);
+  PutFixed64(&body, rec.rid);
+  PutFixed64(&body, rec.cts);
+  body.push_back(static_cast<char>(rec.source));
+  PutLengthPrefixed(&body, rec.before);
+  PutLengthPrefixed(&body, rec.after);
+
+  PutFixed32(dst, static_cast<uint32_t>(body.size()));
+  PutFixed32(dst, static_cast<uint32_t>(HashBytes(body.data(), body.size())));
+  dst->append(body);
+}
+
+Status ParseLogRecord(Slice* input, LogRecord* rec) {
+  if (input->size() < 8) return Status::NotFound("end of log");
+  const uint32_t body_len = DecodeFixed32(input->data());
+  const uint32_t checksum = DecodeFixed32(input->data() + 4);
+  if (input->size() < 8 + static_cast<size_t>(body_len)) {
+    return Status::NotFound("torn record at log tail");
+  }
+  Slice body(input->data() + 8, body_len);
+  if (static_cast<uint32_t>(HashBytes(body.data(), body.size())) != checksum) {
+    return Status::NotFound("checksum mismatch at log tail");
+  }
+  input->remove_prefix(8 + body_len);
+
+  // Fixed prefix: type(1) txn(8) table(4) part(4) rid(8) cts(8) source(1).
+  if (body.size() < 34) return Status::Corruption("log record too short");
+  rec->type = static_cast<LogRecordType>(body[0]);
+  body.remove_prefix(1);
+  rec->txn_id = DecodeFixed64(body.data());
+  body.remove_prefix(8);
+  rec->table_id = DecodeFixed32(body.data());
+  body.remove_prefix(4);
+  rec->partition_id = DecodeFixed32(body.data());
+  body.remove_prefix(4);
+  rec->rid = DecodeFixed64(body.data());
+  body.remove_prefix(8);
+  rec->cts = DecodeFixed64(body.data());
+  body.remove_prefix(8);
+  rec->source = static_cast<uint8_t>(body[0]);
+  body.remove_prefix(1);
+  if (!GetLengthPrefixed(&body, &rec->before) ||
+      !GetLengthPrefixed(&body, &rec->after)) {
+    return Status::Corruption("log record image truncated");
+  }
+  return Status::OK();
+}
+
+}  // namespace btrim

@@ -1,0 +1,339 @@
+// Unit tests for the common module: Status/Result, Slice, coding helpers,
+// sharded counters, spinlocks, the logical clock, and the RNG.
+
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/clock.h"
+#include "common/coding.h"
+#include "common/counters.h"
+#include "common/hash.h"
+#include "common/random.h"
+#include "common/slice.h"
+#include "common/spinlock.h"
+#include "common/status.h"
+
+namespace btrim {
+namespace {
+
+// --- Status -----------------------------------------------------------------
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::NotFound("missing row");
+  EXPECT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsNotFound());
+  EXPECT_EQ(s.ToString(), "NotFound: missing row");
+}
+
+TEST(StatusTest, EveryFactoryMapsToItsPredicate) {
+  EXPECT_TRUE(Status::Corruption("").IsCorruption());
+  EXPECT_TRUE(Status::InvalidArgument("").IsInvalidArgument());
+  EXPECT_TRUE(Status::IOError("").IsIOError());
+  EXPECT_TRUE(Status::Busy("").IsBusy());
+  EXPECT_TRUE(Status::Aborted("").IsAborted());
+  EXPECT_TRUE(Status::NoSpace("").IsNoSpace());
+  EXPECT_TRUE(Status::AlreadyExists("").IsAlreadyExists());
+  EXPECT_TRUE(Status::NotSupported("").IsNotSupported());
+  EXPECT_TRUE(Status::Shutdown("").IsShutdown());
+}
+
+TEST(StatusTest, ReturnIfErrorPropagates) {
+  auto inner = []() -> Status { return Status::Busy("held"); };
+  auto outer = [&]() -> Status {
+    BTRIM_RETURN_IF_ERROR(inner());
+    return Status::OK();
+  };
+  EXPECT_TRUE(outer().IsBusy());
+}
+
+TEST(ResultTest, HoldsValueOrStatus) {
+  Result<int> ok(42);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(*ok, 42);
+
+  Result<int> err(Status::IOError("disk gone"));
+  EXPECT_FALSE(err.ok());
+  EXPECT_TRUE(err.status().IsIOError());
+}
+
+TEST(ResultTest, MoveOnlyValues) {
+  Result<std::unique_ptr<int>> r(std::make_unique<int>(9));
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> v = std::move(*std::move(r));
+  EXPECT_EQ(*v, 9);
+}
+
+// --- Slice -------------------------------------------------------------------
+
+TEST(SliceTest, BasicAccessors) {
+  Slice s("hello");
+  EXPECT_EQ(s.size(), 5u);
+  EXPECT_FALSE(s.empty());
+  EXPECT_EQ(s[1], 'e');
+  EXPECT_EQ(s.ToString(), "hello");
+}
+
+TEST(SliceTest, CompareIsMemcmpOrder) {
+  EXPECT_LT(Slice("abc").compare(Slice("abd")), 0);
+  EXPECT_GT(Slice("abd").compare(Slice("abc")), 0);
+  EXPECT_EQ(Slice("abc").compare(Slice("abc")), 0);
+  // Prefix sorts first.
+  EXPECT_LT(Slice("ab").compare(Slice("abc")), 0);
+}
+
+TEST(SliceTest, EqualityAndPrefix) {
+  EXPECT_EQ(Slice("xyz"), Slice(std::string("xyz")));
+  EXPECT_NE(Slice("xyz"), Slice("xy"));
+  EXPECT_TRUE(Slice("hello world").starts_with(Slice("hello")));
+  EXPECT_FALSE(Slice("hello").starts_with(Slice("hello world")));
+}
+
+TEST(SliceTest, RemovePrefix) {
+  Slice s("abcdef");
+  s.remove_prefix(2);
+  EXPECT_EQ(s.ToString(), "cdef");
+}
+
+TEST(SliceTest, EmbeddedNulBytesCompare) {
+  const char a[] = {'a', '\0', 'b'};
+  const char b[] = {'a', '\0', 'c'};
+  EXPECT_LT(Slice(a, 3).compare(Slice(b, 3)), 0);
+}
+
+// --- coding -------------------------------------------------------------------
+
+TEST(CodingTest, FixedRoundTrips) {
+  std::string buf;
+  PutFixed16(&buf, 0xBEEF);
+  PutFixed32(&buf, 0xDEADBEEFu);
+  PutFixed64(&buf, 0x0123456789ABCDEFull);
+  const char* p = buf.data();
+  EXPECT_EQ(DecodeFixed16(p), 0xBEEF);
+  EXPECT_EQ(DecodeFixed32(p + 2), 0xDEADBEEFu);
+  EXPECT_EQ(DecodeFixed64(p + 6), 0x0123456789ABCDEFull);
+}
+
+TEST(CodingTest, BigEndianSortsNumerically) {
+  std::string a, b;
+  PutBigEndian64(&a, 255);
+  PutBigEndian64(&b, 256);
+  EXPECT_LT(a, b);
+  EXPECT_EQ(GetBigEndian64(a.data()), 255u);
+  EXPECT_EQ(GetBigEndian64(b.data()), 256u);
+}
+
+TEST(CodingTest, BigEndianRoundTripExtremes) {
+  for (uint64_t v : {0ull, 1ull, 0xffffffffffffffffull, 1ull << 63}) {
+    std::string s;
+    PutBigEndian64(&s, v);
+    EXPECT_EQ(GetBigEndian64(s.data()), v);
+  }
+}
+
+// --- counters -----------------------------------------------------------------
+
+TEST(ShardedCounterTest, SingleThreadAccumulates) {
+  ShardedCounter c;
+  for (int i = 0; i < 1000; ++i) c.Inc();
+  c.Add(-100);
+  EXPECT_EQ(c.Load(), 900);
+  c.Reset();
+  EXPECT_EQ(c.Load(), 0);
+}
+
+TEST(ShardedCounterTest, ConcurrentAddsAreExact) {
+  ShardedCounter c;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 20000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&c] {
+      for (int i = 0; i < kPerThread; ++i) c.Inc();
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(c.Load(), kThreads * kPerThread);
+}
+
+TEST(AtomicGaugeTest, AddSubSet) {
+  AtomicGauge g;
+  g.Add(100);
+  g.Sub(40);
+  EXPECT_EQ(g.Load(), 60);
+  g.Set(-5);
+  EXPECT_EQ(g.Load(), -5);
+}
+
+// --- spinlocks -----------------------------------------------------------------
+
+TEST(SpinLockTest, MutualExclusion) {
+  SpinLock lock;
+  int counter = 0;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 10000; ++i) {
+        std::lock_guard<SpinLock> guard(lock);
+        ++counter;
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(counter, 40000);
+}
+
+TEST(SpinLockTest, TryLockFailsWhenHeld) {
+  SpinLock lock;
+  lock.lock();
+  EXPECT_FALSE(lock.try_lock());
+  lock.unlock();
+  EXPECT_TRUE(lock.try_lock());
+  lock.unlock();
+}
+
+TEST(RwSpinLockTest, SharedReadersCoexist) {
+  RwSpinLock lock;
+  lock.lock_shared();
+  EXPECT_TRUE(lock.try_lock_shared());
+  EXPECT_FALSE(lock.try_lock());  // writer excluded
+  lock.unlock_shared();
+  lock.unlock_shared();
+  EXPECT_TRUE(lock.try_lock());
+  lock.unlock();
+}
+
+TEST(RwSpinLockTest, WriterExcludesReaders) {
+  RwSpinLock lock;
+  lock.lock();
+  EXPECT_FALSE(lock.try_lock_shared());
+  EXPECT_FALSE(lock.try_lock());
+  lock.unlock();
+}
+
+TEST(RwSpinLockTest, ConcurrentReadersAndWriters) {
+  RwSpinLock lock;
+  int value = 0;
+  std::atomic<bool> fail{false};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 2; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 5000; ++i) {
+        lock.lock();
+        ++value;
+        lock.unlock();
+      }
+    });
+    threads.emplace_back([&] {
+      for (int i = 0; i < 5000; ++i) {
+        lock.lock_shared();
+        if (value < 0) fail.store(true);
+        lock.unlock_shared();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_FALSE(fail.load());
+  EXPECT_EQ(value, 10000);
+}
+
+// --- clock ---------------------------------------------------------------------
+
+TEST(LogicalClockTest, TickMonotone) {
+  LogicalClock clock;
+  EXPECT_EQ(clock.Now(), 0u);
+  EXPECT_EQ(clock.Tick(), 1u);
+  EXPECT_EQ(clock.Tick(), 2u);
+  EXPECT_EQ(clock.Now(), 2u);
+  clock.Reset(100);
+  EXPECT_EQ(clock.Tick(), 101u);
+}
+
+TEST(LogicalClockTest, ConcurrentTicksAreUnique) {
+  LogicalClock clock;
+  constexpr int kThreads = 4;
+  constexpr int kTicks = 10000;
+  std::vector<std::vector<uint64_t>> seen(kThreads);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&clock, &seen, t] {
+      for (int i = 0; i < kTicks; ++i) seen[t].push_back(clock.Tick());
+    });
+  }
+  for (auto& t : threads) t.join();
+  std::vector<uint64_t> all;
+  for (auto& v : seen) all.insert(all.end(), v.begin(), v.end());
+  std::sort(all.begin(), all.end());
+  EXPECT_EQ(all.size(), static_cast<size_t>(kThreads * kTicks));
+  EXPECT_EQ(all.front(), 1u);
+  EXPECT_EQ(all.back(), static_cast<uint64_t>(kThreads * kTicks));
+  EXPECT_TRUE(std::adjacent_find(all.begin(), all.end()) == all.end());
+}
+
+// --- random --------------------------------------------------------------------
+
+TEST(RandomTest, DeterministicPerSeed) {
+  Random a(7), b(7), c(8);
+  EXPECT_EQ(a.Next(), b.Next());
+  EXPECT_NE(a.Next(), c.Next());
+}
+
+TEST(RandomTest, UniformRangeStaysInBounds) {
+  Random rng(99);
+  for (int i = 0; i < 10000; ++i) {
+    const int64_t v = rng.UniformRange(-5, 17);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 17);
+  }
+}
+
+TEST(RandomTest, PercentChanceRoughlyCalibrated) {
+  Random rng(123);
+  int hits = 0;
+  constexpr int kTrials = 100000;
+  for (int i = 0; i < kTrials; ++i) {
+    if (rng.PercentChance(25)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / kTrials, 0.25, 0.02);
+}
+
+TEST(RandomTest, NextDoubleInUnitInterval) {
+  Random rng(5);
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+// --- hash ----------------------------------------------------------------------
+
+TEST(HashTest, Mix64Disperses) {
+  // Consecutive inputs should produce well-spread outputs.
+  uint64_t prev = Mix64(0);
+  for (uint64_t i = 1; i < 1000; ++i) {
+    const uint64_t h = Mix64(i);
+    EXPECT_NE(h, prev);
+    prev = h;
+  }
+}
+
+TEST(HashTest, HashBytesSensitiveToEveryByte) {
+  std::string base = "the quick brown fox";
+  const uint64_t h0 = HashBytes(base.data(), base.size());
+  for (size_t i = 0; i < base.size(); ++i) {
+    std::string copy = base;
+    copy[i] ^= 1;
+    EXPECT_NE(HashBytes(copy.data(), copy.size()), h0) << "byte " << i;
+  }
+}
+
+}  // namespace
+}  // namespace btrim

@@ -1,0 +1,1047 @@
+// Engine-level tests: record codec, key encoding, transactional CRUD,
+// snapshot isolation, hot-data admission (migration / select caching),
+// Pack relocation, and GC purge — all through the public Database API.
+
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "engine/database.h"
+#include "engine/stats_printer.h"
+
+namespace btrim {
+namespace {
+
+// --- record codec -----------------------------------------------------------------
+
+Schema TestSchema() {
+  return Schema({
+      Column::Int64("id"),
+      Column::Int32("count"),
+      Column::Double("price"),
+      Column::String("name", 32),
+  });
+}
+
+TEST(RecordCodecTest, BuildAndViewRoundTrip) {
+  Schema schema = TestSchema();
+  RecordBuilder b(&schema);
+  b.AddInt64(-42).AddInt32(7).AddDouble(3.25).AddString("widget");
+  RecordView v(&schema, b.Finish());
+  ASSERT_TRUE(v.valid());
+  EXPECT_EQ(v.GetInt64(0), -42);
+  EXPECT_EQ(v.GetInt32(1), 7);
+  EXPECT_DOUBLE_EQ(v.GetDouble(2), 3.25);
+  EXPECT_EQ(v.GetString(3).ToString(), "widget");
+  EXPECT_EQ(v.GetInt(0), -42);
+  EXPECT_EQ(v.GetInt(1), 7);
+}
+
+TEST(RecordCodecTest, EmptyStringsAndExtremes) {
+  Schema schema = TestSchema();
+  RecordBuilder b(&schema);
+  b.AddInt64(INT64_MIN).AddInt32(INT32_MAX).AddDouble(-0.0).AddString("");
+  RecordView v(&schema, b.Finish());
+  ASSERT_TRUE(v.valid());
+  EXPECT_EQ(v.GetInt64(0), INT64_MIN);
+  EXPECT_EQ(v.GetInt32(1), INT32_MAX);
+  EXPECT_EQ(v.GetString(3).size(), 0u);
+}
+
+TEST(RecordCodecTest, TruncatedRecordIsInvalid) {
+  Schema schema = TestSchema();
+  RecordBuilder b(&schema);
+  b.AddInt64(1).AddInt32(2).AddDouble(3).AddString("x");
+  std::string data = b.Finish().ToString();
+  RecordView v(&schema, Slice(data.data(), data.size() - 2));
+  EXPECT_FALSE(v.valid());
+}
+
+TEST(RecordCodecTest, EditorModifiesSelectedColumns) {
+  Schema schema = TestSchema();
+  RecordBuilder b(&schema);
+  b.AddInt64(1).AddInt32(2).AddDouble(3.5).AddString("before");
+  RecordEditor e(&schema, b.Finish());
+  ASSERT_TRUE(e.valid());
+  e.SetInt32(1, 99);
+  e.SetString(3, "after");
+  RecordView v(&schema, Slice(e.Encode()));
+  // In std::string form since Encode returns a temporary otherwise.
+  std::string encoded = e.Encode();
+  RecordView v2(&schema, Slice(encoded));
+  ASSERT_TRUE(v2.valid());
+  EXPECT_EQ(v2.GetInt64(0), 1);       // untouched
+  EXPECT_EQ(v2.GetInt32(1), 99);      // modified
+  EXPECT_DOUBLE_EQ(v2.GetDouble(2), 3.5);
+  EXPECT_EQ(v2.GetString(3).ToString(), "after");
+  (void)v;
+}
+
+TEST(KeyEncoderTest, IntKeysSortNumerically) {
+  Schema schema = TestSchema();
+  KeyEncoder enc(&schema, {0});
+  // Includes negatives: the sign-bias must order them before positives.
+  const std::vector<int64_t> values = {-1000, -1, 0, 1, 42, 1000000};
+  std::string prev;
+  for (size_t i = 0; i < values.size(); ++i) {
+    std::string key = enc.KeyForInts({values[i]});
+    if (i > 0) {
+      EXPECT_LT(prev, key) << "at " << values[i];
+    }
+    prev = key;
+  }
+}
+
+TEST(KeyEncoderTest, CompositeKeyOrdersBySignificance) {
+  Schema schema = Schema({Column::Int32("a"), Column::Int32("b")});
+  KeyEncoder enc(&schema, {0, 1});
+  EXPECT_LT(enc.KeyForInts({1, 99}), enc.KeyForInts({2, 0}));
+  EXPECT_LT(enc.KeyForInts({1, 1}), enc.KeyForInts({1, 2}));
+}
+
+TEST(KeyEncoderTest, KeyForRecordMatchesKeyForInts) {
+  Schema schema = TestSchema();
+  KeyEncoder enc(&schema, {0, 1});
+  RecordBuilder b(&schema);
+  b.AddInt64(123).AddInt32(45).AddDouble(0).AddString("x");
+  EXPECT_EQ(enc.KeyForRecord(b.Finish()), enc.KeyForInts({123, 45}));
+}
+
+TEST(KeyEncoderTest, PaddedStringsAlignCompositeKeys) {
+  Schema schema = Schema({Column::String("s", 8), Column::Int32("n")});
+  KeyEncoder enc(&schema, {0, 1});
+  RecordBuilder b1(&schema);
+  b1.AddString("ab").AddInt32(2);
+  RecordBuilder b2(&schema);
+  b2.AddString("ab").AddInt32(10);
+  // Same string, different int: int decides.
+  EXPECT_LT(enc.KeyForRecord(b1.Finish()), enc.KeyForRecord(b2.Finish()));
+  EXPECT_EQ(enc.KeyForRecord(b1.Finish()).size(), 8u + 8u);
+}
+
+// --- Database fixture -----------------------------------------------------------
+
+class EngineTest : public ::testing::Test {
+ protected:
+  void Open(DatabaseOptions options = {}) {
+    options.buffer_cache_frames = 512;
+    if (options.imrs_cache_bytes == (256ull << 20)) {
+      options.imrs_cache_bytes = 8 << 20;
+    }
+    options.lock_timeout_ms = 100;
+    Result<std::unique_ptr<Database>> opened = Database::Open(options);
+    ASSERT_TRUE(opened.ok());
+    db_ = std::move(*opened);
+
+    TableOptions topt;
+    topt.name = "kv";
+    topt.schema = Schema({
+        Column::Int64("id"),
+        Column::Int64("group_id"),
+        Column::String("value", 64),
+    });
+    topt.primary_key = {0};
+    topt.secondary_indexes.push_back(IndexDef{"by_group", {1, 0}, false});
+    Result<Table*> created = db_->CreateTable(topt);
+    ASSERT_TRUE(created.ok());
+    table_ = *created;
+  }
+
+  std::string Key(int64_t id) { return table_->pk_encoder().KeyForInts({id}); }
+
+  std::string Record(int64_t id, int64_t group, const std::string& value) {
+    RecordBuilder b(&table_->schema());
+    b.AddInt64(id).AddInt64(group).AddString(value);
+    return b.Finish().ToString();
+  }
+
+  Status InsertRow(int64_t id, int64_t group, const std::string& value,
+                   Transaction* txn = nullptr) {
+    if (txn != nullptr) {
+      return db_->Insert(txn, table_, Record(id, group, value));
+    }
+    auto t = db_->Begin();
+    Status s = db_->Insert(t.get(), table_, Record(id, group, value));
+    if (!s.ok()) {
+      Status a = db_->Abort(t.get());
+      (void)a;
+      return s;
+    }
+    return db_->Commit(t.get());
+  }
+
+  /// Reads the value column of `id` in a fresh transaction.
+  Result<std::string> ReadValue(int64_t id) {
+    auto txn = db_->Begin();
+    std::string row;
+    Status s = db_->SelectByKey(txn.get(), table_, Key(id), &row);
+    Status c = db_->Commit(txn.get());
+    (void)c;
+    if (!s.ok()) return s;
+    RecordView v(&table_->schema(), Slice(row));
+    return v.GetString(2).ToString();
+  }
+
+  Status UpdateValue(int64_t id, const std::string& value,
+                     Transaction* txn = nullptr) {
+    auto mutate = [&](std::string* payload) {
+      RecordEditor e(&table_->schema(), Slice(*payload));
+      e.SetString(2, value);
+      *payload = e.Encode();
+    };
+    if (txn != nullptr) return db_->Update(txn, table_, Key(id), mutate);
+    auto t = db_->Begin();
+    Status s = db_->Update(t.get(), table_, Key(id), mutate);
+    if (!s.ok()) {
+      Status a = db_->Abort(t.get());
+      (void)a;
+      return s;
+    }
+    return db_->Commit(t.get());
+  }
+
+  std::unique_ptr<Database> db_;
+  Table* table_ = nullptr;
+};
+
+// --- CRUD -------------------------------------------------------------------------
+
+TEST_F(EngineTest, InsertSelectRoundTrip) {
+  Open();
+  ASSERT_TRUE(InsertRow(1, 10, "hello").ok());
+  Result<std::string> v = ReadValue(1);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, "hello");
+}
+
+TEST_F(EngineTest, SelectMissingIsNotFound) {
+  Open();
+  EXPECT_TRUE(ReadValue(404).status().IsNotFound());
+}
+
+TEST_F(EngineTest, DuplicatePrimaryKeyRejected) {
+  Open();
+  ASSERT_TRUE(InsertRow(1, 10, "first").ok());
+  Status s = InsertRow(1, 11, "second");
+  EXPECT_TRUE(s.IsAlreadyExists());
+  EXPECT_EQ(*ReadValue(1), "first");
+}
+
+TEST_F(EngineTest, UpdateRewritesRow) {
+  Open();
+  ASSERT_TRUE(InsertRow(1, 10, "v1").ok());
+  ASSERT_TRUE(UpdateValue(1, "v2").ok());
+  EXPECT_EQ(*ReadValue(1), "v2");
+  ASSERT_TRUE(UpdateValue(1, "v3").ok());
+  EXPECT_EQ(*ReadValue(1), "v3");
+}
+
+TEST_F(EngineTest, UpdateMissingIsNotFound) {
+  Open();
+  EXPECT_TRUE(UpdateValue(404, "x").IsNotFound());
+}
+
+TEST_F(EngineTest, DeleteRemovesRow) {
+  Open();
+  ASSERT_TRUE(InsertRow(1, 10, "doomed").ok());
+  auto txn = db_->Begin();
+  ASSERT_TRUE(db_->Delete(txn.get(), table_, Key(1)).ok());
+  ASSERT_TRUE(db_->Commit(txn.get()).ok());
+  EXPECT_TRUE(ReadValue(1).status().IsNotFound());
+  // Double delete: not found.
+  auto txn2 = db_->Begin();
+  EXPECT_TRUE(db_->Delete(txn2.get(), table_, Key(1)).IsNotFound());
+  ASSERT_TRUE(db_->Abort(txn2.get()).ok());
+}
+
+TEST_F(EngineTest, MultiRowTransactionIsAtomic) {
+  Open();
+  auto txn = db_->Begin();
+  for (int64_t i = 0; i < 10; ++i) {
+    ASSERT_TRUE(InsertRow(i, 1, "batch", txn.get()).ok());
+  }
+  // Nothing visible before commit.
+  EXPECT_TRUE(ReadValue(5).status().IsNotFound());
+  ASSERT_TRUE(db_->Commit(txn.get()).ok());
+  EXPECT_TRUE(ReadValue(5).ok());
+}
+
+// --- rollback -----------------------------------------------------------------------
+
+TEST_F(EngineTest, AbortedInsertLeavesNoTrace) {
+  Open();
+  auto txn = db_->Begin();
+  ASSERT_TRUE(InsertRow(1, 10, "ghost", txn.get()).ok());
+  ASSERT_TRUE(db_->Abort(txn.get()).ok());
+  EXPECT_TRUE(ReadValue(1).status().IsNotFound());
+  // Key space is fully released: same key usable again.
+  ASSERT_TRUE(InsertRow(1, 10, "real").ok());
+  EXPECT_EQ(*ReadValue(1), "real");
+}
+
+TEST_F(EngineTest, AbortedUpdateRestoresOldValue) {
+  Open();
+  ASSERT_TRUE(InsertRow(1, 10, "committed").ok());
+  auto txn = db_->Begin();
+  ASSERT_TRUE(UpdateValue(1, "uncommitted", txn.get()).ok());
+  ASSERT_TRUE(db_->Abort(txn.get()).ok());
+  EXPECT_EQ(*ReadValue(1), "committed");
+}
+
+TEST_F(EngineTest, AbortedDeleteRestoresRow) {
+  Open();
+  ASSERT_TRUE(InsertRow(1, 10, "survivor").ok());
+  auto txn = db_->Begin();
+  ASSERT_TRUE(db_->Delete(txn.get(), table_, Key(1)).ok());
+  ASSERT_TRUE(db_->Abort(txn.get()).ok());
+  EXPECT_EQ(*ReadValue(1), "survivor");
+}
+
+TEST_F(EngineTest, PageStorePathRollbacks) {
+  Open();
+  // Route everything to the page store (bulk-load mode).
+  db_->ilm()->SetForcePageStore(true);
+  ASSERT_TRUE(InsertRow(1, 10, "ps-v1").ok());
+  EXPECT_EQ(db_->rid_map()->Size(), 0);  // truly page-store resident
+
+  auto txn = db_->Begin();
+  ASSERT_TRUE(UpdateValue(1, "ps-v2", txn.get()).ok());
+  ASSERT_TRUE(db_->Abort(txn.get()).ok());
+  EXPECT_EQ(*ReadValue(1), "ps-v1");
+
+  auto txn2 = db_->Begin();
+  ASSERT_TRUE(db_->Delete(txn2.get(), table_, Key(1)).ok());
+  ASSERT_TRUE(db_->Abort(txn2.get()).ok());
+  EXPECT_EQ(*ReadValue(1), "ps-v1");
+
+  auto txn3 = db_->Begin();
+  ASSERT_TRUE(InsertRow(2, 10, "ps-ghost", txn3.get()).ok());
+  ASSERT_TRUE(db_->Abort(txn3.get()).ok());
+  EXPECT_TRUE(ReadValue(2).status().IsNotFound());
+}
+
+// --- snapshot isolation ----------------------------------------------------------------
+
+TEST_F(EngineTest, UncommittedWritesInvisibleToOthers) {
+  Open();
+  ASSERT_TRUE(InsertRow(1, 10, "old").ok());
+  auto writer = db_->Begin();
+  ASSERT_TRUE(UpdateValue(1, "new", writer.get()).ok());
+
+  auto reader = db_->Begin();
+  std::string row;
+  ASSERT_TRUE(db_->SelectByKey(reader.get(), table_, Key(1), &row).ok());
+  RecordView v(&table_->schema(), Slice(row));
+  EXPECT_EQ(v.GetString(2).ToString(), "old");
+  ASSERT_TRUE(db_->Commit(reader.get()).ok());
+  ASSERT_TRUE(db_->Commit(writer.get()).ok());
+}
+
+TEST_F(EngineTest, SnapshotReadsAreStableAcrossConcurrentCommit) {
+  Open();
+  ASSERT_TRUE(InsertRow(1, 10, "v1").ok());
+  auto reader = db_->Begin();  // snapshot before the update commits
+
+  ASSERT_TRUE(UpdateValue(1, "v2").ok());  // separate committed txn
+
+  std::string row;
+  ASSERT_TRUE(db_->SelectByKey(reader.get(), table_, Key(1), &row).ok());
+  RecordView v(&table_->schema(), Slice(row));
+  EXPECT_EQ(v.GetString(2).ToString(), "v1");  // still the old version
+  ASSERT_TRUE(db_->Commit(reader.get()).ok());
+
+  EXPECT_EQ(*ReadValue(1), "v2");  // new snapshot sees the update
+}
+
+TEST_F(EngineTest, TransactionSeesItsOwnWrites) {
+  Open();
+  auto txn = db_->Begin();
+  ASSERT_TRUE(InsertRow(1, 10, "mine", txn.get()).ok());
+  std::string row;
+  ASSERT_TRUE(db_->SelectByKey(txn.get(), table_, Key(1), &row).ok());
+  RecordView v(&table_->schema(), Slice(row));
+  EXPECT_EQ(v.GetString(2).ToString(), "mine");
+
+  ASSERT_TRUE(UpdateValue(1, "mine-v2", txn.get()).ok());
+  ASSERT_TRUE(db_->SelectByKey(txn.get(), table_, Key(1), &row).ok());
+  RecordView v2(&table_->schema(), Slice(row));
+  EXPECT_EQ(v2.GetString(2).ToString(), "mine-v2");
+  ASSERT_TRUE(db_->Commit(txn.get()).ok());
+}
+
+TEST_F(EngineTest, RowInsertedAfterSnapshotIsInvisible) {
+  Open();
+  auto reader = db_->Begin();
+  ASSERT_TRUE(InsertRow(1, 10, "late").ok());
+  std::string row;
+  EXPECT_TRUE(
+      db_->SelectByKey(reader.get(), table_, Key(1), &row).IsNotFound());
+  ASSERT_TRUE(db_->Commit(reader.get()).ok());
+}
+
+TEST_F(EngineTest, DeletedRowStillVisibleToOlderSnapshot) {
+  Open();
+  ASSERT_TRUE(InsertRow(1, 10, "going").ok());
+  auto reader = db_->Begin();
+  {
+    auto deleter = db_->Begin();
+    ASSERT_TRUE(db_->Delete(deleter.get(), table_, Key(1)).ok());
+    ASSERT_TRUE(db_->Commit(deleter.get()).ok());
+  }
+  std::string row;
+  ASSERT_TRUE(db_->SelectByKey(reader.get(), table_, Key(1), &row).ok());
+  ASSERT_TRUE(db_->Commit(reader.get()).ok());
+  EXPECT_TRUE(ReadValue(1).status().IsNotFound());
+}
+
+// --- ILM data movement -------------------------------------------------------------------
+
+TEST_F(EngineTest, UpdateMigratesPageStoreRowIntoImrs) {
+  Open();
+  db_->ilm()->SetForcePageStore(true);
+  ASSERT_TRUE(InsertRow(1, 10, "cold").ok());
+  db_->ilm()->SetForcePageStore(false);
+  ASSERT_EQ(db_->rid_map()->Size(), 0);
+
+  ASSERT_TRUE(UpdateValue(1, "hot-now").ok());
+  EXPECT_EQ(db_->rid_map()->Size(), 1);
+  // Verify the source classification.
+  bool found_migrated = false;
+  db_->rid_map()->ForEach([&](Rid, ImrsRow* row) {
+    if (row->source == RowSource::kMigrated) found_migrated = true;
+  });
+  EXPECT_TRUE(found_migrated);
+  EXPECT_EQ(*ReadValue(1), "hot-now");
+}
+
+TEST_F(EngineTest, OldSnapshotReadsPreMigrationImageFromPageStore) {
+  Open();
+  db_->ilm()->SetForcePageStore(true);
+  ASSERT_TRUE(InsertRow(1, 10, "disk-image").ok());
+  db_->ilm()->SetForcePageStore(false);
+
+  auto reader = db_->Begin();  // snapshot before migration
+  ASSERT_TRUE(UpdateValue(1, "imrs-image").ok());
+
+  // The IMRS version is too new for this reader; it must fall back to the
+  // (stale but correct-for-it) page-store image.
+  std::string row;
+  ASSERT_TRUE(db_->SelectByKey(reader.get(), table_, Key(1), &row).ok());
+  RecordView v(&table_->schema(), Slice(row));
+  EXPECT_EQ(v.GetString(2).ToString(), "disk-image");
+  ASSERT_TRUE(db_->Commit(reader.get()).ok());
+}
+
+TEST_F(EngineTest, AbortedMigrationLeavesPageStoreTruthIntact) {
+  Open();
+  db_->ilm()->SetForcePageStore(true);
+  ASSERT_TRUE(InsertRow(1, 10, "disk-truth").ok());
+  db_->ilm()->SetForcePageStore(false);
+
+  // The update migrates the row into the IMRS, then aborts: the IMRS copy
+  // must vanish and the page-store image remains authoritative.
+  auto txn = db_->Begin();
+  ASSERT_TRUE(UpdateValue(1, "never-happened", txn.get()).ok());
+  EXPECT_EQ(db_->rid_map()->Size(), 1);  // migrated (uncommitted)
+  ASSERT_TRUE(db_->Abort(txn.get()).ok());
+  EXPECT_EQ(db_->rid_map()->Size(), 0);
+  EXPECT_EQ(*ReadValue(1), "disk-truth");
+  // And the row can be migrated again cleanly afterwards.
+  ASSERT_TRUE(UpdateValue(1, "second-try").ok());
+  EXPECT_EQ(*ReadValue(1), "second-try");
+}
+
+TEST_F(EngineTest, AbortedSelectCachingRollsBack) {
+  Open();
+  db_->ilm()->SetForcePageStore(true);
+  ASSERT_TRUE(InsertRow(1, 10, "cold-row").ok());
+  db_->ilm()->SetForcePageStore(false);
+
+  auto txn = db_->Begin();
+  std::string row;
+  ASSERT_TRUE(db_->SelectByKey(txn.get(), table_, Key(1), &row).ok());
+  EXPECT_EQ(db_->rid_map()->Size(), 1);  // cached within the transaction
+  ASSERT_TRUE(db_->Abort(txn.get()).ok());
+  EXPECT_EQ(db_->rid_map()->Size(), 0);  // caching undone with the txn
+  EXPECT_EQ(*ReadValue(1), "cold-row");  // (this read re-caches — fine)
+}
+
+TEST_F(EngineTest, PointSelectCachesPageStoreRow) {
+  Open();
+  db_->ilm()->SetForcePageStore(true);
+  ASSERT_TRUE(InsertRow(1, 10, "readable").ok());
+  db_->ilm()->SetForcePageStore(false);
+
+  EXPECT_EQ(*ReadValue(1), "readable");
+  EXPECT_EQ(db_->rid_map()->Size(), 1);
+  bool found_cached = false;
+  db_->rid_map()->ForEach([&](Rid, ImrsRow* row) {
+    if (row->source == RowSource::kCached) found_cached = true;
+  });
+  EXPECT_TRUE(found_cached);
+  // Subsequent reads hit the IMRS.
+  const int64_t imrs_ops_before = db_->GetStats().imrs_operations;
+  EXPECT_EQ(*ReadValue(1), "readable");
+  EXPECT_GT(db_->GetStats().imrs_operations, imrs_ops_before);
+}
+
+TEST_F(EngineTest, SelectCachingCanBeDisabled) {
+  DatabaseOptions options;
+  options.ilm.select_caching = false;
+  Open(options);
+  db_->ilm()->SetForcePageStore(true);
+  ASSERT_TRUE(InsertRow(1, 10, "stays-cold").ok());
+  db_->ilm()->SetForcePageStore(false);
+  EXPECT_EQ(*ReadValue(1), "stays-cold");
+  EXPECT_EQ(db_->rid_map()->Size(), 0);
+}
+
+TEST_F(EngineTest, ImrsFullFallsBackToPageStore) {
+  DatabaseOptions options;
+  options.imrs_cache_bytes = 16 * 1024;  // absurdly small
+  Open(options);
+  // Insert more data than the IMRS can hold: later inserts must land in
+  // the page store instead of failing.
+  for (int64_t i = 0; i < 200; ++i) {
+    ASSERT_TRUE(InsertRow(i, 1, std::string(50, 'x')).ok()) << i;
+  }
+  DatabaseStats stats = db_->GetStats();
+  EXPECT_GT(stats.page_operations, 0);
+  // Everything is readable regardless of where it landed.
+  for (int64_t i = 0; i < 200; i += 20) {
+    EXPECT_TRUE(ReadValue(i).ok()) << i;
+  }
+}
+
+TEST_F(EngineTest, PackRelocatesColdRowsAndKeepsThemReadable) {
+  DatabaseOptions options;
+  options.imrs_cache_bytes = 64 * 1024;
+  options.ilm.pack_cycle_pct = 0.20;
+  Open(options);
+
+  // Fill the IMRS beyond its steady threshold.
+  int64_t id = 0;
+  while (db_->imrs_allocator()->Utilization() < 0.80) {
+    ASSERT_TRUE(InsertRow(id++, 1, std::string(40, 'p')).ok());
+  }
+  // Queue maintenance (GC) then pack cycles.
+  db_->RunGcOnce();
+  const int64_t before_bytes = db_->imrs_allocator()->InUseBytes();
+  for (int i = 0; i < 10; ++i) {
+    db_->RunIlmTickOnce();
+    db_->RunGcOnce();
+  }
+  DatabaseStats stats = db_->GetStats();
+  EXPECT_GT(stats.pack.rows_packed, 0);
+  EXPECT_GT(stats.pack.bytes_packed, 0);
+  EXPECT_LT(db_->imrs_allocator()->InUseBytes(), before_bytes);
+
+  // Every row is still readable (some from the page store now).
+  for (int64_t i = 0; i < id; i += 7) {
+    ASSERT_TRUE(ReadValue(i).ok()) << "row " << i;
+  }
+  EXPECT_LT(db_->rid_map()->Size(), id);  // some rows really left the IMRS
+}
+
+TEST_F(EngineTest, GcPurgesDeletedRowsCompletely) {
+  Open();
+  ASSERT_TRUE(InsertRow(1, 10, "transient").ok());
+  db_->RunGcOnce();  // row enters its ILM queue
+
+  auto txn = db_->Begin();
+  ASSERT_TRUE(db_->Delete(txn.get(), table_, Key(1)).ok());
+  ASSERT_TRUE(db_->Commit(txn.get()).ok());
+
+  // Advance the horizon past the delete, then purge.
+  ASSERT_TRUE(InsertRow(2, 10, "clock-mover").ok());
+  db_->RunGcOnce();
+  db_->RunGcOnce();
+
+  EXPECT_EQ(db_->rid_map()->Lookup(Rid{0, 0, 0}), nullptr);
+  EXPECT_GT(db_->GetStats().gc.rows_purged, 0);
+  // The primary index entry is gone too (a fresh insert of the key works
+  // and a lookup honestly misses).
+  EXPECT_TRUE(ReadValue(1).status().IsNotFound());
+  ASSERT_TRUE(InsertRow(1, 10, "reborn").ok());
+  EXPECT_EQ(*ReadValue(1), "reborn");
+}
+
+// --- scans ------------------------------------------------------------------------------
+
+TEST_F(EngineTest, PrimaryScanReturnsRange) {
+  Open();
+  for (int64_t i = 0; i < 50; ++i) {
+    ASSERT_TRUE(InsertRow(i, i % 5, "row" + std::to_string(i)).ok());
+  }
+  auto txn = db_->Begin();
+  std::vector<ScanRow> rows;
+  ASSERT_TRUE(db_->ScanIndex(txn.get(), table_, -1, Key(10), Key(20), 0,
+                             &rows)
+                  .ok());
+  EXPECT_EQ(rows.size(), 10u);
+  ASSERT_TRUE(db_->Commit(txn.get()).ok());
+}
+
+TEST_F(EngineTest, SecondaryScanFindsGroupMembers) {
+  Open();
+  for (int64_t i = 0; i < 30; ++i) {
+    ASSERT_TRUE(InsertRow(i, i % 3, "x").ok());
+  }
+  auto txn = db_->Begin();
+  std::string lower, upper;
+  KeyEncoder::AppendInt(&lower, 1);
+  KeyEncoder::AppendInt(&upper, 2);
+  std::vector<ScanRow> rows;
+  ASSERT_TRUE(db_->ScanIndex(txn.get(), table_, 0, Slice(lower), Slice(upper),
+                             0, &rows)
+                  .ok());
+  EXPECT_EQ(rows.size(), 10u);
+  for (const ScanRow& r : rows) {
+    RecordView v(&table_->schema(), Slice(r.payload));
+    EXPECT_EQ(v.GetInt64(1), 1);
+  }
+  ASSERT_TRUE(db_->Commit(txn.get()).ok());
+}
+
+TEST_F(EngineTest, ScanStraddlesBothStores) {
+  Open();
+  db_->ilm()->SetForcePageStore(true);
+  for (int64_t i = 0; i < 10; ++i) {
+    ASSERT_TRUE(InsertRow(i, 1, "cold").ok());
+  }
+  db_->ilm()->SetForcePageStore(false);
+  for (int64_t i = 10; i < 20; ++i) {
+    ASSERT_TRUE(InsertRow(i, 1, "hot").ok());
+  }
+  auto txn = db_->Begin();
+  std::vector<ScanRow> rows;
+  ASSERT_TRUE(
+      db_->ScanIndex(txn.get(), table_, -1, Key(0), Key(20), 0, &rows).ok());
+  ASSERT_EQ(rows.size(), 20u);
+  int imrs = 0, page = 0;
+  for (const ScanRow& r : rows) {
+    (r.from_imrs ? imrs : page)++;
+  }
+  EXPECT_EQ(imrs, 10);
+  EXPECT_EQ(page, 10);
+  ASSERT_TRUE(db_->Commit(txn.get()).ok());
+}
+
+TEST_F(EngineTest, ScanSkipsRowsDeletedForThisSnapshot) {
+  Open();
+  for (int64_t i = 0; i < 10; ++i) {
+    ASSERT_TRUE(InsertRow(i, 1, "x").ok());
+  }
+  auto txn = db_->Begin();
+  ASSERT_TRUE(db_->Delete(txn.get(), table_, Key(5)).ok());
+  ASSERT_TRUE(db_->Commit(txn.get()).ok());
+
+  auto reader = db_->Begin();
+  std::vector<ScanRow> rows;
+  ASSERT_TRUE(
+      db_->ScanIndex(reader.get(), table_, -1, Key(0), Key(10), 0, &rows).ok());
+  EXPECT_EQ(rows.size(), 9u);
+  ASSERT_TRUE(db_->Commit(reader.get()).ok());
+}
+
+// --- concurrency ---------------------------------------------------------------------------
+
+TEST_F(EngineTest, WriteConflictTimesOutAndAborts) {
+  Open();
+  ASSERT_TRUE(InsertRow(1, 10, "contested").ok());
+  auto holder = db_->Begin();
+  ASSERT_TRUE(UpdateValue(1, "holder", holder.get()).ok());
+
+  auto contender = db_->Begin();
+  Status s = UpdateValue(1, "contender", contender.get());
+  EXPECT_TRUE(s.IsAborted());
+  ASSERT_TRUE(db_->Abort(contender.get()).ok());
+  ASSERT_TRUE(db_->Commit(holder.get()).ok());
+  EXPECT_EQ(*ReadValue(1), "holder");
+}
+
+TEST_F(EngineTest, ConcurrentDisjointWritersAllSucceed) {
+  Open();
+  constexpr int kThreads = 4;
+  constexpr int kRows = 200;
+  std::vector<std::thread> threads;
+  std::atomic<int> failures{0};
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kRows; ++i) {
+        const int64_t id = static_cast<int64_t>(t) * 10000 + i;
+        if (!InsertRow(id, t, "w").ok()) failures.fetch_add(1);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  auto txn = db_->Begin();
+  std::vector<ScanRow> rows;
+  ASSERT_TRUE(db_->ScanIndex(txn.get(), table_, -1, Slice(), Slice(), 0,
+                             &rows)
+                  .ok());
+  EXPECT_EQ(rows.size(), static_cast<size_t>(kThreads * kRows));
+  ASSERT_TRUE(db_->Commit(txn.get()).ok());
+}
+
+TEST_F(EngineTest, ConcurrentCountersUnderContention) {
+  Open();
+  ASSERT_TRUE(InsertRow(1, 0, "0").ok());
+  constexpr int kThreads = 4;
+  constexpr int kIncrements = 50;
+  std::atomic<int> committed{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kIncrements; ++i) {
+        auto txn = db_->Begin();
+        Status s = db_->Update(txn.get(), table_, Key(1),
+                               [&](std::string* payload) {
+                                 RecordEditor e(&table_->schema(),
+                                                Slice(*payload));
+                                 const int cur = std::stoi(e.GetString(2));
+                                 e.SetString(2, std::to_string(cur + 1));
+                                 *payload = e.Encode();
+                               });
+        if (s.ok()) s = db_->Commit(txn.get());
+        else { Status a = db_->Abort(txn.get()); (void)a; }
+        if (s.ok()) committed.fetch_add(1);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  // Exclusive locks make increments exact for committed transactions.
+  EXPECT_EQ(std::stoi(*ReadValue(1)), committed.load());
+  EXPECT_GT(committed.load(), 0);
+}
+
+// --- misc -------------------------------------------------------------------------------------
+
+TEST_F(EngineTest, MultiPartitionTableRoutesByColumn) {
+  DatabaseOptions options;
+  Open(options);
+  TableOptions topt;
+  topt.name = "parted";
+  topt.schema = Schema({Column::Int64("id"), Column::Int64("region")});
+  topt.primary_key = {0};
+  topt.num_partitions = 4;
+  topt.partition_column = 1;
+  Result<Table*> created = db_->CreateTable(topt);
+  ASSERT_TRUE(created.ok());
+  Table* parted = *created;
+  ASSERT_EQ(parted->num_partitions(), 4u);
+
+  for (int64_t i = 0; i < 40; ++i) {
+    auto txn = db_->Begin();
+    RecordBuilder b(&parted->schema());
+    b.AddInt64(i).AddInt64(i % 4);
+    ASSERT_TRUE(db_->Insert(txn.get(), parted, b.Finish()).ok());
+    ASSERT_TRUE(db_->Commit(txn.get()).ok());
+  }
+  // Each partition owns exactly its region's rows.
+  for (size_t p = 0; p < 4; ++p) {
+    EXPECT_EQ(parted->partition(p).ilm->metrics.imrs_rows.Load(), 10);
+  }
+  // Point lookups work across partitions.
+  for (int64_t i = 0; i < 40; i += 7) {
+    auto txn = db_->Begin();
+    std::string row;
+    EXPECT_TRUE(db_->SelectByKey(txn.get(), parted,
+                                 parted->pk_encoder().KeyForInts({i}), &row)
+                    .ok());
+    ASSERT_TRUE(db_->Commit(txn.get()).ok());
+  }
+}
+
+TEST_F(EngineTest, RangePartitionedTableRoutesByBounds) {
+  DatabaseOptions options;
+  Open(options);
+  TableOptions topt;
+  topt.name = "orders_by_month";
+  topt.schema = Schema({Column::Int64("id"), Column::Int64("month")});
+  topt.primary_key = {0};
+  topt.partition_column = 1;
+  topt.range_bounds = {202603, 202606};  // [,202603) [202603,202606) [202606,)
+  Result<Table*> created = db_->CreateTable(topt);
+  ASSERT_TRUE(created.ok());
+  Table* orders = *created;
+  ASSERT_EQ(orders->num_partitions(), 3u);
+  EXPECT_TRUE(orders->range_partitioned());
+
+  EXPECT_EQ(orders->PartitionIndexForValue(202601), 0u);
+  EXPECT_EQ(orders->PartitionIndexForValue(202602), 0u);
+  EXPECT_EQ(orders->PartitionIndexForValue(202603), 1u);
+  EXPECT_EQ(orders->PartitionIndexForValue(202605), 1u);
+  EXPECT_EQ(orders->PartitionIndexForValue(202606), 2u);
+  EXPECT_EQ(orders->PartitionIndexForValue(202612), 2u);
+
+  // Rows land in (and are counted against) the right partition.
+  const int64_t months[] = {202601, 202604, 202607};
+  int64_t id = 0;
+  for (int64_t month : months) {
+    for (int i = 0; i < 5; ++i) {
+      auto txn = db_->Begin();
+      RecordBuilder b(&orders->schema());
+      b.AddInt64(id++).AddInt64(month);
+      ASSERT_TRUE(db_->Insert(txn.get(), orders, b.Finish()).ok());
+      ASSERT_TRUE(db_->Commit(txn.get()).ok());
+    }
+  }
+  for (size_t p = 0; p < 3; ++p) {
+    EXPECT_EQ(orders->partition(p).ilm->metrics.imrs_rows.Load(), 5)
+        << "partition " << p;
+  }
+  // Point lookups resolve across partitions.
+  for (int64_t i = 0; i < id; ++i) {
+    auto txn = db_->Begin();
+    std::string row;
+    EXPECT_TRUE(db_->SelectByKey(txn.get(), orders,
+                                 orders->pk_encoder().KeyForInts({i}), &row)
+                    .ok())
+        << i;
+    ASSERT_TRUE(db_->Commit(txn.get()).ok());
+  }
+}
+
+TEST_F(EngineTest, RangePartitionValidation) {
+  Open();
+  TableOptions topt;
+  topt.name = "bad";
+  topt.schema = Schema({Column::Int64("id"), Column::Int64("m")});
+  topt.primary_key = {0};
+  topt.range_bounds = {10, 5};  // not ascending
+  topt.partition_column = 1;
+  EXPECT_TRUE(db_->CreateTable(topt).status().IsInvalidArgument());
+  topt.range_bounds = {5, 10};
+  topt.partition_column = -1;  // bounds without a column
+  topt.name = "bad2";
+  EXPECT_TRUE(db_->CreateTable(topt).status().IsInvalidArgument());
+}
+
+TEST_F(EngineTest, TunerDisablesColdRangePartitionsOnly) {
+  // Sec. V's motivating case: in a date-range-partitioned table only the
+  // most recent partition is hot; the tuner should disable IMRS use for
+  // the stale partitions while the hot one stays enabled.
+  DatabaseOptions options;
+  options.imrs_cache_bytes = 512 * 1024;
+  options.ilm.tuning_window_txns = 50;
+  options.ilm.hysteresis_windows = 2;
+  options.ilm.min_new_rows_for_disable = 10;
+  Open(options);
+
+  TableOptions topt;
+  topt.name = "events";
+  topt.schema = Schema({Column::Int64("id"), Column::Int64("month"),
+                        Column::String("data", 48)});
+  topt.primary_key = {0};
+  topt.partition_column = 1;
+  topt.range_bounds = {202606};  // old months | current month
+  Table* events = *db_->CreateTable(topt);
+
+  PartitionState* old_part = events->partition(0).ilm;
+  PartitionState* hot_part = events->partition(1).ilm;
+
+  int64_t id = 0;
+  auto insert_event = [&](int64_t month) {
+    auto txn = db_->Begin();
+    RecordBuilder b(&events->schema());
+    b.AddInt64(id++).AddInt64(month).AddString(std::string(40, 'e'));
+    ASSERT_TRUE(db_->Insert(txn.get(), events, b.Finish()).ok());
+    ASSERT_TRUE(db_->Commit(txn.get()).ok());
+  };
+
+  // Backfill keeps streaming into the old partition (never re-read), while
+  // current-month rows are re-read constantly.
+  for (int round = 0; round < 120 && old_part->imrs_enabled.load();
+       ++round) {
+    for (int i = 0; i < 40; ++i) insert_event(202601);  // cold backfill
+    for (int i = 0; i < 20; ++i) {
+      insert_event(202607);
+      auto txn = db_->Begin();
+      std::string row;
+      Status s = db_->SelectByKey(txn.get(), events,
+                                  events->pk_encoder().KeyForInts({id - 1}),
+                                  &row);
+      ASSERT_TRUE(s.ok());
+      ASSERT_TRUE(db_->Commit(txn.get()).ok());
+    }
+    db_->RunGcOnce();
+    db_->RunIlmTickOnce();
+  }
+  EXPECT_FALSE(old_part->imrs_enabled.load())
+      << "stale range partition should lose IMRS enablement";
+  EXPECT_TRUE(hot_part->imrs_enabled.load())
+      << "current range partition must stay enabled";
+}
+
+TEST_F(EngineTest, HashIndexServesPointLookups) {
+  Open();
+  ASSERT_TRUE(InsertRow(1, 10, "fast").ok());
+  const int64_t hits_before = table_->hash_index()->GetStats().hits;
+  EXPECT_EQ(*ReadValue(1), "fast");
+  EXPECT_GT(table_->hash_index()->GetStats().hits, hits_before);
+}
+
+TEST_F(EngineTest, StatsReflectActivity) {
+  Open();
+  ASSERT_TRUE(InsertRow(1, 10, "x").ok());
+  ASSERT_TRUE(UpdateValue(1, "y").ok());
+  DatabaseStats stats = db_->GetStats();
+  EXPECT_EQ(stats.txns.committed, 2);
+  EXPECT_GT(stats.imrs_operations, 0);
+  EXPECT_GT(stats.sysimrslogs.records_appended, 0);
+  EXPECT_GT(stats.imrs_cache.in_use_bytes, 0);
+}
+
+TEST_F(EngineTest, CheckpointFlushesAndTruncates) {
+  Open();
+  db_->ilm()->SetForcePageStore(true);
+  for (int64_t i = 0; i < 20; ++i) {
+    ASSERT_TRUE(InsertRow(i, 1, "flushme").ok());
+  }
+  EXPECT_GT(db_->syslogs()->SizeBytes(), 0);
+  ASSERT_TRUE(db_->Checkpoint().ok());
+  EXPECT_EQ(db_->syslogs()->SizeBytes(), 0);
+  // Data remains readable after a cold cache restart.
+  ASSERT_TRUE(db_->buffer_cache()->DropAll().ok());
+  db_->ilm()->SetForcePageStore(false);
+  EXPECT_TRUE(ReadValue(5).ok());
+}
+
+// --- Sec. X future-work features: pinning and pre-warm ---------------------------
+
+TEST_F(EngineTest, PinnedTableIsNeverPacked) {
+  DatabaseOptions options;
+  options.imrs_cache_bytes = 64 * 1024;
+  options.ilm.pack_cycle_pct = 0.25;
+  Open(options);
+
+  TableOptions popt;
+  popt.name = "pinned";
+  popt.schema = Schema({Column::Int64("id"), Column::String("v", 40)});
+  popt.primary_key = {0};
+  popt.pin_in_imrs = true;
+  Table* pinned = *db_->CreateTable(popt);
+
+  // A few pinned rows plus enough unpinned churn to force packing.
+  for (int64_t i = 0; i < 20; ++i) {
+    auto txn = db_->Begin();
+    RecordBuilder b(&pinned->schema());
+    b.AddInt64(i).AddString("pin");
+    ASSERT_TRUE(db_->Insert(txn.get(), pinned, b.Finish()).ok());
+    ASSERT_TRUE(db_->Commit(txn.get()).ok());
+  }
+  int64_t id = 0;
+  while (db_->imrs_allocator()->Utilization() < 0.85) {
+    ASSERT_TRUE(InsertRow(id++, 1, std::string(40, 'u')).ok());
+  }
+  db_->RunGcOnce();
+  for (int i = 0; i < 10; ++i) db_->RunIlmTickOnce();
+
+  EXPECT_GT(db_->GetStats().pack.rows_packed, 0);  // unpinned churned
+  EXPECT_EQ(pinned->partition(0).ilm->metrics.rows_packed.Load(), 0);
+  EXPECT_EQ(pinned->partition(0).ilm->metrics.imrs_rows.Load(), 20);
+}
+
+TEST_F(EngineTest, PinnedTableAdmitsUnderBypass) {
+  Open();
+  TableOptions popt;
+  popt.name = "pinned";
+  popt.schema = Schema({Column::Int64("id"), Column::String("v", 16)});
+  popt.primary_key = {0};
+  popt.pin_in_imrs = true;
+  Table* pinned = *db_->CreateTable(popt);
+  // Even with the partition tuner-disabled and under ILM rules that would
+  // reject admission, pinning wins.
+  pinned->partition(0).ilm->imrs_enabled.store(false);
+  EXPECT_TRUE(db_->ilm()->ShouldInsertToImrs(pinned->partition(0).ilm));
+  EXPECT_TRUE(db_->ilm()->ShouldMigrateOnUpdate(pinned->partition(0).ilm,
+                                                false, false));
+}
+
+TEST_F(EngineTest, PrewarmLoadsPageStoreRowsIntoImrs) {
+  Open();
+  db_->ilm()->SetForcePageStore(true);
+  for (int64_t i = 0; i < 50; ++i) {
+    ASSERT_TRUE(InsertRow(i, 1, "cold-" + std::to_string(i)).ok());
+  }
+  db_->ilm()->SetForcePageStore(false);
+  ASSERT_EQ(db_->rid_map()->Size(), 0);
+
+  Result<int64_t> warmed = db_->PrewarmTable(table_);
+  ASSERT_TRUE(warmed.ok());
+  EXPECT_EQ(*warmed, 50);
+  EXPECT_EQ(db_->rid_map()->Size(), 50);
+  // Warmed rows read correctly and from the IMRS.
+  auto txn = db_->Begin();
+  std::string row;
+  ASSERT_TRUE(db_->SelectByKey(txn.get(), table_, Key(7), &row).ok());
+  RecordView v(&table_->schema(), Slice(row));
+  EXPECT_EQ(v.GetString(2).ToString(), "cold-7");
+  ASSERT_TRUE(db_->Commit(txn.get()).ok());
+}
+
+TEST_F(EngineTest, PrewarmIsIdempotentAndStopsWhenFull) {
+  DatabaseOptions options;
+  options.imrs_cache_bytes = 24 * 1024;
+  Open(options);
+  db_->ilm()->SetForcePageStore(true);
+  for (int64_t i = 0; i < 500; ++i) {
+    ASSERT_TRUE(InsertRow(i, 1, std::string(40, 'w')).ok());
+  }
+  db_->ilm()->SetForcePageStore(false);
+
+  Result<int64_t> first = db_->PrewarmTable(table_);
+  ASSERT_TRUE(first.ok());
+  EXPECT_GT(*first, 0);
+  EXPECT_LT(*first, 500);  // the 24 KiB cache cannot hold all 500
+
+  Result<int64_t> second = db_->PrewarmTable(table_);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(*second, 0);  // already-resident rows are skipped
+}
+
+TEST_F(EngineTest, TableCatalogLookups) {
+  Open();
+  EXPECT_EQ(db_->GetTable("kv"), table_);
+  EXPECT_EQ(db_->GetTable("absent"), nullptr);
+  EXPECT_EQ(db_->GetTable(table_->id()), table_);
+  EXPECT_EQ(db_->GetTable(999u), nullptr);
+  EXPECT_EQ(db_->Tables().size(), 1u);
+}
+
+TEST_F(EngineTest, StatsPrinterProducesAllSections) {
+  Open();
+  ASSERT_TRUE(InsertRow(1, 10, "x").ok());
+  ASSERT_TRUE(UpdateValue(1, "y").ok());
+  const std::string report = FormatDatabaseStats(db_->GetStats());
+  for (const char* section :
+       {"transactions", "op routing", "IMRS cache", "buffer cache", "locks",
+        "GC", "Pack", "syslogs", "sysimrslogs"}) {
+    EXPECT_NE(report.find(section), std::string::npos) << section;
+  }
+  EXPECT_NE(report.find("2 committed"), std::string::npos);
+
+  const std::string breakdown = FormatTableBreakdown(db_.get());
+  EXPECT_NE(breakdown.find("kv/0"), std::string::npos);
+  EXPECT_NE(breakdown.find("enabled"), std::string::npos);
+}
+
+TEST_F(EngineTest, StatsPrinterShowsPinnedAndDisabledModes) {
+  Open();
+  TableOptions popt;
+  popt.name = "pinned_t";
+  popt.schema = Schema({Column::Int64("id")});
+  popt.primary_key = {0};
+  popt.pin_in_imrs = true;
+  Table* pinned = *db_->CreateTable(popt);
+  (void)pinned;
+  table_->partition(0).ilm->imrs_enabled.store(false);
+  const std::string breakdown = FormatTableBreakdown(db_.get());
+  EXPECT_NE(breakdown.find("pinned"), std::string::npos);
+  EXPECT_NE(breakdown.find("disabled"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace btrim
