@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_apportion.dir/ablation_apportion.cc.o"
+  "CMakeFiles/ablation_apportion.dir/ablation_apportion.cc.o.d"
+  "ablation_apportion"
+  "ablation_apportion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_apportion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ablation_select_caching.cc" "bench/CMakeFiles/ablation_select_caching.dir/ablation_select_caching.cc.o" "gcc" "bench/CMakeFiles/ablation_select_caching.dir/ablation_select_caching.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/bench_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/tpcc/CMakeFiles/btrim_tpcc.dir/DependInfo.cmake"
+  "/root/repo/build/src/engine/CMakeFiles/btrim_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/btrim_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/txn/CMakeFiles/btrim_txn.dir/DependInfo.cmake"
+  "/root/repo/build/src/wal/CMakeFiles/btrim_wal.dir/DependInfo.cmake"
+  "/root/repo/build/src/ilm/CMakeFiles/btrim_ilm.dir/DependInfo.cmake"
+  "/root/repo/build/src/imrs/CMakeFiles/btrim_imrs.dir/DependInfo.cmake"
+  "/root/repo/build/src/alloc/CMakeFiles/btrim_alloc.dir/DependInfo.cmake"
+  "/root/repo/build/src/page/CMakeFiles/btrim_page.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/btrim_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

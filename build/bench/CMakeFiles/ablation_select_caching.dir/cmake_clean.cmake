@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_select_caching.dir/ablation_select_caching.cc.o"
+  "CMakeFiles/ablation_select_caching.dir/ablation_select_caching.cc.o.d"
+  "ablation_select_caching"
+  "ablation_select_caching.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_select_caching.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

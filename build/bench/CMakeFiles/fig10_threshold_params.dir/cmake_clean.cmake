@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_threshold_params.dir/fig10_threshold_params.cc.o"
+  "CMakeFiles/fig10_threshold_params.dir/fig10_threshold_params.cc.o.d"
+  "fig10_threshold_params"
+  "fig10_threshold_params.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_threshold_params.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_ilm_benefits.dir/fig1_ilm_benefits.cc.o"
+  "CMakeFiles/fig1_ilm_benefits.dir/fig1_ilm_benefits.cc.o.d"
+  "fig1_ilm_benefits"
+  "fig1_ilm_benefits.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_ilm_benefits.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_cache_utilization.dir/fig2_cache_utilization.cc.o"
+  "CMakeFiles/fig2_cache_utilization.dir/fig2_cache_utilization.cc.o.d"
+  "fig2_cache_utilization"
+  "fig2_cache_utilization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_cache_utilization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

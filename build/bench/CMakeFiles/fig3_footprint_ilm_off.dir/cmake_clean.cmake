@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_footprint_ilm_off.dir/fig3_footprint_ilm_off.cc.o"
+  "CMakeFiles/fig3_footprint_ilm_off.dir/fig3_footprint_ilm_off.cc.o.d"
+  "fig3_footprint_ilm_off"
+  "fig3_footprint_ilm_off.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_footprint_ilm_off.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

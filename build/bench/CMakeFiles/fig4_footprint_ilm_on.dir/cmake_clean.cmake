@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_footprint_ilm_on.dir/fig4_footprint_ilm_on.cc.o"
+  "CMakeFiles/fig4_footprint_ilm_on.dir/fig4_footprint_ilm_on.cc.o.d"
+  "fig4_footprint_ilm_on"
+  "fig4_footprint_ilm_on.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_footprint_ilm_on.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

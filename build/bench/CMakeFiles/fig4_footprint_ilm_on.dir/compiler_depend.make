@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig4_footprint_ilm_on.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig4_footprint_ilm_on.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_row_reuse.dir/fig6_row_reuse.cc.o"
+  "CMakeFiles/fig6_row_reuse.dir/fig6_row_reuse.cc.o.d"
+  "fig6_row_reuse"
+  "fig6_row_reuse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_row_reuse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_packed_rows.dir/fig7_packed_rows.cc.o"
+  "CMakeFiles/fig7_packed_rows.dir/fig7_packed_rows.cc.o.d"
+  "fig7_packed_rows"
+  "fig7_packed_rows.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_packed_rows.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

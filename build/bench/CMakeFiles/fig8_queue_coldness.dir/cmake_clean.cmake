@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_queue_coldness.dir/fig8_queue_coldness.cc.o"
+  "CMakeFiles/fig8_queue_coldness.dir/fig8_queue_coldness.cc.o.d"
+  "fig8_queue_coldness"
+  "fig8_queue_coldness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_queue_coldness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig8_queue_coldness.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_steady_threshold.dir/fig9_steady_threshold.cc.o"
+  "CMakeFiles/fig9_steady_threshold.dir/fig9_steady_threshold.cc.o.d"
+  "fig9_steady_threshold"
+  "fig9_steady_threshold.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_steady_threshold.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

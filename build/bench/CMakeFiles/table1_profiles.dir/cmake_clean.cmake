@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_profiles.dir/table1_profiles.cc.o"
+  "CMakeFiles/table1_profiles.dir/table1_profiles.cc.o.d"
+  "table1_profiles"
+  "table1_profiles.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_profiles.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

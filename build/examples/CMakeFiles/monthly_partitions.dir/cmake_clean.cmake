@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/monthly_partitions.dir/monthly_partitions.cpp.o"
+  "CMakeFiles/monthly_partitions.dir/monthly_partitions.cpp.o.d"
+  "monthly_partitions"
+  "monthly_partitions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/monthly_partitions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

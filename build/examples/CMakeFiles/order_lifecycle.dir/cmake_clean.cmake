@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/order_lifecycle.dir/order_lifecycle.cpp.o"
+  "CMakeFiles/order_lifecycle.dir/order_lifecycle.cpp.o.d"
+  "order_lifecycle"
+  "order_lifecycle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/order_lifecycle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tpcc_cli.dir/tpcc_cli.cpp.o"
+  "CMakeFiles/tpcc_cli.dir/tpcc_cli.cpp.o.d"
+  "tpcc_cli"
+  "tpcc_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tpcc_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/btrim_alloc.dir/fragment_allocator.cc.o"
+  "CMakeFiles/btrim_alloc.dir/fragment_allocator.cc.o.d"
+  "libbtrim_alloc.a"
+  "libbtrim_alloc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/btrim_alloc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/btrim_common.dir/status.cc.o"
+  "CMakeFiles/btrim_common.dir/status.cc.o.d"
+  "libbtrim_common.a"
+  "libbtrim_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/btrim_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/btrim_engine.dir/access.cc.o"
+  "CMakeFiles/btrim_engine.dir/access.cc.o.d"
+  "CMakeFiles/btrim_engine.dir/database.cc.o"
+  "CMakeFiles/btrim_engine.dir/database.cc.o.d"
+  "CMakeFiles/btrim_engine.dir/recovery.cc.o"
+  "CMakeFiles/btrim_engine.dir/recovery.cc.o.d"
+  "CMakeFiles/btrim_engine.dir/schema.cc.o"
+  "CMakeFiles/btrim_engine.dir/schema.cc.o.d"
+  "CMakeFiles/btrim_engine.dir/stats_printer.cc.o"
+  "CMakeFiles/btrim_engine.dir/stats_printer.cc.o.d"
+  "libbtrim_engine.a"
+  "libbtrim_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/btrim_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ilm/ilm_manager.cc" "src/ilm/CMakeFiles/btrim_ilm.dir/ilm_manager.cc.o" "gcc" "src/ilm/CMakeFiles/btrim_ilm.dir/ilm_manager.cc.o.d"
+  "/root/repo/src/ilm/pack.cc" "src/ilm/CMakeFiles/btrim_ilm.dir/pack.cc.o" "gcc" "src/ilm/CMakeFiles/btrim_ilm.dir/pack.cc.o.d"
+  "/root/repo/src/ilm/tsf.cc" "src/ilm/CMakeFiles/btrim_ilm.dir/tsf.cc.o" "gcc" "src/ilm/CMakeFiles/btrim_ilm.dir/tsf.cc.o.d"
+  "/root/repo/src/ilm/tuner.cc" "src/ilm/CMakeFiles/btrim_ilm.dir/tuner.cc.o" "gcc" "src/ilm/CMakeFiles/btrim_ilm.dir/tuner.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/btrim_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/alloc/CMakeFiles/btrim_alloc.dir/DependInfo.cmake"
+  "/root/repo/build/src/imrs/CMakeFiles/btrim_imrs.dir/DependInfo.cmake"
+  "/root/repo/build/src/page/CMakeFiles/btrim_page.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

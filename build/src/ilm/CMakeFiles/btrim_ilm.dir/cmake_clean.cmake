@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/btrim_ilm.dir/ilm_manager.cc.o"
+  "CMakeFiles/btrim_ilm.dir/ilm_manager.cc.o.d"
+  "CMakeFiles/btrim_ilm.dir/pack.cc.o"
+  "CMakeFiles/btrim_ilm.dir/pack.cc.o.d"
+  "CMakeFiles/btrim_ilm.dir/tsf.cc.o"
+  "CMakeFiles/btrim_ilm.dir/tsf.cc.o.d"
+  "CMakeFiles/btrim_ilm.dir/tuner.cc.o"
+  "CMakeFiles/btrim_ilm.dir/tuner.cc.o.d"
+  "libbtrim_ilm.a"
+  "libbtrim_ilm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/btrim_ilm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

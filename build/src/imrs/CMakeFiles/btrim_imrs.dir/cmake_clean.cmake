@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/btrim_imrs.dir/gc.cc.o"
+  "CMakeFiles/btrim_imrs.dir/gc.cc.o.d"
+  "CMakeFiles/btrim_imrs.dir/store.cc.o"
+  "CMakeFiles/btrim_imrs.dir/store.cc.o.d"
+  "libbtrim_imrs.a"
+  "libbtrim_imrs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/btrim_imrs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/btrim_index.dir/btree.cc.o"
+  "CMakeFiles/btrim_index.dir/btree.cc.o.d"
+  "libbtrim_index.a"
+  "libbtrim_index.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/btrim_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libbtrim_index.a"
+)

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/page/buffer_cache.cc" "src/page/CMakeFiles/btrim_page.dir/buffer_cache.cc.o" "gcc" "src/page/CMakeFiles/btrim_page.dir/buffer_cache.cc.o.d"
+  "/root/repo/src/page/device.cc" "src/page/CMakeFiles/btrim_page.dir/device.cc.o" "gcc" "src/page/CMakeFiles/btrim_page.dir/device.cc.o.d"
+  "/root/repo/src/page/heap_file.cc" "src/page/CMakeFiles/btrim_page.dir/heap_file.cc.o" "gcc" "src/page/CMakeFiles/btrim_page.dir/heap_file.cc.o.d"
+  "/root/repo/src/page/slotted_page.cc" "src/page/CMakeFiles/btrim_page.dir/slotted_page.cc.o" "gcc" "src/page/CMakeFiles/btrim_page.dir/slotted_page.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/btrim_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/btrim_page.dir/buffer_cache.cc.o"
+  "CMakeFiles/btrim_page.dir/buffer_cache.cc.o.d"
+  "CMakeFiles/btrim_page.dir/device.cc.o"
+  "CMakeFiles/btrim_page.dir/device.cc.o.d"
+  "CMakeFiles/btrim_page.dir/heap_file.cc.o"
+  "CMakeFiles/btrim_page.dir/heap_file.cc.o.d"
+  "CMakeFiles/btrim_page.dir/slotted_page.cc.o"
+  "CMakeFiles/btrim_page.dir/slotted_page.cc.o.d"
+  "libbtrim_page.a"
+  "libbtrim_page.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/btrim_page.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/btrim_tpcc.dir/driver.cc.o"
+  "CMakeFiles/btrim_tpcc.dir/driver.cc.o.d"
+  "CMakeFiles/btrim_tpcc.dir/loader.cc.o"
+  "CMakeFiles/btrim_tpcc.dir/loader.cc.o.d"
+  "CMakeFiles/btrim_tpcc.dir/schema.cc.o"
+  "CMakeFiles/btrim_tpcc.dir/schema.cc.o.d"
+  "CMakeFiles/btrim_tpcc.dir/txns.cc.o"
+  "CMakeFiles/btrim_tpcc.dir/txns.cc.o.d"
+  "libbtrim_tpcc.a"
+  "libbtrim_tpcc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/btrim_tpcc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

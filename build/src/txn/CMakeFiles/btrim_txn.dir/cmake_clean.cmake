@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/btrim_txn.dir/lock_manager.cc.o"
+  "CMakeFiles/btrim_txn.dir/lock_manager.cc.o.d"
+  "CMakeFiles/btrim_txn.dir/transaction.cc.o"
+  "CMakeFiles/btrim_txn.dir/transaction.cc.o.d"
+  "libbtrim_txn.a"
+  "libbtrim_txn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/btrim_txn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/btrim_wal.dir/log.cc.o"
+  "CMakeFiles/btrim_wal.dir/log.cc.o.d"
+  "CMakeFiles/btrim_wal.dir/log_record.cc.o"
+  "CMakeFiles/btrim_wal.dir/log_record.cc.o.d"
+  "libbtrim_wal.a"
+  "libbtrim_wal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/btrim_wal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ilm_test.dir/ilm_test.cc.o"
+  "CMakeFiles/ilm_test.dir/ilm_test.cc.o.d"
+  "ilm_test"
+  "ilm_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ilm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

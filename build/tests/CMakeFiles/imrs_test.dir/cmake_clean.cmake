@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/imrs_test.dir/imrs_test.cc.o"
+  "CMakeFiles/imrs_test.dir/imrs_test.cc.o.d"
+  "imrs_test"
+  "imrs_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/imrs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

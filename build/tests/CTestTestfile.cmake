@@ -1,0 +1,30 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(common_test "/root/repo/build/tests/common_test")
+set_tests_properties(common_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;10;btrim_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(alloc_test "/root/repo/build/tests/alloc_test")
+set_tests_properties(alloc_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;11;btrim_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(page_test "/root/repo/build/tests/page_test")
+set_tests_properties(page_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;12;btrim_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(index_test "/root/repo/build/tests/index_test")
+set_tests_properties(index_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;13;btrim_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(txn_test "/root/repo/build/tests/txn_test")
+set_tests_properties(txn_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;14;btrim_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(wal_test "/root/repo/build/tests/wal_test")
+set_tests_properties(wal_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;15;btrim_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(imrs_test "/root/repo/build/tests/imrs_test")
+set_tests_properties(imrs_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;16;btrim_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(ilm_test "/root/repo/build/tests/ilm_test")
+set_tests_properties(ilm_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;17;btrim_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(engine_test "/root/repo/build/tests/engine_test")
+set_tests_properties(engine_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;18;btrim_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(recovery_test "/root/repo/build/tests/recovery_test")
+set_tests_properties(recovery_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;19;btrim_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(tpcc_test "/root/repo/build/tests/tpcc_test")
+set_tests_properties(tpcc_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;20;btrim_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(integration_test "/root/repo/build/tests/integration_test")
+set_tests_properties(integration_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;21;btrim_test;/root/repo/tests/CMakeLists.txt;0;")
