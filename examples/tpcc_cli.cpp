@@ -5,6 +5,7 @@
 //     --warehouses N      scale factor                     (default 2)
 //     --txns N            committed transactions to run    (default 12000)
 //     --workers N         concurrent terminals             (default 3)
+//     --threads N         alias for --workers (stress runs)
 //     --imrs-mb N         IMRS cache size in MiB           (default 12)
 //     --steady-pct N      steady cache utilization %       (default 70)
 //     --ilm on|off        ILM heuristics                   (default on)
@@ -56,6 +57,7 @@ bool ParseArgs(int argc, char** argv, CliOptions* opts) {
     if (int_arg("--warehouses", &opts->warehouses)) continue;
     if (int_arg("--txns", &opts->txns)) continue;
     if (int_arg("--workers", &opts->workers)) continue;
+    if (int_arg("--threads", &opts->workers)) continue;  // alias for --workers
     if (int_arg("--imrs-mb", &opts->imrs_mb)) continue;
     if (int_arg("--steady-pct", &opts->steady_pct)) continue;
     if (int_arg("--window", &opts->window)) continue;

@@ -230,7 +230,7 @@ void* FragmentAllocator::Allocate(size_t size) {
   // Try the home shard first, then steal from others.
   for (size_t attempt = 0; attempt < kShards; ++attempt) {
     Shard& shard = shards_[(home + attempt) % kShards];
-    std::lock_guard<SpinLock> guard(shard.lock);
+    SpinLockGuard guard(shard.lock);
     void* p = AllocateFromShard(shard, block_size);
     if (p != nullptr) return finalize(p);
   }
@@ -238,7 +238,7 @@ void* FragmentAllocator::Allocate(size_t size) {
   // Grow the home shard with a fresh segment and retry.
   {
     Shard& shard = shards_[home];
-    std::lock_guard<SpinLock> guard(shard.lock);
+    SpinLockGuard guard(shard.lock);
     if (AddSegment(shard)) {
       void* p = AllocateFromShard(shard, block_size);
       if (p != nullptr) return finalize(p);
@@ -261,7 +261,7 @@ void FragmentAllocator::Free(void* ptr) {
   const int64_t block_size = block->size;
   Shard& shard = shards_[block->shard];
   {
-    std::lock_guard<SpinLock> guard(shard.lock);
+    SpinLockGuard guard(shard.lock);
     block->in_use = 0;
 
     // Coalesce with the next physical block.
@@ -307,7 +307,7 @@ size_t FragmentAllocator::FragmentSize(const void* ptr) {
 Status FragmentAllocator::CheckConsistency() const {
   for (size_t si = 0; si < kShards; ++si) {
     Shard& shard = shards_[si];
-    std::lock_guard<SpinLock> guard(shard.lock);
+    SpinLockGuard guard(shard.lock);
 
     // Collect the free-list population for cross-checking.
     std::unordered_map<const BlockHeader*, size_t> free_blocks;

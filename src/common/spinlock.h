@@ -5,19 +5,27 @@
 #include <cstdint>
 #include <thread>
 
+#include "common/thread_annotations.h"
+
 namespace btrim {
 
 /// Test-and-test-and-set spinlock with exponential-ish backoff.
 ///
 /// Used for short critical sections (free-list manipulation, queue splicing)
 /// where a futex-based mutex would dominate the cost of the protected work.
-class SpinLock {
+///
+/// Annotated as a clang thread-safety capability; compatible with
+/// std::lock_guard / std::unique_lock (BasicLockable).
+class BTRIM_CAPABILITY("mutex") SpinLock {
  public:
   SpinLock() = default;
   SpinLock(const SpinLock&) = delete;
   SpinLock& operator=(const SpinLock&) = delete;
 
-  void lock() {
+  // The loop-over-try_lock bodies carry the escape hatch: the analysis
+  // cannot prove conditional acquisition loops, but the external ACQUIRE
+  // contract still checks every caller.
+  void lock() BTRIM_ACQUIRE() BTRIM_NO_THREAD_SAFETY_ANALYSIS {
     int spins = 0;
     while (flag_.exchange(true, std::memory_order_acquire)) {
       while (flag_.load(std::memory_order_relaxed)) {
@@ -29,14 +37,34 @@ class SpinLock {
     }
   }
 
-  bool try_lock() {
+  bool try_lock() BTRIM_TRY_ACQUIRE(true) {
     return !flag_.exchange(true, std::memory_order_acquire);
   }
 
-  void unlock() { flag_.store(false, std::memory_order_release); }
+  void unlock() BTRIM_RELEASE() {
+    flag_.store(false, std::memory_order_release);
+  }
 
  private:
   std::atomic<bool> flag_{false};
+};
+
+/// RAII holder for a SpinLock, visible to clang's thread-safety analysis
+/// (std::lock_guard is not annotated, so guarded-member accesses under it
+/// cannot be proven). All SpinLock critical sections use this guard;
+/// tools/lint.sh flags std::lock_guard<SpinLock> as a violation.
+class BTRIM_SCOPED_CAPABILITY SpinLockGuard {
+ public:
+  explicit SpinLockGuard(SpinLock& lock) BTRIM_ACQUIRE(lock) : lock_(lock) {
+    lock_.lock();
+  }
+  ~SpinLockGuard() BTRIM_RELEASE() { lock_.unlock(); }
+
+  SpinLockGuard(const SpinLockGuard&) = delete;
+  SpinLockGuard& operator=(const SpinLockGuard&) = delete;
+
+ private:
+  SpinLock& lock_;
 };
 
 /// Reader-writer spinlock with try_* variants.
@@ -44,13 +72,13 @@ class SpinLock {
 /// Buffer-cache frame latches use this; failed try-acquisitions are how the
 /// engine observes page-store contention (Sec. III "Contention on the
 /// page-store"). State: kWriter when write-held, else count of readers.
-class RwSpinLock {
+class BTRIM_CAPABILITY("rw_latch") RwSpinLock {
  public:
   RwSpinLock() = default;
   RwSpinLock(const RwSpinLock&) = delete;
   RwSpinLock& operator=(const RwSpinLock&) = delete;
 
-  bool try_lock_shared() {
+  bool try_lock_shared() BTRIM_TRY_ACQUIRE_SHARED(true) {
     uint32_t cur = state_.load(std::memory_order_relaxed);
     while (cur != kWriter) {
       if (state_.compare_exchange_weak(cur, cur + 1,
@@ -62,7 +90,7 @@ class RwSpinLock {
     return false;
   }
 
-  void lock_shared() {
+  void lock_shared() BTRIM_ACQUIRE_SHARED() BTRIM_NO_THREAD_SAFETY_ANALYSIS {
     int spins = 0;
     while (!try_lock_shared()) {
       if (++spins > 64) {
@@ -72,16 +100,18 @@ class RwSpinLock {
     }
   }
 
-  void unlock_shared() { state_.fetch_sub(1, std::memory_order_release); }
+  void unlock_shared() BTRIM_RELEASE_SHARED() {
+    state_.fetch_sub(1, std::memory_order_release);
+  }
 
-  bool try_lock() {
+  bool try_lock() BTRIM_TRY_ACQUIRE(true) {
     uint32_t expected = 0;
     return state_.compare_exchange_strong(expected, kWriter,
                                           std::memory_order_acquire,
                                           std::memory_order_relaxed);
   }
 
-  void lock() {
+  void lock() BTRIM_ACQUIRE() BTRIM_NO_THREAD_SAFETY_ANALYSIS {
     int spins = 0;
     while (!try_lock()) {
       if (++spins > 64) {
@@ -91,11 +121,28 @@ class RwSpinLock {
     }
   }
 
-  void unlock() { state_.store(0, std::memory_order_release); }
+  void unlock() BTRIM_RELEASE() { state_.store(0, std::memory_order_release); }
 
  private:
   static constexpr uint32_t kWriter = 0xffffffffu;
   std::atomic<uint32_t> state_{0};
+};
+
+/// RAII exclusive holder for an RwSpinLock, annotated like SpinLockGuard
+/// (tools/lint.sh flags std::lock_guard over either spinlock type).
+class BTRIM_SCOPED_CAPABILITY RwSpinLockWriteGuard {
+ public:
+  explicit RwSpinLockWriteGuard(RwSpinLock& lock) BTRIM_ACQUIRE(lock)
+      : lock_(lock) {
+    lock_.lock();
+  }
+  ~RwSpinLockWriteGuard() BTRIM_RELEASE() { lock_.unlock(); }
+
+  RwSpinLockWriteGuard(const RwSpinLockWriteGuard&) = delete;
+  RwSpinLockWriteGuard& operator=(const RwSpinLockWriteGuard&) = delete;
+
+ private:
+  RwSpinLock& lock_;
 };
 
 }  // namespace btrim

@@ -12,7 +12,12 @@ namespace btrim {
 /// return a Status (or a Result<T>, see below). Statuses are cheap to copy
 /// in the OK case (no allocation) and carry a code plus a human-readable
 /// message otherwise.
-class Status {
+///
+/// The class is [[nodiscard]]: every Status-returning call must either
+/// check the result or discard it explicitly with `(void)`; ignored
+/// returns are compiler-flagged (tools/lint.sh verifies the attribute
+/// stays in place).
+class [[nodiscard]] Status {
  public:
   enum class Code : unsigned char {
     kOk = 0,
@@ -93,9 +98,10 @@ class Status {
 };
 
 /// A value or an error. Minimal Result type for functions that produce a
-/// value but can fail; avoids out-parameters on most APIs.
+/// value but can fail; avoids out-parameters on most APIs. [[nodiscard]]
+/// for the same reason as Status.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   Result(T value) : value_(std::move(value)) {}        // NOLINT(runtime/explicit)
   Result(Status status) : status_(std::move(status)) {}  // NOLINT(runtime/explicit)

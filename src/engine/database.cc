@@ -249,7 +249,11 @@ void Database::StartBackground() {
   for (int i = 0; i < options_.pack_threads; ++i) {
     background_threads_.emplace_back([this] {
       while (background_running_.load(std::memory_order_relaxed)) {
-        ilm_->BackgroundTick(Now());
+        {
+          std::lock_guard<std::mutex> guard(background_mu_);
+          ilm_->BackgroundTick(Now());
+          ParanoidValidateLocked();
+        }
         std::this_thread::sleep_for(
             std::chrono::microseconds(options_.background_interval_us));
       }
@@ -258,7 +262,10 @@ void Database::StartBackground() {
   for (int i = 0; i < options_.gc_threads; ++i) {
     background_threads_.emplace_back([this] {
       while (background_running_.load(std::memory_order_relaxed)) {
-        gc_->RunOnce(txn_manager_.OldestActiveSnapshot(), Now());
+        {
+          std::lock_guard<std::mutex> guard(background_mu_);
+          gc_->RunOnce(txn_manager_.OldestActiveSnapshot(), Now());
+        }
         std::this_thread::sleep_for(
             std::chrono::microseconds(options_.background_interval_us));
       }
@@ -275,10 +282,15 @@ void Database::StopBackground() {
 }
 
 void Database::RunGcOnce() {
+  std::lock_guard<std::mutex> guard(background_mu_);
   gc_->RunOnce(txn_manager_.OldestActiveSnapshot(), Now());
 }
 
-void Database::RunIlmTickOnce() { ilm_->BackgroundTick(Now()); }
+void Database::RunIlmTickOnce() {
+  std::lock_guard<std::mutex> guard(background_mu_);
+  ilm_->BackgroundTick(Now());
+  ParanoidValidateLocked();
+}
 
 Status Database::Checkpoint() {
   BTRIM_RETURN_IF_ERROR(buffer_cache_.FlushAll());

@@ -62,6 +62,15 @@ struct ScanRow {
   bool from_imrs = false;
 };
 
+/// What the invariant checker visited (src/engine/validate.cc).
+struct ValidateReport {
+  int64_t rows_checked = 0;       ///< live RID-map entries visited
+  int64_t versions_checked = 0;   ///< version-chain links walked
+  int64_t queued_rows = 0;        ///< rows found across all ILM queues
+  int64_t partitions_checked = 0;
+  int64_t page_homes_checked = 0; ///< page-store slot existence probes
+};
+
 /// Aggregate engine statistics snapshot (feeds the experiment harness).
 struct DatabaseStats {
   TransactionManagerStats txns;
@@ -177,6 +186,18 @@ class Database : public PackClient {
   /// of rows brought in.
   Result<int64_t> PrewarmTable(Table* table);
 
+  /// Cross-structure invariant checker (src/engine/validate.cc): verifies
+  /// RID-map <-> IMRS version chains <-> page-store slots <-> ILM queue
+  /// membership <-> partition byte/row counters. Requires quiescence
+  /// (returns Busy while transactions are active); excludes background GC
+  /// and pack for the duration of the walk. Returns Corruption with a
+  /// description of the first violation.
+  ///
+  /// Built with -DBTRIM_PARANOID_CHECKS=ON, the engine also runs this after
+  /// every pack cycle that reaches a quiescent point and aborts the process
+  /// on violation.
+  Status ValidateInvariants(ValidateReport* report = nullptr);
+
   /// --- introspection ---------------------------------------------------------
 
   DatabaseStats GetStats() const;
@@ -252,6 +273,16 @@ class Database : public PackClient {
   /// transaction. Returns false when the row lock is unavailable.
   bool PurgePageStoreHome(ImrsRow* row);
 
+  /// --- invariant checking (validate.cc) -----------------------------------
+
+  /// Body of ValidateInvariants; caller holds background_mu_.
+  Status ValidateLocked(ValidateReport* report);
+
+  /// Paranoid-build hook run after each pack cycle (already under
+  /// background_mu_): validates when quiescent, aborts on corruption.
+  /// No-op unless compiled with BTRIM_PARANOID_CHECKS.
+  void ParanoidValidateLocked();
+
   /// --- members ------------------------------------------------------------
 
   DatabaseOptions options_;
@@ -282,7 +313,13 @@ class Database : public PackClient {
   std::unordered_map<std::string, Table*> tables_by_name_;
   std::unordered_map<uint16_t, std::pair<Table*, size_t>> part_by_file_;
 
-  // Background threads.
+  // Background threads. background_mu_ serializes GC passes, ILM ticks and
+  // the invariant checker against each other (user transactions are not
+  // affected): the validator walks raw row pointers and must exclude
+  // concurrent purge/pack frees; it also makes RunGcOnce/RunIlmTickOnce
+  // safe to call while background threads run, and removes the data race
+  // on the tuner/pack cycle state when pack_threads > 1.
+  std::mutex background_mu_;
   std::atomic<bool> background_running_{false};
   std::vector<std::thread> background_threads_;
 

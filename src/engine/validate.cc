@@ -1,0 +1,314 @@
+// Cross-structure invariant checker (the BTRIM_PARANOID_CHECKS machinery).
+//
+// Verifies, under quiescence, that the redundant views the engine keeps of
+// every IMRS-resident row agree with each other:
+//
+//   RID-map entry  <->  ImrsRow identity + flags
+//   version chain  <->  commit-timestamp ordering, no uncommitted versions
+//   row source     <->  page-store slot existence (migrated/cached rows keep
+//                       their page home until GC purges it; inserted rows
+//                       have none until Pack relocates them)
+//   hash index     <->  pk of the newest committed payload maps back to the
+//                       same row pointer
+//   ILM queues     <->  kRowInQueue flag, queue size counters, and correct
+//                       owning queue (partition + source, or the global
+//                       queue in the kSingleGlobal ablation mode)
+//   partition gauges <-> sum of fragment footprints / live-row counts
+//
+// Callers: Database::ValidateInvariants (tests, experiments) and the
+// paranoid post-pack hook. Both hold background_mu_ (no GC pass, ILM tick or
+// pack cycle runs concurrently) and the transaction-manager quiescence gate
+// (no transaction is active and none can begin), so raw ImrsRow pointers
+// collected from the RID-map stay valid for the whole walk.
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "engine/database.h"
+
+namespace btrim {
+
+namespace {
+
+std::string Describe(const ImrsRow* row) {
+  return "row " + row->rid.ToString() + " (table " +
+         std::to_string(row->table_id) + ", partition " +
+         std::to_string(row->partition_id) + ", source " +
+         std::to_string(static_cast<int>(row->source)) + ", flags " +
+         std::to_string(row->flags.load(std::memory_order_acquire)) + ")";
+}
+
+// Version chains are expected to be short (GC trims them); anything this
+// long is a cycle introduced by a chain-splicing bug.
+constexpr int64_t kMaxChainLength = 1 << 20;
+
+}  // namespace
+
+Status Database::ValidateLocked(ValidateReport* report) {
+  // --- Phase A: RID-map entries, row identity, version chains, page homes,
+  // hash-index agreement; accumulate per-partition footprints. -------------
+  std::vector<std::pair<Rid, ImrsRow*>> entries;
+  rid_map_.ForEach([&entries](Rid rid, ImrsRow* row) {
+    entries.emplace_back(rid, row);
+  });
+
+  if (rid_map_.Size() != static_cast<int64_t>(entries.size())) {
+    return Status::Corruption(
+        "RID-map entry counter (" + std::to_string(rid_map_.Size()) +
+        ") disagrees with actual entries (" + std::to_string(entries.size()) +
+        ")");
+  }
+
+  struct PartitionTally {
+    int64_t bytes = 0;
+    int64_t rows = 0;
+  };
+  std::unordered_map<PartitionState*, PartitionTally> tallies;
+  std::unordered_map<ImrsRow*, Rid> live;
+  live.reserve(entries.size());
+
+  for (const auto& [rid, row] : entries) {
+    if (row == nullptr) {
+      return Status::Corruption("RID-map entry " + rid.ToString() +
+                                " maps to a null row");
+    }
+    if (!live.emplace(row, rid).second) {
+      return Status::Corruption(Describe(row) + " registered under two RIDs (" +
+                                live[row].ToString() + " and " +
+                                rid.ToString() + ")");
+    }
+    if (row->rid.Encode() != rid.Encode()) {
+      return Status::Corruption("RID-map entry " + rid.ToString() +
+                                " maps to a row that believes it is " +
+                                row->rid.ToString());
+    }
+    if (row->HasFlag(kRowPurged)) {
+      return Status::Corruption("purged " + Describe(row) +
+                                " still present in the RID-map");
+    }
+    if (row->HasFlag(kRowPacked)) {
+      return Status::Corruption("packed " + Describe(row) +
+                                " still present in the RID-map");
+    }
+
+    Table* table = GetTable(row->table_id);
+    if (table == nullptr) {
+      return Status::Corruption(Describe(row) + " references unknown table");
+    }
+    TablePartition* part = table->PartitionForRid(rid);
+    if (part == nullptr) {
+      return Status::Corruption(Describe(row) +
+                                " RID resolves to no partition of its table");
+    }
+    if (part->id != row->partition_id) {
+      return Status::Corruption(Describe(row) +
+                                " RID resolves to partition " +
+                                std::to_string(part->id) +
+                                " but the row claims partition " +
+                                std::to_string(row->partition_id));
+    }
+    if (part->ilm == nullptr) {
+      return Status::Corruption(Describe(row) +
+                                " partition has no ILM state registered");
+    }
+
+    // Version chain: newest-first, fully committed under quiescence.
+    RowVersion* head = row->latest.load(std::memory_order_acquire);
+    if (head == nullptr) {
+      return Status::Corruption(Describe(row) + " has an empty version chain");
+    }
+    uint64_t prev_ts = UINT64_MAX;
+    int64_t chain_len = 0;
+    for (RowVersion* v = head; v != nullptr;
+         v = v->older.load(std::memory_order_acquire)) {
+      const uint64_t cts = v->commit_ts.load(std::memory_order_acquire);
+      if (cts == 0) {
+        return Status::Corruption(
+            Describe(row) + " has an uncommitted version (txn " +
+            std::to_string(v->txn_id) + ") while the system is quiescent");
+      }
+      if (cts > prev_ts) {
+        return Status::Corruption(Describe(row) +
+                                  " version chain is not newest-first (" +
+                                  std::to_string(cts) + " follows " +
+                                  std::to_string(prev_ts) + ")");
+      }
+      prev_ts = cts;
+      if (++chain_len > kMaxChainLength) {
+        return Status::Corruption(Describe(row) +
+                                  " version chain exceeds " +
+                                  std::to_string(kMaxChainLength) +
+                                  " links (cycle?)");
+      }
+      ++report->versions_checked;
+    }
+
+    // Page-store home: migrated/cached rows keep their slot until GC purges
+    // the whole row; inserted rows never had one (Pack removes the row from
+    // the RID-map in the same cycle that places it).
+    const bool has_home = part->heap->Exists(rid);
+    ++report->page_homes_checked;
+    if (row->source == RowSource::kInserted) {
+      if (has_home) {
+        return Status::Corruption(Describe(row) +
+                                  " was inserted into the IMRS but has a "
+                                  "materialized page-store slot");
+      }
+    } else if (!has_home) {
+      return Status::Corruption(Describe(row) +
+                                " migrated/cached from the page store but "
+                                "its page-store slot is empty");
+    }
+
+    // Hash index: the pk of the newest committed payload must map back to
+    // exactly this row. Skipped for tombstones (the index entry is dropped
+    // when the delete is processed; the pk may legitimately be reused by a
+    // newer insert while the tombstone awaits GC).
+    if (table->hash_index() != nullptr && !head->is_delete) {
+      const std::string pk = table->pk_encoder().KeyForRecord(head->payload());
+      ImrsRow* indexed = table->hash_index()->Lookup(Slice(pk), nullptr);
+      if (indexed != row) {
+        return Status::Corruption(
+            Describe(row) + " hash-index lookup of its primary key returned " +
+            (indexed == nullptr ? std::string("nothing")
+                                : Describe(indexed)));
+      }
+    }
+
+    PartitionTally& t = tallies[part->ilm];
+    t.bytes += ImrsStore::RowFootprint(row);
+    t.rows += 1;
+    ++report->rows_checked;
+  }
+
+  // --- Phase B: ILM queue membership. --------------------------------------
+  std::unordered_set<ImrsRow*> queued;
+  auto check_queue = [&](const IlmQueue& q, const std::string& what,
+                         const PartitionState* owner,
+                         int source) -> Status {
+    Status qs = Status::OK();
+    int64_t walked = 0;
+    q.ForEach([&](ImrsRow* r) {
+      ++walked;
+      if (!r->HasFlag(kRowInQueue)) {
+        qs = Status::Corruption(Describe(r) + " linked into " + what +
+                                " without kRowInQueue set");
+        return false;
+      }
+      if (live.find(r) == live.end()) {
+        qs = Status::Corruption(Describe(r) + " linked into " + what +
+                                " but absent from the RID-map (leaked row)");
+        return false;
+      }
+      if (!queued.insert(r).second) {
+        qs = Status::Corruption(Describe(r) + " linked into two queues (" +
+                                what + " and another)");
+        return false;
+      }
+      if (owner != nullptr) {
+        if (r->table_id != owner->table_id ||
+            r->partition_id != owner->partition_id) {
+          qs = Status::Corruption(Describe(r) + " linked into " + what +
+                                  " of a different partition");
+          return false;
+        }
+        if (static_cast<int>(r->source) != source) {
+          qs = Status::Corruption(Describe(r) + " linked into the wrong "
+                                  "source queue (" + what + ")");
+          return false;
+        }
+      }
+      return true;
+    });
+    if (!qs.ok()) return qs;
+    if (walked != q.Size()) {
+      return Status::Corruption(what + " size counter (" +
+                                std::to_string(q.Size()) +
+                                ") disagrees with linked rows (" +
+                                std::to_string(walked) + ")");
+    }
+    report->queued_rows += walked;
+    return Status::OK();
+  };
+
+  for (PartitionState* p : ilm_->Partitions()) {
+    for (int s = 0; s < kNumRowSources; ++s) {
+      Status qs = check_queue(p->queues[s], p->name + " queue[" +
+                              std::to_string(s) + "]", p, s);
+      if (!qs.ok()) return qs;
+    }
+  }
+  {
+    Status qs =
+        check_queue(*ilm_->pack()->global_queue(), "global queue",
+                    /*owner=*/nullptr, /*source=*/-1);
+    if (!qs.ok()) return qs;
+  }
+
+  for (const auto& [row, rid] : live) {
+    if (row->HasFlag(kRowInQueue) && queued.find(row) == queued.end()) {
+      return Status::Corruption(Describe(row) +
+                                " has kRowInQueue set but is linked into no "
+                                "queue");
+    }
+  }
+
+  // --- Phase C: partition byte/row gauges. ---------------------------------
+  for (PartitionState* p : ilm_->Partitions()) {
+    const PartitionTally t = tallies.count(p) ? tallies[p] : PartitionTally{};
+    const int64_t gauge_bytes = p->metrics.imrs_bytes.Load();
+    const int64_t gauge_rows = p->metrics.imrs_rows.Load();
+    if (gauge_rows != t.rows) {
+      return Status::Corruption(
+          "partition " + p->name + " imrs_rows gauge (" +
+          std::to_string(gauge_rows) + ") disagrees with live rows (" +
+          std::to_string(t.rows) + ")");
+    }
+    if (gauge_bytes != t.bytes) {
+      return Status::Corruption(
+          "partition " + p->name + " imrs_bytes gauge (" +
+          std::to_string(gauge_bytes) + ") disagrees with summed row "
+          "footprints (" + std::to_string(t.bytes) + ")");
+    }
+    ++report->partitions_checked;
+  }
+
+  return Status::OK();
+}
+
+Status Database::ValidateInvariants(ValidateReport* report) {
+  std::lock_guard<std::mutex> guard(background_mu_);
+  if (!txn_manager_.PauseNewTransactions(/*wait_ms=*/1000)) {
+    return Status::Busy(
+        "validate requires quiescence: active transactions did not drain");
+  }
+  ValidateReport local;
+  Status s = ValidateLocked(report != nullptr ? report : &local);
+  txn_manager_.ResumeNewTransactions();
+  return s;
+}
+
+void Database::ParanoidValidateLocked() {
+#ifdef BTRIM_PARANOID_CHECKS
+  // Opportunistic: if the workload doesn't drain quickly, skip this cycle
+  // rather than stalling foreground commits behind the Begin() gate.
+  if (!txn_manager_.PauseNewTransactions(/*wait_ms=*/50)) return;
+  ValidateReport report;
+  const Status s = ValidateLocked(&report);
+  txn_manager_.ResumeNewTransactions();
+  if (!s.ok()) {
+    std::fprintf(stderr,
+                 "[btrim] BTRIM_PARANOID_CHECKS: invariant violation after "
+                 "pack cycle: %s\n",
+                 s.ToString().c_str());
+    std::abort();
+  }
+#endif
+}
+
+}  // namespace btrim

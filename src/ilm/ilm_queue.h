@@ -29,7 +29,7 @@ class IlmQueue {
 
   /// Appends `row` at the (hot) tail. No-op if already linked.
   void PushTail(ImrsRow* row) {
-    std::lock_guard<SpinLock> guard(lock_);
+    SpinLockGuard guard(lock_);
     if (row->HasFlag(kRowInQueue)) return;
     row->q_prev = tail_;
     row->q_next = nullptr;
@@ -47,7 +47,7 @@ class IlmQueue {
   /// returned row has kRowInQueue cleared; the caller either packs it or
   /// re-inserts it with PushTail.
   ImrsRow* PopHead() {
-    std::lock_guard<SpinLock> guard(lock_);
+    SpinLockGuard guard(lock_);
     ImrsRow* row = head_;
     if (row == nullptr) return nullptr;
     UnlinkLocked(row);
@@ -57,13 +57,13 @@ class IlmQueue {
   /// Unlinks a specific row (GC purge / pack cleanup). Safe to call when
   /// the row is not linked.
   void Remove(ImrsRow* row) {
-    std::lock_guard<SpinLock> guard(lock_);
+    SpinLockGuard guard(lock_);
     if (!row->HasFlag(kRowInQueue)) return;
     UnlinkLocked(row);
   }
 
   int64_t Size() const {
-    std::lock_guard<SpinLock> guard(lock_);
+    SpinLockGuard guard(lock_);
     return size_;
   }
 
@@ -72,14 +72,14 @@ class IlmQueue {
   /// read loose fields).
   template <typename Fn>
   void ForEach(Fn&& fn) const {
-    std::lock_guard<SpinLock> guard(lock_);
+    SpinLockGuard guard(lock_);
     for (ImrsRow* r = head_; r != nullptr; r = r->q_next) {
       if (!fn(r)) break;
     }
   }
 
  private:
-  void UnlinkLocked(ImrsRow* row) {
+  void UnlinkLocked(ImrsRow* row) BTRIM_REQUIRES(lock_) {
     if (row->q_prev != nullptr) {
       row->q_prev->q_next = row->q_next;
     } else {
@@ -96,9 +96,9 @@ class IlmQueue {
   }
 
   mutable SpinLock lock_;
-  ImrsRow* head_ = nullptr;
-  ImrsRow* tail_ = nullptr;
-  int64_t size_ = 0;
+  ImrsRow* head_ BTRIM_GUARDED_BY(lock_) = nullptr;
+  ImrsRow* tail_ BTRIM_GUARDED_BY(lock_) = nullptr;
+  int64_t size_ BTRIM_GUARDED_BY(lock_) = 0;
 };
 
 }  // namespace btrim

@@ -10,7 +10,7 @@ TsfLearner::TsfLearner(const IlmConfig& config)
 void TsfLearner::Observe(uint64_t now, int64_t used_bytes,
                          int64_t capacity_bytes) {
   if (capacity_bytes <= 0) return;
-  std::lock_guard<SpinLock> guard(mu_);
+  SpinLockGuard guard(mu_);
 
   if (!observing_) {
     // Start a new observation when due (first time, or relearn interval
@@ -48,7 +48,7 @@ void TsfLearner::Observe(uint64_t now, int64_t used_bytes,
 }
 
 TsfStats TsfLearner::GetStats() const {
-  std::lock_guard<SpinLock> guard(mu_);
+  SpinLockGuard guard(mu_);
   TsfStats s;
   s.tau = tau_.load(std::memory_order_relaxed);
   s.learn_cycles = learn_cycles_;
@@ -57,7 +57,7 @@ TsfStats TsfLearner::GetStats() const {
 }
 
 void TsfLearner::Reset() {
-  std::lock_guard<SpinLock> guard(mu_);
+  SpinLockGuard guard(mu_);
   tau_.store(0, std::memory_order_relaxed);
   observing_ = false;
   ts0_ = 0;

@@ -45,9 +45,12 @@ bool ImrsGc::ProcessRow(ImrsRow* row, bool newly_created,
     return chain_len > 1;
   }
 
-  // Trim versions older than the pivot. Readers never traverse past a
-  // version visible to their snapshot, so immediate free is safe (see
-  // ImrsStore concurrency contract).
+  // Trim versions older than the pivot. After the exchange no new walk can
+  // reach them, but a reader that loaded the chain before the unlink may
+  // still hold pointers; readers synchronize with GC only through the
+  // active-transaction set, so physical reuse must wait until every
+  // snapshot that could have observed these versions has ended. Defer past
+  // the trim-time watermark, exactly like purged rows.
   RowVersion* dead = pivot->older.exchange(nullptr, std::memory_order_acq_rel);
   int64_t freed_bytes = 0;
   int64_t freed_versions = 0;
@@ -55,7 +58,7 @@ bool ImrsGc::ProcessRow(ImrsRow* row, bool newly_created,
     RowVersion* next = dead->older.load(std::memory_order_relaxed);
     freed_bytes += ImrsStore::FragmentCharge(dead);
     ++freed_versions;
-    store_->FreeVersion(dead);
+    DeferFree(dead, now);
     dead = next;
   }
   if (freed_versions > 0) {

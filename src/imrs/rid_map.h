@@ -37,7 +37,7 @@ class RidMap {
 
   void Insert(Rid rid, ImrsRow* row) {
     Stripe& s = StripeFor(rid);
-    std::lock_guard<SpinLock> guard(s.lock);
+    SpinLockGuard guard(s.lock);
     s.map[rid.Encode()] = row;
     entries_.Add(1);
   }
@@ -45,7 +45,7 @@ class RidMap {
   /// Removes the mapping; returns true when it existed.
   bool Erase(Rid rid) {
     Stripe& s = StripeFor(rid);
-    std::lock_guard<SpinLock> guard(s.lock);
+    SpinLockGuard guard(s.lock);
     if (s.map.erase(rid.Encode()) > 0) {
       entries_.Add(-1);
       return true;
@@ -58,7 +58,7 @@ class RidMap {
   ImrsRow* Lookup(Rid rid) const {
     lookups_.Inc();
     Stripe& s = StripeFor(rid);
-    std::lock_guard<SpinLock> guard(s.lock);
+    SpinLockGuard guard(s.lock);
     auto it = s.map.find(rid.Encode());
     if (it == s.map.end()) return nullptr;
     hits_.Inc();
@@ -72,7 +72,7 @@ class RidMap {
   template <typename Fn>
   void ForEach(Fn&& fn) const {
     for (size_t i = 0; i < num_stripes_; ++i) {
-      std::lock_guard<SpinLock> guard(stripes_[i].lock);
+      SpinLockGuard guard(stripes_[i].lock);
       for (const auto& [rid, row] : stripes_[i].map) {
         fn(Rid::Decode(rid), row);
       }
@@ -90,7 +90,7 @@ class RidMap {
  private:
   struct alignas(kCacheLineSize) Stripe {
     mutable SpinLock lock;
-    std::unordered_map<uint64_t, ImrsRow*> map;
+    std::unordered_map<uint64_t, ImrsRow*> map BTRIM_GUARDED_BY(lock);
   };
 
   static size_t RoundUp(size_t n) {

@@ -321,7 +321,7 @@ Status BTree::Insert(Slice key, uint64_t value) {
     return Status::InvalidArgument("key too large");
   }
   inserts_.Inc();
-  std::lock_guard<RwSpinLock> guard(tree_lock_);
+  RwSpinLockWriteGuard guard(tree_lock_);
 
   std::string split_key;
   uint32_t split_child = kInvalidPage;
@@ -389,7 +389,7 @@ Result<uint64_t> BTree::Search(Slice key) const {
 }
 
 Status BTree::UpdateValue(Slice key, uint64_t value) {
-  std::lock_guard<RwSpinLock> tguard(tree_lock_);
+  RwSpinLockWriteGuard tguard(tree_lock_);
   Result<uint32_t> leaf = FindLeaf(key);
   if (!leaf.ok()) return leaf.status();
   Result<PageGuard> guard =
@@ -407,7 +407,7 @@ Status BTree::UpdateValue(Slice key, uint64_t value) {
 
 Status BTree::Delete(Slice key) {
   deletes_.Inc();
-  std::lock_guard<RwSpinLock> tguard(tree_lock_);
+  RwSpinLockWriteGuard tguard(tree_lock_);
   Result<uint32_t> leaf = FindLeaf(key);
   if (!leaf.ok()) return leaf.status();
   Result<PageGuard> guard =

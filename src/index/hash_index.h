@@ -54,7 +54,7 @@ class HashIndex {
     inserts_.Inc();
     const uint64_t h = HashBytes(key.data(), key.size());
     Bucket& b = buckets_[h & mask_];
-    std::lock_guard<SpinLock> guard(b.lock);
+    SpinLockGuard guard(b.lock);
     for (auto& e : b.entries) {
       if (e.hash == h && Slice(e.key) == key) {
         e.value = value;
@@ -70,7 +70,7 @@ class HashIndex {
     erases_.Inc();
     const uint64_t h = HashBytes(key.data(), key.size());
     Bucket& b = buckets_[h & mask_];
-    std::lock_guard<SpinLock> guard(b.lock);
+    SpinLockGuard guard(b.lock);
     for (size_t i = 0; i < b.entries.size(); ++i) {
       if (b.entries[i].hash == h && Slice(b.entries[i].key) == key) {
         b.entries[i] = std::move(b.entries.back());
@@ -87,7 +87,7 @@ class HashIndex {
     lookups_.Inc();
     const uint64_t h = HashBytes(key.data(), key.size());
     Bucket& b = buckets_[h & mask_];
-    std::lock_guard<SpinLock> guard(b.lock);
+    SpinLockGuard guard(b.lock);
     for (const auto& e : b.entries) {
       if (e.hash == h && Slice(e.key) == key) {
         hits_.Inc();
@@ -100,7 +100,7 @@ class HashIndex {
   bool Contains(Slice key) const {
     const uint64_t h = HashBytes(key.data(), key.size());
     Bucket& b = buckets_[h & mask_];
-    std::lock_guard<SpinLock> guard(b.lock);
+    SpinLockGuard guard(b.lock);
     for (const auto& e : b.entries) {
       if (e.hash == h && Slice(e.key) == key) return true;
     }

@@ -35,7 +35,7 @@ void PageGuard::Release() {
 
 BufferCache::BufferCache(size_t num_frames)
     : num_frames_(num_frames),
-      arena_(new char[num_frames * kPageSize]),
+      arena_(std::make_unique<char[]>(num_frames * kPageSize)),
       meta_(num_frames),
       devices_(1 << 16, nullptr) {
   free_frames_.reserve(num_frames);
@@ -195,12 +195,15 @@ Status BufferCache::FlushAll() {
     if (!m.valid || !m.dirty.load(std::memory_order_relaxed)) continue;
     Device* dev = devices_[m.pid.file_id];
     assert(dev != nullptr);
-    // Latch shared so a concurrent writer cannot give us a torn image.
+    // Latch shared so a concurrent writer cannot give us a torn image. The
+    // dirty flag must be cleared inside the latched region: writers set it
+    // under the exclusive latch, so clearing it after unlatching could
+    // swallow a redirtying that happened since our write.
     m.latch.lock_shared();
     Status s = dev->WritePage(m.pid.page_no, arena_.get() + i * kPageSize);
+    if (s.ok()) m.dirty.store(false, std::memory_order_relaxed);
     m.latch.unlock_shared();
     BTRIM_RETURN_IF_ERROR(s);
-    m.dirty.store(false, std::memory_order_relaxed);
     dirty_writes_.Inc();
   }
   return Status::OK();

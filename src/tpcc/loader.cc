@@ -16,7 +16,10 @@ class BatchWriter {
  public:
   BatchWriter(Database* db, int batch) : db_(db), batch_(batch) {}
 
-  ~BatchWriter() { Flush(); }
+  ~BatchWriter() {
+    Status s = Flush();
+    (void)s;  // load-time flush failures surface on the next Insert/Flush
+  }
 
   Status Insert(Table* table, Slice record) {
     if (txn_ == nullptr) txn_ = db_->Begin();

@@ -1,5 +1,7 @@
 #include "txn/transaction.h"
 
+#include <chrono>
+
 namespace btrim {
 
 Status Transaction::AcquireLock(uint64_t lock_id, LockMode mode,
@@ -25,13 +27,14 @@ TransactionManager::TransactionManager(LockManager* lock_manager)
 std::unique_ptr<Transaction> TransactionManager::Begin() {
   begun_.Inc();
   const uint64_t id = next_txn_id_.fetch_add(1, std::memory_order_relaxed);
-  const uint64_t begin_ts = clock_.Now();
-  auto txn = std::unique_ptr<Transaction>(new Transaction(this, id, begin_ts));
+  uint64_t begin_ts;
   {
-    std::lock_guard<std::mutex> guard(active_mu_);
+    std::unique_lock<std::mutex> guard(active_mu_);
+    active_cv_.wait(guard, [this] { return !paused_; });
+    begin_ts = clock_.Now();
     active_[id] = begin_ts;
   }
-  return txn;
+  return std::unique_ptr<Transaction>(new Transaction(this, id, begin_ts));
 }
 
 void TransactionManager::ReleaseAllLocks(Transaction* txn) {
@@ -44,6 +47,28 @@ void TransactionManager::ReleaseAllLocks(Transaction* txn) {
 void TransactionManager::Unregister(Transaction* txn) {
   std::lock_guard<std::mutex> guard(active_mu_);
   active_.erase(txn->id_);
+  if (paused_ && active_.empty()) active_cv_.notify_all();
+}
+
+bool TransactionManager::PauseNewTransactions(int64_t wait_ms) {
+  std::unique_lock<std::mutex> guard(active_mu_);
+  if (paused_) return false;  // another quiescence holder is active
+  paused_ = true;
+  const bool drained =
+      active_cv_.wait_for(guard, std::chrono::milliseconds(wait_ms),
+                          [this] { return active_.empty(); });
+  if (!drained) {
+    paused_ = false;
+    active_cv_.notify_all();
+    return false;
+  }
+  return true;
+}
+
+void TransactionManager::ResumeNewTransactions() {
+  std::lock_guard<std::mutex> guard(active_mu_);
+  paused_ = false;
+  active_cv_.notify_all();
 }
 
 Status TransactionManager::Commit(

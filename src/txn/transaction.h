@@ -1,6 +1,7 @@
 #ifndef BTRIM_TXN_TRANSACTION_H_
 #define BTRIM_TXN_TRANSACTION_H_
 
+#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -139,6 +140,19 @@ class TransactionManager {
 
   TransactionManagerStats GetStats() const;
 
+  /// --- quiescence gate (invariant checker) --------------------------------
+
+  /// Blocks new Begin() calls and waits up to `wait_ms` for the active set
+  /// to drain. Returns true once no transaction is active (the caller then
+  /// owns the pause and must call ResumeNewTransactions()); on timeout or if
+  /// another caller already holds the pause, returns false with the gate
+  /// reopened. Used by Database::ValidateInvariants to walk engine state
+  /// without rows being created or freed underneath it.
+  bool PauseNewTransactions(int64_t wait_ms);
+
+  /// Reopens the Begin() gate after a successful PauseNewTransactions().
+  void ResumeNewTransactions();
+
   /// Default lock wait budget before declaring deadlock-by-timeout.
   static constexpr int64_t kLockTimeoutMs = 1000;
 
@@ -153,7 +167,9 @@ class TransactionManager {
   std::atomic<uint64_t> next_txn_id_{1};
 
   mutable std::mutex active_mu_;
+  std::condition_variable active_cv_;
   std::unordered_map<uint64_t, uint64_t> active_;  // txn_id -> begin_ts
+  bool paused_ = false;  // true while a quiescence holder blocks Begin()
 
   mutable ShardedCounter begun_, committed_, aborted_;
 };

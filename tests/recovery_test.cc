@@ -173,10 +173,11 @@ TEST_F(RecoveryTest, CommittedDeleteStaysDeleted) {
 TEST_F(RecoveryTest, UncommittedTransactionIsInvisibleAfterCrash) {
   Open(false);
   ASSERT_TRUE(InsertRow(1, "committed").ok());
-  // Leave a transaction in flight at "crash" time. IMRS changes are
-  // buffered until commit, so nothing of it reaches the log.
-  auto* loser = db_->Begin().release();  // leaked deliberately: crash
-  ASSERT_TRUE(db_->Insert(loser, table_, Record(99, 1, "loser")).ok());
+  // Leave a transaction in flight at "crash" time: never committed or
+  // aborted, only destroyed at test end (LeakSanitizer-clean). IMRS changes
+  // are buffered until commit, so nothing of it reaches the log.
+  auto loser = db_->Begin();
+  ASSERT_TRUE(db_->Insert(loser.get(), table_, Record(99, 1, "loser")).ok());
   Open(true);
   EXPECT_EQ(*ReadValue(1), "committed");
   EXPECT_TRUE(ReadValue(99).status().IsNotFound());
@@ -190,8 +191,8 @@ TEST_F(RecoveryTest, LoserPageStoreChangesAreUndone) {
   // A page-store update whose transaction never commits, but whose dirty
   // page reaches disk (simulated by flushing the buffer cache
   // mid-transaction — the "steal" case recovery must undo).
-  auto* loser = db_->Begin().release();
-  ASSERT_TRUE(db_->Update(loser, table_, Key(1),
+  auto loser = db_->Begin();  // in flight at "crash"; never finished
+  ASSERT_TRUE(db_->Update(loser.get(), table_, Key(1),
                           [&](std::string* payload) {
                             RecordEditor e(&table_->schema(), Slice(*payload));
                             e.SetString(2, "dirty-uncommitted");

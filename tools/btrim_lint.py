@@ -1,0 +1,118 @@
+#!/usr/bin/env python3
+"""BTrimDB custom lint: project-specific rules clang-tidy cannot express.
+
+Rules (each scans src/ only; tests and benches may take shortcuts):
+
+  raw-new-delete     Raw `new` / `delete` outside the allowlist. Owning
+                     allocations must go through std::make_unique or the
+                     fragment allocator; the allowlist covers the two
+                     legitimate patterns (private-constructor factories that
+                     wrap the result in a unique_ptr on the same line, and
+                     the fragment allocator's internal block management).
+
+  lock-guard-spinlock  `std::lock_guard<SpinLock>` instead of SpinLockGuard.
+                     std::lock_guard is invisible to clang's thread-safety
+                     analysis; SpinLockGuard (common/spinlock.h) carries the
+                     capability annotations.
+
+  nodiscard-status   The Status / Result class definitions must keep their
+                     class-level [[nodiscard]] attribute — that is what turns
+                     every ignored Status-returning call into a compiler
+                     warning, in every translation unit, with no lint run.
+
+Exit status: 0 when clean, 1 when any finding is reported.
+"""
+
+import re
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+SRC = REPO / "src"
+
+# file (relative to repo root) -> substring that must appear on the flagged
+# line for the finding to be suppressed.
+RAW_NEW_ALLOWLIST = {
+    # Private-constructor factories: `new` is wrapped into a unique_ptr in
+    # the same expression, so ownership never exists as a raw pointer.
+    "src/page/device.cc": "unique_ptr",
+    "src/wal/log.cc": "unique_ptr",
+    "src/txn/transaction.cc": "unique_ptr",
+    "src/engine/database.cc": "unique_ptr",
+    # The fragment allocator IS the owner: raw new[]/delete[] of arena
+    # blocks is its job.
+    "src/alloc/fragment_allocator.cc": "",
+}
+
+NEW_RE = re.compile(r"\bnew\b")
+# Placement new constructs into already-owned memory (the fragment
+# allocator's row/version blocks) — not an allocation. nothrow-new is.
+PLACEMENT_NEW_RE = re.compile(r"\bnew\s*\((?!\s*std::nothrow)")
+# `delete` as the expression keyword; `= delete` (deleted members) is fine.
+DELETE_RE = re.compile(r"(?<![=\w])\s*\bdelete\b(\s*\[\s*\])?\s+[\w(*]")
+LOCK_GUARD_RE = re.compile(r"std::lock_guard<\s*(SpinLock|RwSpinLock)\s*>")
+COMMENT_RE = re.compile(r"^\s*(//|/\*|\*|#)")
+
+
+def strip_strings(line: str) -> str:
+    """Blank out string/char literals so words inside them don't match."""
+    return re.sub(r'"(?:[^"\\]|\\.)*"|\'(?:[^\'\\]|\\.)*\'', '""', line)
+
+
+def strip_trailing_comment(line: str) -> str:
+    return line.split("//", 1)[0]
+
+
+def lint_file(path: Path, findings: list) -> None:
+    rel = path.relative_to(REPO).as_posix()
+    text = path.read_text(encoding="utf-8", errors="replace")
+    for lineno, raw_line in enumerate(text.splitlines(), start=1):
+        if COMMENT_RE.match(raw_line):
+            continue
+        line = strip_trailing_comment(strip_strings(raw_line))
+
+        allocating_new = NEW_RE.search(line) and not PLACEMENT_NEW_RE.search(line)
+        if allocating_new or DELETE_RE.search(line):
+            allowed = RAW_NEW_ALLOWLIST.get(rel)
+            if allowed is None or (allowed and allowed not in line):
+                findings.append(
+                    (rel, lineno, "raw-new-delete",
+                     "raw new/delete outside the allowlist; use "
+                     "std::make_unique or the fragment allocator: "
+                     + raw_line.strip()))
+
+        if LOCK_GUARD_RE.search(line):
+            findings.append(
+                (rel, lineno, "lock-guard-spinlock",
+                 "std::lock_guard over a spinlock defeats thread-safety "
+                 "analysis; use SpinLockGuard: " + raw_line.strip()))
+
+
+def check_nodiscard(findings: list) -> None:
+    status_h = SRC / "common" / "status.h"
+    text = status_h.read_text(encoding="utf-8")
+    for cls in ("class [[nodiscard]] Status", "class [[nodiscard]] Result"):
+        if cls not in text:
+            findings.append(
+            ("src/common/status.h", 1, "nodiscard-status",
+             f"expected `{cls}` — the class-level [[nodiscard]] makes "
+             "ignoring any Status/Result return a compiler warning"))
+
+
+def main() -> int:
+    findings = []
+    for path in sorted(SRC.rglob("*.cc")) + sorted(SRC.rglob("*.h")):
+        lint_file(path, findings)
+    check_nodiscard(findings)
+
+    for rel, lineno, rule, msg in findings:
+        print(f"{rel}:{lineno}: [{rule}] {msg}")
+    if findings:
+        print(f"btrim_lint: {len(findings)} finding(s)", file=sys.stderr)
+        return 1
+    print("btrim_lint: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

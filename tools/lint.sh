@@ -1,0 +1,45 @@
+#!/usr/bin/env bash
+# BTrimDB lint gate: clang-tidy (when available) + the project-specific
+# lint in tools/btrim_lint.py. CI and developers run the same entry point:
+#
+#   tools/lint.sh [build-dir]
+#
+# The build dir must contain compile_commands.json (every CMake preset
+# exports it). On toolchains without clang-tidy the tidy stage is skipped
+# with a warning — the custom lint and the compiler's own -Wall -Wextra
+# -Wthread-safety (clang) / [[nodiscard]] enforcement still gate.
+set -u -o pipefail
+
+REPO="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD_DIR="${1:-"$REPO/build"}"
+status=0
+
+# --- stage 1: clang-tidy ----------------------------------------------------
+if command -v clang-tidy >/dev/null 2>&1; then
+  if [[ ! -f "$BUILD_DIR/compile_commands.json" ]]; then
+    echo "lint.sh: $BUILD_DIR/compile_commands.json not found;" \
+         "configure first: cmake --preset default" >&2
+    exit 2
+  fi
+  echo "lint.sh: running clang-tidy (config: .clang-tidy)"
+  # shellcheck disable=SC2046
+  if ! clang-tidy -p "$BUILD_DIR" --quiet \
+        $(find "$REPO/src" -name '*.cc' | sort); then
+    status=1
+  fi
+else
+  echo "lint.sh: clang-tidy not found; skipping the tidy stage" >&2
+fi
+
+# --- stage 2: project-specific rules ----------------------------------------
+echo "lint.sh: running tools/btrim_lint.py"
+if ! python3 "$REPO/tools/btrim_lint.py"; then
+  status=1
+fi
+
+if [[ $status -ne 0 ]]; then
+  echo "lint.sh: FAILED" >&2
+else
+  echo "lint.sh: OK"
+fi
+exit $status
