@@ -13,6 +13,11 @@
 //     --partitioned       partition tables by warehouse
 //     --window N          report every N commits           (default 2000)
 //     --seed N            workload seed                    (default 7)
+//     --data-dir DIR      file backend at DIR (default: in-memory)
+//     --durability P      none | sync | group              (default none)
+//                         sync / group imply a file backend
+//     --max-batch N       group commit: groups per batch   (default 64)
+//     --max-latency-us N  group commit: leader linger cap  (default 200)
 //
 // Example: compare ILM on/off at a glance:
 //   ./build/examples/tpcc_cli --ilm on  --txns 20000
@@ -21,6 +26,8 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
+#include <string>
 
 #include "engine/stats_printer.h"
 #include "tpcc/driver.h"
@@ -42,6 +49,11 @@ struct CliOptions {
   bool partitioned = false;
   int64_t window = 2000;
   uint64_t seed = 7;
+  std::string data_dir;
+  DurabilityPolicy durability = DurabilityPolicy::kNoSync;
+  bool durable = false;  // true once --durability asked for real syncs
+  int64_t max_batch = 64;
+  int64_t max_latency_us = 200;
 };
 
 bool ParseArgs(int argc, char** argv, CliOptions* opts) {
@@ -62,6 +74,27 @@ bool ParseArgs(int argc, char** argv, CliOptions* opts) {
     if (int_arg("--steady-pct", &opts->steady_pct)) continue;
     if (int_arg("--window", &opts->window)) continue;
     if (int_arg("--seed", &opts->seed)) continue;
+    if (int_arg("--max-batch", &opts->max_batch)) continue;
+    if (int_arg("--max-latency-us", &opts->max_latency_us)) continue;
+    if (strcmp(argv[i], "--data-dir") == 0 && i + 1 < argc) {
+      opts->data_dir = argv[++i];
+      continue;
+    }
+    if (strcmp(argv[i], "--durability") == 0 && i + 1 < argc) {
+      const char* p = argv[++i];
+      if (strcmp(p, "none") == 0) {
+        opts->durability = DurabilityPolicy::kNoSync;
+      } else if (strcmp(p, "sync") == 0) {
+        opts->durability = DurabilityPolicy::kSyncPerCommit;
+      } else if (strcmp(p, "group") == 0) {
+        opts->durability = DurabilityPolicy::kGroupCommit;
+      } else {
+        fprintf(stderr, "--durability wants none|sync|group, got %s\n", p);
+        return false;
+      }
+      opts->durable = opts->durability != DurabilityPolicy::kNoSync;
+      continue;
+    }
     if (strcmp(argv[i], "--ilm") == 0 && i + 1 < argc) {
       opts->ilm = strcmp(argv[++i], "on") == 0;
       continue;
@@ -95,6 +128,18 @@ int main(int argc, char** argv) {
   options.ilm.ilm_enabled = cli.ilm;
   options.ilm.steady_cache_pct = cli.steady_pct / 100.0;
   if (!cli.ilm) options.imrs_cache_bytes = 512ull << 20;  // "unlimited"
+  if (cli.durable && cli.data_dir.empty()) {
+    cli.data_dir = std::filesystem::temp_directory_path().string() +
+                   "/btrim_tpcc_cli";
+  }
+  if (!cli.data_dir.empty()) {
+    std::filesystem::create_directories(cli.data_dir);
+    options.in_memory = false;
+    options.data_dir = cli.data_dir;
+  }
+  options.durability.policy = cli.durability;
+  options.durability.max_batch_groups = cli.max_batch;
+  options.durability.max_group_latency_us = cli.max_latency_us;
 
   Result<std::unique_ptr<Database>> opened = Database::Open(options);
   if (!opened.ok()) {
@@ -159,12 +204,23 @@ int main(int argc, char** argv) {
          stats.Tpm(), static_cast<long long>(stats.committed),
          static_cast<long long>(stats.system_aborts),
          static_cast<long long>(stats.user_aborts));
-  printf("latency us: mean=%.0f p50=%lld p95=%lld p99=%lld\n\n",
+  printf("latency us: mean=%.0f p50=%lld p95=%lld p99=%lld\n",
          stats.latency_mean_us,
          static_cast<long long>(stats.latency_p50_us),
          static_cast<long long>(stats.latency_p95_us),
          static_cast<long long>(stats.latency_p99_us));
-  printf("%s\n%s", FormatDatabaseStats(db->GetStats()).c_str(),
+  DatabaseStats dbstats = db->GetStats();
+  if (cli.durable && stats.committed > 0) {
+    const int64_t syncs = dbstats.syslogs.syncs + dbstats.sysimrslogs.syncs;
+    printf("durability: %lld fsyncs for %lld commits (%.3f fsyncs/commit, "
+           "%lld elided)\n",
+           static_cast<long long>(syncs),
+           static_cast<long long>(stats.committed),
+           static_cast<double>(syncs) / static_cast<double>(stats.committed),
+           static_cast<long long>(dbstats.syslogs.syncs_elided +
+                                  dbstats.sysimrslogs.syncs_elided));
+  }
+  printf("\n%s\n%s", FormatDatabaseStats(dbstats).c_str(),
          FormatTableBreakdown(db.get()).c_str());
   return 0;
 }

@@ -1,0 +1,91 @@
+#ifndef BTRIM_COMMON_HISTOGRAM_H_
+#define BTRIM_COMMON_HISTOGRAM_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+
+namespace btrim {
+
+/// A wait-free latency histogram with power-of-two microsecond buckets.
+///
+/// Record() is a single relaxed fetch_add on the bucket owning the value
+/// (bucket i covers [2^i, 2^(i+1)) us; bucket 0 additionally covers 0), so
+/// it is cheap enough for the commit critical path. Snapshots are taken by
+/// low-frequency readers (stats printing, benchmark reporting) and may
+/// transiently under-count while writers are active — the same contract as
+/// ShardedCounter.
+class LatencyHistogram {
+ public:
+  static constexpr int kBuckets = 40;  // covers up to ~2^40 us (~12.7 days)
+
+  LatencyHistogram() = default;
+  LatencyHistogram(const LatencyHistogram&) = delete;
+  LatencyHistogram& operator=(const LatencyHistogram&) = delete;
+
+  void Record(int64_t value_us) {
+    if (value_us < 0) value_us = 0;
+    buckets_[BucketFor(value_us)].fetch_add(1, std::memory_order_relaxed);
+    sum_us_.fetch_add(value_us, std::memory_order_relaxed);
+  }
+
+  /// Point-in-time copy, queryable without touching the live histogram.
+  struct Snapshot {
+    std::array<int64_t, kBuckets> counts{};
+    int64_t total = 0;
+    int64_t sum_us = 0;
+
+    /// Upper bound of the bucket holding quantile `q` (conservative: the
+    /// reported latency is never below the true quantile's bucket).
+    int64_t PercentileUs(double q) const {
+      if (total <= 0) return 0;
+      if (q < 0.0) q = 0.0;
+      if (q > 1.0) q = 1.0;
+      const double target = q * static_cast<double>(total);
+      int64_t seen = 0;
+      for (int i = 0; i < kBuckets; ++i) {
+        seen += counts[i];
+        if (static_cast<double>(seen) >= target) return BucketUpperUs(i);
+      }
+      return BucketUpperUs(kBuckets - 1);
+    }
+
+    double MeanUs() const {
+      return total > 0
+                 ? static_cast<double>(sum_us) / static_cast<double>(total)
+                 : 0.0;
+    }
+  };
+
+  Snapshot GetSnapshot() const {
+    Snapshot s;
+    for (int i = 0; i < kBuckets; ++i) {
+      s.counts[i] = buckets_[i].load(std::memory_order_relaxed);
+      s.total += s.counts[i];
+    }
+    s.sum_us = sum_us_.load(std::memory_order_relaxed);
+    return s;
+  }
+
+  void Reset() {
+    for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+    sum_us_.store(0, std::memory_order_relaxed);
+  }
+
+  /// Exclusive upper bound (us) of bucket `i`, for report axes.
+  static int64_t BucketUpperUs(int i) { return int64_t{1} << (i + 1); }
+
+ private:
+  static int BucketFor(int64_t value_us) {
+    if (value_us <= 1) return 0;
+    const int bit = 63 - __builtin_clzll(static_cast<uint64_t>(value_us));
+    return bit < kBuckets ? bit : kBuckets - 1;
+  }
+
+  std::atomic<int64_t> buckets_[kBuckets] = {};
+  std::atomic<int64_t> sum_us_{0};
+};
+
+}  // namespace btrim
+
+#endif  // BTRIM_COMMON_HISTOGRAM_H_

@@ -128,6 +128,24 @@ class BTRIM_CAPABILITY("rw_latch") RwSpinLock {
   std::atomic<uint32_t> state_{0};
 };
 
+/// RAII shared holder for an RwSpinLock. Read-mostly structures (e.g. the
+/// database catalog) take this on lookup paths so concurrent readers never
+/// serialize on each other.
+class BTRIM_SCOPED_CAPABILITY RwSpinLockReadGuard {
+ public:
+  explicit RwSpinLockReadGuard(RwSpinLock& lock) BTRIM_ACQUIRE_SHARED(lock)
+      : lock_(lock) {
+    lock_.lock_shared();
+  }
+  ~RwSpinLockReadGuard() BTRIM_RELEASE() { lock_.unlock_shared(); }
+
+  RwSpinLockReadGuard(const RwSpinLockReadGuard&) = delete;
+  RwSpinLockReadGuard& operator=(const RwSpinLockReadGuard&) = delete;
+
+ private:
+  RwSpinLock& lock_;
+};
+
 /// RAII exclusive holder for an RwSpinLock, annotated like SpinLockGuard
 /// (tools/lint.sh flags std::lock_guard over either spinlock type).
 class BTRIM_SCOPED_CAPABILITY RwSpinLockWriteGuard {

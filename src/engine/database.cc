@@ -26,6 +26,19 @@ Status Database::Init() {
   // File id 0 is reserved (null RID); occupy the slot.
   devices_.push_back(nullptr);
 
+  // Effective durability policy: the legacy sync_commits switch maps onto
+  // kSyncPerCommit; in-memory storage is volatile, so syncing is pointless.
+  DurabilityOptions durability = options_.durability;
+  if (durability.policy == DurabilityPolicy::kNoSync &&
+      options_.sync_commits) {
+    durability.policy = DurabilityPolicy::kSyncPerCommit;
+  }
+  if (options_.in_memory) {
+    durability.policy = DurabilityPolicy::kNoSync;
+  }
+  const bool sync_on_commit =
+      durability.policy != DurabilityPolicy::kNoSync;
+
   // Logs.
   if (options_.in_memory) {
     syslogs_ = std::make_unique<Log>(std::make_unique<MemLogStorage>(),
@@ -39,11 +52,13 @@ Status Database::Init() {
     Result<std::unique_ptr<FileLogStorage>> imrs =
         FileLogStorage::Open(options_.data_dir + "/sysimrslogs.wal");
     if (!imrs.ok()) return imrs.status();
-    syslogs_ =
-        std::make_unique<Log>(std::move(*sys), options_.sync_commits);
-    sysimrslogs_ =
-        std::make_unique<Log>(std::move(*imrs), options_.sync_commits);
+    syslogs_ = std::make_unique<Log>(std::move(*sys), sync_on_commit);
+    sysimrslogs_ = std::make_unique<Log>(std::move(*imrs), sync_on_commit);
   }
+  syslogs_committer_ =
+      std::make_unique<GroupCommitter>(syslogs_.get(), durability);
+  sysimrslogs_committer_ =
+      std::make_unique<GroupCommitter>(sysimrslogs_.get(), durability);
 
   // IMRS.
   imrs_ = std::make_unique<ImrsStore>(&imrs_allocator_, &rid_map_);
@@ -110,7 +125,7 @@ Result<Table*> Database::CreateTable(TableOptions options) {
 
   auto table = std::make_unique<Table>();
   {
-    std::lock_guard<std::mutex> guard(catalog_mu_);
+    RwSpinLockWriteGuard guard(catalog_mu_);
     table->id_ = static_cast<uint32_t>(tables_.size() + 1);
   }
   table->name_ = options.name;
@@ -172,7 +187,7 @@ Result<Table*> Database::CreateTable(TableOptions options) {
 
   Table* raw = table.get();
   {
-    std::lock_guard<std::mutex> guard(catalog_mu_);
+    RwSpinLockWriteGuard guard(catalog_mu_);
     for (size_t p = 0; p < raw->partitions_.size(); ++p) {
       part_by_file_[raw->partitions_[p].heap->file_id()] = {raw, p};
     }
@@ -183,19 +198,19 @@ Result<Table*> Database::CreateTable(TableOptions options) {
 }
 
 Table* Database::GetTable(const std::string& name) const {
-  std::lock_guard<std::mutex> guard(catalog_mu_);
+  RwSpinLockReadGuard guard(catalog_mu_);
   auto it = tables_by_name_.find(name);
   return it == tables_by_name_.end() ? nullptr : it->second;
 }
 
 Table* Database::GetTable(uint32_t table_id) const {
-  std::lock_guard<std::mutex> guard(catalog_mu_);
+  RwSpinLockReadGuard guard(catalog_mu_);
   if (table_id == 0 || table_id > tables_.size()) return nullptr;
   return tables_[table_id - 1].get();
 }
 
 std::vector<Table*> Database::Tables() const {
-  std::lock_guard<std::mutex> guard(catalog_mu_);
+  RwSpinLockReadGuard guard(catalog_mu_);
   std::vector<Table*> out;
   out.reserve(tables_.size());
   for (const auto& t : tables_) out.push_back(t.get());
@@ -203,6 +218,9 @@ std::vector<Table*> Database::Tables() const {
 }
 
 Status Database::WriteCommitRecords(Transaction* txn, uint64_t cts) {
+  // Both logs route through their GroupCommitter: this call returns once the
+  // records are durable per the configured policy, possibly having ridden in
+  // a batch with other committers' groups (one device sync for all of them).
   if (txn->has_imrs_changes()) {
     std::string group = std::move(*txn->imrs_redo_buffer());
     LogRecord commit;
@@ -210,17 +228,18 @@ Status Database::WriteCommitRecords(Transaction* txn, uint64_t cts) {
     commit.txn_id = txn->id();
     commit.cts = cts;
     AppendLogRecord(&group, commit);
-    BTRIM_RETURN_IF_ERROR(
-        sysimrslogs_->AppendGroup(group, txn->imrs_record_count() + 1));
-    BTRIM_RETURN_IF_ERROR(sysimrslogs_->Commit());
+    BTRIM_RETURN_IF_ERROR(sysimrslogs_committer_->CommitGroup(
+        Slice(group), txn->imrs_record_count() + 1));
   }
   if (txn->has_pagestore_changes()) {
     LogRecord commit;
     commit.type = LogRecordType::kPsCommit;
     commit.txn_id = txn->id();
     commit.cts = cts;
-    BTRIM_RETURN_IF_ERROR(syslogs_->AppendRecord(commit));
-    BTRIM_RETURN_IF_ERROR(syslogs_->Commit());
+    thread_local std::string scratch;
+    scratch.clear();
+    AppendLogRecord(&scratch, commit);
+    BTRIM_RETURN_IF_ERROR(syslogs_committer_->CommitGroup(Slice(scratch), 1));
   }
   return Status::OK();
 }
@@ -570,6 +589,8 @@ DatabaseStats Database::GetStats() const {
   s.rid_map = rid_map_.GetStats();
   s.syslogs = syslogs_->GetStats();
   s.sysimrslogs = sysimrslogs_->GetStats();
+  s.syslogs_commit = syslogs_committer_->GetStats();
+  s.sysimrslogs_commit = sysimrslogs_committer_->GetStats();
   s.imrs_operations = imrs_ops_.Load();
   s.page_operations = page_ops_.Load();
   return s;

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "alloc/fragment_allocator.h"
+#include "common/spinlock.h"
 #include "engine/table.h"
 #include "ilm/ilm_manager.h"
 #include "imrs/gc.h"
@@ -19,6 +20,7 @@
 #include "imrs/store.h"
 #include "page/buffer_cache.h"
 #include "txn/transaction.h"
+#include "wal/group_commit.h"
 #include "wal/log.h"
 
 namespace btrim {
@@ -40,8 +42,15 @@ struct DatabaseOptions {
   bool in_memory = true;
   std::string data_dir;
 
-  /// fsync both logs on commit (file-backed mode only).
+  /// fsync both logs on commit (file-backed mode only). Legacy switch kept
+  /// for existing callers: when set and `durability.policy` is kNoSync, the
+  /// effective policy becomes kSyncPerCommit.
   bool sync_commits = false;
+
+  /// Commit durability policy and group-commit tuning (file-backed mode
+  /// only; in-memory databases are volatile by construction, so the
+  /// effective policy there is always kNoSync).
+  DurabilityOptions durability;
 
   /// Artificial device latency per page I/O (simulated disk; 0 = off).
   uint32_t device_latency_micros = 0;
@@ -82,6 +91,8 @@ struct DatabaseStats {
   RidMapStats rid_map;
   LogStats syslogs;
   LogStats sysimrslogs;
+  GroupCommitStats syslogs_commit;
+  GroupCommitStats sysimrslogs_commit;
   int64_t imrs_operations = 0;  ///< ISUD ops served by the IMRS
   int64_t page_operations = 0;  ///< ISUD ops served by the page store
 };
@@ -209,6 +220,10 @@ class Database : public PackClient {
   RidMap* rid_map() { return &rid_map_; }
   Log* syslogs() { return syslogs_.get(); }
   Log* sysimrslogs() { return sysimrslogs_.get(); }
+  GroupCommitter* syslogs_committer() { return syslogs_committer_.get(); }
+  GroupCommitter* sysimrslogs_committer() {
+    return sysimrslogs_committer_.get();
+  }
   const DatabaseOptions& options() const { return options_; }
 
   /// Commit-timestamp "now" (the ILM time axis).
@@ -298,17 +313,21 @@ class Database : public PackClient {
   std::unique_ptr<ImrsStore> imrs_;
   std::unique_ptr<ImrsGc> gc_;
 
-  // Transactions & logs.
+  // Transactions & logs. Each log gets its own committer so a syslogs batch
+  // sync never serializes behind a sysimrslogs one (the two devices pipeline).
   LockManager lock_manager_;
   TransactionManager txn_manager_;
   std::unique_ptr<Log> syslogs_;
   std::unique_ptr<Log> sysimrslogs_;
+  std::unique_ptr<GroupCommitter> syslogs_committer_;
+  std::unique_ptr<GroupCommitter> sysimrslogs_committer_;
 
   // ILM.
   std::unique_ptr<IlmManager> ilm_;
 
-  // Catalog.
-  mutable std::mutex catalog_mu_;
+  // Catalog. Reader-writer: GetTable sits on the commit-adjacent hot path
+  // (pack, purge, recovery routing) while writers are DDL-only.
+  mutable RwSpinLock catalog_mu_;
   std::vector<std::unique_ptr<Table>> tables_;
   std::unordered_map<std::string, Table*> tables_by_name_;
   std::unordered_map<uint16_t, std::pair<Table*, size_t>> part_by_file_;

@@ -58,7 +58,7 @@ Status Database::Recover() {
   auto part_for_rid = [this](uint64_t rid_enc,
                              Rid* rid) -> TablePartition* {
     *rid = Rid::Decode(rid_enc);
-    std::lock_guard<std::mutex> guard(catalog_mu_);
+    RwSpinLockReadGuard guard(catalog_mu_);
     auto it = part_by_file_.find(rid->file_id);
     if (it == part_by_file_.end()) return nullptr;
     return &it->second.first->partition(it->second.second);

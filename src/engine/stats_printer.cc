@@ -26,6 +26,20 @@ double Pct(int64_t part, int64_t whole) {
                    : 0.0;
 }
 
+void AppendCommitterLine(std::string* out, const char* label,
+                         const GroupCommitStats& gc) {
+  if (gc.groups_committed == 0) return;  // committer never used
+  Appendf(out,
+          "%s: %" PRId64 " groups in %" PRId64
+          " batches (%.1f/batch, %.1f KiB avg, max %" PRId64
+          "), latency p50/p95/p99 %" PRId64 "/%" PRId64 "/%" PRId64 " us\n",
+          label, gc.groups_committed, gc.batches, gc.GroupsPerBatch(),
+          gc.AvgBatchBytes() / 1024.0, gc.max_batch_groups,
+          gc.commit_latency.PercentileUs(0.50),
+          gc.commit_latency.PercentileUs(0.95),
+          gc.commit_latency.PercentileUs(0.99));
+}
+
 }  // namespace
 
 std::string FormatDatabaseStats(const DatabaseStats& s) {
@@ -69,14 +83,18 @@ std::string FormatDatabaseStats(const DatabaseStats& s) {
           s.pack.bypass_activations);
   Appendf(&out,
           "syslogs      : %" PRId64 " records, %" PRId64 " KiB, %" PRId64
-          " syncs\n",
+          " syncs (%" PRId64 " elided)\n",
           s.syslogs.records_appended, s.syslogs.bytes_appended / 1024,
-          s.syslogs.syncs);
+          s.syslogs.syncs, s.syslogs.syncs_elided);
   Appendf(&out,
           "sysimrslogs  : %" PRId64 " records in %" PRId64
-          " groups, %" PRId64 " KiB\n",
+          " groups, %" PRId64 " KiB, %" PRId64 " syncs (%" PRId64
+          " elided)\n",
           s.sysimrslogs.records_appended, s.sysimrslogs.groups_appended,
-          s.sysimrslogs.bytes_appended / 1024);
+          s.sysimrslogs.bytes_appended / 1024, s.sysimrslogs.syncs,
+          s.sysimrslogs.syncs_elided);
+  AppendCommitterLine(&out, "commit(sys)  ", s.syslogs_commit);
+  AppendCommitterLine(&out, "commit(imrs) ", s.sysimrslogs_commit);
   return out;
 }
 

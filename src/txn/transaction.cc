@@ -27,14 +27,43 @@ TransactionManager::TransactionManager(LockManager* lock_manager)
 std::unique_ptr<Transaction> TransactionManager::Begin() {
   begun_.Inc();
   const uint64_t id = next_txn_id_.fetch_add(1, std::memory_order_relaxed);
+  ActiveShard& shard = ShardFor(id);
   uint64_t begin_ts;
-  {
-    std::unique_lock<std::mutex> guard(active_mu_);
-    active_cv_.wait(guard, [this] { return !paused_; });
-    begin_ts = clock_.Now();
-    active_[id] = begin_ts;
+  while (true) {
+    WaitWhilePaused();
+    {
+      std::lock_guard<std::mutex> guard(shard.mu);
+      // Snapshot read under the shard mutex: a horizon scan that misses this
+      // entry acquired the mutex first, so its clock read is <= begin_ts.
+      begin_ts = clock_.Now();
+      shard.txns[id] = begin_ts;
+    }
+    if (!paused_.load(std::memory_order_seq_cst)) break;
+    // A pause raced in between the gate check and the registration; back out
+    // so the pauser's drain completes, then queue up at the gate.
+    {
+      std::lock_guard<std::mutex> guard(shard.mu);
+      shard.txns.erase(id);
+    }
+    gate_cv_.notify_all();
   }
   return std::unique_ptr<Transaction>(new Transaction(this, id, begin_ts));
+}
+
+void TransactionManager::WaitWhilePaused() {
+  if (!paused_.load(std::memory_order_acquire)) return;
+  std::unique_lock<std::mutex> guard(gate_mu_);
+  gate_cv_.wait(guard,
+                [this] { return !paused_.load(std::memory_order_acquire); });
+}
+
+int64_t TransactionManager::ActiveCount() const {
+  int64_t n = 0;
+  for (const ActiveShard& shard : active_shards_) {
+    std::lock_guard<std::mutex> guard(shard.mu);
+    n += static_cast<int64_t>(shard.txns.size());
+  }
+  return n;
 }
 
 void TransactionManager::ReleaseAllLocks(Transaction* txn) {
@@ -45,30 +74,46 @@ void TransactionManager::ReleaseAllLocks(Transaction* txn) {
 }
 
 void TransactionManager::Unregister(Transaction* txn) {
-  std::lock_guard<std::mutex> guard(active_mu_);
-  active_.erase(txn->id_);
-  if (paused_ && active_.empty()) active_cv_.notify_all();
+  ActiveShard& shard = ShardFor(txn->id_);
+  {
+    std::lock_guard<std::mutex> guard(shard.mu);
+    shard.txns.erase(txn->id_);
+  }
+  // Nudge a draining pauser; it re-counts on a short period regardless, so a
+  // lost wakeup only delays it, never deadlocks it.
+  if (paused_.load(std::memory_order_acquire)) gate_cv_.notify_all();
 }
 
 bool TransactionManager::PauseNewTransactions(int64_t wait_ms) {
-  std::unique_lock<std::mutex> guard(active_mu_);
-  if (paused_) return false;  // another quiescence holder is active
-  paused_ = true;
-  const bool drained =
-      active_cv_.wait_for(guard, std::chrono::milliseconds(wait_ms),
-                          [this] { return active_.empty(); });
-  if (!drained) {
-    paused_ = false;
-    active_cv_.notify_all();
-    return false;
+  {
+    std::lock_guard<std::mutex> guard(gate_mu_);
+    bool expected = false;
+    if (!paused_.compare_exchange_strong(expected, true)) {
+      return false;  // another quiescence holder is active
+    }
+  }
+  // Drain by polling the shard counts: the count is taken outside gate_mu_,
+  // so notifications can race with it — the periodic re-check bounds the cost
+  // of any missed wakeup to one poll interval.
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(wait_ms);
+  while (ActiveCount() > 0) {
+    if (std::chrono::steady_clock::now() >= deadline) {
+      ResumeNewTransactions();
+      return false;
+    }
+    std::unique_lock<std::mutex> guard(gate_mu_);
+    gate_cv_.wait_for(guard, std::chrono::milliseconds(1));
   }
   return true;
 }
 
 void TransactionManager::ResumeNewTransactions() {
-  std::lock_guard<std::mutex> guard(active_mu_);
-  paused_ = false;
-  active_cv_.notify_all();
+  {
+    std::lock_guard<std::mutex> guard(gate_mu_);
+    paused_.store(false, std::memory_order_release);
+  }
+  gate_cv_.notify_all();
 }
 
 Status TransactionManager::Commit(
@@ -118,10 +163,14 @@ Status TransactionManager::Abort(Transaction* txn) {
 }
 
 uint64_t TransactionManager::OldestActiveSnapshot() const {
-  std::lock_guard<std::mutex> guard(active_mu_);
+  // Read the clock *before* scanning: any registration a shard scan misses
+  // took its snapshot after this read, so the result stays a lower bound.
   uint64_t oldest = clock_.Now();
-  for (const auto& [id, begin_ts] : active_) {
-    if (begin_ts < oldest) oldest = begin_ts;
+  for (const ActiveShard& shard : active_shards_) {
+    std::lock_guard<std::mutex> guard(shard.mu);
+    for (const auto& [id, begin_ts] : shard.txns) {
+      if (begin_ts < oldest) oldest = begin_ts;
+    }
   }
   return oldest;
 }
@@ -131,10 +180,7 @@ TransactionManagerStats TransactionManager::GetStats() const {
   s.begun = begun_.Load();
   s.committed = committed_.Load();
   s.aborted = aborted_.Load();
-  {
-    std::lock_guard<std::mutex> guard(active_mu_);
-    s.active = static_cast<int64_t>(active_.size());
-  }
+  s.active = ActiveCount();
   return s;
 }
 

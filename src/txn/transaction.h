@@ -105,8 +105,19 @@ struct TransactionManagerStats {
 ///
 /// Durability hooks: the owner (Database) supplies a commit hook invoked
 /// *after* the commit timestamp is assigned and *before* in-memory commit
-/// actions run; the hook writes and syncs the log records. If the hook
-/// fails, the transaction aborts instead.
+/// actions run; the hook writes and syncs the log records (typically by
+/// waiting on a GroupCommitter batch). If the hook fails, the transaction
+/// aborts instead. No manager-wide mutex is held around the hook, so a
+/// transaction waiting for its batch to sync never blocks other commits.
+///
+/// The active set is sharded by transaction id: Begin/commit/abort of
+/// concurrent workers touch disjoint shard mutexes, so with group commit
+/// the only cross-worker rendezvous on the commit path is the batched sync
+/// itself. Safety of the GC horizon relies on two orderings: (a) a Begin
+/// reads the clock while holding its shard mutex, and (b) horizon readers
+/// first read the clock, then scan every shard under its mutex — so any
+/// registration a scan misses read its snapshot *after* the horizon
+/// reader's initial clock read, keeping the horizon conservative.
 class TransactionManager {
  public:
   explicit TransactionManager(LockManager* lock_manager);
@@ -156,20 +167,44 @@ class TransactionManager {
   /// Default lock wait budget before declaring deadlock-by-timeout.
   static constexpr int64_t kLockTimeoutMs = 1000;
 
+  /// Number of active-set shards (power of two; id-interleaved).
+  static constexpr size_t kActiveShards = 16;
+
  private:
   friend class Transaction;
 
+  struct alignas(kCacheLineSize) ActiveShard {
+    mutable std::mutex mu;
+    std::unordered_map<uint64_t, uint64_t> txns;  // txn_id -> begin_ts
+  };
+
+  ActiveShard& ShardFor(uint64_t txn_id) {
+    return active_shards_[txn_id % kActiveShards];
+  }
+
   void ReleaseAllLocks(Transaction* txn);
   void Unregister(Transaction* txn);
+
+  /// Total registered transactions (locks each shard in turn).
+  int64_t ActiveCount() const;
+
+  /// Fast-path check + slow-path wait for the quiescence gate.
+  void WaitWhilePaused();
 
   LockManager* const lock_manager_;
   LogicalClock clock_;
   std::atomic<uint64_t> next_txn_id_{1};
 
-  mutable std::mutex active_mu_;
-  std::condition_variable active_cv_;
-  std::unordered_map<uint64_t, uint64_t> active_;  // txn_id -> begin_ts
-  bool paused_ = false;  // true while a quiescence holder blocks Begin()
+  ActiveShard active_shards_[kActiveShards];
+
+  // Quiescence gate. paused_ is seq_cst on both sides: Begin registers into
+  // its shard and *then* loads paused_; PauseNewTransactions stores paused_
+  // and *then* scans the shards. Whichever order the race resolves in, either
+  // the scan sees the registration (and waits for it to drain) or the load
+  // sees the pause (and Begin backs out and waits at the gate).
+  std::atomic<bool> paused_{false};
+  mutable std::mutex gate_mu_;
+  std::condition_variable gate_cv_;
 
   mutable ShardedCounter begun_, committed_, aborted_;
 };

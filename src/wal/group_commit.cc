@@ -1,0 +1,173 @@
+#include "wal/group_commit.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+#include "common/clock.h"
+
+namespace btrim {
+
+namespace {
+
+// Stats-only racy max (same tolerance contract as ShardedCounter).
+void UpdateMax(AtomicGauge* gauge, int64_t value) {
+  if (value > gauge->Load()) gauge->Set(value);
+}
+
+DurabilityOptions Sanitize(DurabilityOptions options) {
+  options.max_batch_groups = std::max<int64_t>(1, options.max_batch_groups);
+  options.max_group_latency_us =
+      std::max<int64_t>(0, options.max_group_latency_us);
+  return options;
+}
+
+}  // namespace
+
+GroupCommitter::GroupCommitter(Log* log, DurabilityOptions options)
+    : log_(log),
+      options_(Sanitize(options)),
+      linger_target_(options_.max_batch_groups),
+      last_batch_groups_(options_.max_batch_groups) {}
+
+Status GroupCommitter::CommitGroup(Slice group, int64_t record_count) {
+  WallTimer timer;
+  Status s;
+  switch (options_.policy) {
+    case DurabilityPolicy::kNoSync:
+      // Storage appends are atomic per call; no rendezvous needed at all.
+      s = log_->AppendGroup(group, record_count);
+      break;
+    case DurabilityPolicy::kSyncPerCommit:
+      s = log_->AppendGroup(group, record_count);
+      if (s.ok()) s = log_->Commit();
+      if (s.ok()) {
+        batches_.Inc();
+        batch_bytes_.Add(static_cast<int64_t>(group.size()));
+        UpdateMax(&max_batch_groups_, 1);
+      }
+      break;
+    case DurabilityPolicy::kGroupCommit:
+      s = CommitGroupBatched(group, record_count);
+      break;
+  }
+  if (s.ok()) {
+    groups_.Inc();
+    latency_.Record(timer.ElapsedMicros());
+  }
+  return s;
+}
+
+Status GroupCommitter::CommitGroupBatched(Slice group, int64_t record_count) {
+  std::unique_lock<std::mutex> lk(mu_);
+  if (!sticky_error_.ok()) return sticky_error_;
+
+  pending_.append(group.data(), group.size());
+  pending_records_ += record_count;
+  ++pending_groups_;
+  staged_end_ += group.size();
+  const uint64_t my_end = staged_end_;
+  if (pending_groups_ >= linger_target_) {
+    cv_.notify_all();  // a lingering leader can stop waiting for joiners
+  }
+
+  while (durable_end_.load(std::memory_order_acquire) < my_end) {
+    if (!sticky_error_.ok()) return sticky_error_;
+    if (!leader_active_.load(std::memory_order_relaxed)) {
+      BTRIM_RETURN_IF_ERROR(LeadBatch(&lk));
+      continue;
+    }
+    // A batch is on its way to the device; wait for it without the mutex
+    // first. In the common case (sync completes within the spin budget)
+    // this follower returns without re-acquiring mu_ at all.
+    lk.unlock();
+    if (SpinWhileBatchInFlight(my_end)) return Status::OK();
+    lk.lock();
+    if (leader_active_.load(std::memory_order_relaxed) &&
+        durable_end_.load(std::memory_order_relaxed) < my_end &&
+        sticky_error_.ok()) {
+      // Spin budget ran out with the round still in flight: the device is
+      // slow, block properly.
+      cv_.wait(lk, [&] {
+        return durable_end_.load(std::memory_order_relaxed) >= my_end ||
+               !leader_active_.load(std::memory_order_relaxed) ||
+               !sticky_error_.ok();
+      });
+    }
+  }
+  return Status::OK();
+}
+
+bool GroupCommitter::SpinWhileBatchInFlight(uint64_t my_end) const {
+  // ~one cheap device-sync's worth of polling; the yield cadence matches
+  // SpinLock so oversubscribed hosts degrade to scheduling, not livelock.
+  constexpr int kSpinLimit = 1 << 15;
+  for (int spins = 0; spins < kSpinLimit; ++spins) {
+    if (durable_end_.load(std::memory_order_acquire) >= my_end) return true;
+    if (!leader_active_.load(std::memory_order_acquire)) return false;
+    if ((spins & 255) == 255) std::this_thread::yield();
+  }
+  return durable_end_.load(std::memory_order_acquire) >= my_end;
+}
+
+Status GroupCommitter::LeadBatch(std::unique_lock<std::mutex>* lk) {
+  leader_active_.store(true, std::memory_order_relaxed);
+
+  // Adaptive linger: wait for as many joiners as the previous batch had,
+  // bounded by max_group_latency_us. At steady state the previous batch size
+  // tracks the committer population, so the wait ends on the last arrival's
+  // notify (arrival skew, not the full window); when concurrency drops the
+  // next batch pays one timed-out window and the target adapts down. A lone
+  // committer in steady state has a target of 1 — its own staged group
+  // satisfies the predicate immediately and it never lingers at all.
+  linger_target_ = std::min(options_.max_batch_groups,
+                            std::max<int64_t>(1, last_batch_groups_));
+  if (options_.max_group_latency_us > 0 &&
+      pending_groups_ < linger_target_) {
+    cv_.wait_for(*lk,
+                 std::chrono::microseconds(options_.max_group_latency_us),
+                 [this] { return pending_groups_ >= linger_target_; });
+  }
+
+  std::string batch;
+  batch.swap(pending_);
+  const int64_t records = pending_records_;
+  const int64_t groups = pending_groups_;
+  pending_records_ = 0;
+  pending_groups_ = 0;
+  last_batch_groups_ = groups;
+  const uint64_t batch_end = staged_end_;
+
+  // Append + sync with the mutex released: later committers stage the next
+  // batch while this one is on its way to the device (the pipeline).
+  lk->unlock();
+  Status s = log_->AppendSerialized(Slice(batch), records, groups);
+  if (s.ok()) s = log_->Commit();
+  lk->lock();
+
+  if (s.ok()) {
+    // Publish durability before ending the round: a spinner that sees
+    // leader_active_ drop re-checks durable_end_ and must observe coverage.
+    durable_end_.store(batch_end, std::memory_order_release);
+    batches_.Inc();
+    batch_bytes_.Add(static_cast<int64_t>(batch.size()));
+    UpdateMax(&max_batch_groups_, groups);
+  } else {
+    sticky_error_ = s;
+  }
+  leader_active_.store(false, std::memory_order_release);
+  cv_.notify_all();
+  return s;
+}
+
+GroupCommitStats GroupCommitter::GetStats() const {
+  GroupCommitStats s;
+  s.groups_committed = groups_.Load();
+  s.batches = batches_.Load();
+  s.batch_bytes = batch_bytes_.Load();
+  s.max_batch_groups = max_batch_groups_.Load();
+  s.commit_latency = latency_.GetSnapshot();
+  return s;
+}
+
+}  // namespace btrim

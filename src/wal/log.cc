@@ -118,25 +118,49 @@ int64_t FileLogStorage::Size() const {
 Log::Log(std::unique_ptr<LogStorage> storage, bool sync_on_commit)
     : storage_(std::move(storage)), sync_on_commit_(sync_on_commit) {}
 
+Status Log::AppendRecord(const LogRecord& rec, std::string* scratch) {
+  scratch->clear();
+  AppendLogRecord(scratch, rec);
+  return AppendSerialized(Slice(*scratch), 1);
+}
+
 Status Log::AppendRecord(const LogRecord& rec) {
-  std::string buf;
-  AppendLogRecord(&buf, rec);
-  records_.Inc();
-  bytes_.Add(static_cast<int64_t>(buf.size()));
-  return storage_->Append(buf);
+  thread_local std::string scratch;  // reused: no allocation in steady state
+  return AppendRecord(rec, &scratch);
 }
 
 Status Log::AppendGroup(Slice group, int64_t record_count) {
+  return AppendSerialized(group, record_count, /*group_count=*/1);
+}
+
+Status Log::AppendSerialized(Slice data, int64_t record_count,
+                             int64_t group_count) {
   records_.Add(record_count);
-  bytes_.Add(static_cast<int64_t>(group.size()));
-  groups_.Inc();
-  return storage_->Append(group);
+  if (group_count > 0) groups_.Add(group_count);
+  bytes_.Add(static_cast<int64_t>(data.size()));
+  BTRIM_RETURN_IF_ERROR(storage_->Append(data));
+  // Only completed writes advance the dirty cursor (see header contract).
+  append_seq_.fetch_add(1, std::memory_order_release);
+  return Status::OK();
 }
 
 Status Log::Commit() {
   if (!sync_on_commit_) return Status::OK();
+  const uint64_t target = append_seq_.load(std::memory_order_acquire);
+  if (synced_seq_.load(std::memory_order_acquire) >= target) {
+    syncs_elided_.Inc();
+    return Status::OK();
+  }
   syncs_.Inc();
-  return storage_->Sync();
+  BTRIM_RETURN_IF_ERROR(storage_->Sync());
+  // Monotone max: a concurrent sync may have advanced further already.
+  uint64_t seen = synced_seq_.load(std::memory_order_relaxed);
+  while (seen < target &&
+         !synced_seq_.compare_exchange_weak(seen, target,
+                                            std::memory_order_release,
+                                            std::memory_order_relaxed)) {
+  }
+  return Status::OK();
 }
 
 Status Log::Replay(const std::function<bool(const LogRecord&)>& fn) {
@@ -160,6 +184,7 @@ LogStats Log::GetStats() const {
   s.bytes_appended = bytes_.Load();
   s.groups_appended = groups_.Load();
   s.syncs = syncs_.Load();
+  s.syncs_elided = syncs_elided_.Load();
   return s;
 }
 

@@ -63,7 +63,8 @@ struct LogStats {
   int64_t records_appended = 0;
   int64_t bytes_appended = 0;
   int64_t groups_appended = 0;
-  int64_t syncs = 0;
+  int64_t syncs = 0;          ///< device syncs actually issued
+  int64_t syncs_elided = 0;   ///< Commit() calls skipped: nothing new to sync
 };
 
 /// A transaction log (one instance each for syslogs and sysimrslogs).
@@ -79,14 +80,27 @@ class Log {
   Log(const Log&) = delete;
   Log& operator=(const Log&) = delete;
 
-  /// Appends one serialized record.
+  /// Appends one record, serializing it into `scratch` (cleared first).
+  /// Passing the same buffer across calls amortizes its allocation to one.
+  Status AppendRecord(const LogRecord& rec, std::string* scratch);
+
+  /// Convenience overload backed by a thread-local scratch buffer, so
+  /// single-record appends do not allocate per call either.
   Status AppendRecord(const LogRecord& rec);
 
   /// Appends a pre-serialized record group atomically.
   Status AppendGroup(Slice group, int64_t record_count);
 
-  /// Forces previous appends to durable storage (no-op when
-  /// sync_on_commit is false).
+  /// Appends pre-serialized bytes, counting `record_count` records and
+  /// `group_count` transaction groups (shared tail of AppendRecord /
+  /// AppendGroup; also the batch path of GroupCommitter, whose one physical
+  /// write carries many transaction groups).
+  Status AppendSerialized(Slice data, int64_t record_count,
+                          int64_t group_count = 0);
+
+  /// Forces previous appends to durable storage. No-op when sync_on_commit
+  /// is false, and elided (counted in syncs_elided) when every completed
+  /// append is already covered by an earlier sync.
   Status Commit();
 
   /// Reads every complete record from the start of the log. Stops early if
@@ -104,7 +118,16 @@ class Log {
   const std::unique_ptr<LogStorage> storage_;
   const bool sync_on_commit_;
 
-  mutable ShardedCounter records_, bytes_, groups_, syncs_;
+  // Dirty tracking for sync elision. append_seq_ is bumped after a storage
+  // append returns; synced_seq_ records the highest append_seq_ value known
+  // to be covered by a completed sync. Commit() may conservatively sync
+  // twice under a race, but never skips a needed sync: an in-flight append
+  // bumps the sequence only after its write completed, so a sequence match
+  // proves the data a sync would flush is already durable.
+  std::atomic<uint64_t> append_seq_{0};
+  std::atomic<uint64_t> synced_seq_{0};
+
+  mutable ShardedCounter records_, bytes_, groups_, syncs_, syncs_elided_;
 };
 
 }  // namespace btrim

@@ -3,7 +3,10 @@
 // destroy the Database object without checkpointing, reopen over the same
 // files, re-create the catalog, and Recover().
 
+#include <atomic>
 #include <filesystem>
+#include <thread>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -427,6 +430,135 @@ TEST_F(RecoveryTest, WritesAfterCompactionAlsoRecover) {
   EXPECT_EQ(*ReadValue(0), "updated-after-compaction");
   for (int64_t i = 1; i < 10; ++i) EXPECT_EQ(*ReadValue(i), "old");
   for (int64_t i = 10; i < 20; ++i) EXPECT_EQ(*ReadValue(i), "new");
+}
+
+// --- group commit ------------------------------------------------------------
+
+class GroupCommitRecoveryTest : public RecoveryTest {
+ protected:
+  static constexpr int kCommitters = 8;
+
+  DatabaseOptions GroupCommitOptions() {
+    DatabaseOptions options = DefaultOptions();
+    options.durability.policy = DurabilityPolicy::kGroupCommit;
+    options.durability.max_batch_groups = kCommitters;
+    // Generous linger + a start barrier below => all committers land in one
+    // batch, making batch contents (and where a tear cuts) deterministic.
+    options.durability.max_group_latency_us = 2'000'000;
+    return options;
+  }
+
+  /// For the verification reopen: same policy, but lone committers (e.g.
+  /// select-caching system transactions) only linger briefly.
+  DatabaseOptions ReopenOptions() {
+    DatabaseOptions options = GroupCommitOptions();
+    options.durability.max_group_latency_us = 200;
+    return options;
+  }
+
+  /// Runs kCommitters threads, each inserting and committing one row
+  /// (ids base..base+kCommitters-1), released simultaneously so their
+  /// commit groups form a single batch.
+  void CommitOneBatch(int64_t base, const std::string& value) {
+    std::atomic<bool> go{false};
+    std::atomic<int> failures{0};
+    std::vector<std::thread> threads;
+    threads.reserve(kCommitters);
+    for (int t = 0; t < kCommitters; ++t) {
+      threads.emplace_back([&, t] {
+        while (!go.load(std::memory_order_acquire)) std::this_thread::yield();
+        if (!InsertRow(base + t, value).ok()) failures.fetch_add(1);
+      });
+    }
+    go.store(true, std::memory_order_release);
+    for (auto& th : threads) th.join();
+    ASSERT_EQ(failures.load(), 0);
+  }
+
+  /// Truncates `file` to `keep_bytes`, simulating a crash mid-write.
+  void TearFileAt(const std::string& file, int64_t keep_bytes) {
+    std::filesystem::resize_file(dir_ + "/" + file,
+                                 static_cast<uintmax_t>(keep_bytes));
+  }
+};
+
+TEST_F(GroupCommitRecoveryTest, BatchedCommitsAreDurableAcrossCrash) {
+  Open(false, GroupCommitOptions());
+  CommitOneBatch(0, "batched");
+  DatabaseStats stats = db_->GetStats();
+  // The point of group commit: one device sync covered all 8 commits.
+  EXPECT_EQ(stats.sysimrslogs.syncs, 1);
+  EXPECT_EQ(stats.sysimrslogs_commit.batches, 1);
+  EXPECT_EQ(stats.sysimrslogs_commit.max_batch_groups, kCommitters);
+
+  Open(true, ReopenOptions());
+  for (int64_t i = 0; i < kCommitters; ++i) {
+    Result<std::string> v = ReadValue(i);
+    ASSERT_TRUE(v.ok()) << "row " << i;
+    EXPECT_EQ(*v, "batched");
+  }
+}
+
+TEST_F(GroupCommitRecoveryTest, TornImrsBatchKeepsOnlyFullyLoggedTxns) {
+  Open(false, GroupCommitOptions());
+  const int64_t before = db_->sysimrslogs()->SizeBytes();
+  CommitOneBatch(0, "torn-batch");
+  const int64_t after = db_->sysimrslogs()->SizeBytes();
+  db_.reset();  // crash
+
+  // Tear the log mid-batch: roughly half the multi-transaction batch
+  // survives. Replay must keep exactly the transactions whose groups
+  // (including the kImrsCommit marker) are intact, and drop the rest —
+  // no torn or phantom rows.
+  TearFileAt("sysimrslogs.wal", before + (after - before) / 2);
+
+  Open(true, ReopenOptions());
+  int recovered = 0;
+  for (int64_t i = 0; i < kCommitters; ++i) {
+    Result<std::string> v = ReadValue(i);
+    if (v.ok()) {
+      EXPECT_EQ(*v, "torn-batch") << "row " << i;
+      ++recovered;
+    } else {
+      EXPECT_TRUE(v.status().IsNotFound()) << "row " << i;
+    }
+  }
+  EXPECT_GE(recovered, 1);           // a prefix of the batch was intact
+  EXPECT_LT(recovered, kCommitters);  // the tear cost the tail its txns
+  EXPECT_EQ(db_->rid_map()->Size(), recovered);
+}
+
+TEST_F(GroupCommitRecoveryTest, TornSyslogsCommitBatchUndoesLosers) {
+  Open(false, GroupCommitOptions());
+  db_->ilm()->SetForcePageStore(true);
+  const int64_t before = db_->syslogs()->SizeBytes();
+  CommitOneBatch(0, "ps-torn");
+  const int64_t after = db_->syslogs()->SizeBytes();
+  // Make the loser data pages reach disk so recovery must actively undo
+  // them (the "steal" case), not merely fail to redo.
+  ASSERT_TRUE(db_->buffer_cache()->FlushAll().ok());
+  db_.reset();  // crash
+
+  // Between `before` and `after`, syslogs received the per-DML data records
+  // followed by one batched append of kPsCommit records at the tail. Cutting
+  // near the end of that region lands inside (or before) the commit batch,
+  // so at least one transaction loses its commit record.
+  TearFileAt("syslogs.wal", after - (after - before) / 8);
+
+  Open(true, ReopenOptions());
+  int winners = 0;
+  for (int64_t i = 0; i < kCommitters; ++i) {
+    Result<std::string> v = ReadValue(i);
+    if (v.ok()) {
+      EXPECT_EQ(*v, "ps-torn") << "row " << i;
+      ++winners;
+    } else {
+      EXPECT_TRUE(v.status().IsNotFound()) << "row " << i;
+    }
+  }
+  // Some commit records survived the tear, some did not; survivors redo,
+  // the rest are losers whose flushed pages were undone.
+  EXPECT_LT(winners, kCommitters);
 }
 
 TEST_F(RecoveryTest, MixedStoreWorkloadRecoversConsistently) {

@@ -234,6 +234,53 @@ TEST(LogTest, CommitSyncsOnlyWhenConfigured) {
   std::filesystem::remove(path);
 }
 
+TEST(LogTest, RedundantCommitsElideTheSync) {
+  const std::string path = ::testing::TempDir() + "/btrim_wal_elide_test.log";
+  std::filesystem::remove(path);
+  auto storage = FileLogStorage::Open(path);
+  ASSERT_TRUE(storage.ok());
+  Log log(std::move(*storage), /*sync_on_commit=*/true);
+
+  // Nothing appended yet: Commit has nothing to make durable.
+  ASSERT_TRUE(log.Commit().ok());
+  EXPECT_EQ(log.GetStats().syncs, 0);
+  EXPECT_EQ(log.GetStats().syncs_elided, 1);
+
+  ASSERT_TRUE(log.AppendRecord(SampleRecord(LogRecordType::kPsCommit)).ok());
+  ASSERT_TRUE(log.Commit().ok());
+  EXPECT_EQ(log.GetStats().syncs, 1);
+
+  // Clean log: the second Commit is a no-op.
+  ASSERT_TRUE(log.Commit().ok());
+  EXPECT_EQ(log.GetStats().syncs, 1);
+  EXPECT_EQ(log.GetStats().syncs_elided, 2);
+
+  // New append dirties the log again.
+  ASSERT_TRUE(log.AppendRecord(SampleRecord(LogRecordType::kPsCommit)).ok());
+  ASSERT_TRUE(log.Commit().ok());
+  EXPECT_EQ(log.GetStats().syncs, 2);
+  EXPECT_EQ(log.GetStats().syncs_elided, 2);
+  std::filesystem::remove(path);
+}
+
+TEST(LogTest, SingleRecordAppendsDoNotDoubleSerialize) {
+  Log log(std::make_unique<MemLogStorage>(), false);
+  std::string scratch;
+  ASSERT_TRUE(
+      log.AppendRecord(SampleRecord(LogRecordType::kPsInsert, 1), &scratch)
+          .ok());
+  const size_t one_record = scratch.size();
+  EXPECT_GT(one_record, 0u);
+  // The scratch buffer holds exactly the serialized record (reused, not
+  // re-allocated, across calls) and the log received exactly those bytes.
+  ASSERT_TRUE(
+      log.AppendRecord(SampleRecord(LogRecordType::kPsInsert, 2), &scratch)
+          .ok());
+  EXPECT_EQ(scratch.size(), one_record);
+  EXPECT_EQ(log.GetStats().bytes_appended,
+            static_cast<int64_t>(2 * one_record));
+}
+
 TEST(LogTest, ReplayIgnoresTornTail) {
   auto storage = std::make_unique<MemLogStorage>();
   MemLogStorage* raw = storage.get();
