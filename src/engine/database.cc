@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <chrono>
 
+#include "page/faulty_device.h"
+#include "wal/faulty_log_storage.h"
 #include "wal/log_record.h"
 
 namespace btrim {
@@ -39,12 +41,21 @@ Status Database::Init() {
   const bool sync_on_commit =
       durability.policy != DurabilityPolicy::kNoSync;
 
-  // Logs.
+  // Logs. With a fault plan, each storage is wrapped in a FaultyLogStorage
+  // decorator so the plan can script append/sync failures and crashes.
+  auto wrap_log = [this](std::unique_ptr<LogStorage> storage,
+                         const char* target) -> std::unique_ptr<LogStorage> {
+    if (options_.fault_plan == nullptr) return storage;
+    return std::make_unique<FaultyLogStorage>(std::move(storage),
+                                              options_.fault_plan, target);
+  };
   if (options_.in_memory) {
-    syslogs_ = std::make_unique<Log>(std::make_unique<MemLogStorage>(),
-                                     /*sync_on_commit=*/false);
-    sysimrslogs_ = std::make_unique<Log>(std::make_unique<MemLogStorage>(),
-                                         /*sync_on_commit=*/false);
+    syslogs_ = std::make_unique<Log>(
+        wrap_log(std::make_unique<MemLogStorage>(), "syslogs"),
+        /*sync_on_commit=*/false);
+    sysimrslogs_ = std::make_unique<Log>(
+        wrap_log(std::make_unique<MemLogStorage>(), "sysimrslogs"),
+        /*sync_on_commit=*/false);
   } else {
     Result<std::unique_ptr<FileLogStorage>> sys =
         FileLogStorage::Open(options_.data_dir + "/syslogs.wal");
@@ -52,8 +63,10 @@ Status Database::Init() {
     Result<std::unique_ptr<FileLogStorage>> imrs =
         FileLogStorage::Open(options_.data_dir + "/sysimrslogs.wal");
     if (!imrs.ok()) return imrs.status();
-    syslogs_ = std::make_unique<Log>(std::move(*sys), sync_on_commit);
-    sysimrslogs_ = std::make_unique<Log>(std::move(*imrs), sync_on_commit);
+    syslogs_ = std::make_unique<Log>(wrap_log(std::move(*sys), "syslogs"),
+                                     sync_on_commit);
+    sysimrslogs_ = std::make_unique<Log>(
+        wrap_log(std::move(*imrs), "sysimrslogs"), sync_on_commit);
   }
   syslogs_committer_ =
       std::make_unique<GroupCommitter>(syslogs_.get(), durability);
@@ -97,6 +110,11 @@ Result<uint16_t> Database::NewFile(const std::string& hint) {
         ".dat");
     if (!fd.ok()) return fd.status();
     device = std::move(*fd);
+  }
+  if (options_.fault_plan != nullptr) {
+    device = std::make_unique<FaultyDevice>(
+        std::move(device), options_.fault_plan,
+        hint + "." + std::to_string(file_id));
   }
   buffer_cache_.AttachDevice(file_id, device.get());
   devices_.push_back(std::move(device));
@@ -227,6 +245,14 @@ Status Database::WriteCommitRecords(Transaction* txn, uint64_t cts) {
     commit.type = LogRecordType::kImrsCommit;
     commit.txn_id = txn->id();
     commit.cts = cts;
+    // Cross-log atomicity: a transaction that also touched the page store
+    // must not have its IMRS group replayed unless its syslogs commit made
+    // it to disk too — otherwise a crash between the two syncs below would
+    // apply a kImrsPack (row leaves the IMRS) while the page-store insert
+    // it points at is undone as a loser, losing the row entirely. The flag
+    // rides in the commit record's spare `source` byte; recovery arbitrates
+    // flagged groups against the syslogs winner set (see recovery.cc).
+    commit.source = txn->has_pagestore_changes() ? 1 : 0;
     AppendLogRecord(&group, commit);
     BTRIM_RETURN_IF_ERROR(sysimrslogs_committer_->CommitGroup(
         Slice(group), txn->imrs_record_count() + 1));
@@ -313,6 +339,12 @@ void Database::RunIlmTickOnce() {
 
 Status Database::Checkpoint() {
   BTRIM_RETURN_IF_ERROR(buffer_cache_.FlushAll());
+  // WAL rule at the durability boundary: a data page must not become
+  // durable before the log records describing its changes. Force both logs
+  // down before the device sync barrier (unconditional: checkpoint is the
+  // periodic durability point even under kNoSync).
+  BTRIM_RETURN_IF_ERROR(syslogs_->SyncStorage());
+  BTRIM_RETURN_IF_ERROR(sysimrslogs_->SyncStorage());
   for (const auto& dev : devices_) {
     if (dev != nullptr) BTRIM_RETURN_IF_ERROR(dev->Sync());
   }
@@ -322,18 +354,29 @@ Status Database::Checkpoint() {
   // Quiescent contract: no active transactions -> every logged page-store
   // change is reflected in the flushed pages, so syslogs can restart.
   if (txn_manager_.GetStats().active == 0) {
+    // Truncating syslogs also discards the winner evidence that flagged
+    // (mixed-store) IMRS commit groups are arbitrated against at recovery.
+    // Write a durable marker into sysimrslogs first: groups committed
+    // before the marker predate this quiescent point, their page-store
+    // effects are in the just-synced pages, and recovery applies them
+    // unconditionally (see recovery.cc).
+    LogRecord marker;
+    marker.type = LogRecordType::kCheckpoint;
+    BTRIM_RETURN_IF_ERROR(sysimrslogs_->AppendRecord(marker));
+    BTRIM_RETURN_IF_ERROR(sysimrslogs_->SyncStorage());
     BTRIM_RETURN_IF_ERROR(syslogs_->Truncate());
   }
   return Status::OK();
 }
 
-int64_t Database::PackBatch(PartitionState* partition,
-                            const std::vector<ImrsRow*>& batch,
-                            std::vector<ImrsRow*>* requeue) {
+PackBatchOutcome Database::PackBatch(PartitionState* partition,
+                                     const std::vector<ImrsRow*>& batch,
+                                     std::vector<ImrsRow*>* requeue) {
+  PackBatchOutcome outcome;
   Table* table = GetTable(partition->table_id);
   if (table == nullptr) {
     for (ImrsRow* row : batch) requeue->push_back(row);
-    return 0;
+    return outcome;
   }
 
   std::unique_ptr<Transaction> txn = Begin();
@@ -341,6 +384,12 @@ int64_t Database::PackBatch(PartitionState* partition,
   int64_t rows_moved = 0;
 
   for (ImrsRow* row : batch) {
+    if (outcome.io_error) {
+      // The log rejected a write: stop touching storage and hand the rest
+      // of the batch back untouched. The pack subsystem backs off.
+      requeue->push_back(row);
+      continue;
+    }
     if (row->HasFlag(kRowPurged) || row->HasFlag(kRowPacked)) continue;
 
     // Conditional lock: never block user DMLs (Sec. VII.B).
@@ -389,10 +438,22 @@ int64_t Database::PackBatch(PartitionState* partition,
     }
     if (!ps.ok()) {
       requeue->push_back(row);
+      if (ps.IsIOError()) outcome.io_error = true;
       continue;
     }
     Status ls = syslogs_->AppendRecord(rec);
-    (void)ls;
+    if (!ls.ok()) {
+      // Unlogged heap change: roll the physical placement back so the page
+      // image never gets ahead of the log, then requeue the row. The append
+      // failure poisoned syslogs, so there is no point continuing.
+      Status undo = rec.type == LogRecordType::kPsUpdate
+                        ? tpart->heap->Update(row->rid, Slice(rec.before))
+                        : tpart->heap->Delete(row->rid);
+      (void)undo;  // heap ops are in-memory here; the page stays dirty
+      requeue->push_back(row);
+      outcome.io_error = true;
+      continue;
+    }
     txn->MarkPageStoreChange();
 
     // Remove the row from the IMRS: logged delete in sysimrslogs
@@ -429,13 +490,20 @@ int64_t Database::PackBatch(PartitionState* partition,
 
   Status s = Commit(txn.get());
   if (!s.ok()) {
-    // Commit hook failures abort the transaction; the IMRS rows were
-    // already detached, which is safe (their data is in the page store
-    // image in memory) but the run should surface the error.
-    return released;
+    // Commit hook failure aborts the transaction. In memory this is safe:
+    // the moved rows' images live in the (dirty) heap pages. Across a
+    // crash it is also safe: the kImrsCommit group carries the
+    // has-page-store-changes flag, so recovery drops it unless the syslogs
+    // commit made it down too, and the rows simply stay IMRS-resident
+    // (see recovery.cc). Surface the failure as an I/O cycle so the pack
+    // subsystem backs off.
+    if (s.IsIOError()) outcome.io_error = true;
+    outcome.bytes_released = released;
+    return outcome;
   }
   (void)rows_moved;
-  return released;
+  outcome.bytes_released = released;
+  return outcome;
 }
 
 Result<int64_t> Database::CompactImrsLog() {
@@ -567,14 +635,21 @@ bool Database::PurgePageStoreHome(ImrsRow* row) {
       rec.rid = row->rid.Encode();
       rec.before = std::move(before);
       Status ls = syslogs_->AppendRecord(rec);
-      (void)ls;
+      if (!ls.ok()) {
+        // Unloggable delete: leave the heap home in place and retry the
+        // purge later; deleting it unlogged would resurrect the row after
+        // a crash once the tombstone that masks it is purged.
+        Status as = Abort(txn.get());
+        (void)as;
+        return false;
+      }
       txn->MarkPageStoreChange();
       Status ds = tpart->heap->Delete(row->rid);
       (void)ds;
     }
   }
   Status s = Commit(txn.get());
-  (void)s;
+  (void)s;  // either way is crash-consistent: kPsDelete is undone if loser
   return true;
 }
 

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "alloc/fragment_allocator.h"
+#include "common/fault_plan.h"
 #include "common/spinlock.h"
 #include "engine/table.h"
 #include "ilm/ilm_manager.h"
@@ -62,6 +63,14 @@ struct DatabaseOptions {
 
   /// Lock wait budget before timeout-abort (deadlock resolution).
   int64_t lock_timeout_ms = 1000;
+
+  /// Seeded fault-injection plan (tests / torture harness). When set, every
+  /// device and log storage the database creates is wrapped in its faulty
+  /// decorator (FaultyDevice / FaultyLogStorage) driven by this plan, so
+  /// I/O errors, torn writes, and simulated crashes can be scripted
+  /// deterministically. Null (the default) means no wrapping and zero
+  /// overhead.
+  std::shared_ptr<FaultPlan> fault_plan;
 };
 
 /// One decoded row returned by scans.
@@ -231,9 +240,9 @@ class Database : public PackClient {
 
   /// --- PackClient --------------------------------------------------------------
 
-  int64_t PackBatch(PartitionState* partition,
-                    const std::vector<ImrsRow*>& batch,
-                    std::vector<ImrsRow*>* requeue) override;
+  PackBatchOutcome PackBatch(PartitionState* partition,
+                             const std::vector<ImrsRow*>& batch,
+                             std::vector<ImrsRow*>* requeue) override;
 
  private:
   explicit Database(DatabaseOptions options);

@@ -18,11 +18,23 @@
 //      deletes leave a tombstone for GC, and pack records remove rows whose
 //      truth moved to the page store (whose image step 1 already restored).
 //
+//      Cross-log arbitration: a group whose kImrsCommit carries the
+//      has-page-store-changes flag (source != 0) committed in two steps —
+//      sysimrslogs group first, syslogs kPsCommit second — and a crash can
+//      land between them. Such a group only applies if its transaction is a
+//      syslogs winner; otherwise both halves roll back together (the group
+//      is dropped here, the page-store half is undone in pass 3). Flagged
+//      groups older than the last kCheckpoint marker in sysimrslogs apply
+//      unconditionally: the marker is written at quiescent checkpoints just
+//      before syslogs truncation erases the winner evidence, at a point
+//      where the flushed pages already contain their page-store effects.
+//
 // Afterwards the RID allocation cursors, B+Tree / hash indexes, ILM queue
 // memberships, and the commit clock are rebuilt from the recovered data.
 // The catalog itself (CreateTable calls) is not persisted; the application
 // re-creates tables in the same order before calling Recover().
 
+#include <algorithm>
 #include <unordered_map>
 #include <unordered_set>
 
@@ -66,11 +78,13 @@ Status Database::Recover() {
 
   CursorTracker cursors;
   uint64_t max_cts = 0;
+  uint64_t max_txn_id = 0;
 
   // --- syslogs pass 1: analysis -------------------------------------------
   std::unordered_map<uint64_t, uint64_t> winners;  // txn -> cts
   std::vector<LogRecord> ps_records;
   BTRIM_RETURN_IF_ERROR(syslogs_->Replay([&](const LogRecord& rec) {
+    if (rec.txn_id > max_txn_id) max_txn_id = rec.txn_id;
     switch (rec.type) {
       case LogRecordType::kPsCommit:
         winners[rec.txn_id] = rec.cts;
@@ -144,10 +158,25 @@ Status Database::Recover() {
     }
   }
 
-  // --- sysimrslogs: redo-only replay of committed groups --------------------
+  // --- sysimrslogs pass 1: locate the last quiescent-checkpoint marker ------
+  int64_t last_marker = -1;
+  {
+    int64_t ordinal = 0;
+    BTRIM_RETURN_IF_ERROR(sysimrslogs_->Replay([&](const LogRecord& rec) {
+      if (rec.type == LogRecordType::kCheckpoint) last_marker = ordinal;
+      ++ordinal;
+      return true;
+    }));
+  }
+
+  // --- sysimrslogs pass 2: redo-only replay of committed groups -------------
   std::unordered_map<uint64_t, std::vector<LogRecord>> pending;
   Status apply_status = Status::OK();
+  int64_t ordinal = -1;
   BTRIM_RETURN_IF_ERROR(sysimrslogs_->Replay([&](const LogRecord& rec) {
+    ++ordinal;
+    if (rec.txn_id > max_txn_id) max_txn_id = rec.txn_id;
+    if (rec.type == LogRecordType::kCheckpoint) return true;
     if (rec.type != LogRecordType::kImrsCommit) {
       pending[rec.txn_id].push_back(rec);
       return true;
@@ -156,6 +185,13 @@ Status Database::Recover() {
     if (cts > max_cts) max_cts = cts;
     auto group_it = pending.find(rec.txn_id);
     if (group_it == pending.end()) return true;
+    // Cross-log arbitration (see the file comment): mixed-store groups
+    // after the last marker need their syslogs commit to be durable too.
+    if (rec.source != 0 && ordinal > last_marker &&
+        winners.find(rec.txn_id) == winners.end()) {
+      pending.erase(group_it);
+      return true;
+    }
 
     for (const LogRecord& op : group_it->second) {
       Rid rid;
@@ -232,11 +268,60 @@ Status Database::Recover() {
   }));
   BTRIM_RETURN_IF_ERROR(apply_status);
 
+  // --- drop fully-dead tombstones -------------------------------------------
+  // Replay resurrects every logged tombstone, but GC's IMRS-side free is
+  // unlogged, so some of them were already collected before the crash. A
+  // committed tombstone earns its keep only by masking a still-materialized
+  // page-store home (older in-memory snapshots are gone after a crash);
+  // when no home exists — the row never had one (kInserted), or GC's purge
+  // transaction (a kPsDelete winner, redone above) emptied it — keeping the
+  // row is not just wasteful but wrong: its rebuilt index entry would
+  // shadow a later re-insert of the same key, and a purged home makes it a
+  // row GC cannot purge again. Complete the free here instead.
+  {
+    struct DeadRow {
+      Rid rid;
+      ImrsRow* row;
+      PartitionState* pstate;
+    };
+    std::vector<DeadRow> dead;
+    rid_map_.ForEach([&](Rid rid, ImrsRow* row) {
+      RowVersion* latest = ImrsStore::LatestCommitted(row);
+      if (latest == nullptr || !latest->is_delete) return;
+      Rid decoded;
+      TablePartition* part = part_for_rid(rid.Encode(), &decoded);
+      if (part == nullptr || part->heap->Exists(rid)) return;
+      dead.push_back(DeadRow{rid, row, part->ilm});
+    });
+    for (const DeadRow& d : dead) {
+      const int64_t footprint = ImrsStore::RowFootprint(d.row);
+      rid_map_.Erase(d.rid);
+      RowVersion* v = d.row->latest.load(std::memory_order_acquire);
+      while (v != nullptr) {
+        RowVersion* next = v->older.load(std::memory_order_relaxed);
+        imrs_->FreeVersion(v);
+        v = next;
+      }
+      imrs_->FreeRow(d.row);
+      d.pstate->metrics.imrs_bytes.Sub(footprint);
+      d.pstate->metrics.imrs_rows.Sub(1);
+    }
+  }
+
   // --- restore allocation cursors (before any heap scan) --------------------
+  // The cursor must cover both every RID named in a log record and every
+  // occupied slot of the durable page images: a checkpoint truncates
+  // syslogs, so checkpointed rows' RIDs survive only as page contents, and
+  // a cursor short of them would re-issue their RIDs (overwriting durable
+  // rows) and hide them from the index-rebuild scan below.
   for (Table* table : Tables()) {
     for (size_t p = 0; p < table->num_partitions(); ++p) {
       HeapFile* heap = table->partition(p).heap.get();
-      heap->SetRowCursor(cursors.CursorFor(heap->file_id()));
+      uint64_t cursor = cursors.CursorFor(heap->file_id());
+      const Device* dev = devices_[heap->file_id()].get();
+      Result<uint64_t> durable = heap->MaxDurableRow(dev->NumPages());
+      if (!durable.ok()) return durable.status();
+      heap->SetRowCursor(std::max(cursor, *durable));
     }
   }
 
@@ -292,8 +377,9 @@ Status Database::Recover() {
     gc_->EnqueueCommitted(row, /*newly_created=*/false);
   });
 
-  // --- restore the commit clock ------------------------------------------------
+  // --- restore the commit clock and txn-id epoch --------------------------------
   txn_manager_.commit_clock()->Reset(max_cts);
+  txn_manager_.AdvancePastTxnId(max_txn_id);
   return Status::OK();
 }
 

@@ -83,16 +83,19 @@ std::string FormatDatabaseStats(const DatabaseStats& s) {
           s.pack.bypass_activations);
   Appendf(&out,
           "syslogs      : %" PRId64 " records, %" PRId64 " KiB, %" PRId64
-          " syncs (%" PRId64 " elided)\n",
+          " syncs (%" PRId64 " elided), %" PRId64 "/%" PRId64
+          " failed appends/syncs\n",
           s.syslogs.records_appended, s.syslogs.bytes_appended / 1024,
-          s.syslogs.syncs, s.syslogs.syncs_elided);
+          s.syslogs.syncs, s.syslogs.syncs_elided, s.syslogs.append_failures,
+          s.syslogs.sync_failures);
   Appendf(&out,
           "sysimrslogs  : %" PRId64 " records in %" PRId64
           " groups, %" PRId64 " KiB, %" PRId64 " syncs (%" PRId64
-          " elided)\n",
+          " elided), %" PRId64 "/%" PRId64 " failed appends/syncs\n",
           s.sysimrslogs.records_appended, s.sysimrslogs.groups_appended,
           s.sysimrslogs.bytes_appended / 1024, s.sysimrslogs.syncs,
-          s.sysimrslogs.syncs_elided);
+          s.sysimrslogs.syncs_elided, s.sysimrslogs.append_failures,
+          s.sysimrslogs.sync_failures);
   AppendCommitterLine(&out, "commit(sys)  ", s.syslogs_commit);
   AppendCommitterLine(&out, "commit(imrs) ", s.sysimrslogs_commit);
   return out;

@@ -126,7 +126,9 @@ void PackSubsystem::FlushBatch(PartitionState* part,
                                PackCycleResult* result, int64_t* remaining) {
   if (batch->empty()) return;
   std::vector<ImrsRow*> requeue;
-  const int64_t released = client_->PackBatch(part, *batch, &requeue);
+  const PackBatchOutcome outcome = client_->PackBatch(part, *batch, &requeue);
+  const int64_t released = outcome.bytes_released;
+  if (outcome.io_error) result->io_error = true;
   pack_txns_.Inc();
   const int64_t packed =
       static_cast<int64_t>(batch->size() - requeue.size());
@@ -262,6 +264,15 @@ PackCycleResult PackSubsystem::RunPackCycle(
   PackCycleResult result;
   cycles_.Inc();
 
+  if (backoff_remaining_ > 0) {
+    --backoff_remaining_;
+    backoff_cycles_.Inc();
+    result.backed_off = true;
+    result.level = LevelForUtilization(allocator_->Utilization());
+    result.bypass_active = bypass_.load(std::memory_order_relaxed);
+    return result;
+  }
+
   const double util = allocator_->Utilization();
   const PackLevel level = LevelForUtilization(util);
   result.level = level;
@@ -297,6 +308,14 @@ PackCycleResult PackSubsystem::RunPackCycle(
       PackPartition(budget, level, now, &result);
     }
   }
+  if (result.io_error) {
+    io_error_cycles_.Inc();
+    consecutive_io_failures_ =
+        std::min(consecutive_io_failures_ + 1, 6);  // cap the wait at 64
+    backoff_remaining_ = int64_t{1} << consecutive_io_failures_;
+  } else {
+    consecutive_io_failures_ = 0;
+  }
   return result;
 }
 
@@ -308,6 +327,8 @@ PackStats PackSubsystem::GetStats() const {
   s.rows_skipped_hot = rows_skipped_.Load();
   s.pack_transactions = pack_txns_.Load();
   s.bypass_activations = bypass_activations_.Load();
+  s.io_error_cycles = io_error_cycles_.Load();
+  s.backoff_cycles = backoff_cycles_.Load();
   return s;
 }
 

@@ -25,6 +25,8 @@ enum class PackLevel : uint8_t {
 struct PackCycleResult {
   PackLevel level = PackLevel::kIdle;
   bool bypass_active = false;
+  bool backed_off = false;  ///< cycle skipped: waiting out an I/O error
+  bool io_error = false;    ///< a PackBatch in this cycle hit an I/O error
   int64_t target_bytes = 0;
   int64_t bytes_packed = 0;
   int64_t rows_packed = 0;
@@ -40,6 +42,17 @@ struct PackStats {
   int64_t rows_skipped_hot = 0;
   int64_t pack_transactions = 0;
   int64_t bypass_activations = 0;
+  int64_t io_error_cycles = 0;  ///< cycles that hit a PackBatch I/O error
+  int64_t backoff_cycles = 0;   ///< cycles skipped while backing off
+};
+
+/// What one PackBatch call accomplished.
+struct PackBatchOutcome {
+  int64_t bytes_released = 0;
+  /// The batch hit a log/device I/O failure (as opposed to benign lock
+  /// contention). The subsystem responds by backing off: a wedged device
+  /// will not get healthier by being hammered with pack transactions.
+  bool io_error = false;
 };
 
 /// Physical relocation service implemented by the engine: the Pack
@@ -52,11 +65,12 @@ class PackClient {
 
   /// Packs `batch` (all from one partition in per-partition mode). Rows
   /// that could not be packed right now (conditional lock denied, row
-  /// already gone) are appended to `requeue` and returned to their queue by
-  /// the caller. Returns the fragment bytes released.
-  virtual int64_t PackBatch(PartitionState* partition,
-                            const std::vector<ImrsRow*>& batch,
-                            std::vector<ImrsRow*>* requeue) = 0;
+  /// already gone, I/O failure) are appended to `requeue` and returned to
+  /// their queue by the caller. Reports the fragment bytes released and
+  /// whether the batch failed on I/O (which triggers pack backoff).
+  virtual PackBatchOutcome PackBatch(PartitionState* partition,
+                                     const std::vector<ImrsRow*>& batch,
+                                     std::vector<ImrsRow*>* requeue) = 0;
 };
 
 /// The Pack subsystem (paper Sec. VI): locates cold rows via the
@@ -150,9 +164,16 @@ class PackSubsystem {
   std::atomic<bool> bypass_{false};
   double last_cycle_util_ = 0.0;  // pack thread only
   PackLevel last_cycle_level_ = PackLevel::kIdle;
+  // I/O-failure backoff (pack thread only, like the fields above): after a
+  // cycle whose PackBatch hit an I/O error, skip 2^k cycles (capped) before
+  // trying again; consecutive failing cycles double the wait. A clean cycle
+  // resets it. Rows from failed batches were requeued, so nothing is lost
+  // while backing off — the IMRS just stays fuller for a while.
+  int64_t backoff_remaining_ = 0;
+  int consecutive_io_failures_ = 0;
 
   mutable ShardedCounter cycles_, bytes_packed_, rows_packed_, rows_skipped_,
-      pack_txns_, bypass_activations_;
+      pack_txns_, bypass_activations_, io_error_cycles_, backoff_cycles_;
 };
 
 }  // namespace btrim

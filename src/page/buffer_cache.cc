@@ -54,7 +54,7 @@ Device* BufferCache::device(uint16_t file_id) const {
   return devices_[file_id];
 }
 
-bool BufferCache::EvictVictim(size_t* out_frame) {
+Status BufferCache::EvictVictim(size_t* out_frame) {
   // Walk from the LRU end; the first unpinned frame wins.
   for (auto it = lru_.rbegin(); it != lru_.rend(); ++it) {
     const size_t frame = *it;
@@ -65,7 +65,14 @@ bool BufferCache::EvictVictim(size_t* out_frame) {
       Device* dev = devices_[m.pid.file_id];
       assert(dev != nullptr);
       Status s = dev->WritePage(m.pid.page_no, arena_.get() + frame * kPageSize);
-      if (!s.ok()) return false;
+      if (!s.ok()) {
+        // Keep the victim resident and dirty: its image is still the only
+        // copy of the data, and a later flush retries the write. Surfacing
+        // the device error (instead of pretending the cache is full) is
+        // what lets callers distinguish EIO from pin pressure.
+        write_failures_.Inc();
+        return s;
+      }
       m.dirty.store(false, std::memory_order_relaxed);
       dirty_writes_.Inc();
     }
@@ -75,9 +82,9 @@ bool BufferCache::EvictVictim(size_t* out_frame) {
     m.valid = false;
     evictions_.Inc();
     *out_frame = frame;
-    return true;
+    return Status::OK();
   }
-  return false;
+  return Status::Busy("buffer cache: all frames pinned");
 }
 
 Result<PageGuard> BufferCache::FixPage(PageId pid, LatchMode mode) {
@@ -103,9 +110,12 @@ Result<PageGuard> BufferCache::FixPage(PageId pid, LatchMode mode) {
       if (!free_frames_.empty()) {
         frame = free_frames_.back();
         free_frames_.pop_back();
-      } else if (!EvictVictim(&frame)) {
-        fix_failures_.Inc();
-        return Status::Busy("buffer cache: all frames pinned");
+      } else {
+        Status es = EvictVictim(&frame);
+        if (!es.ok()) {
+          fix_failures_.Inc();
+          return es;
+        }
       }
       FrameMeta& m = meta_[frame];
       m.pid = pid;
@@ -203,7 +213,10 @@ Status BufferCache::FlushAll() {
     Status s = dev->WritePage(m.pid.page_no, arena_.get() + i * kPageSize);
     if (s.ok()) m.dirty.store(false, std::memory_order_relaxed);
     m.latch.unlock_shared();
-    BTRIM_RETURN_IF_ERROR(s);
+    if (!s.ok()) {
+      write_failures_.Inc();
+      return s;
+    }
     dirty_writes_.Inc();
   }
   return Status::OK();
@@ -238,6 +251,7 @@ BufferCacheStats BufferCache::GetStats() const {
   s.dirty_writes = dirty_writes_.Load();
   s.latch_contention = contention_.Load();
   s.fix_failures = fix_failures_.Load();
+  s.write_failures = write_failures_.Load();
   return s;
 }
 

@@ -30,7 +30,8 @@ struct BufferCacheStats {
   int64_t evictions = 0;
   int64_t dirty_writes = 0;
   int64_t latch_contention = 0;  ///< Latch attempts that had to wait.
-  int64_t fix_failures = 0;      ///< All frames pinned.
+  int64_t fix_failures = 0;      ///< Fix could not get a frame.
+  int64_t write_failures = 0;    ///< Dirty write-backs the device rejected.
 };
 
 /// RAII handle to a pinned, latched buffer-cache page.
@@ -141,9 +142,10 @@ class BufferCache {
   void MarkFrameDirty(size_t frame);
 
   /// Picks an unpinned victim frame, evicting its current page (writing it
-  /// back if dirty). Returns false if all frames are pinned.
-  /// Called with map_mu_ held.
-  bool EvictVictim(size_t* out_frame);
+  /// back if dirty). Returns Busy if all frames are pinned, or the device
+  /// error if the dirty write-back failed (the victim stays resident and
+  /// dirty, so no data is lost). Called with map_mu_ held.
+  Status EvictVictim(size_t* out_frame);
 
   const size_t num_frames_;
   std::unique_ptr<char[]> arena_;  // num_frames_ * kPageSize
@@ -157,7 +159,7 @@ class BufferCache {
   std::vector<Device*> devices_;  // indexed by file_id
 
   mutable ShardedCounter fixes_, hits_, misses_, evictions_, dirty_writes_,
-      contention_, fix_failures_;
+      contention_, fix_failures_, write_failures_;
 };
 
 }  // namespace btrim

@@ -118,6 +118,25 @@ Status HeapFile::ScanAll(const std::function<bool(Rid, Slice)>& fn) {
   return Status::OK();
 }
 
+Result<uint64_t> HeapFile::MaxDurableRow(uint32_t device_pages) {
+  uint64_t max_row = 0;
+  for (uint32_t p = 0; p < device_pages; ++p) {
+    Result<PageGuard> guard =
+        cache_->FixPage(PageId{file_id_, p}, LatchMode::kShared);
+    if (!guard.ok()) return guard.status();
+    SlottedPage page(guard->data());
+    if (!page.IsInitialized()) continue;
+    const uint16_t slots = page.SlotCount();
+    for (uint16_t s = 0; s < slots; ++s) {
+      if (page.IsOccupied(s)) {
+        max_row = std::max<uint64_t>(
+            max_row, uint64_t{p} * slots_per_page_ + s + 1);
+      }
+    }
+  }
+  return max_row;
+}
+
 uint32_t HeapFile::AllocatedPages() const {
   const uint64_t rows = next_row_.load(std::memory_order_relaxed);
   return static_cast<uint32_t>((rows + slots_per_page_ - 1) / slots_per_page_);

@@ -92,6 +92,15 @@ class HeapFile {
   /// Number of pages spanned by allocated RIDs.
   uint32_t AllocatedPages() const;
 
+  /// Scans the first `device_pages` pages (through the buffer cache) and
+  /// returns the highest occupied row index + 1, or 0 when every slot is
+  /// empty. Recovery uses this to lower-bound the allocation cursor by the
+  /// durable page images: after a checkpoint truncates syslogs, the
+  /// checkpointed rows' RIDs appear in no log record, and a cursor restored
+  /// from logs alone would both re-issue those RIDs to new inserts
+  /// (silently overwriting durable rows) and stop ScanAll short of them.
+  Result<uint64_t> MaxDurableRow(uint32_t device_pages);
+
   HeapFileStats GetStats() const;
 
  private:

@@ -147,6 +147,19 @@ class TransactionManager {
   LogicalClock* commit_clock() { return &clock_; }
   uint64_t CurrentTimestamp() const { return clock_.Now(); }
 
+  /// Advances the transaction-id counter past `max_seen` (monotone max).
+  /// Recovery calls this with the highest txn id found in either log so a
+  /// restarted process never reuses an id that still appears in log tails —
+  /// id collisions across restarts would let an old epoch's records match a
+  /// new epoch's commit during a later recovery.
+  void AdvancePastTxnId(uint64_t max_seen) {
+    uint64_t cur = next_txn_id_.load(std::memory_order_relaxed);
+    while (cur <= max_seen &&
+           !next_txn_id_.compare_exchange_weak(cur, max_seen + 1,
+                                               std::memory_order_relaxed)) {
+    }
+  }
+
   LockManager* lock_manager() { return lock_manager_; }
 
   TransactionManagerStats GetStats() const;

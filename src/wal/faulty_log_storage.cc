@@ -1,0 +1,97 @@
+#include "wal/faulty_log_storage.h"
+
+namespace btrim {
+
+FaultyLogStorage::FaultyLogStorage(std::unique_ptr<LogStorage> inner,
+                                   std::shared_ptr<FaultPlan> plan,
+                                   std::string target)
+    : inner_(std::move(inner)),
+      plan_(std::move(plan)),
+      target_(std::move(target)) {}
+
+void FaultyLogStorage::FlushTornTailLocked() {
+  if (torn_flushed_) return;
+  torn_flushed_ = true;
+  if (tail_.empty()) return;
+  const uint64_t keep = plan_->DrawUniform(tail_.size() + 1);
+  if (keep > 0) {
+    // Best effort: the inner append models sectors already on the platter.
+    Status s = inner_->Append(Slice(tail_.data(), keep));
+    (void)s;
+  }
+  tail_.clear();
+}
+
+Status FaultyLogStorage::Append(Slice data) {
+  std::lock_guard<std::mutex> guard(mu_);
+  if (plan_->crashed()) return FaultPlan::CrashedError();
+  const FaultOutcome outcome = plan_->OnOp(target_, FaultOp::kAppend);
+  switch (outcome) {
+    case FaultOutcome::kCrash:
+      FlushTornTailLocked();
+      return FaultPlan::CrashedError();
+    case FaultOutcome::kError:
+      return FaultPlan::InjectedError(target_, FaultOp::kAppend);
+    case FaultOutcome::kTorn: {
+      const uint64_t keep = plan_->DrawUniform(data.size() + 1);
+      tail_.append(data.data(), keep);
+      return FaultPlan::InjectedError(target_, FaultOp::kAppend);
+    }
+    case FaultOutcome::kNone:
+      break;
+  }
+  tail_.append(data.data(), data.size());
+  return Status::OK();
+}
+
+Status FaultyLogStorage::Sync() {
+  std::lock_guard<std::mutex> guard(mu_);
+  if (plan_->crashed()) return FaultPlan::CrashedError();
+  const FaultOutcome outcome = plan_->OnOp(target_, FaultOp::kSync);
+  switch (outcome) {
+    case FaultOutcome::kCrash:
+      // Crash mid-fsync: part of the tail may have reached the device.
+      FlushTornTailLocked();
+      return FaultPlan::CrashedError();
+    case FaultOutcome::kError:
+    case FaultOutcome::kTorn:
+      // fsyncgate semantics: the failure leaves durability indeterminate;
+      // the tail stays pending and the Log layer must poison itself so a
+      // later sync cannot retroactively commit it.
+      return FaultPlan::InjectedError(target_, FaultOp::kSync);
+    case FaultOutcome::kNone:
+      break;
+  }
+  if (!tail_.empty()) {
+    BTRIM_RETURN_IF_ERROR(inner_->Append(Slice(tail_)));
+    tail_.clear();
+  }
+  return inner_->Sync();
+}
+
+Status FaultyLogStorage::ReadAll(std::string* out) {
+  std::lock_guard<std::mutex> guard(mu_);
+  // Readers in-process see the OS-cache view: synced content + tail.
+  BTRIM_RETURN_IF_ERROR(inner_->ReadAll(out));
+  out->append(tail_);
+  return Status::OK();
+}
+
+Status FaultyLogStorage::Truncate() {
+  std::lock_guard<std::mutex> guard(mu_);
+  if (plan_->crashed()) return FaultPlan::CrashedError();
+  tail_.clear();
+  return inner_->Truncate();
+}
+
+int64_t FaultyLogStorage::Size() const {
+  std::lock_guard<std::mutex> guard(mu_);
+  return inner_->Size() + static_cast<int64_t>(tail_.size());
+}
+
+int64_t FaultyLogStorage::PendingBytes() const {
+  std::lock_guard<std::mutex> guard(mu_);
+  return static_cast<int64_t>(tail_.size());
+}
+
+}  // namespace btrim

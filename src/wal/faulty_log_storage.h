@@ -1,0 +1,56 @@
+#ifndef BTRIM_WAL_FAULTY_LOG_STORAGE_H_
+#define BTRIM_WAL_FAULTY_LOG_STORAGE_H_
+
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "common/fault_plan.h"
+#include "wal/log.h"
+
+namespace btrim {
+
+/// Fault-injecting LogStorage decorator.
+///
+/// Appends land in a pending tail and only reach the inner storage at
+/// Sync(), so a simulated crash discards exactly the bytes appended since
+/// the last successful sync — with one refinement: at crash time a seeded
+/// *prefix* of the pending tail is flushed down (without a sync), modeling
+/// the sectors of an in-flight write that happened to hit the platter.
+/// That torn tail is what recovery's checksum framing exists for, and the
+/// torture harness exercises it at every crash point.
+///
+/// A torn *append* fault keeps a seeded prefix of the new bytes in the tail
+/// and reports IOError; the Log layer reacts by poisoning itself, so the
+/// garbage can never be followed by valid records.
+class FaultyLogStorage : public LogStorage {
+ public:
+  FaultyLogStorage(std::unique_ptr<LogStorage> inner,
+                   std::shared_ptr<FaultPlan> plan, std::string target);
+
+  Status Append(Slice data) override;
+  Status Sync() override;
+  Status ReadAll(std::string* out) override;
+  Status Truncate() override;
+  int64_t Size() const override;
+
+  /// Bytes appended since the last successful sync (test introspection).
+  int64_t PendingBytes() const;
+
+ private:
+  /// Flushes a seeded prefix of the pending tail to the inner storage
+  /// (crash-time torn tail). Caller holds mu_.
+  void FlushTornTailLocked();
+
+  std::unique_ptr<LogStorage> const inner_;
+  const std::shared_ptr<FaultPlan> plan_;
+  const std::string target_;
+
+  mutable std::mutex mu_;
+  std::string tail_;          // appended but not yet synced
+  bool torn_flushed_ = false; // crash already materialized a torn tail
+};
+
+}  // namespace btrim
+
+#endif  // BTRIM_WAL_FAULTY_LOG_STORAGE_H_

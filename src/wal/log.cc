@@ -135,24 +135,43 @@ Status Log::AppendGroup(Slice group, int64_t record_count) {
 
 Status Log::AppendSerialized(Slice data, int64_t record_count,
                              int64_t group_count) {
+  BTRIM_RETURN_IF_ERROR(CheckPoisoned());
+  Status s = storage_->Append(data);
+  if (!s.ok()) {
+    append_failures_.Inc();
+    Poison(s);
+    return s;
+  }
+  // Stats count only completed appends, and only completed writes advance
+  // the dirty cursor (see header contract).
   records_.Add(record_count);
   if (group_count > 0) groups_.Add(group_count);
   bytes_.Add(static_cast<int64_t>(data.size()));
-  BTRIM_RETURN_IF_ERROR(storage_->Append(data));
-  // Only completed writes advance the dirty cursor (see header contract).
   append_seq_.fetch_add(1, std::memory_order_release);
   return Status::OK();
 }
 
 Status Log::Commit() {
   if (!sync_on_commit_) return Status::OK();
-  const uint64_t target = append_seq_.load(std::memory_order_acquire);
-  if (synced_seq_.load(std::memory_order_acquire) >= target) {
+  BTRIM_RETURN_IF_ERROR(CheckPoisoned());
+  if (synced_seq_.load(std::memory_order_acquire) >=
+      append_seq_.load(std::memory_order_acquire)) {
     syncs_elided_.Inc();
     return Status::OK();
   }
+  return SyncStorage();
+}
+
+Status Log::SyncStorage() {
+  BTRIM_RETURN_IF_ERROR(CheckPoisoned());
+  const uint64_t target = append_seq_.load(std::memory_order_acquire);
+  Status s = storage_->Sync();
+  if (!s.ok()) {
+    sync_failures_.Inc();
+    Poison(s);
+    return s;
+  }
   syncs_.Inc();
-  BTRIM_RETURN_IF_ERROR(storage_->Sync());
   // Monotone max: a concurrent sync may have advanced further already.
   uint64_t seen = synced_seq_.load(std::memory_order_relaxed);
   while (seen < target &&
@@ -161,6 +180,18 @@ Status Log::Commit() {
                                             std::memory_order_relaxed)) {
   }
   return Status::OK();
+}
+
+void Log::Poison(const Status& error) {
+  SpinLockGuard guard(poison_mu_);
+  if (poison_status_.ok()) poison_status_ = error;
+  poisoned_.store(true, std::memory_order_release);
+}
+
+Status Log::CheckPoisoned() const {
+  if (!poisoned_.load(std::memory_order_acquire)) return Status::OK();
+  SpinLockGuard guard(poison_mu_);
+  return poison_status_;
 }
 
 Status Log::Replay(const std::function<bool(const LogRecord&)>& fn) {
@@ -176,7 +207,12 @@ Status Log::Replay(const std::function<bool(const LogRecord&)>& fn) {
   }
 }
 
-Status Log::Truncate() { return storage_->Truncate(); }
+Status Log::Truncate() {
+  // A poisoned log stays unusable: truncating it would discard the evidence
+  // of what is (or is not) durable without making the tail trustworthy.
+  BTRIM_RETURN_IF_ERROR(CheckPoisoned());
+  return storage_->Truncate();
+}
 
 LogStats Log::GetStats() const {
   LogStats s;
@@ -185,6 +221,8 @@ LogStats Log::GetStats() const {
   s.groups_appended = groups_.Load();
   s.syncs = syncs_.Load();
   s.syncs_elided = syncs_elided_.Load();
+  s.append_failures = append_failures_.Load();
+  s.sync_failures = sync_failures_.Load();
   return s;
 }
 

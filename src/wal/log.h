@@ -9,6 +9,7 @@
 #include <string>
 
 #include "common/counters.h"
+#include "common/spinlock.h"
 #include "common/status.h"
 #include "wal/log_record.h"
 
@@ -58,13 +59,16 @@ class FileLogStorage : public LogStorage {
   std::atomic<int64_t> size_{0};
 };
 
-/// Log traffic counters.
+/// Log traffic counters. Only operations that succeeded end-to-end count
+/// toward the traffic fields; failures have their own counters.
 struct LogStats {
   int64_t records_appended = 0;
   int64_t bytes_appended = 0;
   int64_t groups_appended = 0;
-  int64_t syncs = 0;          ///< device syncs actually issued
-  int64_t syncs_elided = 0;   ///< Commit() calls skipped: nothing new to sync
+  int64_t syncs = 0;            ///< device syncs completed successfully
+  int64_t syncs_elided = 0;     ///< Commit() calls skipped: nothing new to sync
+  int64_t append_failures = 0;  ///< storage appends that failed (poisoning)
+  int64_t sync_failures = 0;    ///< storage syncs that failed (poisoning)
 };
 
 /// A transaction log (one instance each for syslogs and sysimrslogs).
@@ -103,6 +107,16 @@ class Log {
   /// append is already covered by an earlier sync.
   Status Commit();
 
+  /// Unconditional storage sync, independent of sync_on_commit and never
+  /// elided. Checkpoint uses this as the WAL barrier: log records must be
+  /// durable before the data pages they describe.
+  Status SyncStorage();
+
+  /// True once an append or sync failure has poisoned this log (see below).
+  bool poisoned() const {
+    return poisoned_.load(std::memory_order_acquire);
+  }
+
   /// Reads every complete record from the start of the log. Stops early if
   /// `fn` returns false. A torn tail terminates iteration cleanly.
   Status Replay(const std::function<bool(const LogRecord&)>& fn);
@@ -115,8 +129,25 @@ class Log {
   LogStats GetStats() const;
 
  private:
+  /// Records the first I/O failure and fails every later operation with it.
+  /// A failed append may have left partial bytes in the storage tail, so
+  /// subsequent appends would land after garbage and be unreachable by
+  /// replay; a failed sync leaves durability of the tail indeterminate, so
+  /// allowing a *later* sync to succeed could retroactively commit groups
+  /// whose transactions already aborted (the fsyncgate failure mode).
+  /// Poisoning makes both situations terminal for this log instance —
+  /// recovery from a reopen sees only the bytes the storage actually took.
+  void Poison(const Status& error);
+
+  /// OK, or the sticky poison status.
+  Status CheckPoisoned() const;
+
   const std::unique_ptr<LogStorage> storage_;
   const bool sync_on_commit_;
+
+  std::atomic<bool> poisoned_{false};
+  mutable SpinLock poison_mu_;  // guards poison_status_
+  Status poison_status_;
 
   // Dirty tracking for sync elision. append_seq_ is bumped after a storage
   // append returns; synced_seq_ records the highest append_seq_ value known
@@ -127,7 +158,8 @@ class Log {
   std::atomic<uint64_t> append_seq_{0};
   std::atomic<uint64_t> synced_seq_{0};
 
-  mutable ShardedCounter records_, bytes_, groups_, syncs_, syncs_elided_;
+  mutable ShardedCounter records_, bytes_, groups_, syncs_, syncs_elided_,
+      append_failures_, sync_failures_;
 };
 
 }  // namespace btrim

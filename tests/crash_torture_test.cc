@@ -1,0 +1,144 @@
+// Crash-point torture tests for recovery (default-suite slice).
+//
+// These tests replay the deterministic torture workload (src/testing/
+// torture.h) with a scripted crash at selected storage operations, then
+// recover and verify that acknowledged commits survive exactly, the
+// at-most-one indeterminate transaction resolves atomically, and nothing
+// aborted resurfaces. The full sweep (every sync boundary plus hundreds of
+// seeded points per seed) lives in tools/torture; this suite keeps a
+// representative slice fast enough for every `ctest` run.
+//
+// Every assertion message carries (seed, crash_op): replay a failure with
+//   tools/torture --seed S --crash-op K
+// (add BTRIM_TORTURE_VERBOSE=1 for a transaction-by-transaction narration).
+
+#include <cstdint>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "testing/torture.h"
+
+namespace btrim {
+namespace {
+
+// Allocates a per-test scratch directory, removed on destruction unless the
+// test failed (a failing run's data dir is the replay evidence).
+class ScratchDir {
+ public:
+  explicit ScratchDir(const std::string& tag)
+      : path_(::testing::TempDir() + "/btrim_crash_torture_" + tag) {}
+  ~ScratchDir() {
+    if (!::testing::Test::HasFailure()) {
+      std::error_code ec;
+      std::filesystem::remove_all(path_, ec);
+    }
+  }
+  const std::string& path() const { return path_; }
+
+ private:
+  const std::string path_;
+};
+
+// Crash at every sync boundary of the seed-1 workload. Syncs are the
+// durability lines: immediately before one, the un-synced state is at its
+// largest; crashing *on* it exercises the torn-tail flush.
+TEST(CrashTortureTest, EverySyncBoundarySeedOne) {
+  ScratchDir dir("sync_sweep");
+  testing::TortureConfig config;
+  config.dir = dir.path();
+  config.workload_seed = 1;
+
+  std::vector<TraceEntry> trace;
+  Result<uint64_t> total = testing::CountStorageOps(config, &trace);
+  ASSERT_TRUE(total.ok()) << total.status().ToString();
+  ASSERT_GT(*total, 0u);
+
+  int sync_points = 0;
+  for (uint64_t i = 0; i < trace.size(); ++i) {
+    if (trace[i].op != FaultOp::kSync) continue;
+    ++sync_points;
+    testing::TortureStats stats;
+    Status s = testing::RunCrashPoint(config, i, &stats);
+    EXPECT_TRUE(s.ok()) << "seed=" << config.workload_seed << " crash_op=" << i
+                        << " (" << trace[i].target
+                        << "): " << s.ToString();
+  }
+  // The workload checkpoints and sync-commits, so sync boundaries must be
+  // plentiful — a near-empty sweep means the harness went quiet, not that
+  // recovery got perfect.
+  EXPECT_GT(sync_points, 50);
+}
+
+// Property-style randomized sweep: 50 seeds, each with a handful of seeded
+// crash points drawn over that seed's own op sequence. Failures print the
+// exact (seed, crash_op) pair for replay.
+TEST(CrashTortureTest, FiftySeedsRandomCrashPoints) {
+  constexpr uint64_t kSeeds = 50;
+  constexpr int kPointsPerSeed = 3;
+
+  for (uint64_t seed = 1; seed <= kSeeds; ++seed) {
+    ScratchDir dir("prop_" + std::to_string(seed));
+    testing::TortureConfig config;
+    config.dir = dir.path();
+    config.workload_seed = seed;
+
+    Result<uint64_t> total = testing::CountStorageOps(config);
+    ASSERT_TRUE(total.ok())
+        << "seed=" << seed << ": " << total.status().ToString();
+    ASSERT_GT(*total, 0u) << "seed=" << seed;
+
+    Random rng(seed * 0x9e3779b97f4a7c15ULL + 1);
+    for (int p = 0; p < kPointsPerSeed; ++p) {
+      const uint64_t crash_op = rng.Uniform(*total);
+      testing::TortureStats stats;
+      Status s = testing::RunCrashPoint(config, crash_op, &stats);
+      EXPECT_TRUE(s.ok()) << "seed=" << seed << " crash_op=" << crash_op
+                          << ": " << s.ToString();
+      // The sweep must exercise real recoveries, not no-op ones.
+      EXPECT_TRUE(stats.crash_fired)
+          << "seed=" << seed << " crash_op=" << crash_op;
+    }
+  }
+}
+
+// Crashing after the workload's last operation is the degenerate case: the
+// crash never fires, every transaction is acknowledged, and recovery must
+// reproduce all of them.
+TEST(CrashTortureTest, CrashBeyondWorkloadIsFullRecovery) {
+  ScratchDir dir("beyond");
+  testing::TortureConfig config;
+  config.dir = dir.path();
+  config.workload_seed = 2;
+
+  Result<uint64_t> total = testing::CountStorageOps(config);
+  ASSERT_TRUE(total.ok()) << total.status().ToString();
+
+  testing::TortureStats stats;
+  Status s = testing::RunCrashPoint(config, *total + 1000, &stats);
+  EXPECT_TRUE(s.ok()) << s.ToString();
+  EXPECT_FALSE(stats.crash_fired);
+  EXPECT_GT(stats.txns_acked, 0);
+  EXPECT_GT(stats.keys_verified, 0);
+}
+
+// Crashing on the very first storage operation leaves nothing durable —
+// recovery of the empty directory must come up clean and empty.
+TEST(CrashTortureTest, CrashOnFirstOpRecoversEmpty) {
+  ScratchDir dir("first");
+  testing::TortureConfig config;
+  config.dir = dir.path();
+  config.workload_seed = 2;
+
+  testing::TortureStats stats;
+  Status s = testing::RunCrashPoint(config, 0, &stats);
+  EXPECT_TRUE(s.ok()) << s.ToString();
+  EXPECT_TRUE(stats.crash_fired);
+  EXPECT_EQ(stats.txns_acked, 0);
+}
+
+}  // namespace
+}  // namespace btrim

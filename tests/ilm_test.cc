@@ -348,28 +348,30 @@ TEST_F(TunerTest, ReuseGrowthReenablesDisabledPartition) {
 /// counts; can refuse everything to exercise requeueing.
 class FakePackClient : public PackClient {
  public:
-  int64_t PackBatch(PartitionState* partition,
-                    const std::vector<ImrsRow*>& batch,
-                    std::vector<ImrsRow*>* requeue) override {
+  PackBatchOutcome PackBatch(PartitionState* partition,
+                             const std::vector<ImrsRow*>& batch,
+                             std::vector<ImrsRow*>* requeue) override {
     (void)partition;
-    int64_t released = 0;
+    PackBatchOutcome outcome;
     for (ImrsRow* row : batch) {
-      if (refuse_all_) {
+      if (refuse_all_ || fail_io_) {
         requeue->push_back(row);
         continue;
       }
       row->SetFlag(kRowPacked);
       packed_.push_back(row);
-      released += bytes_per_row_;
+      outcome.bytes_released += bytes_per_row_;
     }
+    outcome.io_error = fail_io_;
     ++batches_;
-    return released;
+    return outcome;
   }
 
   std::vector<ImrsRow*> packed_;
   int batches_ = 0;
   int64_t bytes_per_row_ = 100;
   bool refuse_all_ = false;
+  bool fail_io_ = false;
 };
 
 class PackTest : public ::testing::Test {
