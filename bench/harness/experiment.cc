@@ -2,7 +2,10 @@
 
 #include <cinttypes>
 #include <cstdio>
+#include <cstdlib>
 #include <mutex>
+
+#include "obs/metrics_io.h"
 
 namespace btrim {
 namespace bench {
@@ -97,6 +100,9 @@ RunOutcome RunTpcc(const RunConfig& config) {
   dopt.seed = config.seed;
   dopt.window_txns = config.window_txns;
   dopt.window_observer = [&](int64_t committed) {
+    // Mirror every window into the unified time-series sampler so shape
+    // checks (tools/check_shapes.py) read the same axis as the figures.
+    db->metrics_sampler()->SampleNow(committed);
     WindowSample sample;
     sample.txns = committed;
     sample.wall_seconds = timer.ElapsedSeconds();
@@ -116,8 +122,16 @@ RunOutcome RunTpcc(const RunConfig& config) {
   };
 
   tpcc::TpccDriver driver(outcome.ctx.get(), dopt);
+  Status reg = driver.RegisterMetrics(db->metrics_registry());
+  if (!reg.ok()) {
+    fprintf(stderr, "FATAL: driver metrics: %s\n", reg.ToString().c_str());
+    exit(1);
+  }
   outcome.driver = driver.Run();
   db->StopBackground();
+  // The driver dies with this scope while outcome.db lives on: retire its
+  // sources now; final values stay exported as retained samples.
+  driver.UnregisterMetrics(db->metrics_registry());
   outcome.tpm = outcome.driver.Tpm();
 
   for (Table* table : db->Tables()) {
@@ -141,6 +155,36 @@ RunOutcome RunTpcc(const RunConfig& config) {
     report.bytes_packed = snap.bytes_packed;
     report.imrs_enabled = state->imrs_enabled.load();
     outcome.table_reports.push_back(std::move(report));
+  }
+
+  // BTRIM_METRICS_OUT=<prefix> dumps this run's metrics document to
+  // <prefix><label>.json — every figure bench gets JSON export without
+  // per-bench flag plumbing (one file per RunTpcc call, keyed by label).
+  const char* metrics_prefix = getenv("BTRIM_METRICS_OUT");
+  if (metrics_prefix != nullptr && metrics_prefix[0] != '\0') {
+    db->metrics_sampler()->SampleNow(outcome.driver.committed);
+    std::vector<obs::MetaEntry> meta = {
+        {"bench", "tpcc_harness", false},
+        {"label", config.label, false},
+        {"ilm", config.ilm_enabled ? "true" : "false", true},
+        {"page_store_only", config.page_store_only ? "true" : "false", true},
+        {"steady_pct", std::to_string(config.steady_cache_pct), true},
+        {"workers", std::to_string(config.workers), true},
+        {"total_txns", std::to_string(config.total_txns), true},
+        {"window_txns", std::to_string(config.window_txns), true},
+        {"seed", std::to_string(config.seed), true},
+        {"committed", std::to_string(outcome.driver.committed), true},
+        {"tpm", std::to_string(outcome.tpm), true},
+    };
+    const std::string path =
+        std::string(metrics_prefix) + config.label + ".json";
+    Status ws = obs::WriteMetricsFile(path, meta, *db->metrics_registry(),
+                                      db->metrics_sampler());
+    if (!ws.ok()) {
+      fprintf(stderr, "BTRIM_METRICS_OUT: %s\n", ws.ToString().c_str());
+    } else {
+      fprintf(stderr, "metrics written to %s\n", path.c_str());
+    }
   }
   return outcome;
 }

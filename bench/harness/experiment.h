@@ -94,7 +94,11 @@ tpcc::Scale DefaultScale();
 /// Names of the nine TPC-C tables in fixed report order.
 const std::vector<std::string>& TableNames();
 
-/// Loads and runs one TPC-C experiment, sampling every window.
+/// Loads and runs one TPC-C experiment, sampling every window (both the
+/// harness's WindowSample vector and the database's unified time-series
+/// sampler). When the environment variable BTRIM_METRICS_OUT=<prefix> is
+/// set, the run's metrics document (registry dump + sampler series) is
+/// written to <prefix><label>.json on completion.
 RunOutcome RunTpcc(const RunConfig& config);
 
 /// --- output helpers (ASCII table + CSV blocks on stdout) -------------------

@@ -10,7 +10,8 @@
 // (policy, workers) cell — throughput, fsync counts, batch shape, and
 // commit-latency percentiles. `--smoke` runs a tiny budget and exits
 // non-zero unless group commit at >= 4 workers amortized its syncs
-// (fsyncs/commit < 1), for CI perf gating.
+// (fsyncs/commit < 1), for CI perf gating. `--metrics-out FILE` also dumps
+// each cell's full metrics registry in the unified export schema.
 
 #include <cinttypes>
 #include <cstdio>
@@ -22,6 +23,7 @@
 #include <vector>
 
 #include "engine/database.h"
+#include "obs/metrics_io.h"
 
 namespace btrim {
 namespace {
@@ -40,6 +42,7 @@ struct CellResult {
   int64_t p50_us = 0;
   int64_t p95_us = 0;
   int64_t p99_us = 0;
+  std::string metrics_json;  // full registry dump, taken before teardown
 };
 
 const char* PolicyName(DurabilityPolicy policy) {
@@ -129,6 +132,7 @@ CellResult RunCell(const std::string& data_dir, DurabilityPolicy policy,
   r.p50_us = stats.sysimrslogs_commit.commit_latency.PercentileUs(0.50);
   r.p95_us = stats.sysimrslogs_commit.commit_latency.PercentileUs(0.95);
   r.p99_us = stats.sysimrslogs_commit.commit_latency.PercentileUs(0.99);
+  r.metrics_json = db->DumpMetricsJson();
 
   db.reset();
   std::filesystem::remove_all(data_dir);
@@ -158,6 +162,7 @@ int main(int argc, char** argv) {
 
   int64_t txns_per_worker = 2000;
   std::string out_path;
+  std::string metrics_out_path;
   std::string data_dir = std::filesystem::temp_directory_path().string() +
                          "/btrim_micro_commit";
   bool smoke = false;
@@ -179,14 +184,15 @@ int main(int argc, char** argv) {
     };
     if (int_arg("--txns-per-worker", &txns_per_worker)) continue;
     if (str_arg("--out", &out_path)) continue;
+    if (str_arg("--metrics-out", &metrics_out_path)) continue;
     if (str_arg("--data-dir", &data_dir)) continue;
     if (strcmp(argv[i], "--smoke") == 0) {
       smoke = true;
       continue;
     }
     fprintf(stderr,
-            "usage: %s [--txns-per-worker N] [--out FILE] [--data-dir DIR] "
-            "[--smoke]\n",
+            "usage: %s [--txns-per-worker N] [--out FILE] "
+            "[--metrics-out FILE] [--data-dir DIR] [--smoke]\n",
             argv[0]);
     return 2;
   }
@@ -234,6 +240,26 @@ int main(int argc, char** argv) {
     fclose(f);
   } else {
     fwrite(json.data(), 1, json.size(), stdout);
+  }
+
+  if (!metrics_out_path.empty()) {
+    // Per-cell registry dumps in the unified export schema (each cell has
+    // its own Database, hence its own registry).
+    std::string doc = "{\n  \"meta\": {\"bench\": \"micro_commit\", "
+                      "\"txns_per_worker\": " +
+                      std::to_string(txns_per_worker) + "},\n  \"cells\": [\n";
+    for (size_t i = 0; i < results.size(); ++i) {
+      doc += "    {\"policy\": \"" + results[i].policy +
+             "\", \"workers\": " + std::to_string(results[i].workers) +
+             ", \"metrics\": " + results[i].metrics_json + "}";
+      doc += i + 1 < results.size() ? ",\n" : "\n";
+    }
+    doc += "  ]\n}\n";
+    Status ws = obs::WriteFileOrError(metrics_out_path, doc);
+    if (!ws.ok()) {
+      fprintf(stderr, "metrics-out: %s\n", ws.ToString().c_str());
+      return 2;
+    }
   }
 
   if (smoke) {

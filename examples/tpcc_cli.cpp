@@ -18,6 +18,10 @@
 //                         sync / group imply a file backend
 //     --max-batch N       group commit: groups per batch   (default 64)
 //     --max-latency-us N  group commit: leader linger cap  (default 200)
+//     --metrics-out FILE  write metrics JSON (registry dump + per-window
+//                         time series) to FILE on exit
+//     --trace-out FILE    write the trace ring as Chrome trace_event JSON
+//                         (load at chrome://tracing) to FILE on exit
 //
 // Example: compare ILM on/off at a glance:
 //   ./build/examples/tpcc_cli --ilm on  --txns 20000
@@ -30,6 +34,7 @@
 #include <string>
 
 #include "engine/stats_printer.h"
+#include "obs/metrics_io.h"
 #include "tpcc/driver.h"
 #include "tpcc/loader.h"
 
@@ -54,6 +59,8 @@ struct CliOptions {
   bool durable = false;  // true once --durability asked for real syncs
   int64_t max_batch = 64;
   int64_t max_latency_us = 200;
+  std::string metrics_out;
+  std::string trace_out;
 };
 
 bool ParseArgs(int argc, char** argv, CliOptions* opts) {
@@ -78,6 +85,14 @@ bool ParseArgs(int argc, char** argv, CliOptions* opts) {
     if (int_arg("--max-latency-us", &opts->max_latency_us)) continue;
     if (strcmp(argv[i], "--data-dir") == 0 && i + 1 < argc) {
       opts->data_dir = argv[++i];
+      continue;
+    }
+    if (strcmp(argv[i], "--metrics-out") == 0 && i + 1 < argc) {
+      opts->metrics_out = argv[++i];
+      continue;
+    }
+    if (strcmp(argv[i], "--trace-out") == 0 && i + 1 < argc) {
+      opts->trace_out = argv[++i];
       continue;
     }
     if (strcmp(argv[i], "--durability") == 0 && i + 1 < argc) {
@@ -185,6 +200,9 @@ int main(int argc, char** argv) {
   dopt.window_txns = cli.window;
   WallTimer run_timer;
   dopt.window_observer = [&](int64_t committed) {
+    // One time-series sample per window: the figures' x-axis (committed
+    // transactions) comes straight from the sampler markers.
+    db->metrics_sampler()->SampleNow(committed);
     DatabaseStats s = db->GetStats();
     const double hit =
         100.0 * static_cast<double>(s.imrs_operations) /
@@ -197,8 +215,15 @@ int main(int argc, char** argv) {
            static_cast<long long>(s.pack.rows_packed));
   };
   TpccDriver driver(&ctx, dopt);
+  Status reg = driver.RegisterMetrics(db->metrics_registry());
+  if (!reg.ok()) {
+    fprintf(stderr, "driver metrics: %s\n", reg.ToString().c_str());
+    return 1;
+  }
   DriverStats stats = driver.Run();
   db->StopBackground();
+  // Final tpcc.* values survive as retained samples in the export below.
+  driver.UnregisterMetrics(db->metrics_registry());
 
   printf("\n%.0f TPM  (%lld committed, %lld aborts, %lld rollbacks)\n",
          stats.Tpm(), static_cast<long long>(stats.committed),
@@ -222,5 +247,45 @@ int main(int argc, char** argv) {
   }
   printf("\n%s\n%s", FormatDatabaseStats(dbstats).c_str(),
          FormatTableBreakdown(db.get()).c_str());
+
+  if (!cli.metrics_out.empty()) {
+    // Final sample so the series always ends at the run's last state.
+    db->metrics_sampler()->SampleNow(stats.committed);
+    std::vector<obs::MetaEntry> meta = {
+        {"bench", "tpcc", false},
+        {"warehouses", std::to_string(cli.warehouses), true},
+        {"workers", std::to_string(cli.workers), true},
+        {"txns", std::to_string(cli.txns), true},
+        {"window", std::to_string(cli.window), true},
+        {"seed", std::to_string(cli.seed), true},
+        {"ilm", cli.ilm ? "true" : "false", true},
+        {"steady_pct", std::to_string(cli.steady_pct), true},
+        {"durability",
+         cli.durability == DurabilityPolicy::kNoSync ? "none"
+         : cli.durability == DurabilityPolicy::kSyncPerCommit ? "sync"
+                                                              : "group",
+         false},
+        {"committed", std::to_string(stats.committed), true},
+        {"tpm", std::to_string(stats.Tpm()), true},
+        {"latency_p95_us", std::to_string(stats.latency_p95_us), true},
+    };
+    Status s = obs::WriteMetricsFile(cli.metrics_out, meta,
+                                     *db->metrics_registry(),
+                                     db->metrics_sampler());
+    if (!s.ok()) {
+      fprintf(stderr, "metrics-out: %s\n", s.ToString().c_str());
+      return 1;
+    }
+    printf("metrics written to %s\n", cli.metrics_out.c_str());
+  }
+  if (!cli.trace_out.empty()) {
+    Status s = obs::WriteChromeTraceFile(cli.trace_out);
+    if (!s.ok()) {
+      fprintf(stderr, "trace-out: %s\n", s.ToString().c_str());
+      return 1;
+    }
+    printf("trace written to %s (load at chrome://tracing)\n",
+           cli.trace_out.c_str());
+  }
   return 0;
 }

@@ -6,6 +6,8 @@
 #include <unordered_map>
 #include <new>
 
+#include "obs/metrics_registry.h"
+
 namespace btrim {
 
 // Block layout inside a segment:
@@ -382,6 +384,30 @@ FragmentAllocatorStats FragmentAllocator::GetStats() const {
   s.coalesce_count = coalesce_count_.Load();
   s.failed_allocs = failed_allocs_.Load();
   return s;
+}
+
+Status FragmentAllocator::RegisterMetrics(obs::MetricsRegistry* registry,
+                                          const std::string& subsystem) const {
+  const obs::MetricLabels l{subsystem, "", ""};
+  BTRIM_RETURN_IF_ERROR(registry->RegisterGaugeFn(
+      "imrs_cache.capacity_bytes", l,
+      [this] { return static_cast<int64_t>(capacity_); }));
+  BTRIM_RETURN_IF_ERROR(registry->RegisterGaugeFn(
+      "imrs_cache.in_use_bytes", l, [this] { return InUseBytes(); }));
+  BTRIM_RETURN_IF_ERROR(registry->RegisterGaugeFn(
+      "imrs_cache.segment_bytes", l,
+      [this] { return segment_total_.load(std::memory_order_relaxed); }));
+  BTRIM_RETURN_IF_ERROR(
+      registry->RegisterCounter("imrs_cache.alloc_calls", l, &alloc_calls_));
+  BTRIM_RETURN_IF_ERROR(
+      registry->RegisterCounter("imrs_cache.free_calls", l, &free_calls_));
+  BTRIM_RETURN_IF_ERROR(
+      registry->RegisterCounter("imrs_cache.splits", l, &split_count_));
+  BTRIM_RETURN_IF_ERROR(
+      registry->RegisterCounter("imrs_cache.coalesces", l, &coalesce_count_));
+  BTRIM_RETURN_IF_ERROR(registry->RegisterCounter("imrs_cache.failed_allocs",
+                                                  l, &failed_allocs_));
+  return Status::OK();
 }
 
 }  // namespace btrim

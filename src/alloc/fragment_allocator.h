@@ -5,6 +5,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "common/counters.h"
@@ -12,6 +13,10 @@
 #include "common/status.h"
 
 namespace btrim {
+
+namespace obs {
+class MetricsRegistry;
+}  // namespace obs
 
 /// Statistics snapshot of a FragmentAllocator.
 struct FragmentAllocatorStats {
@@ -73,6 +78,11 @@ class FragmentAllocator {
   }
 
   FragmentAllocatorStats GetStats() const;
+
+  /// Registers allocator counters and capacity/in-use gauges into the
+  /// unified metrics registry under `imrs_cache.*`.
+  Status RegisterMetrics(obs::MetricsRegistry* registry,
+                         const std::string& subsystem) const;
 
   /// Exhaustive invariant check (tests / debugging): walks every segment's
   /// block chain verifying magic values, size/prev_size consistency, and

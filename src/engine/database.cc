@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 
+#include "obs/trace_ring.h"
 #include "page/faulty_device.h"
 #include "wal/faulty_log_storage.h"
 #include "wal/log_record.h"
@@ -95,6 +96,38 @@ Status Database::Init() {
     }
   };
   gc_ = std::make_unique<ImrsGc>(imrs_.get(), std::move(hooks));
+
+  // Observability: every subsystem above registers its counters into the
+  // unified registry; the sampler snapshots it on cadence or on demand.
+  BTRIM_RETURN_IF_ERROR(RegisterAllMetrics());
+  obs::TimeSeriesSampler::Options sampler_options;
+  sampler_options.capacity = options_.metrics_sample_capacity;
+  sampler_options.interval_us = options_.metrics_sample_interval_us;
+  sampler_ = std::make_unique<obs::TimeSeriesSampler>(&metrics_registry_,
+                                                      sampler_options);
+  if (sampler_options.interval_us > 0) sampler_->Start();
+  return Status::OK();
+}
+
+Status Database::RegisterAllMetrics() {
+  obs::MetricsRegistry* r = &metrics_registry_;
+  const obs::MetricLabels engine{"engine", "", ""};
+  BTRIM_RETURN_IF_ERROR(r->RegisterCounter("engine.imrs_ops", engine,
+                                           &imrs_ops_));
+  BTRIM_RETURN_IF_ERROR(r->RegisterCounter("engine.page_ops", engine,
+                                           &page_ops_));
+  BTRIM_RETURN_IF_ERROR(syslogs_->RegisterMetrics(r, "syslogs"));
+  BTRIM_RETURN_IF_ERROR(sysimrslogs_->RegisterMetrics(r, "sysimrslogs"));
+  BTRIM_RETURN_IF_ERROR(syslogs_committer_->RegisterMetrics(r, "syslogs"));
+  BTRIM_RETURN_IF_ERROR(
+      sysimrslogs_committer_->RegisterMetrics(r, "sysimrslogs"));
+  BTRIM_RETURN_IF_ERROR(buffer_cache_.RegisterMetrics(r, "page"));
+  BTRIM_RETURN_IF_ERROR(lock_manager_.RegisterMetrics(r, "txn"));
+  BTRIM_RETURN_IF_ERROR(txn_manager_.RegisterMetrics(r, "txn"));
+  BTRIM_RETURN_IF_ERROR(gc_->RegisterMetrics(r, "imrs"));
+  BTRIM_RETURN_IF_ERROR(rid_map_.RegisterMetrics(r, "imrs"));
+  BTRIM_RETURN_IF_ERROR(imrs_allocator_.RegisterMetrics(r, "imrs"));
+  BTRIM_RETURN_IF_ERROR(ilm_->RegisterMetrics(r));
   return Status::OK();
 }
 
@@ -200,6 +233,7 @@ Result<Table*> Database::CreateTable(TableOptions options) {
         table->id_, part.id,
         options.name + "/" + std::to_string(p));
     part.ilm->pinned.store(options.pin_in_imrs, std::memory_order_relaxed);
+    BTRIM_RETURN_IF_ERROR(part.ilm->RegisterMetrics(&metrics_registry_));
     table->partition_by_file_[*file] = static_cast<size_t>(p);
   }
 
@@ -338,6 +372,7 @@ void Database::RunIlmTickOnce() {
 }
 
 Status Database::Checkpoint() {
+  obs::TraceSpan span(obs::TraceRing::Global(), "checkpoint", "engine");
   BTRIM_RETURN_IF_ERROR(buffer_cache_.FlushAll());
   // WAL rule at the durability boundary: a data page must not become
   // durable before the log records describing its changes. Force both logs

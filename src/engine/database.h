@@ -19,6 +19,8 @@
 #include "imrs/gc.h"
 #include "imrs/rid_map.h"
 #include "imrs/store.h"
+#include "obs/metrics_registry.h"
+#include "obs/time_series_sampler.h"
 #include "page/buffer_cache.h"
 #include "txn/transaction.h"
 #include "wal/group_commit.h"
@@ -63,6 +65,13 @@ struct DatabaseOptions {
 
   /// Lock wait budget before timeout-abort (deadlock resolution).
   int64_t lock_timeout_ms = 1000;
+
+  /// Metrics time-series sampling. `metrics_sample_interval_us > 0` starts
+  /// a background sampler thread snapshotting the registry on that cadence;
+  /// 0 leaves the sampler on-demand only (SampleNow at transaction-count
+  /// windows, which is how the bench harness drives it).
+  int64_t metrics_sample_interval_us = 0;
+  size_t metrics_sample_capacity = 512;
 
   /// Seeded fault-injection plan (tests / torture harness). When set, every
   /// device and log storage the database creates is wrapped in its faulty
@@ -221,6 +230,18 @@ class Database : public PackClient {
   /// --- introspection ---------------------------------------------------------
 
   DatabaseStats GetStats() const;
+
+  /// The unified metrics registry every subsystem of this database is
+  /// registered into (DESIGN.md Sec. 10).
+  obs::MetricsRegistry* metrics_registry() const { return &metrics_registry_; }
+
+  /// The registry's time-series sampler (cadence thread only runs when
+  /// DatabaseOptions::metrics_sample_interval_us > 0).
+  obs::TimeSeriesSampler* metrics_sampler() const { return sampler_.get(); }
+
+  /// Full metrics export in the stable JSON schema
+  /// {name, type, value|buckets, labels{subsystem,table,partition}}.
+  std::string DumpMetricsJson() const { return metrics_registry_.ToJson(); }
   IlmManager* ilm() { return ilm_.get(); }
   TransactionManager* txn_manager() { return &txn_manager_; }
   BufferCache* buffer_cache() { return &buffer_cache_; }
@@ -248,6 +269,10 @@ class Database : public PackClient {
   explicit Database(DatabaseOptions options);
 
   Status Init();
+
+  /// Registers every subsystem's counters into metrics_registry_ (end of
+  /// Init, once all subsystems exist). Partitions register in CreateTable.
+  Status RegisterAllMetrics();
 
   /// Creates a device for a new file id and attaches it to the cache.
   Result<uint16_t> NewFile(const std::string& hint);
@@ -353,6 +378,12 @@ class Database : public PackClient {
 
   // Engine-level ISUD routing counters (hit-rate reporting, Fig. 1).
   mutable ShardedCounter imrs_ops_, page_ops_;
+
+  // Observability. The registry only holds pointers into the subsystems
+  // above; the sampler is declared last so its cadence thread is joined
+  // before anything it reads through the registry is destroyed.
+  mutable obs::MetricsRegistry metrics_registry_;
+  std::unique_ptr<obs::TimeSeriesSampler> sampler_;
 };
 
 }  // namespace btrim

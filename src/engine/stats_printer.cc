@@ -3,6 +3,9 @@
 #include <cinttypes>
 #include <cstdarg>
 #include <cstdio>
+#include <map>
+
+#include "obs/metrics_registry.h"
 
 namespace btrim {
 
@@ -102,24 +105,59 @@ std::string FormatDatabaseStats(const DatabaseStats& s) {
 }
 
 std::string FormatTableBreakdown(Database* db) {
-  std::string out;
-  Appendf(&out, "%-24s %-9s %9s %10s %10s %10s %9s\n", "table/partition",
-          "imrs", "rows", "KiB", "reuse", "new_rows", "packed");
-  for (Table* table : db->Tables()) {
-    for (size_t p = 0; p < table->num_partitions(); ++p) {
-      PartitionState* state = table->partition(p).ilm;
-      MetricsSnapshot snap = state->metrics.Snapshot();
-      const char* mode = state->pinned.load()
-                             ? "pinned"
-                             : state->imrs_enabled.load() ? "enabled"
-                                                          : "disabled";
-      Appendf(&out,
-              "%-24s %-9s %9" PRId64 " %10" PRId64 " %10" PRId64
-              " %10" PRId64 " %9" PRId64 "\n",
-              state->name.c_str(), mode, snap.imrs_rows,
-              snap.imrs_bytes / 1024, snap.ReuseOps(), snap.NewRows(),
-              snap.rows_packed);
+  // Built from the metrics registry, not the live partition objects: a
+  // partition retired mid-run keeps reporting through its retained samples
+  // (the old implementation walked db->Tables() and silently dropped its
+  // pack/skip counts from the final report).
+  struct Row {
+    int64_t mode = 1;
+    bool retained = false;
+    int64_t imrs_rows = 0;
+    int64_t imrs_bytes = 0;
+    int64_t reuse = 0;
+    int64_t new_rows = 0;
+    int64_t packed = 0;
+    int64_t skipped = 0;
+  };
+  std::map<std::string, Row> rows;  // "table/partition" -> row
+  for (const obs::MetricSample& s : db->metrics_registry()->Snapshot()) {
+    if (s.name.rfind("partition.", 0) != 0 || s.labels.table.empty()) continue;
+    Row& r = rows[s.labels.table + "/" + s.labels.partition];
+    if (s.retained) r.retained = true;
+    if (s.name == "partition.mode") {
+      r.mode = s.value;
+    } else if (s.name == "partition.imrs_rows") {
+      r.imrs_rows = s.value;
+    } else if (s.name == "partition.imrs_bytes") {
+      r.imrs_bytes = s.value;
+    } else if (s.name == "partition.reuse_select" ||
+               s.name == "partition.reuse_update" ||
+               s.name == "partition.reuse_delete") {
+      r.reuse += s.value;
+    } else if (s.name == "partition.inserts_imrs" ||
+               s.name == "partition.migrations" ||
+               s.name == "partition.cachings") {
+      r.new_rows += s.value;
+    } else if (s.name == "partition.rows_packed") {
+      r.packed = s.value;
+    } else if (s.name == "partition.rows_skipped_hot") {
+      r.skipped = s.value;
     }
+  }
+
+  std::string out;
+  Appendf(&out, "%-24s %-9s %9s %10s %10s %10s %9s %9s\n", "table/partition",
+          "imrs", "rows", "KiB", "reuse", "new_rows", "packed", "skipped");
+  for (const auto& [name, r] : rows) {
+    const char* mode = r.retained       ? "retired"
+                       : r.mode == 2    ? "pinned"
+                       : r.mode == 1    ? "enabled"
+                                        : "disabled";
+    Appendf(&out,
+            "%-24s %-9s %9" PRId64 " %10" PRId64 " %10" PRId64 " %10" PRId64
+            " %9" PRId64 " %9" PRId64 "\n",
+            name.c_str(), mode, r.imrs_rows, r.imrs_bytes / 1024, r.reuse,
+            r.new_rows, r.packed, r.skipped);
   }
   return out;
 }

@@ -14,7 +14,9 @@ std::string FormatDatabaseStats(const DatabaseStats& stats);
 
 /// Per-table / per-partition ILM breakdown: residency, footprint, reuse,
 /// pack activity and tuner state — the BTrim equivalent of a monitoring
-/// table over Sec. V.A's counters.
+/// table over Sec. V.A's counters. Reads the unified metrics registry, so
+/// partitions retired mid-run still appear (mode "retired") with their
+/// final pack/skip counts.
 std::string FormatTableBreakdown(Database* db);
 
 }  // namespace btrim

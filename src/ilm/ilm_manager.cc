@@ -1,5 +1,8 @@
 #include "ilm/ilm_manager.h"
 
+#include "obs/metrics_registry.h"
+#include "obs/trace_ring.h"
+
 namespace btrim {
 
 IlmManager::IlmManager(IlmConfig config, FragmentAllocator* allocator,
@@ -101,15 +104,34 @@ void IlmManager::BackgroundTick(uint64_t now) {
 
   if (now - last_tuning_ts_ >= config_.tuning_window_txns) {
     last_tuning_ts_ = now;
-    tuner_.RunWindow(Partitions(), allocator_->InUseBytes(),
-                     allocator_->CapacityBytes());
+    const int64_t tune_start = obs::TraceRing::NowUs();
+    TuningReport report = tuner_.RunWindow(Partitions(),
+                                           allocator_->InUseBytes(),
+                                           allocator_->CapacityBytes());
+    obs::TraceRing::Global()->RecordAt(
+        "tuning_window", "ilm", tune_start,
+        obs::TraceRing::NowUs() - tune_start, report.partitions_disabled,
+        report.partitions_reenabled);
   }
 
+  const int64_t pack_start = obs::TraceRing::NowUs();
   PackCycleResult result = pack_.RunPackCycle(Partitions(), now);
+  if (result.level != PackLevel::kIdle || result.backed_off) {
+    obs::TraceRing::Global()->RecordAt(
+        "pack_cycle", "ilm", pack_start, obs::TraceRing::NowUs() - pack_start,
+        result.rows_packed, result.bytes_packed);
+  }
   {
     std::lock_guard<std::mutex> guard(last_cycle_mu_);
     last_cycle_ = result;
   }
+}
+
+Status IlmManager::RegisterMetrics(obs::MetricsRegistry* registry) const {
+  BTRIM_RETURN_IF_ERROR(tsf_.RegisterMetrics(registry, "ilm"));
+  BTRIM_RETURN_IF_ERROR(tuner_.RegisterMetrics(registry, "ilm"));
+  BTRIM_RETURN_IF_ERROR(pack_.RegisterMetrics(registry, "ilm"));
+  return Status::OK();
 }
 
 }  // namespace btrim

@@ -88,6 +88,11 @@ class IlmManager {
   /// disabled.
   void BackgroundTick(uint64_t now);
 
+  /// Registers the ILM components (TSF, tuner, Pack) into the unified
+  /// metrics registry. Partitions register individually as they are created
+  /// (see PartitionState::RegisterMetrics).
+  Status RegisterMetrics(obs::MetricsRegistry* registry) const;
+
   TsfLearner* tsf() { return &tsf_; }
   PackSubsystem* pack() { return &pack_; }
   PartitionTuner* tuner() { return &tuner_; }

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <unordered_map>
 
+#include "obs/metrics_registry.h"
+
 namespace btrim {
 
 namespace {
@@ -330,6 +332,29 @@ PackStats PackSubsystem::GetStats() const {
   s.io_error_cycles = io_error_cycles_.Load();
   s.backoff_cycles = backoff_cycles_.Load();
   return s;
+}
+
+Status PackSubsystem::RegisterMetrics(obs::MetricsRegistry* registry,
+                                      const std::string& subsystem) const {
+  const obs::MetricLabels l{subsystem, "", ""};
+  BTRIM_RETURN_IF_ERROR(registry->RegisterCounter("pack.cycles", l, &cycles_));
+  BTRIM_RETURN_IF_ERROR(
+      registry->RegisterCounter("pack.bytes_packed", l, &bytes_packed_));
+  BTRIM_RETURN_IF_ERROR(
+      registry->RegisterCounter("pack.rows_packed", l, &rows_packed_));
+  BTRIM_RETURN_IF_ERROR(
+      registry->RegisterCounter("pack.rows_skipped_hot", l, &rows_skipped_));
+  BTRIM_RETURN_IF_ERROR(
+      registry->RegisterCounter("pack.transactions", l, &pack_txns_));
+  BTRIM_RETURN_IF_ERROR(registry->RegisterCounter("pack.bypass_activations", l,
+                                                  &bypass_activations_));
+  BTRIM_RETURN_IF_ERROR(registry->RegisterCounter("pack.io_error_cycles", l,
+                                                  &io_error_cycles_));
+  BTRIM_RETURN_IF_ERROR(
+      registry->RegisterCounter("pack.backoff_cycles", l, &backoff_cycles_));
+  BTRIM_RETURN_IF_ERROR(registry->RegisterGaugeFn(
+      "pack.bypass_active", l, [this] { return BypassActive() ? 1 : 0; }));
+  return Status::OK();
 }
 
 }  // namespace btrim

@@ -3,6 +3,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "alloc/fragment_allocator.h"
@@ -13,6 +14,10 @@
 #include "ilm/tsf.h"
 
 namespace btrim {
+
+namespace obs {
+class MetricsRegistry;
+}  // namespace obs
 
 /// Pack intensity, derived from IMRS cache utilization (Sec. VI.A).
 enum class PackLevel : uint8_t {
@@ -122,6 +127,11 @@ class PackSubsystem {
   void Requeue(PartitionState* partition, ImrsRow* row);
 
   PackStats GetStats() const;
+
+  /// Registers pack counters (and the bypass flag as a gauge) into the
+  /// unified metrics registry under `pack.*`.
+  Status RegisterMetrics(obs::MetricsRegistry* registry,
+                         const std::string& subsystem) const;
 
  private:
   struct PartitionBudget {

@@ -1,0 +1,67 @@
+#include "ilm/partition_state.h"
+
+#include "obs/metrics_registry.h"
+
+namespace btrim {
+
+void PartitionState::MetricLabelParts(std::string* table,
+                                      std::string* partition) const {
+  const size_t slash = name.rfind('/');
+  if (slash == std::string::npos) {
+    *table = name;
+    *partition = std::to_string(partition_id);
+    return;
+  }
+  *table = name.substr(0, slash);
+  *partition = name.substr(slash + 1);
+}
+
+Status PartitionState::RegisterMetrics(obs::MetricsRegistry* registry) const {
+  obs::MetricLabels l;
+  l.subsystem = "ilm";
+  MetricLabelParts(&l.table, &l.partition);
+
+  BTRIM_RETURN_IF_ERROR(
+      registry->RegisterGauge("partition.imrs_bytes", l, &metrics.imrs_bytes));
+  BTRIM_RETURN_IF_ERROR(
+      registry->RegisterGauge("partition.imrs_rows", l, &metrics.imrs_rows));
+  BTRIM_RETURN_IF_ERROR(registry->RegisterCounter("partition.reuse_select", l,
+                                                  &metrics.reuse_select));
+  BTRIM_RETURN_IF_ERROR(registry->RegisterCounter("partition.reuse_update", l,
+                                                  &metrics.reuse_update));
+  BTRIM_RETURN_IF_ERROR(registry->RegisterCounter("partition.reuse_delete", l,
+                                                  &metrics.reuse_delete));
+  BTRIM_RETURN_IF_ERROR(registry->RegisterCounter("partition.inserts_imrs", l,
+                                                  &metrics.inserts_imrs));
+  BTRIM_RETURN_IF_ERROR(registry->RegisterCounter("partition.migrations", l,
+                                                  &metrics.migrations));
+  BTRIM_RETURN_IF_ERROR(
+      registry->RegisterCounter("partition.cachings", l, &metrics.cachings));
+  BTRIM_RETURN_IF_ERROR(
+      registry->RegisterCounter("partition.page_ops", l, &metrics.page_ops));
+  BTRIM_RETURN_IF_ERROR(registry->RegisterCounter("partition.page_contention",
+                                                  l,
+                                                  &metrics.page_contention));
+  BTRIM_RETURN_IF_ERROR(registry->RegisterCounter("partition.rows_packed", l,
+                                                  &metrics.rows_packed));
+  BTRIM_RETURN_IF_ERROR(registry->RegisterCounter(
+      "partition.rows_skipped_hot", l, &metrics.rows_skipped_hot));
+  BTRIM_RETURN_IF_ERROR(registry->RegisterCounter("partition.bytes_packed", l,
+                                                  &metrics.bytes_packed));
+  BTRIM_RETURN_IF_ERROR(registry->RegisterGaugeFn(
+      "partition.queued_rows", l, [this] { return TotalQueuedRows(); }));
+  BTRIM_RETURN_IF_ERROR(
+      registry->RegisterGaugeFn("partition.mode", l, [this]() -> int64_t {
+        if (pinned.load(std::memory_order_relaxed)) return 2;
+        return imrs_enabled.load(std::memory_order_relaxed) ? 1 : 0;
+      }));
+  return Status::OK();
+}
+
+void PartitionState::UnregisterMetrics(obs::MetricsRegistry* registry) const {
+  obs::MetricLabels match;
+  MetricLabelParts(&match.table, &match.partition);
+  registry->UnregisterMatching(match);
+}
+
+}  // namespace btrim

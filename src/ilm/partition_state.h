@@ -5,10 +5,15 @@
 #include <cstdint>
 #include <string>
 
+#include "common/status.h"
 #include "ilm/ilm_queue.h"
 #include "ilm/metrics.h"
 
 namespace btrim {
+
+namespace obs {
+class MetricsRegistry;
+}  // namespace obs
 
 /// Per-partition bookkeeping owned by the auto partition tuner (Sec. V.B):
 /// last window's snapshot, consecutive votes, and the reuse level at the
@@ -63,6 +68,21 @@ struct PartitionState {
     for (const auto& q : queues) n += q.Size();
     return n;
   }
+
+  /// Registers this partition's workload counters/gauges into the unified
+  /// metrics registry under `partition.*`, labelled
+  /// {subsystem: "ilm", table: <table name>, partition: <id>} (the table
+  /// name is `name` up to its last '/'). Includes `partition.mode`
+  /// (0 = disabled, 1 = enabled, 2 = pinned).
+  Status RegisterMetrics(obs::MetricsRegistry* registry) const;
+
+  /// Retires every metric of this partition. The registry keeps their final
+  /// values as retained samples, so a partition dropped mid-run still
+  /// appears (with its pack/skip counts) in the final report.
+  void UnregisterMetrics(obs::MetricsRegistry* registry) const;
+
+  /// The labels RegisterMetrics uses (exposed for report grouping).
+  void MetricLabelParts(std::string* table, std::string* partition) const;
 
   /// Window reuse rate per IMRS-resident row (Sec. VI.D.2). `window` must
   /// be a WindowDelta except for the gauges.

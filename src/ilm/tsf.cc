@@ -1,5 +1,7 @@
 #include "ilm/tsf.h"
 
+#include "obs/metrics_registry.h"
+
 namespace btrim {
 
 TsfLearner::TsfLearner(const IlmConfig& config)
@@ -54,6 +56,19 @@ TsfStats TsfLearner::GetStats() const {
   s.learn_cycles = learn_cycles_;
   s.last_learn_ts = last_learn_ts_;
   return s;
+}
+
+Status TsfLearner::RegisterMetrics(obs::MetricsRegistry* registry,
+                                   const std::string& subsystem) const {
+  const obs::MetricLabels l{subsystem, "", ""};
+  BTRIM_RETURN_IF_ERROR(registry->RegisterGaugeFn(
+      "tsf.tau", l, [this] { return static_cast<int64_t>(Tau()); }));
+  BTRIM_RETURN_IF_ERROR(registry->RegisterGaugeFn(
+      "tsf.learn_cycles", l, [this] { return GetStats().learn_cycles; }));
+  BTRIM_RETURN_IF_ERROR(registry->RegisterGaugeFn(
+      "tsf.last_learn_ts", l,
+      [this] { return static_cast<int64_t>(GetStats().last_learn_ts); }));
+  return Status::OK();
 }
 
 void TsfLearner::Reset() {

@@ -3,11 +3,17 @@
 
 #include <atomic>
 #include <cstdint>
+#include <string>
 
 #include "common/spinlock.h"
+#include "common/status.h"
 #include "ilm/config.h"
 
 namespace btrim {
+
+namespace obs {
+class MetricsRegistry;
+}  // namespace obs
 
 /// TSF observability snapshot.
 struct TsfStats {
@@ -58,6 +64,11 @@ class TsfLearner {
   }
 
   TsfStats GetStats() const;
+
+  /// Registers the filter value and learning progress as derived gauges
+  /// into the unified metrics registry under `tsf.*`.
+  Status RegisterMetrics(obs::MetricsRegistry* registry,
+                         const std::string& subsystem) const;
 
   /// Resets learning state (tests, config reload).
   void Reset();

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/metrics_registry.h"
+
 namespace btrim {
 
 TuningReport PartitionTuner::RunWindow(
@@ -108,6 +110,16 @@ TuningReport PartitionTuner::RunWindow(
     }
   }
   return report;
+}
+
+Status PartitionTuner::RegisterMetrics(obs::MetricsRegistry* registry,
+                                       const std::string& subsystem) const {
+  const obs::MetricLabels l{subsystem, "", ""};
+  BTRIM_RETURN_IF_ERROR(registry->RegisterCounterFn(
+      "tuner.total_disables", l, [this] { return total_disables(); }));
+  BTRIM_RETURN_IF_ERROR(registry->RegisterCounterFn(
+      "tuner.total_reenables", l, [this] { return total_reenables(); }));
+  return Status::OK();
 }
 
 }  // namespace btrim

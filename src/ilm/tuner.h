@@ -1,13 +1,20 @@
 #ifndef BTRIM_ILM_TUNER_H_
 #define BTRIM_ILM_TUNER_H_
 
+#include <atomic>
 #include <cstdint>
+#include <string>
 #include <vector>
 
+#include "common/status.h"
 #include "ilm/config.h"
 #include "ilm/partition_state.h"
 
 namespace btrim {
+
+namespace obs {
+class MetricsRegistry;
+}  // namespace obs
 
 /// Outcome of one tuning window.
 struct TuningReport {
@@ -50,14 +57,24 @@ class PartitionTuner {
   TuningReport RunWindow(const std::vector<PartitionState*>& partitions,
                          int64_t cache_used, int64_t cache_capacity);
 
-  /// Cumulative flip counters (experiments).
-  int64_t total_disables() const { return total_disables_; }
-  int64_t total_reenables() const { return total_reenables_; }
+  /// Cumulative flip counters (experiments). Atomic: the metrics sampler
+  /// reads them from its own thread while the pack thread tunes.
+  int64_t total_disables() const {
+    return total_disables_.load(std::memory_order_relaxed);
+  }
+  int64_t total_reenables() const {
+    return total_reenables_.load(std::memory_order_relaxed);
+  }
+
+  /// Registers the flip counters as derived values into the unified metrics
+  /// registry under `tuner.*`.
+  Status RegisterMetrics(obs::MetricsRegistry* registry,
+                         const std::string& subsystem) const;
 
  private:
   const IlmConfig* const config_;
-  int64_t total_disables_ = 0;
-  int64_t total_reenables_ = 0;
+  std::atomic<int64_t> total_disables_{0};
+  std::atomic<int64_t> total_reenables_{0};
 };
 
 }  // namespace btrim

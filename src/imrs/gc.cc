@@ -1,5 +1,7 @@
 #include "imrs/gc.h"
 
+#include "obs/metrics_registry.h"
+
 namespace btrim {
 
 ImrsGc::ImrsGc(ImrsStore* store, GcHooks hooks)
@@ -175,6 +177,29 @@ GcStats ImrsGc::GetStats() const {
     s.deferred_pending = static_cast<int64_t>(deferred_.size());
   }
   return s;
+}
+
+Status ImrsGc::RegisterMetrics(obs::MetricsRegistry* registry,
+                               const std::string& subsystem) const {
+  const obs::MetricLabels l{subsystem, "", ""};
+  BTRIM_RETURN_IF_ERROR(
+      registry->RegisterCounter("gc.versions_freed", l, &versions_freed_));
+  BTRIM_RETURN_IF_ERROR(
+      registry->RegisterCounter("gc.bytes_freed", l, &bytes_freed_));
+  BTRIM_RETURN_IF_ERROR(
+      registry->RegisterCounter("gc.rows_purged", l, &rows_purged_));
+  BTRIM_RETURN_IF_ERROR(
+      registry->RegisterCounter("gc.rows_enqueued", l, &rows_enqueued_));
+  BTRIM_RETURN_IF_ERROR(registry->RegisterGaugeFn("gc.work_pending", l, [this] {
+    std::lock_guard<std::mutex> guard(work_mu_);
+    return static_cast<int64_t>(work_.size());
+  }));
+  BTRIM_RETURN_IF_ERROR(
+      registry->RegisterGaugeFn("gc.deferred_pending", l, [this] {
+        std::lock_guard<std::mutex> guard(deferred_mu_);
+        return static_cast<int64_t>(deferred_.size());
+      }));
+  return Status::OK();
 }
 
 }  // namespace btrim

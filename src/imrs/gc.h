@@ -5,12 +5,17 @@
 #include <deque>
 #include <functional>
 #include <mutex>
+#include <string>
 #include <vector>
 
 #include "common/counters.h"
 #include "imrs/store.h"
 
 namespace btrim {
+
+namespace obs {
+class MetricsRegistry;
+}  // namespace obs
 
 /// Callbacks wiring GC into the engine / ILM layers without a dependency
 /// cycle (the GC piggybacks ILM-queue maintenance, paper Sec. VI.B).
@@ -87,6 +92,11 @@ class ImrsGc {
                   int64_t max_items = 0);
 
   GcStats GetStats() const;
+
+  /// Registers GC counters (plus the pending-queue depths as derived gauges)
+  /// into the unified metrics registry under `gc.*`.
+  Status RegisterMetrics(obs::MetricsRegistry* registry,
+                         const std::string& subsystem) const;
 
  private:
   struct WorkItem {

@@ -9,6 +9,7 @@
 #include "common/hash.h"
 #include "common/spinlock.h"
 #include "imrs/row.h"
+#include "obs/metrics_registry.h"
 #include "page/page.h"
 
 namespace btrim {
@@ -85,6 +86,20 @@ class RidMap {
     st.lookups = lookups_.Load();
     st.hits = hits_.Load();
     return st;
+  }
+
+  /// Registers the RID-map counters into the unified metrics registry under
+  /// `rid_map.*`. `entries` is exported as a gauge: it shrinks when rows
+  /// are purged or packed out of the IMRS.
+  Status RegisterMetrics(obs::MetricsRegistry* registry,
+                         const std::string& subsystem) const {
+    const obs::MetricLabels l{subsystem, "", ""};
+    BTRIM_RETURN_IF_ERROR(registry->RegisterGaugeFn(
+        "rid_map.entries", l, [this] { return entries_.Load(); }));
+    BTRIM_RETURN_IF_ERROR(
+        registry->RegisterCounter("rid_map.lookups", l, &lookups_));
+    BTRIM_RETURN_IF_ERROR(registry->RegisterCounter("rid_map.hits", l, &hits_));
+    return Status::OK();
   }
 
  private:

@@ -1,0 +1,116 @@
+#include "obs/metric.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace btrim {
+namespace obs {
+
+const char* MetricTypeName(MetricType type) {
+  switch (type) {
+    case MetricType::kCounter:
+      return "counter";
+    case MetricType::kGauge:
+      return "gauge";
+    case MetricType::kHistogram:
+      return "histogram";
+  }
+  return "?";
+}
+
+void AppendJsonString(std::string* out, const std::string& s) {
+  out->push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out->append("\\\"");
+        break;
+      case '\\':
+        out->append("\\\\");
+        break;
+      case '\n':
+        out->append("\\n");
+        break;
+      case '\t':
+        out->append("\\t");
+        break;
+      case '\r':
+        out->append("\\r");
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out->append(buf);
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+namespace {
+
+void AppendInt(std::string* out, int64_t v) {
+  char buf[32];
+  snprintf(buf, sizeof(buf), "%" PRId64, v);
+  out->append(buf);
+}
+
+void AppendLabelsJson(std::string* out, const MetricLabels& labels) {
+  out->append("{\"subsystem\": ");
+  AppendJsonString(out, labels.subsystem);
+  out->append(", \"table\": ");
+  AppendJsonString(out, labels.table);
+  out->append(", \"partition\": ");
+  AppendJsonString(out, labels.partition);
+  out->push_back('}');
+}
+
+}  // namespace
+
+void AppendMetricJson(std::string* out, const MetricSample& m) {
+  out->append("{\"name\": ");
+  AppendJsonString(out, m.name);
+  out->append(", \"type\": \"");
+  out->append(MetricTypeName(m.type));
+  out->append("\", \"labels\": ");
+  AppendLabelsJson(out, m.labels);
+  if (m.type == MetricType::kHistogram) {
+    out->append(", \"total\": ");
+    AppendInt(out, m.hist.total);
+    out->append(", \"sum_us\": ");
+    AppendInt(out, m.hist.sum_us);
+    out->append(", \"buckets\": [");
+    bool first = true;
+    for (int i = 0; i < LatencyHistogram::kBuckets; ++i) {
+      if (m.hist.counts[static_cast<size_t>(i)] == 0) continue;
+      if (!first) out->append(", ");
+      first = false;
+      out->push_back('[');
+      AppendInt(out, LatencyHistogram::BucketUpperUs(i));
+      out->append(", ");
+      AppendInt(out, m.hist.counts[static_cast<size_t>(i)]);
+      out->push_back(']');
+    }
+    out->push_back(']');
+  } else {
+    out->append(", \"value\": ");
+    AppendInt(out, m.value);
+  }
+  if (m.retained) out->append(", \"retained\": true");
+  out->push_back('}');
+}
+
+void AppendMetricsJson(std::string* out, const std::vector<MetricSample>& ms) {
+  out->push_back('[');
+  for (size_t i = 0; i < ms.size(); ++i) {
+    if (i > 0) out->append(",\n    ");
+    AppendMetricJson(out, ms[i]);
+  }
+  out->push_back(']');
+}
+
+}  // namespace obs
+}  // namespace btrim

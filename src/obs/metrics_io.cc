@@ -1,0 +1,59 @@
+#include "obs/metrics_io.h"
+
+#include <cstdio>
+
+#include "obs/metrics_registry.h"
+#include "obs/time_series_sampler.h"
+#include "obs/trace_ring.h"
+
+namespace btrim {
+namespace obs {
+
+std::string BuildMetricsDocument(const std::vector<MetaEntry>& meta,
+                                 const MetricsRegistry& registry,
+                                 const TimeSeriesSampler* sampler) {
+  std::string out = "{\n  \"meta\": {";
+  for (size_t i = 0; i < meta.size(); ++i) {
+    out += i == 0 ? "\n" : ",\n";
+    out += "    \"" + meta[i].key + "\": ";
+    if (meta[i].raw) {
+      out += meta[i].value;
+    } else {
+      out += "\"" + meta[i].value + "\"";
+    }
+  }
+  out += "\n  },\n  \"metrics\": ";
+  out += registry.ToJson();
+  out += ",\n  \"series\": ";
+  out += sampler != nullptr ? sampler->ToJson() : "[]";
+  out += "\n}\n";
+  return out;
+}
+
+Status WriteFileOrError(const std::string& path, const std::string& content) {
+  FILE* f = fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::IOError("cannot open for writing: " + path);
+  }
+  const size_t written = fwrite(content.data(), 1, content.size(), f);
+  const bool closed = fclose(f) == 0;
+  if (written != content.size() || !closed) {
+    return Status::IOError("short write: " + path);
+  }
+  return Status::OK();
+}
+
+Status WriteMetricsFile(const std::string& path,
+                        const std::vector<MetaEntry>& meta,
+                        const MetricsRegistry& registry,
+                        const TimeSeriesSampler* sampler) {
+  return WriteFileOrError(path, BuildMetricsDocument(meta, registry, sampler));
+}
+
+Status WriteChromeTraceFile(const std::string& path, const TraceRing* ring) {
+  if (ring == nullptr) ring = TraceRing::Global();
+  return WriteFileOrError(path, ring->ToChromeJson());
+}
+
+}  // namespace obs
+}  // namespace btrim

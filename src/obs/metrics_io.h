@@ -1,0 +1,52 @@
+#ifndef BTRIM_OBS_METRICS_IO_H_
+#define BTRIM_OBS_METRICS_IO_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace btrim {
+namespace obs {
+
+class MetricsRegistry;
+class TimeSeriesSampler;
+class TraceRing;
+
+/// One entry of the "meta" block in the metrics export document. `raw`
+/// emits the value unquoted (numbers, booleans); otherwise it is emitted
+/// as a JSON string (the value must not need escaping — callers pass
+/// identifiers and simple paths, not arbitrary text).
+struct MetaEntry {
+  std::string key;
+  std::string value;
+  bool raw = false;
+};
+
+/// Builds the stable metrics-export document shared by tpcc_cli and every
+/// bench (DESIGN.md Sec. 10):
+///   {"meta": {...}, "metrics": [<registry samples>], "series": [<sampler>]}
+/// `sampler` may be null, in which case "series" is an empty array.
+std::string BuildMetricsDocument(const std::vector<MetaEntry>& meta,
+                                 const MetricsRegistry& registry,
+                                 const TimeSeriesSampler* sampler);
+
+/// Writes `content` to `path`, replacing any existing file.
+[[nodiscard]] Status WriteFileOrError(const std::string& path,
+                                      const std::string& content);
+
+/// BuildMetricsDocument + WriteFileOrError.
+[[nodiscard]] Status WriteMetricsFile(const std::string& path,
+                                      const std::vector<MetaEntry>& meta,
+                                      const MetricsRegistry& registry,
+                                      const TimeSeriesSampler* sampler);
+
+/// Dumps `ring` (defaults to the process-global ring) as Chrome
+/// trace_event JSON, loadable in chrome://tracing / Perfetto.
+[[nodiscard]] Status WriteChromeTraceFile(const std::string& path,
+                                          const TraceRing* ring = nullptr);
+
+}  // namespace obs
+}  // namespace btrim
+
+#endif  // BTRIM_OBS_METRICS_IO_H_

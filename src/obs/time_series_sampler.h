@@ -1,0 +1,102 @@
+#ifndef BTRIM_OBS_TIME_SERIES_SAMPLER_H_
+#define BTRIM_OBS_TIME_SERIES_SAMPLER_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics_registry.h"
+
+namespace btrim {
+namespace obs {
+
+/// Snapshots a MetricsRegistry into ring-buffered time-series samples.
+///
+/// Two sampling axes, usable together:
+///   * wall-clock cadence: Start() spawns a background thread that samples
+///     every `interval_us` (0 disables the thread entirely);
+///   * on-demand: SampleNow(marker) from any thread — the TPC-C driver and
+///     the bench harness call it at transaction-count windows, so the
+///     EXPERIMENTS figures' time axis (windows of committed transactions)
+///     comes straight from the sampler.
+///
+/// The ring keeps the newest `capacity` samples; `seq` keeps growing, so a
+/// reader can tell when old windows were overwritten. All methods are
+/// thread-safe; sampling is low-frequency, so one mutex is plenty.
+class TimeSeriesSampler {
+ public:
+  struct Options {
+    size_t capacity = 512;     ///< samples retained (older ones drop off)
+    int64_t interval_us = 0;   ///< background cadence; 0 = on-demand only
+  };
+
+  /// One sampler window.
+  struct Sample {
+    int64_t seq = 0;        ///< monotone sample number (never wraps)
+    int64_t wall_us = 0;    ///< microseconds since sampler construction
+    int64_t marker = -1;    ///< caller-supplied (e.g. committed txns); -1 for
+                            ///< cadence-driven samples
+    std::vector<MetricSample> metrics;
+  };
+
+  /// Microsecond clock, injectable for deterministic windowing tests.
+  using ClockFn = std::function<int64_t()>;
+
+  TimeSeriesSampler(const MetricsRegistry* registry, Options options);
+  ~TimeSeriesSampler();
+
+  TimeSeriesSampler(const TimeSeriesSampler&) = delete;
+  TimeSeriesSampler& operator=(const TimeSeriesSampler&) = delete;
+
+  /// Starts the cadence thread (no-op when interval_us == 0 or running).
+  void Start();
+  /// Stops and joins the cadence thread. Idempotent; called by destructor.
+  void Stop();
+
+  /// Takes one sample immediately. Returns its seq.
+  int64_t SampleNow(int64_t marker = -1);
+
+  /// Copies the ring contents, oldest first.
+  std::vector<Sample> Samples() const;
+
+  /// Total samples ever taken (>= Samples().size()).
+  int64_t total_samples() const {
+    return next_seq_.load(std::memory_order_relaxed);
+  }
+
+  /// JSON array of the ring:
+  ///   [{"seq":..,"wall_us":..,"marker":..,"metrics":[...]}, ...]
+  std::string ToJson() const;
+
+  /// Replaces the wall clock (tests). Call before sampling.
+  void SetClockForTest(ClockFn clock);
+
+ private:
+  void CadenceLoop();
+  int64_t NowUs() const;
+
+  const MetricsRegistry* const registry_;
+  const Options options_;
+
+  mutable std::mutex mu_;
+  std::vector<Sample> ring_;   // ring_[seq % capacity]
+  std::atomic<int64_t> next_seq_{0};
+  ClockFn clock_;              // null = steady_clock since construction
+  std::chrono::steady_clock::time_point epoch_;
+
+  std::mutex thread_mu_;
+  std::condition_variable thread_cv_;
+  bool stop_requested_ = false;
+  std::thread thread_;
+};
+
+}  // namespace obs
+}  // namespace btrim
+
+#endif  // BTRIM_OBS_TIME_SERIES_SAMPLER_H_

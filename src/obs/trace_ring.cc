@@ -1,0 +1,125 @@
+#include "obs/trace_ring.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+
+namespace btrim {
+namespace obs {
+
+namespace {
+
+size_t RoundUpPow2(size_t v) {
+  size_t p = 1;
+  while (p < v) p <<= 1;
+  return p;
+}
+
+/// Small dense thread id for the "tid" trace field (thread_local lookup,
+/// same trick as ShardedCounter's shard index but without the modulo).
+uint32_t TraceTid() {
+  static std::atomic<uint32_t> next_tid{1};
+  thread_local uint32_t tid =
+      next_tid.fetch_add(1, std::memory_order_relaxed);
+  return tid;
+}
+
+std::chrono::steady_clock::time_point ProcessEpoch() {
+  static const std::chrono::steady_clock::time_point epoch =
+      std::chrono::steady_clock::now();
+  return epoch;
+}
+
+}  // namespace
+
+TraceRing::TraceRing(size_t capacity)
+    : mask_(RoundUpPow2(std::max<size_t>(capacity, 2)) - 1),
+      slots_(std::make_unique<Slot[]>(mask_ + 1)) {}
+
+int64_t TraceRing::NowUs() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now() - ProcessEpoch())
+      .count();
+}
+
+void TraceRing::Record(const char* name, const char* cat, int64_t dur_us,
+                       int64_t arg1, int64_t arg2) {
+  RecordAt(name, cat, NowUs() - dur_us, dur_us, arg1, arg2);
+}
+
+void TraceRing::RecordAt(const char* name, const char* cat, int64_t ts_us,
+                         int64_t dur_us, int64_t arg1, int64_t arg2) {
+  const int64_t ticket = next_ticket_.fetch_add(1, std::memory_order_relaxed);
+  Slot& slot = slots_[static_cast<size_t>(ticket) & mask_];
+  // Invalidate first so a concurrent reader can't mix this event's payload
+  // with the previous ticket, then publish the new ticket last (release).
+  slot.ticket.store(-1, std::memory_order_release);
+  slot.name.store(name, std::memory_order_relaxed);
+  slot.cat.store(cat, std::memory_order_relaxed);
+  slot.ts_us.store(ts_us, std::memory_order_relaxed);
+  slot.dur_us.store(dur_us, std::memory_order_relaxed);
+  slot.tid.store(TraceTid(), std::memory_order_relaxed);
+  slot.arg1.store(arg1, std::memory_order_relaxed);
+  slot.arg2.store(arg2, std::memory_order_relaxed);
+  slot.ticket.store(ticket, std::memory_order_release);
+}
+
+std::vector<TraceEvent> TraceRing::Snapshot() const {
+  const int64_t end = next_ticket_.load(std::memory_order_acquire);
+  const int64_t capacity = static_cast<int64_t>(mask_) + 1;
+  const int64_t begin = end > capacity ? end - capacity : 0;
+  std::vector<TraceEvent> out;
+  out.reserve(static_cast<size_t>(end - begin));
+  for (int64_t ticket = begin; ticket < end; ++ticket) {
+    const Slot& slot = slots_[static_cast<size_t>(ticket) & mask_];
+    if (slot.ticket.load(std::memory_order_acquire) != ticket) continue;
+    TraceEvent e;
+    e.name = slot.name.load(std::memory_order_relaxed);
+    e.cat = slot.cat.load(std::memory_order_relaxed);
+    e.ts_us = slot.ts_us.load(std::memory_order_relaxed);
+    e.dur_us = slot.dur_us.load(std::memory_order_relaxed);
+    e.tid = slot.tid.load(std::memory_order_relaxed);
+    e.arg1 = slot.arg1.load(std::memory_order_relaxed);
+    e.arg2 = slot.arg2.load(std::memory_order_relaxed);
+    // A writer may have lapped us mid-read; keep the slot only if the
+    // ticket survived the payload reads.
+    if (slot.ticket.load(std::memory_order_acquire) != ticket) continue;
+    if (e.name == nullptr || e.cat == nullptr) continue;
+    out.push_back(e);
+  }
+  return out;
+}
+
+std::string TraceRing::ToChromeJson() const {
+  std::vector<TraceEvent> events = Snapshot();
+  std::string out = "{\"traceEvents\": [\n";
+  for (size_t i = 0; i < events.size(); ++i) {
+    const TraceEvent& e = events[i];
+    char buf[512];
+    snprintf(buf, sizeof(buf),
+             "  {\"name\": \"%s\", \"cat\": \"%s\", \"ph\": \"X\", "
+             "\"ts\": %" PRId64 ", \"dur\": %" PRId64
+             ", \"pid\": 1, \"tid\": %u, \"args\": {\"arg1\": %" PRId64
+             ", \"arg2\": %" PRId64 "}}%s\n",
+             e.name, e.cat, e.ts_us, std::max<int64_t>(e.dur_us, 1), e.tid,
+             e.arg1, e.arg2, i + 1 < events.size() ? "," : "");
+    out.append(buf);
+  }
+  out.append("]}\n");
+  return out;
+}
+
+void TraceRing::Reset() {
+  for (size_t i = 0; i <= mask_; ++i) {
+    slots_[i].ticket.store(-1, std::memory_order_release);
+  }
+  next_ticket_.store(0, std::memory_order_release);
+}
+
+TraceRing* TraceRing::Global() {
+  static TraceRing ring(8192);
+  return &ring;
+}
+
+}  // namespace obs
+}  // namespace btrim

@@ -1,0 +1,125 @@
+#ifndef BTRIM_OBS_TRACE_RING_H_
+#define BTRIM_OBS_TRACE_RING_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace btrim {
+namespace obs {
+
+/// One recorded trace event. `name` / `cat` MUST be string literals (or
+/// otherwise have static storage duration): the ring stores the pointers,
+/// never copies — that is what keeps Record() allocation-free and makes
+/// every slot field an atomic (TSan-clean lock-free wraparound).
+struct TraceEvent {
+  const char* name = nullptr;
+  const char* cat = nullptr;
+  int64_t ts_us = 0;   ///< event start, process-relative microseconds
+  int64_t dur_us = 0;  ///< duration (0 for instant events)
+  uint32_t tid = 0;    ///< small per-thread id
+  int64_t arg1 = 0;    ///< event-specific payload (see DESIGN.md Sec. 10)
+  int64_t arg2 = 0;
+};
+
+/// Lock-free MPMC ring buffer of trace events.
+///
+/// Writers claim a slot with one fetch_add and publish it by storing the
+/// ticket last (release); every slot field is an atomic, so concurrent
+/// lapping writers and snapshot readers race benignly — a reader that
+/// observes a ticket mismatch after reading the payload discards the slot
+/// (it was being overwritten). The ring records the *newest* `capacity`
+/// events; recording is cheap enough for per-pack-cycle / per-commit-batch
+/// granularity (not per-row).
+///
+/// DumpChromeJson() emits the Chrome trace_event format: load the file in
+/// about://tracing or https://ui.perfetto.dev.
+class TraceRing {
+ public:
+  /// `capacity` is rounded up to a power of two.
+  explicit TraceRing(size_t capacity = 4096);
+
+  TraceRing(const TraceRing&) = delete;
+  TraceRing& operator=(const TraceRing&) = delete;
+
+  /// Records one event ending now with duration `dur_us` (the Chrome "X"
+  /// complete-event convention: ts = now - dur).
+  void Record(const char* name, const char* cat, int64_t dur_us = 0,
+              int64_t arg1 = 0, int64_t arg2 = 0);
+
+  /// Records with an explicit start timestamp (process-relative us).
+  void RecordAt(const char* name, const char* cat, int64_t ts_us,
+                int64_t dur_us, int64_t arg1 = 0, int64_t arg2 = 0);
+
+  /// Process-relative now, the ring's time base.
+  static int64_t NowUs();
+
+  /// Copies every published, un-torn event, oldest first.
+  std::vector<TraceEvent> Snapshot() const;
+
+  /// Chrome trace_event JSON ({"traceEvents": [...]}).
+  std::string ToChromeJson() const;
+
+  /// Total events ever recorded (>= Snapshot().size()).
+  int64_t total_recorded() const {
+    return next_ticket_.load(std::memory_order_relaxed);
+  }
+
+  void Reset();
+
+  /// The process-wide ring every subsystem records into (pack cycles,
+  /// group-commit batches, checkpoints, injected faults).
+  static TraceRing* Global();
+
+ private:
+  struct Slot {
+    std::atomic<int64_t> ticket{-1};  ///< published seq; -1 = empty
+    std::atomic<const char*> name{nullptr};
+    std::atomic<const char*> cat{nullptr};
+    std::atomic<int64_t> ts_us{0};
+    std::atomic<int64_t> dur_us{0};
+    std::atomic<uint32_t> tid{0};
+    std::atomic<int64_t> arg1{0};
+    std::atomic<int64_t> arg2{0};
+  };
+
+  const size_t mask_;
+  std::atomic<int64_t> next_ticket_{0};
+  std::unique_ptr<Slot[]> slots_;  // mask_ + 1 slots
+};
+
+/// RAII span: records one complete event covering its lifetime.
+class TraceSpan {
+ public:
+  TraceSpan(TraceRing* ring, const char* name, const char* cat)
+      : ring_(ring), name_(name), cat_(cat), start_us_(TraceRing::NowUs()) {}
+  ~TraceSpan() {
+    ring_->RecordAt(name_, cat_, start_us_, TraceRing::NowUs() - start_us_,
+                    arg1_, arg2_);
+  }
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  /// Payload attached when the span closes.
+  void set_args(int64_t arg1, int64_t arg2 = 0) {
+    arg1_ = arg1;
+    arg2_ = arg2;
+  }
+
+ private:
+  TraceRing* const ring_;
+  const char* const name_;
+  const char* const cat_;
+  const int64_t start_us_;
+  int64_t arg1_ = 0;
+  int64_t arg2_ = 0;
+};
+
+}  // namespace obs
+}  // namespace btrim
+
+#endif  // BTRIM_OBS_TRACE_RING_H_

@@ -3,6 +3,8 @@
 #include <cassert>
 #include <cstring>
 
+#include "obs/metrics_registry.h"
+
 namespace btrim {
 
 PageGuard& PageGuard::operator=(PageGuard&& other) noexcept {
@@ -253,6 +255,29 @@ BufferCacheStats BufferCache::GetStats() const {
   s.fix_failures = fix_failures_.Load();
   s.write_failures = write_failures_.Load();
   return s;
+}
+
+Status BufferCache::RegisterMetrics(obs::MetricsRegistry* registry,
+                                    const std::string& subsystem) const {
+  const obs::MetricLabels l{subsystem, "", ""};
+  BTRIM_RETURN_IF_ERROR(
+      registry->RegisterCounter("buffer_cache.fixes", l, &fixes_));
+  BTRIM_RETURN_IF_ERROR(
+      registry->RegisterCounter("buffer_cache.hits", l, &hits_));
+  BTRIM_RETURN_IF_ERROR(
+      registry->RegisterCounter("buffer_cache.misses", l, &misses_));
+  BTRIM_RETURN_IF_ERROR(
+      registry->RegisterCounter("buffer_cache.evictions", l, &evictions_));
+  BTRIM_RETURN_IF_ERROR(
+      registry->RegisterCounter("buffer_cache.dirty_writes", l,
+                                &dirty_writes_));
+  BTRIM_RETURN_IF_ERROR(registry->RegisterCounter(
+      "buffer_cache.latch_contention", l, &contention_));
+  BTRIM_RETURN_IF_ERROR(registry->RegisterCounter("buffer_cache.fix_failures",
+                                                  l, &fix_failures_));
+  BTRIM_RETURN_IF_ERROR(registry->RegisterCounter(
+      "buffer_cache.write_failures", l, &write_failures_));
+  return Status::OK();
 }
 
 }  // namespace btrim

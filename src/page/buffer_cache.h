@@ -6,6 +6,7 @@
 #include <list>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
@@ -16,6 +17,10 @@
 #include "page/page.h"
 
 namespace btrim {
+
+namespace obs {
+class MetricsRegistry;
+}  // namespace obs
 
 class BufferCache;
 
@@ -122,6 +127,11 @@ class BufferCache {
   Status DropAll();
 
   BufferCacheStats GetStats() const;
+
+  /// Registers the cache counters into the unified metrics registry under
+  /// `buffer_cache.*`.
+  Status RegisterMetrics(obs::MetricsRegistry* registry,
+                         const std::string& subsystem) const;
 
   size_t num_frames() const { return num_frames_; }
 

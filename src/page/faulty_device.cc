@@ -3,10 +3,22 @@
 #include <algorithm>
 #include <cstring>
 
+#include "obs/trace_ring.h"
+
 namespace btrim {
 
 namespace {
 constexpr size_t kSectorSize = 512;
+
+/// Instant trace event for an injected device fault (arg1 = FaultOutcome).
+void TraceFault(FaultOp op, FaultOutcome outcome) {
+  if (outcome == FaultOutcome::kNone) return;
+  const char* name = op == FaultOp::kRead    ? "fault_read"
+                     : op == FaultOp::kWrite ? "fault_write"
+                                             : "fault_sync";
+  obs::TraceRing::Global()->Record(name, "fault", 0,
+                                   static_cast<int64_t>(outcome));
+}
 }  // namespace
 
 FaultyDevice::FaultyDevice(std::unique_ptr<Device> inner,
@@ -18,6 +30,7 @@ FaultyDevice::FaultyDevice(std::unique_ptr<Device> inner,
 Status FaultyDevice::ReadPage(uint32_t page_no, char* buf) {
   if (plan_->crashed()) return FaultPlan::CrashedError();
   const FaultOutcome outcome = plan_->OnOp(target_, FaultOp::kRead);
+  TraceFault(FaultOp::kRead, outcome);
   if (outcome == FaultOutcome::kCrash) return FaultPlan::CrashedError();
   if (outcome != FaultOutcome::kNone) {
     return FaultPlan::InjectedError(target_, FaultOp::kRead);
@@ -40,6 +53,7 @@ Status FaultyDevice::ReadPage(uint32_t page_no, char* buf) {
 Status FaultyDevice::WritePage(uint32_t page_no, const char* buf) {
   if (plan_->crashed()) return FaultPlan::CrashedError();
   const FaultOutcome outcome = plan_->OnOp(target_, FaultOp::kWrite);
+  TraceFault(FaultOp::kWrite, outcome);
   if (outcome == FaultOutcome::kCrash) return FaultPlan::CrashedError();
   if (outcome == FaultOutcome::kError) {
     return FaultPlan::InjectedError(target_, FaultOp::kWrite);
@@ -88,6 +102,7 @@ uint32_t FaultyDevice::NumPages() const {
 Status FaultyDevice::Sync() {
   if (plan_->crashed()) return FaultPlan::CrashedError();
   const FaultOutcome outcome = plan_->OnOp(target_, FaultOp::kSync);
+  TraceFault(FaultOp::kSync, outcome);
   if (outcome == FaultOutcome::kCrash) return FaultPlan::CrashedError();
   if (outcome != FaultOutcome::kNone) {
     // Failed sync: pending writes stay pending (their durability is

@@ -2,8 +2,35 @@
 
 #include <algorithm>
 
+#include "obs/metrics_registry.h"
+
 namespace btrim {
 namespace tpcc {
+
+Status TpccDriver::RegisterMetrics(obs::MetricsRegistry* registry) const {
+  const obs::MetricLabels l{"tpcc", "", ""};
+  BTRIM_RETURN_IF_ERROR(registry->RegisterCounterFn(
+      "tpcc.committed", l,
+      [this] { return committed_.load(std::memory_order_relaxed); }));
+  BTRIM_RETURN_IF_ERROR(
+      registry->RegisterCounter("tpcc.system_aborts", l, &system_aborts_));
+  BTRIM_RETURN_IF_ERROR(
+      registry->RegisterCounter("tpcc.user_aborts", l, &user_aborts_));
+  static const char* kTypeNames[5] = {"tpcc.new_order", "tpcc.payment",
+                                      "tpcc.order_status", "tpcc.delivery",
+                                      "tpcc.stock_level"};
+  for (int i = 0; i < 5; ++i) {
+    BTRIM_RETURN_IF_ERROR(
+        registry->RegisterCounter(kTypeNames[i], l, &by_type_[i]));
+  }
+  return registry->RegisterHistogram("tpcc.latency_us", l, &latency_);
+}
+
+void TpccDriver::UnregisterMetrics(obs::MetricsRegistry* registry) const {
+  obs::MetricLabels match;
+  match.subsystem = "tpcc";
+  registry->UnregisterMatching(match);
+}
 
 void TpccDriver::Worker(int worker_id, DriverStats* stats,
                         std::vector<int64_t>* latencies_us) {
@@ -36,8 +63,11 @@ void TpccDriver::Worker(int worker_id, DriverStats* stats,
     }
 
     if (result.committed) {
-      latencies_us->push_back(txn_timer.ElapsedMicros());
+      const int64_t elapsed_us = txn_timer.ElapsedMicros();
+      latencies_us->push_back(elapsed_us);
+      latency_.Record(elapsed_us);
       ++stats->by_type[type];
+      by_type_[type].Add(1);
       const int64_t total =
           committed_.fetch_add(1, std::memory_order_relaxed) + 1;
       if (options_.window_observer && options_.window_txns > 0 &&
@@ -46,8 +76,10 @@ void TpccDriver::Worker(int worker_id, DriverStats* stats,
       }
     } else if (result.user_abort) {
       ++stats->user_aborts;
+      user_aborts_.Add(1);
     } else {
       ++stats->system_aborts;
+      system_aborts_.Add(1);
     }
   }
 }

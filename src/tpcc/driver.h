@@ -7,9 +7,17 @@
 #include <vector>
 
 #include "common/clock.h"
+#include "common/counters.h"
+#include "common/histogram.h"
+#include "common/status.h"
 #include "tpcc/txns.h"
 
 namespace btrim {
+
+namespace obs {
+class MetricsRegistry;
+}  // namespace obs
+
 namespace tpcc {
 
 /// Transaction mix percentages (spec 5.2.3: the standard 45/43/4/4/4 mix).
@@ -68,6 +76,14 @@ class TpccDriver {
   /// Runs to `total_txns` committed transactions; blocking.
   DriverStats Run();
 
+  /// Registers the driver's live workload telemetry under `tpcc.*`
+  /// ({subsystem: "tpcc"}): committed / abort totals, the per-type mix
+  /// counters, and the end-to-end commit-latency histogram. Call
+  /// UnregisterMetrics before destroying the driver — the final values
+  /// survive as retained samples in the registry.
+  [[nodiscard]] Status RegisterMetrics(obs::MetricsRegistry* registry) const;
+  void UnregisterMetrics(obs::MetricsRegistry* registry) const;
+
  private:
   void Worker(int worker_id, DriverStats* stats,
               std::vector<int64_t>* latencies_us);
@@ -75,6 +91,13 @@ class TpccDriver {
   TpccContext* const ctx_;
   const DriverOptions options_;
   std::atomic<int64_t> committed_{0};
+
+  // Live telemetry mirrored into the metrics registry (DriverStats stays
+  // the per-run return value; these feed the sampler while the run is on).
+  mutable ShardedCounter system_aborts_;
+  mutable ShardedCounter user_aborts_;
+  mutable ShardedCounter by_type_[5];  // Mix order
+  mutable LatencyHistogram latency_;
 };
 
 }  // namespace tpcc

@@ -3,6 +3,7 @@
 #include <chrono>
 
 #include "common/hash.h"
+#include "obs/metrics_registry.h"
 
 namespace btrim {
 
@@ -122,6 +123,19 @@ LockManagerStats LockManager::GetStats() const {
   s.timeouts = timeouts_.Load();
   s.try_failures = try_failures_.Load();
   return s;
+}
+
+Status LockManager::RegisterMetrics(obs::MetricsRegistry* registry,
+                                    const std::string& subsystem) const {
+  const obs::MetricLabels l{subsystem, "", ""};
+  BTRIM_RETURN_IF_ERROR(
+      registry->RegisterCounter("locks.acquisitions", l, &acquisitions_));
+  BTRIM_RETURN_IF_ERROR(registry->RegisterCounter("locks.waits", l, &waits_));
+  BTRIM_RETURN_IF_ERROR(
+      registry->RegisterCounter("locks.timeouts", l, &timeouts_));
+  BTRIM_RETURN_IF_ERROR(
+      registry->RegisterCounter("locks.try_failures", l, &try_failures_));
+  return Status::OK();
 }
 
 }  // namespace btrim

@@ -3,7 +3,9 @@
 
 #include <condition_variable>
 #include <cstdint>
+#include <memory>
 #include <mutex>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
@@ -11,6 +13,10 @@
 #include "common/status.h"
 
 namespace btrim {
+
+namespace obs {
+class MetricsRegistry;
+}  // namespace obs
 
 /// Lock modes. Shared locks are compatible with each other; exclusive locks
 /// are incompatible with everything held by other transactions.
@@ -59,6 +65,11 @@ class LockManager {
   bool Holds(uint64_t txn_id, uint64_t lock_id, LockMode mode) const;
 
   LockManagerStats GetStats() const;
+
+  /// Registers the lock-manager counters into the unified metrics registry
+  /// under `locks.*`.
+  Status RegisterMetrics(obs::MetricsRegistry* registry,
+                         const std::string& subsystem) const;
 
  private:
   struct Holder {

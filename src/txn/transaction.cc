@@ -2,6 +2,8 @@
 
 #include <chrono>
 
+#include "obs/metrics_registry.h"
+
 namespace btrim {
 
 Status Transaction::AcquireLock(uint64_t lock_id, LockMode mode,
@@ -182,6 +184,18 @@ TransactionManagerStats TransactionManager::GetStats() const {
   s.aborted = aborted_.Load();
   s.active = ActiveCount();
   return s;
+}
+
+Status TransactionManager::RegisterMetrics(obs::MetricsRegistry* registry,
+                                           const std::string& subsystem) const {
+  const obs::MetricLabels l{subsystem, "", ""};
+  BTRIM_RETURN_IF_ERROR(registry->RegisterCounter("txn.begun", l, &begun_));
+  BTRIM_RETURN_IF_ERROR(
+      registry->RegisterCounter("txn.committed", l, &committed_));
+  BTRIM_RETURN_IF_ERROR(registry->RegisterCounter("txn.aborted", l, &aborted_));
+  BTRIM_RETURN_IF_ERROR(registry->RegisterGaugeFn(
+      "txn.active", l, [this] { return ActiveCount(); }));
+  return Status::OK();
 }
 
 }  // namespace btrim

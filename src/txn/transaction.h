@@ -164,6 +164,11 @@ class TransactionManager {
 
   TransactionManagerStats GetStats() const;
 
+  /// Registers the manager's counters (and the active-set size as a derived
+  /// gauge) into the unified metrics registry under `txn.*`.
+  Status RegisterMetrics(obs::MetricsRegistry* registry,
+                         const std::string& subsystem) const;
+
   /// --- quiescence gate (invariant checker) --------------------------------
 
   /// Blocks new Begin() calls and waits up to `wait_ms` for the active set

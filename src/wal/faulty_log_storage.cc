@@ -1,6 +1,19 @@
 #include "wal/faulty_log_storage.h"
 
+#include "obs/trace_ring.h"
+
 namespace btrim {
+
+namespace {
+/// Instant trace event for an injected log fault (arg1 = FaultOutcome).
+void TraceFault(FaultOp op, FaultOutcome outcome) {
+  if (outcome == FaultOutcome::kNone) return;
+  const char* name =
+      op == FaultOp::kAppend ? "fault_log_append" : "fault_log_sync";
+  obs::TraceRing::Global()->Record(name, "fault", 0,
+                                   static_cast<int64_t>(outcome));
+}
+}  // namespace
 
 FaultyLogStorage::FaultyLogStorage(std::unique_ptr<LogStorage> inner,
                                    std::shared_ptr<FaultPlan> plan,
@@ -26,6 +39,7 @@ Status FaultyLogStorage::Append(Slice data) {
   std::lock_guard<std::mutex> guard(mu_);
   if (plan_->crashed()) return FaultPlan::CrashedError();
   const FaultOutcome outcome = plan_->OnOp(target_, FaultOp::kAppend);
+  TraceFault(FaultOp::kAppend, outcome);
   switch (outcome) {
     case FaultOutcome::kCrash:
       FlushTornTailLocked();
@@ -48,6 +62,7 @@ Status FaultyLogStorage::Sync() {
   std::lock_guard<std::mutex> guard(mu_);
   if (plan_->crashed()) return FaultPlan::CrashedError();
   const FaultOutcome outcome = plan_->OnOp(target_, FaultOp::kSync);
+  TraceFault(FaultOp::kSync, outcome);
   switch (outcome) {
     case FaultOutcome::kCrash:
       // Crash mid-fsync: part of the tail may have reached the device.

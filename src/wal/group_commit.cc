@@ -5,6 +5,8 @@
 #include <thread>
 
 #include "common/clock.h"
+#include "obs/metrics_registry.h"
+#include "obs/trace_ring.h"
 
 namespace btrim {
 
@@ -141,8 +143,13 @@ Status GroupCommitter::LeadBatch(std::unique_lock<std::mutex>* lk) {
   // Append + sync with the mutex released: later committers stage the next
   // batch while this one is on its way to the device (the pipeline).
   lk->unlock();
+  const int64_t trace_start = obs::TraceRing::NowUs();
   Status s = log_->AppendSerialized(Slice(batch), records, groups);
   if (s.ok()) s = log_->Commit();
+  obs::TraceRing::Global()->RecordAt(
+      "commit_batch", "wal", trace_start,
+      obs::TraceRing::NowUs() - trace_start, groups,
+      static_cast<int64_t>(batch.size()));
   lk->lock();
 
   if (s.ok()) {
@@ -158,6 +165,21 @@ Status GroupCommitter::LeadBatch(std::unique_lock<std::mutex>* lk) {
   leader_active_.store(false, std::memory_order_release);
   cv_.notify_all();
   return s;
+}
+
+Status GroupCommitter::RegisterMetrics(obs::MetricsRegistry* registry,
+                                       const std::string& subsystem) const {
+  const obs::MetricLabels l{subsystem, "", ""};
+  BTRIM_RETURN_IF_ERROR(registry->RegisterCounter("commit.groups", l, &groups_));
+  BTRIM_RETURN_IF_ERROR(
+      registry->RegisterCounter("commit.batches", l, &batches_));
+  BTRIM_RETURN_IF_ERROR(
+      registry->RegisterCounter("commit.batch_bytes", l, &batch_bytes_));
+  BTRIM_RETURN_IF_ERROR(
+      registry->RegisterGauge("commit.max_batch_groups", l, &max_batch_groups_));
+  BTRIM_RETURN_IF_ERROR(
+      registry->RegisterHistogram("commit.latency_us", l, &latency_));
+  return Status::OK();
 }
 
 GroupCommitStats GroupCommitter::GetStats() const {

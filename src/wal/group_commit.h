@@ -109,6 +109,11 @@ class GroupCommitter {
 
   GroupCommitStats GetStats() const;
 
+  /// Registers the committer's counters and latency histogram into the
+  /// unified metrics registry under `commit.*`.
+  Status RegisterMetrics(obs::MetricsRegistry* registry,
+                         const std::string& subsystem) const;
+
  private:
   Status CommitGroupBatched(Slice group, int64_t record_count);
 

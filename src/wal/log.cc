@@ -6,6 +6,8 @@
 
 #include <cstring>
 
+#include "obs/metrics_registry.h"
+
 namespace btrim {
 
 // --- MemLogStorage ----------------------------------------------------------
@@ -224,6 +226,25 @@ LogStats Log::GetStats() const {
   s.append_failures = append_failures_.Load();
   s.sync_failures = sync_failures_.Load();
   return s;
+}
+
+Status Log::RegisterMetrics(obs::MetricsRegistry* registry,
+                            const std::string& subsystem) const {
+  const obs::MetricLabels l{subsystem, "", ""};
+  BTRIM_RETURN_IF_ERROR(
+      registry->RegisterCounter("wal.records_appended", l, &records_));
+  BTRIM_RETURN_IF_ERROR(
+      registry->RegisterCounter("wal.bytes_appended", l, &bytes_));
+  BTRIM_RETURN_IF_ERROR(
+      registry->RegisterCounter("wal.groups_appended", l, &groups_));
+  BTRIM_RETURN_IF_ERROR(registry->RegisterCounter("wal.syncs", l, &syncs_));
+  BTRIM_RETURN_IF_ERROR(
+      registry->RegisterCounter("wal.syncs_elided", l, &syncs_elided_));
+  BTRIM_RETURN_IF_ERROR(
+      registry->RegisterCounter("wal.append_failures", l, &append_failures_));
+  BTRIM_RETURN_IF_ERROR(
+      registry->RegisterCounter("wal.sync_failures", l, &sync_failures_));
+  return Status::OK();
 }
 
 }  // namespace btrim

@@ -15,6 +15,10 @@
 
 namespace btrim {
 
+namespace obs {
+class MetricsRegistry;
+}  // namespace obs
+
 /// Byte-oriented append-only storage backing a transaction log.
 class LogStorage {
  public:
@@ -127,6 +131,11 @@ class Log {
   int64_t SizeBytes() const { return storage_->Size(); }
 
   LogStats GetStats() const;
+
+  /// Registers this log's counters into the unified metrics registry under
+  /// `wal.*` with the given subsystem label ("syslogs" / "sysimrslogs").
+  Status RegisterMetrics(obs::MetricsRegistry* registry,
+                         const std::string& subsystem) const;
 
  private:
   /// Records the first I/O failure and fails every later operation with it.

@@ -1043,5 +1043,30 @@ TEST_F(EngineTest, StatsPrinterShowsPinnedAndDisabledModes) {
   EXPECT_NE(breakdown.find("disabled"), std::string::npos);
 }
 
+// Regression: a partition retired mid-run (metrics unregistered before the
+// final print) used to vanish from the breakdown, dropping its pack-skip
+// counts. The registry's snapshot-at-unregistration semantics keep it.
+TEST_F(EngineTest, StatsPrinterKeepsRetiredPartitionCounts) {
+  Open();
+  ASSERT_TRUE(InsertRow(1, 10, "x").ok());
+  PartitionState* state = table_->partition(0).ilm;
+  state->metrics.rows_skipped_hot.Add(7);
+  state->UnregisterMetrics(db_->metrics_registry());
+
+  const std::string breakdown = FormatTableBreakdown(db_.get());
+  EXPECT_NE(breakdown.find("kv/0"), std::string::npos);
+  EXPECT_NE(breakdown.find("retired"), std::string::npos);
+  // The skipped column survives with its final value.
+  EXPECT_NE(breakdown.find(" 7\n"), std::string::npos) << breakdown;
+
+  // Lookup still serves the retained sample directly.
+  obs::MetricSample sample;
+  obs::MetricLabels labels{"ilm", "kv", "0"};
+  ASSERT_TRUE(db_->metrics_registry()->Lookup("partition.rows_skipped_hot",
+                                              labels, &sample));
+  EXPECT_TRUE(sample.retained);
+  EXPECT_EQ(sample.value, 7);
+}
+
 }  // namespace
 }  // namespace btrim

@@ -1,0 +1,184 @@
+#!/usr/bin/env python3
+"""Nightly shape-check gate: asserts the paper's figure *shapes* (not
+absolute numbers) from metrics exports produced by `tpcc_cli --metrics-out`
+or the bench harness's BTRIM_METRICS_OUT files.
+
+Subcommands:
+
+  fig2 --ilm-on ON.json --ilm-off OFF.json
+      Cache-utilization life cycle (paper Fig. 2): with ILM on, IMRS
+      footprint plateaus near the steady-state target; with ILM off it
+      grows monotonically and ends well above the ILM_ON plateau.
+
+  fig6 --run RUN.json
+      Row-reuse ordering (paper Fig. 6): per-row reuse rate is ordered
+      warehouse > district > order_line, and the insert-only history
+      table sees (almost) no reuse.
+
+  fig9 PCT=FILE [PCT=FILE ...]
+      Steady-threshold sweep (paper Fig. 9): the steady-state IMRS
+      high-water mark is monotone non-decreasing in the steady-cache
+      threshold.
+
+All checks read the unified export schema:
+  {"meta": {...}, "metrics": [...], "series": [{"marker":.., "metrics":[..]}]}
+
+Exit 0 when every shape holds; exit 1 with one line per violation.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    with open(path) as f:
+        return json.load(f)
+
+
+def series_of(doc, name):
+    """[(marker, value)] across sampler windows for a global metric."""
+    out = []
+    for window in doc["series"]:
+        for m in window["metrics"]:
+            if m["name"] == name:
+                out.append((window["marker"], m["value"]))
+                break
+    return out
+
+
+def table_sum(doc, name, table):
+    """Sum of a partition.* metric across all partitions of `table`."""
+    return sum(m["value"] for m in doc["metrics"]
+               if m["name"] == name and m["labels"].get("table") == table)
+
+
+def mean(xs):
+    return sum(xs) / len(xs) if xs else 0.0
+
+
+def check_fig2(args, errors):
+    on = load(args.ilm_on)
+    off = load(args.ilm_off)
+    on_vals = [v for _, v in series_of(on, "imrs_cache.in_use_bytes")]
+    off_vals = [v for _, v in series_of(off, "imrs_cache.in_use_bytes")]
+    if len(on_vals) < 6 or len(off_vals) < 6:
+        errors.append("fig2: need >= 6 sampler windows per run "
+                      f"(got {len(on_vals)} / {len(off_vals)})")
+        return
+
+    third = len(off_vals) // 3
+    off_early, off_mid, off_late = (mean(off_vals[:third]),
+                                    mean(off_vals[third:2 * third]),
+                                    mean(off_vals[2 * third:]))
+    if not off_early < off_mid < off_late:
+        errors.append(
+            "fig2: ILM_OFF footprint is not monotonically growing "
+            f"(thirds: {off_early:.0f}, {off_mid:.0f}, {off_late:.0f})")
+
+    third = len(on_vals) // 3
+    on_mid, on_late = (mean(on_vals[third:2 * third]),
+                       mean(on_vals[2 * third:]))
+    if on_mid > 0 and on_late > on_mid * 1.35:
+        errors.append(
+            "fig2: ILM_ON footprint did not plateau "
+            f"(mid {on_mid:.0f} -> late {on_late:.0f}, > +35%)")
+    if off_vals[-1] < on_vals[-1] * 1.5:
+        errors.append(
+            "fig2: ILM_OFF final footprint should dwarf ILM_ON "
+            f"({off_vals[-1]} < 1.5 * {on_vals[-1]})")
+    print(f"fig2: ILM_ON plateau ~{on_late / 1024:.0f} KiB, "
+          f"ILM_OFF grew to {off_vals[-1] / 1024:.0f} KiB")
+
+
+def reuse_rate(doc, table):
+    reuse = sum(table_sum(doc, f"partition.reuse_{op}", table)
+                for op in ("select", "update", "delete"))
+    new_rows = sum(table_sum(doc, f"partition.{src}", table)
+                   for src in ("inserts_imrs", "migrations", "cachings"))
+    return reuse, reuse / max(new_rows, 1)
+
+
+def check_fig6(args, errors):
+    doc = load(args.run)
+    rates = {}
+    for table in ("warehouse", "district", "order_line", "history"):
+        rates[table] = reuse_rate(doc, table)
+    order = ["warehouse", "district", "order_line"]
+    for hot, cold in zip(order, order[1:]):
+        if rates[hot][1] <= rates[cold][1]:
+            errors.append(
+                f"fig6: reuse rate ordering violated: {hot} "
+                f"({rates[hot][1]:.2f}) <= {cold} ({rates[cold][1]:.2f})")
+    # History is insert-only: essentially zero reuse per row.
+    if rates["history"][1] > 0.01:
+        errors.append(
+            f"fig6: history should see ~no reuse, rate "
+            f"{rates['history'][1]:.3f}")
+    summary = ", ".join(f"{t}={rates[t][1]:.2f}" for t in rates)
+    print(f"fig6: reuse/row {summary}")
+
+
+def steady_hwm(doc):
+    vals = [v for _, v in series_of(doc, "imrs_cache.in_use_bytes")]
+    if not vals:
+        return None
+    # Steady state: ignore warm-up, take the high-water mark of the
+    # second half of the run.
+    return max(vals[len(vals) // 2:])
+
+
+def check_fig9(args, errors):
+    points = []
+    for spec in args.runs:
+        pct, _, path = spec.partition("=")
+        if not path:
+            errors.append(f"fig9: bad spec '{spec}', want PCT=FILE")
+            return
+        hwm = steady_hwm(load(path))
+        if hwm is None:
+            errors.append(f"fig9: {path} has no sampler series")
+            return
+        points.append((float(pct), hwm))
+    if len(points) < 2:
+        errors.append("fig9: need >= 2 threshold points")
+        return
+    points.sort()
+    for (lo_pct, lo_hwm), (hi_pct, hi_hwm) in zip(points, points[1:]):
+        # Monotone non-decreasing with 5% slack for run-to-run noise.
+        if hi_hwm < lo_hwm * 0.95:
+            errors.append(
+                f"fig9: steady HWM not monotone in threshold: "
+                f"{lo_pct:.0f}% -> {lo_hwm}, {hi_pct:.0f}% -> {hi_hwm}")
+    print("fig9: steady HWM by threshold: " +
+          ", ".join(f"{p:.0f}%={h // 1024} KiB" for p, h in points))
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    sub = parser.add_subparsers(dest="figure", required=True)
+
+    p2 = sub.add_parser("fig2", help="ILM_ON plateau vs ILM_OFF growth")
+    p2.add_argument("--ilm-on", required=True)
+    p2.add_argument("--ilm-off", required=True)
+
+    p6 = sub.add_parser("fig6", help="per-table reuse ordering")
+    p6.add_argument("--run", required=True, help="an ILM_ON metrics export")
+
+    p9 = sub.add_parser("fig9", help="steady HWM monotone in threshold")
+    p9.add_argument("runs", nargs="+", metavar="PCT=FILE")
+
+    args = parser.parse_args()
+    errors = []
+    {"fig2": check_fig2, "fig6": check_fig6, "fig9": check_fig9}[
+        args.figure](args, errors)
+    if errors:
+        for e in errors:
+            print(f"SHAPE FAIL: {e}", file=sys.stderr)
+        return 1
+    print(f"{args.figure}: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
