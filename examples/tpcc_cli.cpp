@@ -8,6 +8,7 @@
 //     --threads N         alias for --workers (stress runs)
 //     --imrs-mb N         IMRS cache size in MiB           (default 12)
 //     --steady-pct N      steady cache utilization %       (default 70)
+//     --pack-workers N    background pack/GC pool size     (default 1)
 //     --ilm on|off        ILM heuristics                   (default on)
 //     --page-only         page-store baseline (no IMRS)
 //     --partitioned       partition tables by warehouse
@@ -49,6 +50,7 @@ struct CliOptions {
   int workers = 3;
   int imrs_mb = 12;
   int steady_pct = 70;
+  int pack_workers = 1;
   bool ilm = true;
   bool page_only = false;
   bool partitioned = false;
@@ -79,6 +81,7 @@ bool ParseArgs(int argc, char** argv, CliOptions* opts) {
     if (int_arg("--threads", &opts->workers)) continue;  // alias for --workers
     if (int_arg("--imrs-mb", &opts->imrs_mb)) continue;
     if (int_arg("--steady-pct", &opts->steady_pct)) continue;
+    if (int_arg("--pack-workers", &opts->pack_workers)) continue;
     if (int_arg("--window", &opts->window)) continue;
     if (int_arg("--seed", &opts->seed)) continue;
     if (int_arg("--max-batch", &opts->max_batch)) continue;
@@ -142,6 +145,7 @@ int main(int argc, char** argv) {
   options.lock_timeout_ms = 50;
   options.ilm.ilm_enabled = cli.ilm;
   options.ilm.steady_cache_pct = cli.steady_pct / 100.0;
+  options.pack_workers = cli.pack_workers;
   if (!cli.ilm) options.imrs_cache_bytes = 512ull << 20;  // "unlimited"
   if (cli.durable && cli.data_dir.empty()) {
     cli.data_dir = std::filesystem::temp_directory_path().string() +

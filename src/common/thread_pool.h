@@ -1,0 +1,89 @@
+#ifndef BTRIM_COMMON_THREAD_POOL_H_
+#define BTRIM_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/counters.h"
+#include "common/histogram.h"
+
+namespace btrim {
+
+/// Fixed-size worker pool for background fan-out (parallel pack cycles, GC
+/// shard drains). Shared by every background subsystem of one Database so
+/// the operator reasons about exactly one knob (`pack_workers`).
+///
+/// Semantics:
+///  - `workers <= 1` creates no threads at all: RunTasks executes every
+///    task inline on the caller, in order. This is the determinism anchor —
+///    a 1-worker pipeline is byte-for-byte the old serial behavior, which
+///    tests/pack_parallel_test.cc leans on.
+///  - RunTasks is a barrier: it returns only after every submitted task has
+///    finished. Concurrent RunTasks calls from different callers are fine;
+///    each blocks on its own completion count.
+///  - Tasks must not call RunTasks on the same pool (a task occupying a
+///    worker while waiting for workers deadlocks at full occupancy).
+///
+/// CurrentWorkerId() identifies the executing lane for per-worker metrics:
+/// 0 on any non-pool thread (inline mode, drivers), 1..N on pool workers.
+class ThreadPool {
+ public:
+  explicit ThreadPool(int workers);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Number of pool threads (0 in inline mode).
+  int worker_count() const { return static_cast<int>(threads_.size()); }
+
+  /// Runs `tasks` to completion. Parallel across pool workers when they
+  /// exist, inline on the caller otherwise.
+  void RunTasks(std::vector<std::function<void()>> tasks);
+
+  /// Executing lane of the current thread: 0 = not a pool worker.
+  static int CurrentWorkerId();
+
+  /// --- metric sources (registered by the owning Database) ----------------
+
+  const ShardedCounter* tasks_executed() const { return &tasks_executed_; }
+  const LatencyHistogram* queue_wait_histogram() const { return &queue_wait_; }
+  int64_t QueueDepth() const;
+
+ private:
+  struct Batch;
+  struct Task {
+    std::function<void()> fn;
+    int64_t enqueue_us = 0;
+    /// Completion channel of the RunTasks call that submitted this task.
+    Batch* batch = nullptr;
+  };
+  /// Guarded by the pool-wide mu_ (never by its own lock): workers signal
+  /// completion through the long-lived done_cv_ member, so no worker ever
+  /// touches a synchronization object whose lifetime ends with RunTasks.
+  struct Batch {
+    size_t remaining = 0;
+  };
+
+  void WorkerLoop(int worker_id);
+  static int64_t NowMicros();
+
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  std::deque<Task> queue_;
+  bool stopping_ = false;
+  std::vector<std::thread> threads_;
+
+  mutable ShardedCounter tasks_executed_;
+  mutable LatencyHistogram queue_wait_;
+};
+
+}  // namespace btrim
+
+#endif  // BTRIM_COMMON_THREAD_POOL_H_

@@ -77,8 +77,14 @@ Status Database::Init() {
   // IMRS.
   imrs_ = std::make_unique<ImrsStore>(&imrs_allocator_, &rid_map_);
 
+  // Shared background worker pool: pack-cycle fan-out and GC shard drains
+  // both run on it (one knob, one set of threads). <= 1 workers means a
+  // no-thread pool whose RunTasks executes inline on the caller.
+  background_pool_ = std::make_unique<ThreadPool>(options_.pack_workers);
+
   // ILM (needs `this` as PackClient).
   ilm_ = std::make_unique<IlmManager>(options_.ilm, &imrs_allocator_, this);
+  ilm_->SetThreadPool(background_pool_.get());
 
   // GC, wired to ILM queues and the page-store purge transaction.
   GcHooks hooks;
@@ -96,6 +102,7 @@ Status Database::Init() {
     }
   };
   gc_ = std::make_unique<ImrsGc>(imrs_.get(), std::move(hooks));
+  gc_->SetThreadPool(background_pool_.get());
 
   // Observability: every subsystem above registers its counters into the
   // unified registry; the sampler snapshots it on cadence or on demand.
@@ -128,6 +135,17 @@ Status Database::RegisterAllMetrics() {
   BTRIM_RETURN_IF_ERROR(rid_map_.RegisterMetrics(r, "imrs"));
   BTRIM_RETURN_IF_ERROR(imrs_allocator_.RegisterMetrics(r, "imrs"));
   BTRIM_RETURN_IF_ERROR(ilm_->RegisterMetrics(r));
+  const obs::MetricLabels pool{"pool", "", ""};
+  BTRIM_RETURN_IF_ERROR(r->RegisterCounter("pool.tasks_executed", pool,
+                                           background_pool_->tasks_executed()));
+  BTRIM_RETURN_IF_ERROR(r->RegisterGaugeFn("pool.queue_depth", pool, [this] {
+    return background_pool_->QueueDepth();
+  }));
+  BTRIM_RETURN_IF_ERROR(r->RegisterGaugeFn("pool.workers", pool, [this] {
+    return static_cast<int64_t>(background_pool_->worker_count());
+  }));
+  BTRIM_RETURN_IF_ERROR(r->RegisterHistogram(
+      "pool.queue_wait_us", pool, background_pool_->queue_wait_histogram()));
   return Status::OK();
 }
 
@@ -329,10 +347,11 @@ void Database::StartBackground() {
     background_threads_.emplace_back([this] {
       while (background_running_.load(std::memory_order_relaxed)) {
         {
-          std::lock_guard<std::mutex> guard(background_mu_);
+          RwSpinLockReadGuard quiesce(background_rw_);
+          std::lock_guard<std::mutex> tick(ilm_tick_mu_);
           ilm_->BackgroundTick(Now());
-          ParanoidValidateLocked();
         }
+        ParanoidValidate();
         std::this_thread::sleep_for(
             std::chrono::microseconds(options_.background_interval_us));
       }
@@ -342,7 +361,8 @@ void Database::StartBackground() {
     background_threads_.emplace_back([this] {
       while (background_running_.load(std::memory_order_relaxed)) {
         {
-          std::lock_guard<std::mutex> guard(background_mu_);
+          RwSpinLockReadGuard quiesce(background_rw_);
+          std::lock_guard<std::mutex> pass(gc_pass_mu_);
           gc_->RunOnce(txn_manager_.OldestActiveSnapshot(), Now());
         }
         std::this_thread::sleep_for(
@@ -361,18 +381,28 @@ void Database::StopBackground() {
 }
 
 void Database::RunGcOnce() {
-  std::lock_guard<std::mutex> guard(background_mu_);
-  gc_->RunOnce(txn_manager_.OldestActiveSnapshot(), Now());
+  {
+    RwSpinLockReadGuard quiesce(background_rw_);
+    std::lock_guard<std::mutex> pass(gc_pass_mu_);
+    gc_->RunOnce(txn_manager_.OldestActiveSnapshot(), Now());
+  }
 }
 
 void Database::RunIlmTickOnce() {
-  std::lock_guard<std::mutex> guard(background_mu_);
-  ilm_->BackgroundTick(Now());
-  ParanoidValidateLocked();
+  {
+    RwSpinLockReadGuard quiesce(background_rw_);
+    std::lock_guard<std::mutex> tick(ilm_tick_mu_);
+    ilm_->BackgroundTick(Now());
+  }
+  ParanoidValidate();
 }
 
 Status Database::Checkpoint() {
   obs::TraceSpan span(obs::TraceRing::Global(), "checkpoint", "engine");
+  // Coarse quiescence: no pack relocation or GC purge may move rows
+  // between stores while the flush + sync barrier + truncate sequence
+  // establishes its durability point.
+  RwSpinLockWriteGuard quiesce(background_rw_);
   BTRIM_RETURN_IF_ERROR(buffer_cache_.FlushAll());
   // WAL rule at the durability boundary: a data page must not become
   // durable before the log records describing its changes. Force both logs
@@ -418,21 +448,47 @@ PackBatchOutcome Database::PackBatch(PartitionState* partition,
   int64_t released = 0;
   int64_t rows_moved = 0;
 
+  // Phase 1: stage heap placements. Each row's page-store image is written
+  // (undoably) and its log record serialized into one per-batch buffer; the
+  // IMRS side is untouched until the whole buffer is on the log, so a batch
+  // whose append fails can roll every placement back.
+  struct Staged {
+    ImrsRow* row;
+    TablePartition* tpart;
+    std::string payload;
+    LogRecordType type;
+    std::string before;  // prior heap image, for kPsUpdate undo
+  };
+  std::vector<Staged> staged;
+  staged.reserve(batch.size());
+  std::string log_buf;
+  int64_t log_records = 0;
+  bool stop = false;
+
   for (ImrsRow* row : batch) {
-    if (outcome.io_error) {
-      // The log rejected a write: stop touching storage and hand the rest
-      // of the batch back untouched. The pack subsystem backs off.
+    if (stop) {
+      // Storage rejected a write: stop touching it and hand the rest of the
+      // batch back untouched. The pack subsystem backs off.
       requeue->push_back(row);
       continue;
     }
-    if (row->HasFlag(kRowPurged) || row->HasFlag(kRowPacked)) continue;
+    // Rows arrive holding the kRowReclaimBusy claim (taken at queue pop);
+    // requeued rows keep it — the pack subsystem re-links them before
+    // releasing — while dropped rows release it here.
+    if (row->HasFlag(kRowPurged) || row->HasFlag(kRowPacked)) {
+      row->ClearFlag(kRowReclaimBusy);
+      continue;
+    }
 
     // Conditional lock: never block user DMLs (Sec. VII.B).
     if (!txn->TryAcquireLock(row->rid.Encode(), LockMode::kExclusive).ok()) {
       requeue->push_back(row);
       continue;
     }
-    if (rid_map_.Lookup(row->rid) != row) continue;  // raced with removal
+    if (rid_map_.Lookup(row->rid) != row) {  // raced with removal
+      row->ClearFlag(kRowReclaimBusy);
+      continue;
+    }
 
     RowVersion* latest = ImrsStore::LatestCommitted(row);
     if (latest == nullptr) {
@@ -441,13 +497,20 @@ PackBatchOutcome Database::PackBatch(PartitionState* partition,
     }
     if (latest->is_delete) {
       // Dead row awaiting GC purge; leave it to GC (it is off the queue).
+      row->ClearFlag(kRowReclaimBusy);
       continue;
     }
 
     TablePartition* tpart = table->PartitionForRid(row->rid);
-    if (tpart == nullptr) continue;
+    if (tpart == nullptr) {
+      row->ClearFlag(kRowReclaimBusy);
+      continue;
+    }
 
-    const std::string payload = latest->payload().ToString();
+    Staged st;
+    st.row = row;
+    st.tpart = tpart;
+    st.payload = latest->payload().ToString();
 
     // Move the latest image to the page store: logged insert (no home yet)
     // or logged update (stale home image).
@@ -458,41 +521,60 @@ PackBatchOutcome Database::PackBatch(PartitionState* partition,
     rec.rid = row->rid.Encode();
     Status ps;
     if (tpart->heap->Exists(row->rid)) {
-      std::string before;
-      ps = tpart->heap->Read(row->rid, &before);
+      ps = tpart->heap->Read(row->rid, &st.before);
       if (ps.ok()) {
         rec.type = LogRecordType::kPsUpdate;
-        rec.before = std::move(before);
-        rec.after = payload;
-        ps = tpart->heap->Update(row->rid, payload);
+        rec.before = st.before;
+        rec.after = st.payload;
+        ps = tpart->heap->Update(row->rid, st.payload);
       }
     } else {
       rec.type = LogRecordType::kPsInsert;
-      rec.after = payload;
-      ps = tpart->heap->Place(row->rid, payload);
+      rec.after = st.payload;
+      ps = tpart->heap->Place(row->rid, st.payload);
     }
     if (!ps.ok()) {
       requeue->push_back(row);
-      if (ps.IsIOError()) outcome.io_error = true;
+      if (ps.IsIOError()) {
+        outcome.io_error = true;
+        stop = true;
+      }
       continue;
     }
-    Status ls = syslogs_->AppendRecord(rec);
-    if (!ls.ok()) {
-      // Unlogged heap change: roll the physical placement back so the page
-      // image never gets ahead of the log, then requeue the row. The append
-      // failure poisoned syslogs, so there is no point continuing.
-      Status undo = rec.type == LogRecordType::kPsUpdate
-                        ? tpart->heap->Update(row->rid, Slice(rec.before))
-                        : tpart->heap->Delete(row->rid);
-      (void)undo;  // heap ops are in-memory here; the page stays dirty
-      requeue->push_back(row);
-      outcome.io_error = true;
-      continue;
-    }
-    txn->MarkPageStoreChange();
+    st.type = rec.type;
+    AppendLogRecord(&log_buf, rec);
+    ++log_records;
+    staged.push_back(std::move(st));
+  }
 
-    // Remove the row from the IMRS: logged delete in sysimrslogs
-    // (kImrsPack), RID-map + hash index removal, deferred memory release.
+  // Phase 2: one batched syslogs append covers every staged placement
+  // (per-worker batching — one log write per pack batch, not per row).
+  if (!staged.empty()) {
+    Status ls = syslogs_->AppendGroup(Slice(log_buf), log_records);
+    if (!ls.ok()) {
+      // Unlogged heap changes: roll every placement back (reverse order) so
+      // no page image gets ahead of the log, then requeue. The failure
+      // poisoned syslogs; the pack subsystem backs off.
+      for (auto it = staged.rbegin(); it != staged.rend(); ++it) {
+        Status undo = it->type == LogRecordType::kPsUpdate
+                          ? it->tpart->heap->Update(it->row->rid,
+                                                    Slice(it->before))
+                          : it->tpart->heap->Delete(it->row->rid);
+        (void)undo;  // heap ops are in-memory here; the page stays dirty
+        requeue->push_back(it->row);
+      }
+      staged.clear();
+      outcome.io_error = true;
+    } else {
+      txn->MarkPageStoreChange();
+    }
+  }
+
+  // Phase 3: the placements are logged — remove each row from the IMRS:
+  // logged delete in sysimrslogs (kImrsPack), RID-map + hash index removal,
+  // deferred memory release.
+  for (const Staged& st : staged) {
+    ImrsRow* row = st.row;
     LogRecord pack_rec;
     pack_rec.type = LogRecordType::kImrsPack;
     pack_rec.txn_id = txn->id();
@@ -506,7 +588,7 @@ PackBatchOutcome Database::PackBatch(PartitionState* partition,
     rid_map_.Erase(row->rid);
     if (table->hash_index() != nullptr) {
       table->hash_index()->Erase(
-          table->pk_encoder().KeyForRecord(Slice(payload)));
+          table->pk_encoder().KeyForRecord(Slice(st.payload)));
     }
 
     const int64_t footprint = ImrsStore::RowFootprint(row);
@@ -516,6 +598,7 @@ PackBatchOutcome Database::PackBatch(PartitionState* partition,
       gc_->DeferFree(v, now);
     }
     gc_->DeferFree(row, now);
+    row->ClearFlag(kRowReclaimBusy);
 
     partition->metrics.imrs_bytes.Sub(footprint);
     partition->metrics.imrs_rows.Sub(1);

@@ -14,6 +14,7 @@
 #include "alloc/fragment_allocator.h"
 #include "common/fault_plan.h"
 #include "common/spinlock.h"
+#include "common/thread_pool.h"
 #include "engine/table.h"
 #include "ilm/ilm_manager.h"
 #include "imrs/gc.h"
@@ -62,6 +63,12 @@ struct DatabaseOptions {
   int pack_threads = 1;
   int gc_threads = 1;
   int64_t background_interval_us = 500;
+
+  /// Size of the shared background worker pool that pack cycles fan their
+  /// per-partition drains out to and GC passes drain their RID shards on.
+  /// <= 1 keeps the pipeline serial (every cycle runs inline on its driver
+  /// thread — the deterministic baseline).
+  int pack_workers = 1;
 
   /// Lock wait budget before timeout-abort (deadlock resolution).
   int64_t lock_timeout_ms = 1000;
@@ -243,6 +250,7 @@ class Database : public PackClient {
   /// {name, type, value|buckets, labels{subsystem,table,partition}}.
   std::string DumpMetricsJson() const { return metrics_registry_.ToJson(); }
   IlmManager* ilm() { return ilm_.get(); }
+  ThreadPool* background_pool() { return background_pool_.get(); }
   TransactionManager* txn_manager() { return &txn_manager_; }
   BufferCache* buffer_cache() { return &buffer_cache_; }
   FragmentAllocator* imrs_allocator() { return &imrs_allocator_; }
@@ -324,13 +332,13 @@ class Database : public PackClient {
 
   /// --- invariant checking (validate.cc) -----------------------------------
 
-  /// Body of ValidateInvariants; caller holds background_mu_.
+  /// Body of ValidateInvariants; caller holds background_rw_ exclusive.
   Status ValidateLocked(ValidateReport* report);
 
-  /// Paranoid-build hook run after each pack cycle (already under
-  /// background_mu_): validates when quiescent, aborts on corruption.
-  /// No-op unless compiled with BTRIM_PARANOID_CHECKS.
-  void ParanoidValidateLocked();
+  /// Paranoid-build hook run after each pack cycle: opportunistically takes
+  /// background_rw_ exclusive, validates when quiescent, aborts on
+  /// corruption. No-op unless compiled with BTRIM_PARANOID_CHECKS.
+  void ParanoidValidate();
 
   /// --- members ------------------------------------------------------------
 
@@ -356,6 +364,10 @@ class Database : public PackClient {
   std::unique_ptr<GroupCommitter> syslogs_committer_;
   std::unique_ptr<GroupCommitter> sysimrslogs_committer_;
 
+  // Shared background worker pool (pack fan-out + GC shard drains).
+  // Declared before its consumers so it is destroyed after them.
+  std::unique_ptr<ThreadPool> background_pool_;
+
   // ILM.
   std::unique_ptr<IlmManager> ilm_;
 
@@ -366,13 +378,22 @@ class Database : public PackClient {
   std::unordered_map<std::string, Table*> tables_by_name_;
   std::unordered_map<uint16_t, std::pair<Table*, size_t>> part_by_file_;
 
-  // Background threads. background_mu_ serializes GC passes, ILM ticks and
-  // the invariant checker against each other (user transactions are not
-  // affected): the validator walks raw row pointers and must exclude
-  // concurrent purge/pack frees; it also makes RunGcOnce/RunIlmTickOnce
-  // safe to call while background threads run, and removes the data race
-  // on the tuner/pack cycle state when pack_threads > 1.
-  std::mutex background_mu_;
+  // Background concurrency (DESIGN.md Sec. 11). Lock order:
+  //   background_rw_ (shared) -> ilm_tick_mu_ / gc_pass_mu_
+  //     -> PartitionState::pack_mu / ImrsGc shard locks.
+  //
+  // background_rw_ is the coarse quiescence gate: ILM ticks and GC passes
+  // hold it shared (so pack and GC pipeline concurrently, with row-level
+  // kRowReclaimBusy claims arbitrating shared rows), while the invariant
+  // checker and checkpoints take it exclusive to see a stable world — the
+  // validator walks raw row pointers and must exclude concurrent
+  // purge/pack frees. ilm_tick_mu_ serializes ticks against each other
+  // (the tuner and pack backoff state are driver-thread-only) and
+  // gc_pass_mu_ does the same for GC passes; both keep
+  // RunIlmTickOnce/RunGcOnce safe to call while background threads run.
+  mutable RwSpinLock background_rw_;
+  std::mutex ilm_tick_mu_;
+  std::mutex gc_pass_mu_;
   std::atomic<bool> background_running_{false};
   std::vector<std::thread> background_threads_;
 

@@ -2,12 +2,22 @@
 //
 // The two logs are recovered with lock-step ordering:
 //
-//   1. syslogs, redo-undo: an analysis pass finds winner transactions
-//      (those with a kPsCommit record); a redo pass re-applies winners'
-//      changes in log order; an undo pass rolls back losers' changes in
-//      reverse order using before-images. All physical operations are
-//      value-logged and tolerant, so replay is idempotent regardless of
-//      which dirty pages reached disk.
+//   1. syslogs, undo-redo: an analysis pass finds winner transactions
+//      (those with a kPsCommit record); an undo pass rolls back losers'
+//      changes in reverse order using before-images; a redo pass then
+//      re-applies winners' changes in log order. All physical operations
+//      are value-logged and tolerant, so replay is idempotent regardless
+//      of which dirty pages reached disk.
+//
+//      Undo MUST precede redo: before-images are captured at runtime, so a
+//      loser that touched a RID before a later winner carries a stale image
+//      of it (the winner's value postdates the abort). Running undo last
+//      would clobber the winner's redone value with that stale image.
+//      Undo-first converges: per RID, exclusive locks are held to commit or
+//      abort, so transaction segments never interleave — any loser segment
+//      after the last winner write rolled back (at runtime) to exactly that
+//      winner's value, which is also the before-image it logged; loser
+//      segments before it are overwritten by the redo pass anyway.
 //
 //   2. sysimrslogs, redo-only: a transaction's records form one contiguous
 //      group terminated by kImrsCommit, so groups without a commit (torn
@@ -117,27 +127,9 @@ Status Database::Recover() {
     (void)s;
   };
 
-  // --- syslogs pass 2: redo winners in log order ----------------------------
-  for (const LogRecord& rec : ps_records) {
-    if (winners.find(rec.txn_id) == winners.end()) continue;
-    Rid rid;
-    TablePartition* part = part_for_rid(rec.rid, &rid);
-    if (part == nullptr) continue;
-    cursors.See(rid, part->heap->slots_per_page());
-    switch (rec.type) {
-      case LogRecordType::kPsInsert:
-      case LogRecordType::kPsUpdate:
-        place_or_update(part, rid, rec.after);
-        break;
-      case LogRecordType::kPsDelete:
-        delete_tolerant(part, rid);
-        break;
-      default:
-        break;
-    }
-  }
-
-  // --- syslogs pass 3: undo losers in reverse order -------------------------
+  // --- syslogs pass 2: undo losers in reverse order -------------------------
+  // Before redo (see the file comment): a loser's before-image of a RID a
+  // later winner rewrote is stale, and must not survive the redo pass.
   for (auto it = ps_records.rbegin(); it != ps_records.rend(); ++it) {
     const LogRecord& rec = *it;
     if (winners.find(rec.txn_id) != winners.end()) continue;
@@ -152,6 +144,26 @@ Status Database::Recover() {
       case LogRecordType::kPsUpdate:
       case LogRecordType::kPsDelete:
         place_or_update(part, rid, rec.before);
+        break;
+      default:
+        break;
+    }
+  }
+
+  // --- syslogs pass 3: redo winners in log order ----------------------------
+  for (const LogRecord& rec : ps_records) {
+    if (winners.find(rec.txn_id) == winners.end()) continue;
+    Rid rid;
+    TablePartition* part = part_for_rid(rec.rid, &rid);
+    if (part == nullptr) continue;
+    cursors.See(rid, part->heap->slots_per_page());
+    switch (rec.type) {
+      case LogRecordType::kPsInsert:
+      case LogRecordType::kPsUpdate:
+        place_or_update(part, rid, rec.after);
+        break;
+      case LogRecordType::kPsDelete:
+        delete_tolerant(part, rid);
         break;
       default:
         break;

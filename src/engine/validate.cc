@@ -16,10 +16,10 @@
 //   partition gauges <-> sum of fragment footprints / live-row counts
 //
 // Callers: Database::ValidateInvariants (tests, experiments) and the
-// paranoid post-pack hook. Both hold background_mu_ (no GC pass, ILM tick or
-// pack cycle runs concurrently) and the transaction-manager quiescence gate
-// (no transaction is active and none can begin), so raw ImrsRow pointers
-// collected from the RID-map stay valid for the whole walk.
+// paranoid post-pack hook. Both hold background_rw_ exclusively (no GC pass,
+// ILM tick or pack cycle runs concurrently) and the transaction-manager
+// quiescence gate (no transaction is active and none can begin), so raw
+// ImrsRow pointers collected from the RID-map stay valid for the whole walk.
 
 #include <cinttypes>
 #include <cstdio>
@@ -282,7 +282,9 @@ Status Database::ValidateLocked(ValidateReport* report) {
 }
 
 Status Database::ValidateInvariants(ValidateReport* report) {
-  std::lock_guard<std::mutex> guard(background_mu_);
+  // Exclusive quiescence: waits out any in-flight ILM tick / GC pass and
+  // keeps new ones (which take background_rw_ shared) from starting.
+  RwSpinLockWriteGuard quiesce(background_rw_);
   if (!txn_manager_.PauseNewTransactions(/*wait_ms=*/1000)) {
     return Status::Busy(
         "validate requires quiescence: active transactions did not drain");
@@ -293,14 +295,20 @@ Status Database::ValidateInvariants(ValidateReport* report) {
   return s;
 }
 
-void Database::ParanoidValidateLocked() {
+void Database::ParanoidValidate() BTRIM_NO_THREAD_SAFETY_ANALYSIS {
 #ifdef BTRIM_PARANOID_CHECKS
-  // Opportunistic: if the workload doesn't drain quickly, skip this cycle
-  // rather than stalling foreground commits behind the Begin() gate.
-  if (!txn_manager_.PauseNewTransactions(/*wait_ms=*/50)) return;
+  // Opportunistic on both gates: if another background pass holds the
+  // rwlock or the workload doesn't drain quickly, skip this cycle rather
+  // than stalling foreground commits behind the Begin() gate.
+  if (!background_rw_.try_lock()) return;
+  if (!txn_manager_.PauseNewTransactions(/*wait_ms=*/50)) {
+    background_rw_.unlock();
+    return;
+  }
   ValidateReport report;
   const Status s = ValidateLocked(&report);
   txn_manager_.ResumeNewTransactions();
+  background_rw_.unlock();
   if (!s.ok()) {
     std::fprintf(stderr,
                  "[btrim] BTRIM_PARANOID_CHECKS: invariant violation after "

@@ -85,8 +85,14 @@ class IlmManager {
   /// Called periodically from the pack thread with the current commit
   /// timestamp. Feeds the TSF learner, runs tuning windows when due, and
   /// runs a pack cycle. No-ops (except TSF/tuning bookkeeping) when ILM is
-  /// disabled.
+  /// disabled. Calls must be serialized by the owner (the tuner and pack
+  /// backoff state are driver-thread-only); the pack cycle itself fans out
+  /// per-partition work to the attached thread pool.
   void BackgroundTick(uint64_t now);
+
+  /// Attaches the shared background pool used by pack-cycle fan-out. Wire
+  /// before StartBackground and before RegisterMetrics.
+  void SetThreadPool(ThreadPool* pool) { pack_.SetThreadPool(pool); }
 
   /// Registers the ILM components (TSF, tuner, Pack) into the unified
   /// metrics registry. Partitions register individually as they are created

@@ -1,9 +1,11 @@
 #include "ilm/pack.h"
 
 #include <algorithm>
+#include <functional>
 #include <unordered_map>
 
 #include "obs/metrics_registry.h"
+#include "obs/trace_ring.h"
 
 namespace btrim {
 
@@ -14,7 +16,18 @@ constexpr double kEpsilon = 1e-9;
 PackSubsystem::PackSubsystem(const IlmConfig* config,
                              FragmentAllocator* allocator, TsfLearner* tsf,
                              PackClient* client)
-    : config_(config), allocator_(allocator), tsf_(tsf), client_(client) {}
+    : config_(config), allocator_(allocator), tsf_(tsf), client_(client) {
+  // Lane 0 (driver/inline) always exists; SetThreadPool adds pool lanes.
+  worker_bytes_packed_.push_back(std::make_unique<ShardedCounter>());
+}
+
+void PackSubsystem::SetThreadPool(ThreadPool* pool) {
+  pool_ = pool;
+  const int lanes = pool == nullptr ? 0 : pool->worker_count();
+  while (static_cast<int>(worker_bytes_packed_.size()) < lanes + 1) {
+    worker_bytes_packed_.push_back(std::make_unique<ShardedCounter>());
+  }
+}
 
 PackLevel PackSubsystem::LevelForUtilization(double util) const {
   const double steady = config_->steady_cache_pct;
@@ -143,8 +156,12 @@ void PackSubsystem::FlushBatch(PartitionState* part,
   rows_packed_.Add(packed);
   bytes_packed_.Add(released);
 
+  // Requeued rows come back from PackBatch still claimed: re-link first,
+  // release the claim second, so a concurrent GC purge can never free a
+  // row this thread is about to push.
   for (ImrsRow* row : requeue) {
     Requeue(part, row);
+    row->ClearFlag(kRowReclaimBusy);
   }
   batch->clear();
 }
@@ -178,18 +195,29 @@ void PackSubsystem::PackPartition(const PartitionBudget& budget,
   while (remaining > 0 && scan_budget-- > 0) {
     ImrsRow* row = PopNext(budget.part, &source_cursor);
     if (row == nullptr) break;
+    // Claim the row for the whole time it is checked out of the queue: a
+    // popped-but-unclaimed row could be purged and deferred-freed by a
+    // concurrent GC pass, and requeueing it afterwards would re-link a
+    // dangling pointer. On claim failure GC owns the row's fate — drop it
+    // without touching it again; if the row survives the pass it re-enters
+    // the queue with its next committed change (the GC enqueue piggyback).
+    if (!row->TryClaimReclaim()) continue;
     if (row->HasFlag(kRowPurged) || row->HasFlag(kRowPacked)) {
+      row->ClearFlag(kRowReclaimBusy);
       continue;  // stale queue entry, drop
     }
     if (apply_tsf && IsRowHot(row, budget.window_reuse_rate, now)) {
       // Hot: relocate to the tail; colder rows bubble up to the head.
+      // Re-link before releasing the claim so a concurrent purge always
+      // sees the row either claimed or linked (and unlinks it).
       budget.part->QueueFor(row->source).PushTail(row);
+      row->ClearFlag(kRowReclaimBusy);
       budget.part->metrics.rows_skipped_hot.Inc();
       rows_skipped_.Inc();
       ++result->rows_skipped_hot;
       continue;
     }
-    batch.push_back(row);
+    batch.push_back(row);  // claim stays held through PackBatch
     if (static_cast<int>(batch.size()) >= config_->pack_batch_rows) {
       FlushBatch(budget.part, &batch, result, &remaining);
       packed_any = true;
@@ -199,6 +227,23 @@ void PackSubsystem::PackPartition(const PartitionBudget& budget,
   if (packed_any || remaining < budget.bytes_target) {
     ++result->partitions_packed;
   }
+}
+
+void PackSubsystem::PackPartitionTask(const PartitionBudget& budget,
+                                      PackLevel level, uint64_t now,
+                                      PackCycleResult* result) {
+  const int64_t wait_start = obs::TraceRing::NowUs();
+  SpinLockGuard guard(budget.part->pack_mu);
+  const int64_t drain_start = obs::TraceRing::NowUs();
+  lock_wait_us_.Record(drain_start - wait_start);
+
+  const int64_t bytes_before = result->bytes_packed;
+  PackPartition(budget, level, now, result);
+
+  partition_pack_us_.Record(obs::TraceRing::NowUs() - drain_start);
+  const int lane = std::min<int>(ThreadPool::CurrentWorkerId(),
+                                 static_cast<int>(worker_bytes_packed_.size()) - 1);
+  worker_bytes_packed_[lane]->Add(result->bytes_packed - bytes_before);
 }
 
 void PackSubsystem::PackGlobal(const std::vector<PartitionState*>& partitions,
@@ -233,17 +278,28 @@ void PackSubsystem::PackGlobal(const std::vector<PartitionState*>& partitions,
   while (remaining > 0 && scan_budget-- > 0) {
     ImrsRow* row = global_queue_.PopHead();
     if (row == nullptr) break;
-    if (row->HasFlag(kRowPurged) || row->HasFlag(kRowPacked)) continue;
+    // Same checkout protocol as PackPartition: claim before inspecting,
+    // drop on claim failure, release only after the row is re-linked.
+    if (!row->TryClaimReclaim()) continue;
+    if (row->HasFlag(kRowPurged) || row->HasFlag(kRowPacked)) {
+      row->ClearFlag(kRowReclaimBusy);
+      continue;
+    }
     auto it = part_by_key.find((static_cast<uint64_t>(row->table_id) << 32) |
                                row->partition_id);
-    if (it == part_by_key.end()) continue;
+    if (it == part_by_key.end()) {
+      row->ClearFlag(kRowReclaimBusy);
+      continue;
+    }
     PartitionState* part = it->second;
     if (part->pinned.load(std::memory_order_relaxed)) {
+      row->ClearFlag(kRowReclaimBusy);
       continue;  // pinned rows never pack; drop from the queue
     }
 
     if (apply_tsf && IsRowHot(row, reuse_rate[part], now)) {
       global_queue_.PushTail(row);
+      row->ClearFlag(kRowReclaimBusy);
       part->metrics.rows_skipped_hot.Inc();
       rows_skipped_.Inc();
       ++result->rows_skipped_hot;
@@ -305,9 +361,32 @@ PackCycleResult PackSubsystem::RunPackCycle(
   if (config_->queue_mode == QueueMode::kSingleGlobal) {
     PackGlobal(partitions, result.target_bytes, level, now, &result);
   } else {
-    for (const PartitionBudget& budget :
-         Apportion(partitions, result.target_bytes)) {
-      PackPartition(budget, level, now, &result);
+    // Apportioning runs on the driver thread before any fan-out, so the
+    // UI/CUI/PI split is identical regardless of worker count; only the
+    // per-partition drains parallelize.
+    const std::vector<PartitionBudget> budgets =
+        Apportion(partitions, result.target_bytes);
+    if (pool_ != nullptr && pool_->worker_count() > 1 && budgets.size() > 1) {
+      std::vector<PackCycleResult> partials(budgets.size());
+      std::vector<std::function<void()>> tasks;
+      tasks.reserve(budgets.size());
+      for (size_t i = 0; i < budgets.size(); ++i) {
+        tasks.push_back([this, &budgets, &partials, i, level, now] {
+          PackPartitionTask(budgets[i], level, now, &partials[i]);
+        });
+      }
+      pool_->RunTasks(std::move(tasks));
+      for (const PackCycleResult& p : partials) {
+        result.bytes_packed += p.bytes_packed;
+        result.rows_packed += p.rows_packed;
+        result.rows_skipped_hot += p.rows_skipped_hot;
+        result.partitions_packed += p.partitions_packed;
+        result.io_error = result.io_error || p.io_error;
+      }
+    } else {
+      for (const PartitionBudget& budget : budgets) {
+        PackPartitionTask(budget, level, now, &result);
+      }
     }
   }
   if (result.io_error) {
@@ -354,6 +433,17 @@ Status PackSubsystem::RegisterMetrics(obs::MetricsRegistry* registry,
       registry->RegisterCounter("pack.backoff_cycles", l, &backoff_cycles_));
   BTRIM_RETURN_IF_ERROR(registry->RegisterGaugeFn(
       "pack.bypass_active", l, [this] { return BypassActive() ? 1 : 0; }));
+  BTRIM_RETURN_IF_ERROR(
+      registry->RegisterHistogram("pack.lock_wait_us", l, &lock_wait_us_));
+  BTRIM_RETURN_IF_ERROR(registry->RegisterHistogram("pack.partition_pack_us",
+                                                    l, &partition_pack_us_));
+  // One throughput counter per executing lane; the lane index rides in the
+  // `partition` label (lane 0 = driver/inline execution).
+  for (size_t lane = 0; lane < worker_bytes_packed_.size(); ++lane) {
+    const obs::MetricLabels wl{subsystem, "", std::to_string(lane)};
+    BTRIM_RETURN_IF_ERROR(registry->RegisterCounter(
+        "pack.worker_bytes_packed", wl, worker_bytes_packed_[lane].get()));
+  }
   return Status::OK();
 }
 

@@ -3,11 +3,14 @@
 
 #include <atomic>
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "alloc/fragment_allocator.h"
 #include "common/counters.h"
+#include "common/histogram.h"
+#include "common/thread_pool.h"
 #include "ilm/config.h"
 #include "ilm/ilm_queue.h"
 #include "ilm/partition_state.h"
@@ -68,11 +71,14 @@ class PackClient {
  public:
   virtual ~PackClient() = default;
 
-  /// Packs `batch` (all from one partition in per-partition mode). Rows
-  /// that could not be packed right now (conditional lock denied, row
-  /// already gone, I/O failure) are appended to `requeue` and returned to
-  /// their queue by the caller. Reports the fragment bytes released and
-  /// whether the batch failed on I/O (which triggers pack backoff).
+  /// Packs `batch` (all from one partition in per-partition mode). Every
+  /// row in `batch` holds the kRowReclaimBusy claim, taken by the caller
+  /// at queue pop; PackBatch releases it for rows it disposes of itself
+  /// (packed or dropped) and keeps it held for rows appended to `requeue`,
+  /// which the caller re-links and only then releases — so a concurrent GC
+  /// purge can never free a row that is checked out of the queue. Reports
+  /// the fragment bytes released and whether the batch failed on I/O
+  /// (which triggers pack backoff).
   virtual PackBatchOutcome PackBatch(PartitionState* partition,
                                      const std::vector<ImrsRow*>& batch,
                                      std::vector<ImrsRow*>* requeue) = 0;
@@ -104,11 +110,20 @@ class PackSubsystem {
   PackSubsystem& operator=(const PackSubsystem&) = delete;
 
   /// Runs one pack cycle over `partitions`. `now` is the current commit
-  /// timestamp. Must be called from pack threads only; concurrent calls are
-  /// allowed (each packs disjoint queue pops) but the typical deployment is
+  /// timestamp. Apportioning and level/backoff bookkeeping run on the
+  /// calling (driver) thread; with a thread pool attached, the per-partition
+  /// drains fan out to pool workers (each partition's relaxed-LRU queues are
+  /// drained independently under its pack_mu). Concurrent calls are allowed
+  /// (partition pack locks keep them disjoint) but the typical deployment is
   /// one cycle at a time.
   PackCycleResult RunPackCycle(const std::vector<PartitionState*>& partitions,
                                uint64_t now);
+
+  /// Attaches the shared background pool used for per-partition fan-out.
+  /// Call once at wiring time, before the first cycle and before
+  /// RegisterMetrics (per-worker counters are sized from the pool). Null or
+  /// a <= 1-worker pool keeps the cycle fully serial on the driver thread.
+  void SetThreadPool(ThreadPool* pool);
 
   /// True while the engine must route new rows to the page store
   /// (utilization grew during aggressive pack — Sec. VI.A).
@@ -148,6 +163,12 @@ class PackSubsystem {
   void PackPartition(const PartitionBudget& budget, PackLevel level,
                      uint64_t now, PackCycleResult* result);
 
+  /// One fan-out task: acquires the partition pack lock (recording the
+  /// wait), drains the partition (recording the drain latency), and credits
+  /// the executing worker's throughput counter.
+  void PackPartitionTask(const PartitionBudget& budget, PackLevel level,
+                         uint64_t now, PackCycleResult* result);
+
   /// Global-queue variant (ablation mode).
   void PackGlobal(const std::vector<PartitionState*>& partitions,
                   int64_t total_bytes, PackLevel level, uint64_t now,
@@ -169,6 +190,9 @@ class PackSubsystem {
   TsfLearner* const tsf_;
   PackClient* const client_;
 
+  /// Shared background pool (not owned); null until SetThreadPool.
+  ThreadPool* pool_ = nullptr;
+
   IlmQueue global_queue_;
 
   std::atomic<bool> bypass_{false};
@@ -184,6 +208,15 @@ class PackSubsystem {
 
   mutable ShardedCounter cycles_, bytes_packed_, rows_packed_, rows_skipped_,
       pack_txns_, bypass_activations_, io_error_cycles_, backoff_cycles_;
+
+  /// Fan-out observability: time a task waits for its partition pack lock,
+  /// and the full queue-drain latency of one partition in one cycle.
+  mutable LatencyHistogram lock_wait_us_, partition_pack_us_;
+
+  /// Per-worker packed bytes (lane 0 = driver/inline, 1..N = pool workers),
+  /// sized by SetThreadPool and exported with the lane as the `partition`
+  /// label. unique_ptr because ShardedCounter is not movable.
+  std::vector<std::unique_ptr<ShardedCounter>> worker_bytes_packed_;
 };
 
 }  // namespace btrim

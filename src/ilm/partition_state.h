@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <string>
 
+#include "common/spinlock.h"
 #include "common/status.h"
 #include "ilm/ilm_queue.h"
 #include "ilm/metrics.h"
@@ -54,10 +55,18 @@ struct PartitionState {
 
   TunerState tuner;
 
-  /// Pack-cycle bookkeeping (only the pack thread touches these): snapshot
-  /// at the previous cycle, for windowed reuse rates in the UI computation.
+  /// Pack-cycle bookkeeping (only the cycle driver thread touches these):
+  /// snapshot at the previous cycle, for windowed reuse rates in the UI
+  /// computation.
   MetricsSnapshot pack_last;
   bool pack_have_last = false;
+
+  /// Serializes packing of this partition. A cycle's per-partition fan-out
+  /// task holds this while draining the queues and relocating rows, so
+  /// RID-map/index updates for one partition are guarded locally instead of
+  /// by a database-global background mutex; two overlapping cycles contend
+  /// here, never across partitions.
+  SpinLock pack_mu;
 
   IlmQueue& QueueFor(RowSource source) {
     return queues[static_cast<int>(source)];

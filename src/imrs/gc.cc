@@ -1,5 +1,8 @@
 #include "imrs/gc.h"
 
+#include <functional>
+#include <limits>
+
 #include "obs/metrics_registry.h"
 
 namespace btrim {
@@ -7,9 +10,16 @@ namespace btrim {
 ImrsGc::ImrsGc(ImrsStore* store, GcHooks hooks)
     : store_(store), hooks_(std::move(hooks)) {}
 
+int ImrsGc::ShardFor(const ImrsRow* row) {
+  // Fibonacci-hash the RID so heap-adjacent rows spread across shards.
+  const uint64_t h = row->rid.Encode() * 0x9E3779B97F4A7C15ull;
+  return static_cast<int>(h >> 60) & (kGcShards - 1);
+}
+
 void ImrsGc::EnqueueCommitted(ImrsRow* row, bool newly_created) {
-  std::lock_guard<std::mutex> guard(work_mu_);
-  work_.push_back(WorkItem{row, newly_created});
+  Shard& shard = shards_[ShardFor(row)];
+  std::lock_guard<std::mutex> guard(shard.mu);
+  shard.work.push_back(WorkItem{row, newly_created});
 }
 
 void ImrsGc::DeferFree(void* fragment, uint64_t not_before_ts) {
@@ -108,39 +118,77 @@ bool ImrsGc::ProcessRow(ImrsRow* row, bool newly_created,
          remaining->older.load(std::memory_order_relaxed) != nullptr;
 }
 
-int64_t ImrsGc::RunOnce(uint64_t oldest_snapshot, uint64_t now,
-                        int64_t max_items) {
-  size_t budget;
-  {
-    std::lock_guard<std::mutex> guard(work_mu_);
-    budget = work_.size();
-  }
-  if (max_items > 0 && static_cast<size_t>(max_items) < budget) {
-    budget = static_cast<size_t>(max_items);
-  }
+void ImrsGc::DrainShard(int shard_index, size_t budget,
+                        uint64_t oldest_snapshot, uint64_t now,
+                        std::atomic<int64_t>* remaining,
+                        std::atomic<int64_t>* processed) {
+  Shard& shard = shards_[shard_index];
+  // One drainer per shard at a time: a row enqueued once per commit can sit
+  // in the deque repeatedly, and two drainers of the same shard could pick
+  // up both copies.
+  std::lock_guard<std::mutex> drain(shard.drain_mu);
 
   std::vector<WorkItem> revisit;
-  int64_t processed = 0;
   for (size_t i = 0; i < budget; ++i) {
+    if (remaining->fetch_sub(1, std::memory_order_relaxed) <= 0) break;
     WorkItem item;
     {
-      std::lock_guard<std::mutex> guard(work_mu_);
-      if (work_.empty()) break;
-      item = work_.front();
-      work_.pop_front();
+      std::lock_guard<std::mutex> guard(shard.mu);
+      if (shard.work.empty()) break;
+      item = shard.work.front();
+      shard.work.pop_front();
     }
-    ++processed;
-    if (ProcessRow(item.row, item.newly_created, oldest_snapshot, now)) {
-      revisit.push_back(WorkItem{item.row, false});
+    if (!item.row->TryClaimReclaim()) {
+      // Pack is relocating the row right now; look again next pass (with
+      // `newly_created` preserved so the ILM enqueue is not lost if the
+      // relocation bails out).
+      revisit.push_back(item);
+      continue;
     }
+    processed->fetch_add(1, std::memory_order_relaxed);
+    const bool again =
+        ProcessRow(item.row, item.newly_created, oldest_snapshot, now);
+    item.row->ClearFlag(kRowReclaimBusy);
+    if (again) revisit.push_back(WorkItem{item.row, false});
   }
   if (!revisit.empty()) {
-    std::lock_guard<std::mutex> guard(work_mu_);
-    for (const auto& item : revisit) work_.push_back(item);
+    std::lock_guard<std::mutex> guard(shard.mu);
+    for (const auto& item : revisit) shard.work.push_back(item);
+  }
+}
+
+int64_t ImrsGc::RunOnce(uint64_t oldest_snapshot, uint64_t now,
+                        int64_t max_items) {
+  size_t budgets[kGcShards];
+  for (int i = 0; i < kGcShards; ++i) {
+    std::lock_guard<std::mutex> guard(shards_[i].mu);
+    budgets[i] = shards_[i].work.size();
+  }
+
+  std::atomic<int64_t> remaining{
+      max_items > 0 ? max_items : std::numeric_limits<int64_t>::max()};
+  std::atomic<int64_t> processed{0};
+
+  if (pool_ != nullptr && pool_->worker_count() > 1) {
+    std::vector<std::function<void()>> tasks;
+    for (int i = 0; i < kGcShards; ++i) {
+      if (budgets[i] == 0) continue;
+      const size_t budget = budgets[i];
+      tasks.push_back([this, i, budget, oldest_snapshot, now, &remaining,
+                       &processed] {
+        DrainShard(i, budget, oldest_snapshot, now, &remaining, &processed);
+      });
+    }
+    pool_->RunTasks(std::move(tasks));
+  } else {
+    for (int i = 0; i < kGcShards; ++i) {
+      if (budgets[i] == 0) continue;
+      DrainShard(i, budgets[i], oldest_snapshot, now, &remaining, &processed);
+    }
   }
 
   DrainDeferred(oldest_snapshot);
-  return processed;
+  return processed.load(std::memory_order_relaxed);
 }
 
 void ImrsGc::DrainDeferred(uint64_t oldest_snapshot) {
@@ -168,9 +216,9 @@ GcStats ImrsGc::GetStats() const {
   s.bytes_freed = bytes_freed_.Load();
   s.rows_purged = rows_purged_.Load();
   s.rows_enqueued_to_ilm = rows_enqueued_.Load();
-  {
-    std::lock_guard<std::mutex> guard(work_mu_);
-    s.work_pending = static_cast<int64_t>(work_.size());
+  for (int i = 0; i < kGcShards; ++i) {
+    std::lock_guard<std::mutex> guard(shards_[i].mu);
+    s.work_pending += static_cast<int64_t>(shards_[i].work.size());
   }
   {
     std::lock_guard<std::mutex> guard(deferred_mu_);
@@ -191,8 +239,12 @@ Status ImrsGc::RegisterMetrics(obs::MetricsRegistry* registry,
   BTRIM_RETURN_IF_ERROR(
       registry->RegisterCounter("gc.rows_enqueued", l, &rows_enqueued_));
   BTRIM_RETURN_IF_ERROR(registry->RegisterGaugeFn("gc.work_pending", l, [this] {
-    std::lock_guard<std::mutex> guard(work_mu_);
-    return static_cast<int64_t>(work_.size());
+    int64_t pending = 0;
+    for (int i = 0; i < kGcShards; ++i) {
+      std::lock_guard<std::mutex> guard(shards_[i].mu);
+      pending += static_cast<int64_t>(shards_[i].work.size());
+    }
+    return pending;
   }));
   BTRIM_RETURN_IF_ERROR(
       registry->RegisterGaugeFn("gc.deferred_pending", l, [this] {

@@ -1,6 +1,7 @@
 #ifndef BTRIM_IMRS_GC_H_
 #define BTRIM_IMRS_GC_H_
 
+#include <atomic>
 #include <cstdint>
 #include <deque>
 #include <functional>
@@ -9,6 +10,7 @@
 #include <vector>
 
 #include "common/counters.h"
+#include "common/thread_pool.h"
 #include "imrs/store.h"
 
 namespace btrim {
@@ -66,12 +68,27 @@ struct GcStats {
 /// pointer from the RID-map before removal can still dereference it; the
 /// memory is recycled only after every snapshot that could hold the
 /// pointer has finished.
+///
+/// Parallelism: the work queue is sharded kGcShards ways by RID (mirroring
+/// the transaction table's 16-way sharding), and a pass fans one drain task
+/// per non-empty shard out to the shared background ThreadPool. A row is
+/// always hashed to the same shard and each shard has exactly one drainer
+/// at a time, so the same row — which can sit in the queue once per commit
+/// that touched it — is never processed concurrently. Row-level exclusion
+/// against Pack (which frees the chains of rows it relocates) uses the
+/// kRowReclaimBusy claim bit.
 class ImrsGc {
  public:
+  static constexpr int kGcShards = 16;
+
   ImrsGc(ImrsStore* store, GcHooks hooks);
 
   ImrsGc(const ImrsGc&) = delete;
   ImrsGc& operator=(const ImrsGc&) = delete;
+
+  /// Attaches the shared background pool used to drain shards in parallel.
+  /// Null or a <= 1-worker pool keeps passes serial on the caller.
+  void SetThreadPool(ThreadPool* pool) { pool_ = pool; }
 
   /// Registers a committed row for processing. `newly_created` marks the
   /// commit that created the row (insert / migration / caching).
@@ -108,17 +125,33 @@ class ImrsGc {
     uint64_t not_before_ts;
   };
 
+  /// One work-queue shard. `drain_mu` enforces the one-drainer-per-shard
+  /// invariant (duplicate queue entries for a row land in the same shard).
+  struct Shard {
+    std::mutex mu;
+    std::deque<WorkItem> work;
+    std::mutex drain_mu;
+  };
+
+  static int ShardFor(const ImrsRow* row);
+
   /// Processes one row; returns true when the row needs a later revisit.
   bool ProcessRow(ImrsRow* row, bool newly_created, uint64_t oldest_snapshot,
                   uint64_t now);
+
+  /// Drains up to `budget` items from one shard, bounded by the pass-wide
+  /// `remaining` item cap. Adds items handled to `processed`.
+  void DrainShard(int shard_index, size_t budget, uint64_t oldest_snapshot,
+                  uint64_t now, std::atomic<int64_t>* remaining,
+                  std::atomic<int64_t>* processed);
 
   void DrainDeferred(uint64_t oldest_snapshot);
 
   ImrsStore* const store_;
   const GcHooks hooks_;
+  ThreadPool* pool_ = nullptr;  // not owned
 
-  mutable std::mutex work_mu_;
-  std::deque<WorkItem> work_;
+  mutable Shard shards_[kGcShards];
 
   mutable std::mutex deferred_mu_;
   std::vector<Deferred> deferred_;

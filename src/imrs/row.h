@@ -46,6 +46,15 @@ enum RowFlags : uint8_t {
   kRowInQueue = 1,       ///< linked into a partition ILM queue
   kRowPacked = 2,        ///< pack relocated it; IMRS copy is defunct
   kRowPurged = 4,        ///< GC removed it (fully dead row)
+  /// Exclusive claim on the row's version-chain reclamation: GC trim/purge
+  /// and Pack's relocation both free chain memory, so whichever reaches a
+  /// row first claims it (TryClaimReclaim) and the loser backs off — GC
+  /// revisits the row next pass, Pack drops it without touching it again.
+  /// Pack claims at ILM-queue pop and holds the claim for as long as the
+  /// row is checked out (re-linking before release), so a popped row can
+  /// never be purged and freed under the pack thread. This is what lets GC
+  /// passes and pack cycles overlap without a global background mutex.
+  kRowReclaimBusy = 8,
 };
 
 /// In-memory row header: identity, version chain, loose access timestamp,
@@ -77,6 +86,14 @@ struct ImrsRow {
   void SetFlag(RowFlags f) { flags.fetch_or(f, std::memory_order_acq_rel); }
   void ClearFlag(RowFlags f) {
     flags.fetch_and(static_cast<uint8_t>(~f), std::memory_order_acq_rel);
+  }
+
+  /// Claims the row for chain reclamation (GC trim/purge or Pack
+  /// relocation). False when another thread holds the claim; release with
+  /// ClearFlag(kRowReclaimBusy).
+  bool TryClaimReclaim() {
+    return (flags.fetch_or(kRowReclaimBusy, std::memory_order_acq_rel) &
+            kRowReclaimBusy) == 0;
   }
 };
 

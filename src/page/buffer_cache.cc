@@ -56,88 +56,126 @@ Device* BufferCache::device(uint16_t file_id) const {
   return devices_[file_id];
 }
 
-Status BufferCache::EvictVictim(size_t* out_frame) {
-  // Walk from the LRU end; the first unpinned frame wins.
-  for (auto it = lru_.rbegin(); it != lru_.rend(); ++it) {
-    const size_t frame = *it;
-    FrameMeta& m = meta_[frame];
-    if (m.pin_count != 0) continue;
-
-    if (m.dirty.load(std::memory_order_relaxed)) {
-      Device* dev = devices_[m.pid.file_id];
-      assert(dev != nullptr);
-      Status s = dev->WritePage(m.pid.page_no, arena_.get() + frame * kPageSize);
-      if (!s.ok()) {
-        // Keep the victim resident and dirty: its image is still the only
-        // copy of the data, and a later flush retries the write. Surfacing
-        // the device error (instead of pretending the cache is full) is
-        // what lets callers distinguish EIO from pin pressure.
-        write_failures_.Inc();
-        return s;
-      }
-      m.dirty.store(false, std::memory_order_relaxed);
-      dirty_writes_.Inc();
-    }
-    table_.erase(m.pid.Encode());
-    lru_.erase(std::next(it).base());
-    m.in_lru = false;
-    m.valid = false;
-    evictions_.Inc();
-    *out_frame = frame;
-    return Status::OK();
-  }
-  return Status::Busy("buffer cache: all frames pinned");
-}
-
 Result<PageGuard> BufferCache::FixPage(PageId pid, LatchMode mode) {
   fixes_.Inc();
   size_t frame;
   bool needs_read = false;
+  bool counted_miss = false;
 
-  {
-    std::lock_guard<std::mutex> guard(map_mu_);
-    auto it = table_.find(pid.Encode());
-    if (it != table_.end()) {
-      hits_.Inc();
-      frame = it->second;
-      FrameMeta& m = meta_[frame];
-      m.pin_count++;
-      if (m.in_lru) {
-        lru_.erase(m.lru_pos);
-        lru_.push_front(frame);
-        m.lru_pos = lru_.begin();
+  // Eviction write-back happens *outside* map_mu_: a dirty victim is pinned
+  // under the lock, written back under its shared frame latch with the map
+  // unlocked (so concurrent fixes of other pages — including other workers'
+  // evictions — proceed during the device write), and the eviction is then
+  // retried. The retry re-checks everything: the victim may have been
+  // re-fixed or re-dirtied meanwhile, or another thread may have loaded our
+  // page. Keeping the victim in the table during write-back is what makes a
+  // concurrent fix of *that* page a plain hit rather than a stale re-read.
+  for (;;) {
+    size_t victim = 0;
+    bool writeback = false;
+    {
+      std::lock_guard<std::mutex> guard(map_mu_);
+      auto it = table_.find(pid.Encode());
+      if (it != table_.end()) {
+        if (!counted_miss) hits_.Inc();
+        frame = it->second;
+        FrameMeta& m = meta_[frame];
+        m.pin_count++;
+        if (m.in_lru) {
+          lru_.erase(m.lru_pos);
+          lru_.push_front(frame);
+          m.lru_pos = lru_.begin();
+        }
+        needs_read = false;
+        break;
       }
-    } else {
-      misses_.Inc();
+      if (!counted_miss) {
+        misses_.Inc();
+        counted_miss = true;
+      }
       if (!free_frames_.empty()) {
         frame = free_frames_.back();
         free_frames_.pop_back();
       } else {
-        Status es = EvictVictim(&frame);
-        if (!es.ok()) {
+        // Walk from the LRU end; the first unpinned frame wins. A clean
+        // victim is evicted in place; a dirty one is pinned for write-back.
+        bool found = false;
+        for (auto vit = lru_.rbegin(); vit != lru_.rend(); ++vit) {
+          const size_t f = *vit;
+          FrameMeta& m = meta_[f];
+          if (m.pin_count != 0) continue;
+          if (m.dirty.load(std::memory_order_relaxed)) {
+            m.pin_count++;  // keeps it resident while we write it back
+            victim = f;
+            writeback = true;
+          } else {
+            table_.erase(m.pid.Encode());
+            lru_.erase(std::next(vit).base());
+            m.in_lru = false;
+            m.valid = false;
+            evictions_.Inc();
+            frame = f;
+          }
+          found = true;
+          break;
+        }
+        if (!found) {
           fix_failures_.Inc();
-          return es;
+          return Status::Busy("buffer cache: all frames pinned");
         }
       }
-      FrameMeta& m = meta_[frame];
-      m.pid = pid;
-      m.valid = true;
-      m.dirty.store(false, std::memory_order_relaxed);
-      m.pin_count = 1;
-      // Take the frame's exclusive latch *before* publishing the table
-      // entry, so concurrent fixers of the same page block until the device
-      // read below has filled the frame. The latch is guaranteed free here:
-      // eviction only selects unpinned frames, and guards release the latch
-      // before unpinning.
-      bool latched = m.latch.try_lock();
-      assert(latched);
-      (void)latched;
-      table_[pid.Encode()] = frame;
-      lru_.push_front(frame);
-      m.lru_pos = lru_.begin();
-      m.in_lru = true;
-      needs_read = true;
+      if (!writeback) {
+        FrameMeta& m = meta_[frame];
+        m.pid = pid;
+        m.valid = true;
+        m.dirty.store(false, std::memory_order_relaxed);
+        m.pin_count = 1;
+        // Take the frame's exclusive latch *before* publishing the table
+        // entry, so concurrent fixers of the same page block until the device
+        // read below has filled the frame. The latch is guaranteed free here:
+        // eviction only selects unpinned frames, and guards release the latch
+        // before unpinning.
+        bool latched = m.latch.try_lock();
+        assert(latched);
+        (void)latched;
+        table_[pid.Encode()] = frame;
+        lru_.push_front(frame);
+        m.lru_pos = lru_.begin();
+        m.in_lru = true;
+        needs_read = true;
+        break;
+      }
     }
+
+    // Dirty-victim write-back, map unlocked. Latch shared so a concurrent
+    // writer cannot give us a torn image; clear the dirty flag inside the
+    // latched region (same protocol as FlushAll) so a redirtying since our
+    // write is never swallowed.
+    FrameMeta& vm = meta_[victim];
+    Device* dev = devices_[vm.pid.file_id];
+    assert(dev != nullptr);
+    vm.latch.lock_shared();
+    Status ws = dev->WritePage(vm.pid.page_no,
+                               arena_.get() + victim * kPageSize);
+    if (ws.ok()) vm.dirty.store(false, std::memory_order_relaxed);
+    vm.latch.unlock_shared();
+    {
+      std::lock_guard<std::mutex> guard(map_mu_);
+      assert(vm.pin_count > 0);
+      vm.pin_count--;
+    }
+    if (!ws.ok()) {
+      // Keep the victim resident and dirty: its image is still the only
+      // copy of the data, and a later flush retries the write. Surfacing
+      // the device error (instead of pretending the cache is full) is
+      // what lets callers distinguish EIO from pin pressure.
+      write_failures_.Inc();
+      fix_failures_.Inc();
+      return ws;
+    }
+    dirty_writes_.Inc();
+    // Retry: the victim is now clean (unless re-dirtied) and the next pass
+    // evicts it — or whatever the map looks like by then.
   }
 
   char* data = arena_.get() + frame * kPageSize;

@@ -65,6 +65,7 @@ DatabaseOptions TortureDbOptions(const TortureConfig& config,
   options.ilm.steady_cache_pct = 0.01;
   options.ilm.aggressive_fraction = 0.05;
   options.ilm.pack_batch_rows = 8;
+  options.pack_workers = config.pack_workers;
   options.lock_timeout_ms = 100;
   options.fault_plan = std::move(plan);
   return options;

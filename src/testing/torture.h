@@ -25,6 +25,13 @@ struct TortureConfig {
 
   /// Transactions the scripted workload attempts.
   int num_txns = 80;
+
+  /// Background pool size handed to DatabaseOptions::pack_workers. 1 keeps
+  /// the pipeline serial and the storage-op trace exactly reproducible;
+  /// > 1 lets crash points land inside concurrent pack worker tasks (the
+  /// per-tick fan-out is still a barrier, so the workload script itself
+  /// stays deterministic even though op interleaving within a tick is not).
+  int pack_workers = 1;
 };
 
 /// Counters reported by a crash-point run (for sweep summaries).

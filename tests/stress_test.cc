@@ -433,5 +433,68 @@ TEST(TpccStressTest, DriverWithFourWorkersStaysConsistent) {
   EXPECT_GT(report.rows_checked, 0);
 }
 
+// The parallel-pack hammer: eight TPC-C driver threads racing four pack
+// workers plus the GC/ILM background threads, with the steady line pushed
+// low enough that pack cycles run throughout. TSan covers the new fan-out
+// machinery end to end — ThreadPool batch handoff, per-partition pack
+// locks, the row reclaim-claim arbitration against GC, and the
+// background_rw_ quiescence gate the final invariant check rides on.
+TEST(TpccStressTest, EightWorkersAgainstParallelPack) {
+  DatabaseOptions options;
+  options.buffer_cache_frames = 2048;
+  options.imrs_cache_bytes = 16 << 20;
+  options.lock_timeout_ms = 200;
+  options.background_interval_us = 200;
+  options.pack_workers = 4;
+  // Keep the pack pipeline hot for the whole run instead of only after the
+  // cache fills: pack activates just above 5% utilization and moves a big
+  // slice per cycle.
+  options.ilm.steady_cache_pct = 0.05;
+  options.ilm.aggressive_fraction = 0.05;
+  options.ilm.pack_cycle_pct = 0.20;
+  std::unique_ptr<Database> db = std::move(*Database::Open(options));
+
+  tpcc::Scale scale;
+  scale.warehouses = 2;
+  scale.districts_per_warehouse = 4;
+  scale.customers_per_district = 30;
+  scale.items = 100;
+  scale.orders_per_district = 30;
+
+  Result<tpcc::Tables> tables = tpcc::CreateTables(db.get(), scale);
+  ASSERT_TRUE(tables.ok()) << tables.status().ToString();
+  ASSERT_TRUE(tpcc::LoadDatabase(db.get(), *tables, scale).ok());
+
+  tpcc::TpccContext ctx;
+  ctx.db = db.get();
+  ctx.tables = *tables;
+  ctx.scale = scale;
+  ctx.next_history_id = static_cast<int64_t>(scale.warehouses) *
+                            scale.districts_per_warehouse *
+                            scale.customers_per_district +
+                        1;
+
+  db->StartBackground();
+
+  tpcc::DriverOptions dopt;
+  dopt.workers = 8;
+  dopt.total_txns = 2000;
+  dopt.window_txns = 0;
+  tpcc::TpccDriver driver(&ctx, dopt);
+  tpcc::DriverStats stats = driver.Run();
+  EXPECT_GE(stats.committed, dopt.total_txns);
+
+  db->StopBackground();
+
+  // The hammer is pointless if pack never fired.
+  DatabaseStats dbstats = db->GetStats();
+  EXPECT_GT(dbstats.pack.rows_packed, 0);
+
+  ValidateReport report;
+  Status v = db->ValidateInvariants(&report);
+  EXPECT_TRUE(v.ok()) << v.ToString();
+  EXPECT_GT(report.rows_checked, 0);
+}
+
 }  // namespace
 }  // namespace btrim

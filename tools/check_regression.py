@@ -1,5 +1,6 @@
 #!/usr/bin/env python3
-"""CI perf-regression gate over micro_commit output and the metrics export.
+"""CI perf-regression gate over micro_commit/micro_pack output and the
+metrics export.
 
 Compares a fresh `micro_commit --out` JSON against the checked-in baseline
 (bench/BENCH_micro_commit.json) using machine-portable invariants only —
@@ -18,6 +19,13 @@ absolute throughput depends on the runner, so the gate checks *shape*:
   4. Optionally (--metrics), a tpcc_cli/bench metrics export must cover the
      required metric names — the "every previously printed stats field is
      exported" acceptance check.
+  5. Optionally (--pack-current/--pack-baseline), a `micro_pack --smoke
+     --out` JSON is gated the same way: within the current run 4-worker
+     pack throughput must be >= 2x 1-worker for every IMRS size (the
+     within-run ratio cancels machine speed, and the device sleeps are
+     simulated so the workload is latency-bound on any runner), and
+     packed bytes/cycle — deterministic by construction — must not
+     regress against the checked-in bench/BENCH_micro_pack.json.
 
 Exit 0 when green; exit 1 with one line per violation otherwise.
 """
@@ -42,6 +50,9 @@ REQUIRED_METRICS = [
     "gc.work_pending",
     "pack.cycles", "pack.rows_packed", "pack.bytes_packed",
     "pack.rows_skipped_hot", "pack.transactions", "pack.bypass_activations",
+    "pack.lock_wait_us", "pack.partition_pack_us", "pack.worker_bytes_packed",
+    "pool.tasks_executed", "pool.queue_depth", "pool.queue_wait_us",
+    "pool.workers",
     "wal.records_appended", "wal.bytes_appended", "wal.groups_appended",
     "wal.syncs", "wal.syncs_elided", "wal.append_failures",
     "wal.sync_failures",
@@ -107,6 +118,57 @@ def check_bench(current, baseline, threshold, errors):
                     f"{c['fsyncs_per_commit']:.3f} fsyncs/commit")
 
 
+PACK_SCALING_FLOOR = 2.0  # 4-worker / 1-worker pack throughput
+
+
+def check_pack(current, baseline, threshold, errors):
+    def by_key(doc):
+        return {(c["imrs_mb"], c["workers"]): c for c in doc["results"]}
+
+    cur = by_key(current)
+    base = by_key(baseline)
+
+    # Gate 1: within-run scaling. Every IMRS size that has both a 1- and a
+    # 4-worker cell must show the parallel pipeline actually overlapping
+    # its device waits.
+    sizes = sorted({mb for (mb, _) in cur})
+    gated = 0
+    for mb in sizes:
+        one = cur.get((mb, 1))
+        four = cur.get((mb, 4))
+        if one is None or four is None:
+            continue
+        gated += 1
+        if one["rows_packed"] <= 0 or four["rows_packed"] <= 0:
+            errors.append(f"micro_pack imrs_mb={mb}: a cell packed no rows")
+            continue
+        if one["mb_per_s"] <= 0:
+            errors.append(f"micro_pack imrs_mb={mb}: 1-worker throughput is 0")
+            continue
+        ratio = four["mb_per_s"] / one["mb_per_s"]
+        if ratio < PACK_SCALING_FLOOR:
+            errors.append(
+                f"micro_pack imrs_mb={mb}: 4-worker pack throughput is only "
+                f"{ratio:.2f}x 1-worker (floor {PACK_SCALING_FLOOR:.1f}x)")
+    if gated == 0:
+        errors.append("micro_pack: no imrs_mb size has both 1- and 4-worker "
+                      "cells to gate")
+
+    # Gate 2: packed bytes/cycle vs the checked-in baseline. The drain is
+    # deterministic (same rows, same budgets) so this is a tight check:
+    # shrinkage means cycles suddenly move less data per unit of work.
+    for key in sorted(set(cur) & set(base)):
+        c, b = cur[key], base[key]
+        if b["bytes_per_cycle"] <= 0:
+            continue
+        floor = b["bytes_per_cycle"] * (1.0 - threshold)
+        if c["bytes_per_cycle"] < floor:
+            errors.append(
+                f"micro_pack {key}: bytes/cycle regressed "
+                f"{b['bytes_per_cycle']:.0f} -> {c['bytes_per_cycle']:.0f} "
+                f"(floor {floor:.0f})")
+
+
 def check_metrics_coverage(metrics_doc, errors):
     names = {m["name"] for m in metrics_doc["metrics"]}
     missing = [n for n in REQUIRED_METRICS if n not in names]
@@ -126,6 +188,10 @@ def main():
     parser.add_argument("--metrics",
                         help="optional metrics export (tpcc_cli --metrics-out)"
                              " to validate coverage")
+    parser.add_argument("--pack-current",
+                        help="micro_pack --smoke --out JSON from this run")
+    parser.add_argument("--pack-baseline",
+                        help="checked-in bench/BENCH_micro_pack.json")
     parser.add_argument("--threshold", type=float, default=0.25,
                         help="relative regression tolerance (default 0.25)")
     args = parser.parse_args()
@@ -136,6 +202,15 @@ def main():
     with open(args.baseline) as f:
         baseline = json.load(f)
     check_bench(current, baseline, args.threshold, errors)
+
+    if args.pack_current:
+        with open(args.pack_current) as f:
+            pack_current = json.load(f)
+        pack_baseline = {"results": []}
+        if args.pack_baseline:
+            with open(args.pack_baseline) as f:
+                pack_baseline = json.load(f)
+        check_pack(pack_current, pack_baseline, args.threshold, errors)
 
     if args.metrics:
         with open(args.metrics) as f:

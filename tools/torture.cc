@@ -36,13 +36,15 @@ struct DriverOptions {
   std::string dir;
   std::string failures_file;
   int64_t crash_op = -1;  // >= 0: replay exactly one crash point
+  int pack_workers = 1;
   bool dump_trace = false;
 };
 
 void Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--seed N] [--points N] [--txns N] [--dir PATH]\n"
-               "          [--failures-file PATH] [--crash-op K]\n",
+               "          [--failures-file PATH] [--crash-op K]\n"
+               "          [--pack-workers N]\n",
                argv0);
   std::exit(2);
 }
@@ -66,6 +68,8 @@ bool ParseArgs(int argc, char** argv, DriverOptions* opt) {
       opt->failures_file = next();
     } else if (arg == "--crash-op") {
       opt->crash_op = std::atoll(next());
+    } else if (arg == "--pack-workers") {
+      opt->pack_workers = std::atoi(next());
     } else if (arg == "--dump-trace") {
       opt->dump_trace = true;
     } else {
@@ -89,6 +93,7 @@ int main(int argc, char** argv) {
   config.dir = opt.dir;
   config.workload_seed = opt.seed;
   config.num_txns = opt.txns;
+  config.pack_workers = opt.pack_workers;
 
   // Phase 1: fault-free traced run enumerates the op sequence.
   std::vector<btrim::TraceEntry> trace;
