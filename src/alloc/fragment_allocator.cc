@@ -2,7 +2,6 @@
 
 #include <cassert>
 #include <cstring>
-#include <mutex>
 #include <unordered_map>
 #include <new>
 
@@ -49,9 +48,9 @@ struct FragmentAllocator::Segment {
 };
 
 struct alignas(kCacheLineSize) FragmentAllocator::Shard {
-  SpinLock lock;
-  FreeNode* free_lists[kNumClasses] = {};
-  Segment* segments = nullptr;
+  SpinLock lock{LockRank::kAllocShard, "alloc.shard"};
+  FreeNode* free_lists[kNumClasses] BTRIM_GUARDED_BY(lock) = {};
+  Segment* segments BTRIM_GUARDED_BY(lock) = nullptr;
 };
 
 size_t FragmentAllocator::ClassFor(size_t block_size) {

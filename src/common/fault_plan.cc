@@ -21,38 +21,38 @@ const char* FaultOpName(FaultOp op) {
 FaultPlan::FaultPlan(uint64_t seed) : rng_(seed) {}
 
 void FaultPlan::CrashAtOp(uint64_t op_index) {
-  std::lock_guard<std::mutex> guard(mu_);
+  MutexGuard guard(mu_);
   crash_ops_.push_back(op_index);
 }
 
 void FaultPlan::FailAtOp(uint64_t op_index) {
-  std::lock_guard<std::mutex> guard(mu_);
+  MutexGuard guard(mu_);
   fail_ops_.push_back(op_index);
 }
 
 void FaultPlan::TornWriteAtOp(uint64_t op_index) {
-  std::lock_guard<std::mutex> guard(mu_);
+  MutexGuard guard(mu_);
   torn_ops_.push_back(op_index);
 }
 
 void FaultPlan::FailNth(FaultOp op, const std::string& target_substr,
                         uint64_t nth) {
-  std::lock_guard<std::mutex> guard(mu_);
+  MutexGuard guard(mu_);
   nth_triggers_.push_back(NthTrigger{op, target_substr, std::max<uint64_t>(nth, 1)});
 }
 
 void FaultPlan::SetErrorProbability(FaultOp op, double p) {
-  std::lock_guard<std::mutex> guard(mu_);
+  MutexGuard guard(mu_);
   error_probability_[static_cast<int>(op)] = p;
 }
 
 void FaultPlan::EnableTrace(bool on) {
-  std::lock_guard<std::mutex> guard(mu_);
+  MutexGuard guard(mu_);
   trace_enabled_ = on;
 }
 
 FaultOutcome FaultPlan::OnOp(const std::string& target, FaultOp op) {
-  std::lock_guard<std::mutex> guard(mu_);
+  MutexGuard guard(mu_);
   const uint64_t index = next_op_++;
   if (trace_enabled_) trace_.push_back(TraceEntry{op, target});
 
@@ -95,17 +95,17 @@ FaultOutcome FaultPlan::OnOp(const std::string& target, FaultOp op) {
 }
 
 uint64_t FaultPlan::DrawUniform(uint64_t n) {
-  std::lock_guard<std::mutex> guard(mu_);
+  MutexGuard guard(mu_);
   return n == 0 ? 0 : rng_.Uniform(n);
 }
 
 uint64_t FaultPlan::ops_seen() const {
-  std::lock_guard<std::mutex> guard(mu_);
+  MutexGuard guard(mu_);
   return next_op_;
 }
 
 FaultPlanStats FaultPlan::GetStats() const {
-  std::lock_guard<std::mutex> guard(mu_);
+  MutexGuard guard(mu_);
   FaultPlanStats s;
   s.ops_seen = static_cast<int64_t>(next_op_);
   s.errors_injected = errors_injected_;
@@ -116,7 +116,7 @@ FaultPlanStats FaultPlan::GetStats() const {
 }
 
 std::vector<TraceEntry> FaultPlan::Trace() const {
-  std::lock_guard<std::mutex> guard(mu_);
+  MutexGuard guard(mu_);
   return trace_;
 }
 

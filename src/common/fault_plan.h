@@ -3,12 +3,13 @@
 
 #include <atomic>
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/random.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 
 namespace btrim {
 
@@ -127,21 +128,21 @@ class FaultPlan {
     uint64_t remaining;  // fires when it reaches 0
   };
 
-  mutable std::mutex mu_;
-  Random rng_;
-  uint64_t next_op_ = 0;
-  std::vector<uint64_t> crash_ops_;
-  std::vector<uint64_t> fail_ops_;
-  std::vector<uint64_t> torn_ops_;
-  std::vector<NthTrigger> nth_triggers_;
-  double error_probability_[4] = {0.0, 0.0, 0.0, 0.0};
-  bool trace_enabled_ = false;
-  std::vector<TraceEntry> trace_;
+  mutable Mutex mu_{LockRank::kFaultPlan, "common.fault_plan"};
+  Random rng_ BTRIM_GUARDED_BY(mu_);
+  uint64_t next_op_ BTRIM_GUARDED_BY(mu_) = 0;
+  std::vector<uint64_t> crash_ops_ BTRIM_GUARDED_BY(mu_);
+  std::vector<uint64_t> fail_ops_ BTRIM_GUARDED_BY(mu_);
+  std::vector<uint64_t> torn_ops_ BTRIM_GUARDED_BY(mu_);
+  std::vector<NthTrigger> nth_triggers_ BTRIM_GUARDED_BY(mu_);
+  double error_probability_[4] BTRIM_GUARDED_BY(mu_) = {0.0, 0.0, 0.0, 0.0};
+  bool trace_enabled_ BTRIM_GUARDED_BY(mu_) = false;
+  std::vector<TraceEntry> trace_ BTRIM_GUARDED_BY(mu_);
 
   std::atomic<bool> crashed_{false};
-  uint64_t crash_op_ = 0;
-  int64_t errors_injected_ = 0;
-  int64_t torn_writes_ = 0;
+  uint64_t crash_op_ BTRIM_GUARDED_BY(mu_) = 0;
+  int64_t errors_injected_ BTRIM_GUARDED_BY(mu_) = 0;
+  int64_t torn_writes_ BTRIM_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace btrim

@@ -1,0 +1,135 @@
+#ifndef BTRIM_COMMON_MUTEX_H_
+#define BTRIM_COMMON_MUTEX_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+
+#include "common/lock_order.h"
+#include "common/thread_annotations.h"
+
+namespace btrim {
+
+class CondVar;
+
+/// std::mutex wrapped as a clang thread-safety capability.
+///
+/// std::mutex itself is invisible to -Wthread-safety, so every blocking lock
+/// in the engine is a btrim::Mutex: members it protects carry
+/// BTRIM_GUARDED_BY(mu_), critical sections use MutexGuard, and condition
+/// waits go through CondVar (which waits on the Mutex directly, so the
+/// capability is treated as continuously held across the wait — the same
+/// convention as abseil's Mutex/CondVar pair).
+///
+/// Constructing with a LockRank enrolls the mutex in the debug-build
+/// lock-order validator (DESIGN.md Sec. 12); rank/name compile away in
+/// release builds. tools/btrim_lint.py flags raw std::mutex members and
+/// std::lock_guard/std::unique_lock over std::mutex outside this header.
+class BTRIM_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  explicit Mutex(LockRank rank, const char* name) {
+#if defined(BTRIM_LOCK_ORDER_CHECKS)
+    rank_ = rank;
+    name_ = name;
+#else
+    (void)rank;
+    (void)name;
+#endif
+  }
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() BTRIM_ACQUIRE() {
+    mu_.lock();
+    NoteAcquired();
+  }
+
+  bool try_lock() BTRIM_TRY_ACQUIRE(true) {
+    if (mu_.try_lock()) {
+      NoteTryAcquired();
+      return true;
+    }
+    return false;
+  }
+
+  void unlock() BTRIM_RELEASE() {
+    NoteReleased();
+    mu_.unlock();
+  }
+
+ private:
+#if defined(BTRIM_LOCK_ORDER_CHECKS)
+  void NoteAcquired() const { LockOrderOnAcquire(rank_, name_); }
+  void NoteTryAcquired() const { LockOrderOnTryAcquire(rank_, name_); }
+  void NoteReleased() const { LockOrderOnRelease(rank_, name_); }
+  LockRank rank_ = LockRank::kUnranked;
+  const char* name_ = "";
+#else
+  void NoteAcquired() const {}
+  void NoteTryAcquired() const {}
+  void NoteReleased() const {}
+#endif
+
+  std::mutex mu_;
+};
+
+/// RAII holder for a Mutex, visible to the thread-safety analysis. The
+/// only way to wait on a CondVar is through a live MutexGuard.
+class BTRIM_SCOPED_CAPABILITY MutexGuard {
+ public:
+  explicit MutexGuard(Mutex& mu) BTRIM_ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~MutexGuard() BTRIM_RELEASE() { mu_.unlock(); }
+
+  MutexGuard(const MutexGuard&) = delete;
+  MutexGuard& operator=(const MutexGuard&) = delete;
+
+ private:
+  friend class CondVar;
+  Mutex& mu_;
+};
+
+/// Condition variable bound to btrim::Mutex via MutexGuard.
+///
+/// Built on std::condition_variable_any waiting on the annotated Mutex
+/// itself: the unlock/relock inside the wait goes through Mutex's
+/// instrumented methods, so the lock-order validator tracks the true held
+/// set across the wait, while the static analysis (which does not see into
+/// the standard headers) treats the capability as held throughout — exactly
+/// the contract guarded-member accesses around a wait need.
+///
+/// There are deliberately no predicate overloads: a predicate lambda is a
+/// separate function to the analysis and its guarded-member reads could not
+/// be proven. Callers write the standard `while (!cond) cv.Wait(guard);`
+/// loop in the annotated enclosing function instead.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void Wait(MutexGuard& guard) { cv_.wait(guard.mu_); }
+
+  template <typename Rep, typename Period>
+  std::cv_status WaitFor(MutexGuard& guard,
+                         const std::chrono::duration<Rep, Period>& dur) {
+    return cv_.wait_for(guard.mu_, dur);
+  }
+
+  template <typename Clock, typename Duration>
+  std::cv_status WaitUntil(
+      MutexGuard& guard,
+      const std::chrono::time_point<Clock, Duration>& deadline) {
+    return cv_.wait_until(guard.mu_, deadline);
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable_any cv_;
+};
+
+}  // namespace btrim
+
+#endif  // BTRIM_COMMON_MUTEX_H_

@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <thread>
 
+#include "common/lock_order.h"
 #include "common/thread_annotations.h"
 
 namespace btrim {
@@ -15,10 +16,21 @@ namespace btrim {
 /// where a futex-based mutex would dominate the cost of the protected work.
 ///
 /// Annotated as a clang thread-safety capability; compatible with
-/// std::lock_guard / std::unique_lock (BasicLockable).
+/// std::lock_guard / std::unique_lock (BasicLockable). Constructing with a
+/// LockRank enrolls the lock in the debug-build lock-order validator
+/// (DESIGN.md Sec. 12); the rank/name fields compile away in release builds.
 class BTRIM_CAPABILITY("mutex") SpinLock {
  public:
   SpinLock() = default;
+  explicit SpinLock(LockRank rank, const char* name) {
+#if defined(BTRIM_LOCK_ORDER_CHECKS)
+    rank_ = rank;
+    name_ = name;
+#else
+    (void)rank;
+    (void)name;
+#endif
+  }
   SpinLock(const SpinLock&) = delete;
   SpinLock& operator=(const SpinLock&) = delete;
 
@@ -35,17 +47,35 @@ class BTRIM_CAPABILITY("mutex") SpinLock {
         }
       }
     }
+    NoteAcquired();
   }
 
   bool try_lock() BTRIM_TRY_ACQUIRE(true) {
-    return !flag_.exchange(true, std::memory_order_acquire);
+    if (!flag_.exchange(true, std::memory_order_acquire)) {
+      NoteTryAcquired();
+      return true;
+    }
+    return false;
   }
 
   void unlock() BTRIM_RELEASE() {
+    NoteReleased();
     flag_.store(false, std::memory_order_release);
   }
 
  private:
+#if defined(BTRIM_LOCK_ORDER_CHECKS)
+  void NoteAcquired() const { LockOrderOnAcquire(rank_, name_); }
+  void NoteTryAcquired() const { LockOrderOnTryAcquire(rank_, name_); }
+  void NoteReleased() const { LockOrderOnRelease(rank_, name_); }
+  LockRank rank_ = LockRank::kUnranked;
+  const char* name_ = "";
+#else
+  void NoteAcquired() const {}
+  void NoteTryAcquired() const {}
+  void NoteReleased() const {}
+#endif
+
   std::atomic<bool> flag_{false};
 };
 
@@ -72,13 +102,78 @@ class BTRIM_SCOPED_CAPABILITY SpinLockGuard {
 /// Buffer-cache frame latches use this; failed try-acquisitions are how the
 /// engine observes page-store contention (Sec. III "Contention on the
 /// page-store"). State: kWriter when write-held, else count of readers.
+///
+/// The lock-order validator treats shared and exclusive acquisitions as the
+/// same graph node: a reader/writer inversion deadlocks just like a
+/// writer/writer one, so both directions contribute ordering edges.
 class BTRIM_CAPABILITY("rw_latch") RwSpinLock {
  public:
   RwSpinLock() = default;
+  explicit RwSpinLock(LockRank rank, const char* name) {
+#if defined(BTRIM_LOCK_ORDER_CHECKS)
+    rank_ = rank;
+    name_ = name;
+#else
+    (void)rank;
+    (void)name;
+#endif
+  }
   RwSpinLock(const RwSpinLock&) = delete;
   RwSpinLock& operator=(const RwSpinLock&) = delete;
 
   bool try_lock_shared() BTRIM_TRY_ACQUIRE_SHARED(true) {
+    if (TryLockSharedImpl()) {
+      NoteTryAcquired();
+      return true;
+    }
+    return false;
+  }
+
+  void lock_shared() BTRIM_ACQUIRE_SHARED() BTRIM_NO_THREAD_SAFETY_ANALYSIS {
+    int spins = 0;
+    while (!TryLockSharedImpl()) {
+      if (++spins > 64) {
+        std::this_thread::yield();
+        spins = 0;
+      }
+    }
+    NoteAcquired();
+  }
+
+  void unlock_shared() BTRIM_RELEASE_SHARED() {
+    NoteReleased();
+    state_.fetch_sub(1, std::memory_order_release);
+  }
+
+  bool try_lock() BTRIM_TRY_ACQUIRE(true) {
+    if (TryLockImpl()) {
+      NoteTryAcquired();
+      return true;
+    }
+    return false;
+  }
+
+  void lock() BTRIM_ACQUIRE() BTRIM_NO_THREAD_SAFETY_ANALYSIS {
+    int spins = 0;
+    while (!TryLockImpl()) {
+      if (++spins > 64) {
+        std::this_thread::yield();
+        spins = 0;
+      }
+    }
+    NoteAcquired();
+  }
+
+  void unlock() BTRIM_RELEASE() {
+    NoteReleased();
+    state_.store(0, std::memory_order_release);
+  }
+
+ private:
+  // CAS cores shared by the blocking and try paths, so each public entry
+  // point reports its own kind of acquisition to the lock-order validator
+  // (blocking acquisitions record ordering edges; try-acquisitions do not).
+  bool TryLockSharedImpl() {
     uint32_t cur = state_.load(std::memory_order_relaxed);
     while (cur != kWriter) {
       if (state_.compare_exchange_weak(cur, cur + 1,
@@ -90,40 +185,25 @@ class BTRIM_CAPABILITY("rw_latch") RwSpinLock {
     return false;
   }
 
-  void lock_shared() BTRIM_ACQUIRE_SHARED() BTRIM_NO_THREAD_SAFETY_ANALYSIS {
-    int spins = 0;
-    while (!try_lock_shared()) {
-      if (++spins > 64) {
-        std::this_thread::yield();
-        spins = 0;
-      }
-    }
-  }
-
-  void unlock_shared() BTRIM_RELEASE_SHARED() {
-    state_.fetch_sub(1, std::memory_order_release);
-  }
-
-  bool try_lock() BTRIM_TRY_ACQUIRE(true) {
+  bool TryLockImpl() {
     uint32_t expected = 0;
     return state_.compare_exchange_strong(expected, kWriter,
                                           std::memory_order_acquire,
                                           std::memory_order_relaxed);
   }
 
-  void lock() BTRIM_ACQUIRE() BTRIM_NO_THREAD_SAFETY_ANALYSIS {
-    int spins = 0;
-    while (!try_lock()) {
-      if (++spins > 64) {
-        std::this_thread::yield();
-        spins = 0;
-      }
-    }
-  }
+#if defined(BTRIM_LOCK_ORDER_CHECKS)
+  void NoteAcquired() const { LockOrderOnAcquire(rank_, name_); }
+  void NoteTryAcquired() const { LockOrderOnTryAcquire(rank_, name_); }
+  void NoteReleased() const { LockOrderOnRelease(rank_, name_); }
+  LockRank rank_ = LockRank::kUnranked;
+  const char* name_ = "";
+#else
+  void NoteAcquired() const {}
+  void NoteTryAcquired() const {}
+  void NoteReleased() const {}
+#endif
 
-  void unlock() BTRIM_RELEASE() { state_.store(0, std::memory_order_release); }
-
- private:
   static constexpr uint32_t kWriter = 0xffffffffu;
   std::atomic<uint32_t> state_{0};
 };

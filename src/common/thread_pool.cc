@@ -18,10 +18,10 @@ ThreadPool::ThreadPool(int workers) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> guard(mu_);
+    MutexGuard guard(mu_);
     stopping_ = true;
   }
-  work_cv_.notify_all();
+  work_cv_.NotifyAll();
   for (auto& t : threads_) {
     if (t.joinable()) t.join();
   }
@@ -36,7 +36,7 @@ int64_t ThreadPool::NowMicros() {
 }
 
 int64_t ThreadPool::QueueDepth() const {
-  std::lock_guard<std::mutex> guard(mu_);
+  MutexGuard guard(mu_);
   return static_cast<int64_t>(queue_.size());
 }
 
@@ -52,7 +52,7 @@ void ThreadPool::RunTasks(std::vector<std::function<void()>> tasks) {
 
   Batch batch;
   batch.remaining = tasks.size();
-  std::unique_lock<std::mutex> guard(mu_);
+  MutexGuard guard(mu_);
   const int64_t now = NowMicros();
   for (auto& fn : tasks) {
     Task task;
@@ -61,11 +61,13 @@ void ThreadPool::RunTasks(std::vector<std::function<void()>> tasks) {
     task.batch = &batch;
     queue_.push_back(std::move(task));
   }
-  work_cv_.notify_all();
+  work_cv_.NotifyAll();
   // batch lives on this stack frame but is only touched under mu_; the
   // last worker signals through the pool-lifetime done_cv_, so nothing
   // races with its destruction once the predicate holds.
-  done_cv_.wait(guard, [&batch] { return batch.remaining == 0; });
+  while (batch.remaining != 0) {
+    done_cv_.Wait(guard);
+  }
 }
 
 void ThreadPool::WorkerLoop(int worker_id) {
@@ -73,8 +75,10 @@ void ThreadPool::WorkerLoop(int worker_id) {
   for (;;) {
     Task task;
     {
-      std::unique_lock<std::mutex> guard(mu_);
-      work_cv_.wait(guard, [this] { return stopping_ || !queue_.empty(); });
+      MutexGuard guard(mu_);
+      while (!stopping_ && queue_.empty()) {
+        work_cv_.Wait(guard);
+      }
       if (queue_.empty()) return;  // stopping_ with a drained queue
       task = std::move(queue_.front());
       queue_.pop_front();
@@ -83,8 +87,8 @@ void ThreadPool::WorkerLoop(int worker_id) {
     task.fn();
     tasks_executed_.Inc();
     {
-      std::lock_guard<std::mutex> done(mu_);
-      if (--task.batch->remaining == 0) done_cv_.notify_all();
+      MutexGuard done(mu_);
+      if (--task.batch->remaining == 0) done_cv_.NotifyAll();
     }
   }
 }

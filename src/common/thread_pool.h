@@ -1,16 +1,16 @@
 #ifndef BTRIM_COMMON_THREAD_POOL_H_
 #define BTRIM_COMMON_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "common/counters.h"
 #include "common/histogram.h"
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace btrim {
 
@@ -73,11 +73,11 @@ class ThreadPool {
   void WorkerLoop(int worker_id);
   static int64_t NowMicros();
 
-  mutable std::mutex mu_;
-  std::condition_variable work_cv_;
-  std::condition_variable done_cv_;
-  std::deque<Task> queue_;
-  bool stopping_ = false;
+  mutable Mutex mu_{LockRank::kThreadPool, "common.thread_pool"};
+  CondVar work_cv_;
+  CondVar done_cv_;
+  std::deque<Task> queue_ BTRIM_GUARDED_BY(mu_);
+  bool stopping_ BTRIM_GUARDED_BY(mu_) = false;
   std::vector<std::thread> threads_;
 
   mutable ShardedCounter tasks_executed_;

@@ -150,7 +150,7 @@ Status Database::RegisterAllMetrics() {
 }
 
 Result<uint16_t> Database::NewFile(const std::string& hint) {
-  std::lock_guard<std::mutex> guard(file_mu_);
+  MutexGuard guard(file_mu_);
   const uint16_t file_id = static_cast<uint16_t>(devices_.size());
   std::unique_ptr<Device> device;
   if (options_.in_memory) {
@@ -348,7 +348,7 @@ void Database::StartBackground() {
       while (background_running_.load(std::memory_order_relaxed)) {
         {
           RwSpinLockReadGuard quiesce(background_rw_);
-          std::lock_guard<std::mutex> tick(ilm_tick_mu_);
+          MutexGuard tick(ilm_tick_mu_);
           ilm_->BackgroundTick(Now());
         }
         ParanoidValidate();
@@ -362,7 +362,7 @@ void Database::StartBackground() {
       while (background_running_.load(std::memory_order_relaxed)) {
         {
           RwSpinLockReadGuard quiesce(background_rw_);
-          std::lock_guard<std::mutex> pass(gc_pass_mu_);
+          MutexGuard pass(gc_pass_mu_);
           gc_->RunOnce(txn_manager_.OldestActiveSnapshot(), Now());
         }
         std::this_thread::sleep_for(
@@ -383,7 +383,7 @@ void Database::StopBackground() {
 void Database::RunGcOnce() {
   {
     RwSpinLockReadGuard quiesce(background_rw_);
-    std::lock_guard<std::mutex> pass(gc_pass_mu_);
+    MutexGuard pass(gc_pass_mu_);
     gc_->RunOnce(txn_manager_.OldestActiveSnapshot(), Now());
   }
 }
@@ -391,7 +391,7 @@ void Database::RunGcOnce() {
 void Database::RunIlmTickOnce() {
   {
     RwSpinLockReadGuard quiesce(background_rw_);
-    std::lock_guard<std::mutex> tick(ilm_tick_mu_);
+    MutexGuard tick(ilm_tick_mu_);
     ilm_->BackgroundTick(Now());
   }
   ParanoidValidate();

@@ -5,7 +5,6 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <unordered_map>
@@ -13,7 +12,9 @@
 
 #include "alloc/fragment_allocator.h"
 #include "common/fault_plan.h"
+#include "common/mutex.h"
 #include "common/spinlock.h"
+#include "common/thread_annotations.h"
 #include "common/thread_pool.h"
 #include "engine/table.h"
 #include "ilm/ilm_manager.h"
@@ -333,7 +334,7 @@ class Database : public PackClient {
   /// --- invariant checking (validate.cc) -----------------------------------
 
   /// Body of ValidateInvariants; caller holds background_rw_ exclusive.
-  Status ValidateLocked(ValidateReport* report);
+  Status ValidateLocked(ValidateReport* report) BTRIM_REQUIRES(background_rw_);
 
   /// Paranoid-build hook run after each pack cycle: opportunistically takes
   /// background_rw_ exclusive, validates when quiescent, aborts on
@@ -347,7 +348,7 @@ class Database : public PackClient {
   // Page store.
   BufferCache buffer_cache_;
   std::vector<std::unique_ptr<Device>> devices_;  // index = file_id
-  std::mutex file_mu_;
+  Mutex file_mu_{LockRank::kFilePool, "engine.file_pool"};
 
   // IMRS.
   FragmentAllocator imrs_allocator_;
@@ -373,10 +374,12 @@ class Database : public PackClient {
 
   // Catalog. Reader-writer: GetTable sits on the commit-adjacent hot path
   // (pack, purge, recovery routing) while writers are DDL-only.
-  mutable RwSpinLock catalog_mu_;
-  std::vector<std::unique_ptr<Table>> tables_;
-  std::unordered_map<std::string, Table*> tables_by_name_;
-  std::unordered_map<uint16_t, std::pair<Table*, size_t>> part_by_file_;
+  mutable RwSpinLock catalog_mu_{LockRank::kCatalog, "engine.catalog"};
+  std::vector<std::unique_ptr<Table>> tables_ BTRIM_GUARDED_BY(catalog_mu_);
+  std::unordered_map<std::string, Table*> tables_by_name_
+      BTRIM_GUARDED_BY(catalog_mu_);
+  std::unordered_map<uint16_t, std::pair<Table*, size_t>> part_by_file_
+      BTRIM_GUARDED_BY(catalog_mu_);
 
   // Background concurrency (DESIGN.md Sec. 11). Lock order:
   //   background_rw_ (shared) -> ilm_tick_mu_ / gc_pass_mu_
@@ -391,9 +394,12 @@ class Database : public PackClient {
   // (the tuner and pack backoff state are driver-thread-only) and
   // gc_pass_mu_ does the same for GC passes; both keep
   // RunIlmTickOnce/RunGcOnce safe to call while background threads run.
-  mutable RwSpinLock background_rw_;
-  std::mutex ilm_tick_mu_;
-  std::mutex gc_pass_mu_;
+  mutable RwSpinLock background_rw_{LockRank::kBackgroundQuiesce,
+                                    "engine.background_rw"};
+  // Serialization-only mutexes (tick-vs-tick, pass-vs-pass); no state of
+  // their own is guarded by them, hence no BTRIM_GUARDED_BY users.
+  Mutex ilm_tick_mu_{LockRank::kIlmTick, "engine.ilm_tick"};
+  Mutex gc_pass_mu_{LockRank::kGcPass, "engine.gc_pass"};
   std::atomic<bool> background_running_{false};
   std::vector<std::thread> background_threads_;
 

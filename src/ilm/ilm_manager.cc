@@ -16,7 +16,7 @@ IlmManager::IlmManager(IlmConfig config, FragmentAllocator* allocator,
 PartitionState* IlmManager::RegisterPartition(uint32_t table_id,
                                               uint32_t partition_id,
                                               std::string name) {
-  std::lock_guard<std::mutex> guard(registry_mu_);
+  MutexGuard guard(registry_mu_);
   auto part = std::make_unique<PartitionState>();
   part->table_id = table_id;
   part->partition_id = partition_id;
@@ -29,13 +29,13 @@ PartitionState* IlmManager::RegisterPartition(uint32_t table_id,
 
 PartitionState* IlmManager::FindPartition(uint32_t table_id,
                                           uint32_t partition_id) const {
-  std::lock_guard<std::mutex> guard(registry_mu_);
+  MutexGuard guard(registry_mu_);
   auto it = by_key_.find(Key(table_id, partition_id));
   return it == by_key_.end() ? nullptr : it->second;
 }
 
 std::vector<PartitionState*> IlmManager::Partitions() const {
-  std::lock_guard<std::mutex> guard(registry_mu_);
+  MutexGuard guard(registry_mu_);
   std::vector<PartitionState*> out;
   out.reserve(partitions_.size());
   for (const auto& p : partitions_) out.push_back(p.get());
@@ -122,7 +122,7 @@ void IlmManager::BackgroundTick(uint64_t now) {
         result.rows_packed, result.bytes_packed);
   }
   {
-    std::lock_guard<std::mutex> guard(last_cycle_mu_);
+    MutexGuard guard(last_cycle_mu_);
     last_cycle_ = result;
   }
 }

@@ -3,12 +3,13 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "alloc/fragment_allocator.h"
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "ilm/config.h"
 #include "ilm/pack.h"
 #include "ilm/partition_state.h"
@@ -106,7 +107,7 @@ class IlmManager {
 
   /// Result of the most recent pack cycle (experiments).
   PackCycleResult last_pack_cycle() const {
-    std::lock_guard<std::mutex> guard(last_cycle_mu_);
+    MutexGuard guard(last_cycle_mu_);
     return last_cycle_;
   }
 
@@ -122,16 +123,18 @@ class IlmManager {
   PartitionTuner tuner_;
   PackSubsystem pack_;
 
-  mutable std::mutex registry_mu_;
-  std::vector<std::unique_ptr<PartitionState>> partitions_;
-  std::unordered_map<uint64_t, PartitionState*> by_key_;
+  mutable Mutex registry_mu_{LockRank::kIlmRegistry, "ilm.registry"};
+  std::vector<std::unique_ptr<PartitionState>> partitions_
+      BTRIM_GUARDED_BY(registry_mu_);
+  std::unordered_map<uint64_t, PartitionState*> by_key_
+      BTRIM_GUARDED_BY(registry_mu_);
 
   std::atomic<bool> force_page_store_{false};
 
   uint64_t last_tuning_ts_ = 0;  // pack thread only
 
-  mutable std::mutex last_cycle_mu_;
-  PackCycleResult last_cycle_;
+  mutable Mutex last_cycle_mu_{LockRank::kIlmLastCycle, "ilm.last_cycle"};
+  PackCycleResult last_cycle_ BTRIM_GUARDED_BY(last_cycle_mu_);
 };
 
 }  // namespace btrim

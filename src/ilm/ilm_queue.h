@@ -2,9 +2,9 @@
 #define BTRIM_ILM_ILM_QUEUE_H_
 
 #include <cstdint>
-#include <mutex>
 
 #include "common/spinlock.h"
+#include "common/thread_annotations.h"
 #include "imrs/row.h"
 
 namespace btrim {
@@ -95,7 +95,7 @@ class IlmQueue {
     row->ClearFlag(kRowInQueue);
   }
 
-  mutable SpinLock lock_;
+  mutable SpinLock lock_{LockRank::kIlmQueue, "ilm.queue"};
   ImrsRow* head_ BTRIM_GUARDED_BY(lock_) = nullptr;
   ImrsRow* tail_ BTRIM_GUARDED_BY(lock_) = nullptr;
   int64_t size_ BTRIM_GUARDED_BY(lock_) = 0;

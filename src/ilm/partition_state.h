@@ -66,7 +66,7 @@ struct PartitionState {
   /// RID-map/index updates for one partition are guarded locally instead of
   /// by a database-global background mutex; two overlapping cycles contend
   /// here, never across partitions.
-  SpinLock pack_mu;
+  SpinLock pack_mu{LockRank::kPartitionPack, "ilm.pack"};
 
   IlmQueue& QueueFor(RowSource source) {
     return queues[static_cast<int>(source)];

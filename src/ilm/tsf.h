@@ -7,6 +7,7 @@
 
 #include "common/spinlock.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "ilm/config.h"
 
 namespace btrim {
@@ -80,12 +81,12 @@ class TsfLearner {
 
   std::atomic<uint64_t> tau_{0};
 
-  mutable SpinLock mu_;
-  bool observing_ = false;
-  uint64_t ts0_ = 0;
-  int64_t util0_ = 0;
-  uint64_t last_learn_ts_ = 0;
-  int64_t learn_cycles_ = 0;
+  mutable SpinLock mu_{LockRank::kTsfModel, "ilm.tsf"};
+  bool observing_ BTRIM_GUARDED_BY(mu_) = false;
+  uint64_t ts0_ BTRIM_GUARDED_BY(mu_) = 0;
+  int64_t util0_ BTRIM_GUARDED_BY(mu_) = 0;
+  uint64_t last_learn_ts_ BTRIM_GUARDED_BY(mu_) = 0;
+  int64_t learn_cycles_ BTRIM_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace btrim

@@ -18,12 +18,12 @@ int ImrsGc::ShardFor(const ImrsRow* row) {
 
 void ImrsGc::EnqueueCommitted(ImrsRow* row, bool newly_created) {
   Shard& shard = shards_[ShardFor(row)];
-  std::lock_guard<std::mutex> guard(shard.mu);
+  MutexGuard guard(shard.mu);
   shard.work.push_back(WorkItem{row, newly_created});
 }
 
 void ImrsGc::DeferFree(void* fragment, uint64_t not_before_ts) {
-  std::lock_guard<std::mutex> guard(deferred_mu_);
+  MutexGuard guard(deferred_mu_);
   deferred_.push_back(Deferred{fragment, not_before_ts});
 }
 
@@ -126,14 +126,14 @@ void ImrsGc::DrainShard(int shard_index, size_t budget,
   // One drainer per shard at a time: a row enqueued once per commit can sit
   // in the deque repeatedly, and two drainers of the same shard could pick
   // up both copies.
-  std::lock_guard<std::mutex> drain(shard.drain_mu);
+  MutexGuard drain(shard.drain_mu);
 
   std::vector<WorkItem> revisit;
   for (size_t i = 0; i < budget; ++i) {
     if (remaining->fetch_sub(1, std::memory_order_relaxed) <= 0) break;
     WorkItem item;
     {
-      std::lock_guard<std::mutex> guard(shard.mu);
+      MutexGuard guard(shard.mu);
       if (shard.work.empty()) break;
       item = shard.work.front();
       shard.work.pop_front();
@@ -152,7 +152,7 @@ void ImrsGc::DrainShard(int shard_index, size_t budget,
     if (again) revisit.push_back(WorkItem{item.row, false});
   }
   if (!revisit.empty()) {
-    std::lock_guard<std::mutex> guard(shard.mu);
+    MutexGuard guard(shard.mu);
     for (const auto& item : revisit) shard.work.push_back(item);
   }
 }
@@ -161,7 +161,7 @@ int64_t ImrsGc::RunOnce(uint64_t oldest_snapshot, uint64_t now,
                         int64_t max_items) {
   size_t budgets[kGcShards];
   for (int i = 0; i < kGcShards; ++i) {
-    std::lock_guard<std::mutex> guard(shards_[i].mu);
+    MutexGuard guard(shards_[i].mu);
     budgets[i] = shards_[i].work.size();
   }
 
@@ -194,7 +194,7 @@ int64_t ImrsGc::RunOnce(uint64_t oldest_snapshot, uint64_t now,
 void ImrsGc::DrainDeferred(uint64_t oldest_snapshot) {
   std::vector<void*> to_free;
   {
-    std::lock_guard<std::mutex> guard(deferred_mu_);
+    MutexGuard guard(deferred_mu_);
     size_t w = 0;
     for (size_t i = 0; i < deferred_.size(); ++i) {
       if (deferred_[i].not_before_ts < oldest_snapshot) {
@@ -217,11 +217,11 @@ GcStats ImrsGc::GetStats() const {
   s.rows_purged = rows_purged_.Load();
   s.rows_enqueued_to_ilm = rows_enqueued_.Load();
   for (int i = 0; i < kGcShards; ++i) {
-    std::lock_guard<std::mutex> guard(shards_[i].mu);
+    MutexGuard guard(shards_[i].mu);
     s.work_pending += static_cast<int64_t>(shards_[i].work.size());
   }
   {
-    std::lock_guard<std::mutex> guard(deferred_mu_);
+    MutexGuard guard(deferred_mu_);
     s.deferred_pending = static_cast<int64_t>(deferred_.size());
   }
   return s;
@@ -241,14 +241,14 @@ Status ImrsGc::RegisterMetrics(obs::MetricsRegistry* registry,
   BTRIM_RETURN_IF_ERROR(registry->RegisterGaugeFn("gc.work_pending", l, [this] {
     int64_t pending = 0;
     for (int i = 0; i < kGcShards; ++i) {
-      std::lock_guard<std::mutex> guard(shards_[i].mu);
+      MutexGuard guard(shards_[i].mu);
       pending += static_cast<int64_t>(shards_[i].work.size());
     }
     return pending;
   }));
   BTRIM_RETURN_IF_ERROR(
       registry->RegisterGaugeFn("gc.deferred_pending", l, [this] {
-        std::lock_guard<std::mutex> guard(deferred_mu_);
+        MutexGuard guard(deferred_mu_);
         return static_cast<int64_t>(deferred_.size());
       }));
   return Status::OK();

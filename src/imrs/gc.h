@@ -5,11 +5,12 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "common/counters.h"
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "common/thread_pool.h"
 #include "imrs/store.h"
 
@@ -128,9 +129,11 @@ class ImrsGc {
   /// One work-queue shard. `drain_mu` enforces the one-drainer-per-shard
   /// invariant (duplicate queue entries for a row land in the same shard).
   struct Shard {
-    std::mutex mu;
-    std::deque<WorkItem> work;
-    std::mutex drain_mu;
+    Mutex mu{LockRank::kGcShard, "imrs.gc_shard"};
+    std::deque<WorkItem> work BTRIM_GUARDED_BY(mu);
+    // Serialization-only: held for the whole drain of this shard, with rows
+    // processed outside `mu`, to enforce one-drainer-per-shard.
+    Mutex drain_mu{LockRank::kGcDrain, "imrs.gc_drain"};
   };
 
   static int ShardFor(const ImrsRow* row);
@@ -153,8 +156,8 @@ class ImrsGc {
 
   mutable Shard shards_[kGcShards];
 
-  mutable std::mutex deferred_mu_;
-  std::vector<Deferred> deferred_;
+  mutable Mutex deferred_mu_{LockRank::kGcDeferred, "imrs.gc_deferred"};
+  std::vector<Deferred> deferred_ BTRIM_GUARDED_BY(deferred_mu_);
 
   mutable ShardedCounter versions_freed_, bytes_freed_, rows_purged_,
       rows_enqueued_;

@@ -104,7 +104,7 @@ class RidMap {
 
  private:
   struct alignas(kCacheLineSize) Stripe {
-    mutable SpinLock lock;
+    mutable SpinLock lock{LockRank::kRidMapStripe, "imrs.rid_map"};
     std::unordered_map<uint64_t, ImrsRow*> map BTRIM_GUARDED_BY(lock);
   };
 

@@ -369,12 +369,7 @@ Result<uint32_t> BTree::FindLeaf(Slice key) const {
 
 Result<uint64_t> BTree::Search(Slice key) const {
   searches_.Inc();
-  tree_lock_.lock_shared();
-  struct Unlocker {
-    const BTree* t;
-    ~Unlocker() { t->tree_lock_.unlock_shared(); }
-  } unlocker{this};
-
+  RwSpinLockReadGuard tguard(tree_lock_);
   Result<uint32_t> leaf = FindLeaf(key);
   if (!leaf.ok()) return leaf.status();
   Result<PageGuard> guard =
@@ -426,12 +421,7 @@ Status BTree::Delete(Slice key) {
 Status BTree::Scan(Slice lower, Slice upper, size_t limit,
                    std::vector<std::pair<std::string, uint64_t>>* out) const {
   scans_.Inc();
-  tree_lock_.lock_shared();
-  struct Unlocker {
-    const BTree* t;
-    ~Unlocker() { t->tree_lock_.unlock_shared(); }
-  } unlocker{this};
-
+  RwSpinLockReadGuard tguard(tree_lock_);
   Result<uint32_t> leaf = FindLeaf(lower);
   if (!leaf.ok()) return leaf.status();
   uint32_t page_no = *leaf;

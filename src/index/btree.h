@@ -109,7 +109,7 @@ class BTree {
   BufferCache* const cache_;
   const bool unique_;
 
-  mutable RwSpinLock tree_lock_;
+  mutable RwSpinLock tree_lock_{LockRank::kBTreeRoot, "index.btree_root"};
   std::atomic<uint32_t> root_page_{0};
   std::atomic<uint32_t> next_page_{0};
   std::atomic<int64_t> height_{1};

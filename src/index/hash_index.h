@@ -10,6 +10,7 @@
 #include "common/hash.h"
 #include "common/slice.h"
 #include "common/spinlock.h"
+#include "common/thread_annotations.h"
 
 namespace btrim {
 
@@ -126,8 +127,8 @@ class HashIndex {
     V value;
   };
   struct alignas(kCacheLineSize) Bucket {
-    mutable SpinLock lock;
-    std::vector<Entry> entries;
+    mutable SpinLock lock{LockRank::kHashBucket, "index.hash_bucket"};
+    std::vector<Entry> entries BTRIM_GUARDED_BY(lock);
   };
 
   size_t mask_;

@@ -23,7 +23,7 @@ Status MetricsRegistry::RegisterEntry(const std::string& name,
   entry.name = name;
   entry.labels = std::move(labels);
   const std::string key = Key(name, entry.labels);
-  std::lock_guard<std::mutex> guard(mu_);
+  MutexGuard guard(mu_);
   auto it = entries_.find(key);
   if (it != entries_.end() && !it->second.retained) {
     return Status::AlreadyExists("metric already registered: " + name +
@@ -93,7 +93,7 @@ void MetricsRegistry::Retain(Entry* entry) {
 
 void MetricsRegistry::Unregister(const std::string& name,
                                  const MetricLabels& labels) {
-  std::lock_guard<std::mutex> guard(mu_);
+  MutexGuard guard(mu_);
   auto it = entries_.find(Key(name, labels));
   if (it != entries_.end()) Retain(&it->second);
 }
@@ -102,7 +102,7 @@ void MetricsRegistry::UnregisterMatching(const MetricLabels& labels) {
   auto field_matches = [](const std::string& want, const std::string& have) {
     return want.empty() || want == have;
   };
-  std::lock_guard<std::mutex> guard(mu_);
+  MutexGuard guard(mu_);
   for (auto& [key, entry] : entries_) {
     (void)key;
     if (field_matches(labels.subsystem, entry.labels.subsystem) &&
@@ -134,7 +134,7 @@ MetricSample MetricsRegistry::Evaluate(const Entry& entry) {
 bool MetricsRegistry::Lookup(const std::string& name,
                              const MetricLabels& labels,
                              MetricSample* out) const {
-  std::lock_guard<std::mutex> guard(mu_);
+  MutexGuard guard(mu_);
   auto it = entries_.find(Key(name, labels));
   if (it == entries_.end()) return false;
   *out = Evaluate(it->second);
@@ -142,7 +142,7 @@ bool MetricsRegistry::Lookup(const std::string& name,
 }
 
 std::vector<MetricSample> MetricsRegistry::Snapshot() const {
-  std::lock_guard<std::mutex> guard(mu_);
+  MutexGuard guard(mu_);
   std::vector<MetricSample> out;
   out.reserve(entries_.size());
   for (const auto& [key, entry] : entries_) {
@@ -159,7 +159,7 @@ std::string MetricsRegistry::ToJson() const {
 }
 
 size_t MetricsRegistry::size() const {
-  std::lock_guard<std::mutex> guard(mu_);
+  MutexGuard guard(mu_);
   return entries_.size();
 }
 

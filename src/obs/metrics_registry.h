@@ -3,13 +3,14 @@
 
 #include <functional>
 #include <map>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "common/counters.h"
 #include "common/histogram.h"
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "obs/metric.h"
 
 namespace btrim {
@@ -105,9 +106,13 @@ class MetricsRegistry {
   static MetricSample Evaluate(const Entry& entry);
   static void Retain(Entry* entry);
 
-  mutable std::mutex mu_;
+  /// Snapshot() evaluates gauge callbacks under mu_, and those callbacks
+  /// take subsystem locks (GC shard queues, ILM queues, the thread pool) —
+  /// hence the early kMetricsRegistry rank: registry -> subsystem nesting
+  /// is legal, subsystem -> registry is an ordering violation.
+  mutable Mutex mu_{LockRank::kMetricsRegistry, "obs.registry"};
   /// Ordered map keyed on name + '\x1f' + labels for deterministic export.
-  std::map<std::string, Entry> entries_;
+  std::map<std::string, Entry> entries_ BTRIM_GUARDED_BY(mu_);
 };
 
 }  // namespace obs

@@ -24,7 +24,7 @@ int64_t TimeSeriesSampler::NowUs() const {
 }
 
 void TimeSeriesSampler::SetClockForTest(ClockFn clock) {
-  std::lock_guard<std::mutex> guard(mu_);
+  MutexGuard guard(mu_);
   clock_ = std::move(clock);
 }
 
@@ -32,7 +32,7 @@ int64_t TimeSeriesSampler::SampleNow(int64_t marker) {
   // Evaluate the registry outside mu_ so a slow callback never blocks
   // concurrent Samples()/ToJson() readers longer than necessary.
   std::vector<MetricSample> metrics = registry_->Snapshot();
-  std::lock_guard<std::mutex> guard(mu_);
+  MutexGuard guard(mu_);
   Sample s;
   s.seq = next_seq_.fetch_add(1, std::memory_order_relaxed);
   s.wall_us = NowUs();
@@ -47,7 +47,7 @@ int64_t TimeSeriesSampler::SampleNow(int64_t marker) {
 }
 
 std::vector<TimeSeriesSampler::Sample> TimeSeriesSampler::Samples() const {
-  std::lock_guard<std::mutex> guard(mu_);
+  MutexGuard guard(mu_);
   std::vector<Sample> out;
   const int64_t taken = next_seq_.load(std::memory_order_relaxed);
   const int64_t capacity = static_cast<int64_t>(options_.capacity);
@@ -80,7 +80,7 @@ std::string TimeSeriesSampler::ToJson() const {
 
 void TimeSeriesSampler::Start() {
   if (options_.interval_us <= 0) return;
-  std::lock_guard<std::mutex> guard(thread_mu_);
+  MutexGuard guard(thread_mu_);
   if (thread_.joinable()) return;
   stop_requested_ = false;
   thread_ = std::thread([this] { CadenceLoop(); });
@@ -89,26 +89,34 @@ void TimeSeriesSampler::Start() {
 void TimeSeriesSampler::Stop() {
   std::thread to_join;
   {
-    std::lock_guard<std::mutex> guard(thread_mu_);
+    MutexGuard guard(thread_mu_);
     if (!thread_.joinable()) return;
     stop_requested_ = true;
     to_join = std::move(thread_);
   }
-  thread_cv_.notify_all();
+  thread_cv_.NotifyAll();
   to_join.join();
 }
 
 void TimeSeriesSampler::CadenceLoop() {
-  std::unique_lock<std::mutex> lk(thread_mu_);
-  while (!stop_requested_) {
-    if (thread_cv_.wait_for(lk,
-                            std::chrono::microseconds(options_.interval_us),
-                            [this] { return stop_requested_; })) {
-      break;
+  for (;;) {
+    {
+      MutexGuard guard(thread_mu_);
+      // One interval per lap; Stop() interrupts the wait immediately.
+      const auto deadline = std::chrono::steady_clock::now() +
+                            std::chrono::microseconds(options_.interval_us);
+      while (!stop_requested_) {
+        if (thread_cv_.WaitUntil(guard, deadline) ==
+            std::cv_status::timeout) {
+          break;
+        }
+      }
+      if (stop_requested_) return;
     }
-    lk.unlock();
+    // Sample with thread_mu_ released: SampleNow takes the ring mutex and
+    // evaluates registry callbacks, neither of which should serialize
+    // against Start()/Stop().
     SampleNow(-1);
-    lk.lock();
   }
 }
 

@@ -3,14 +3,14 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "obs/metrics_registry.h"
 
 namespace btrim {
@@ -78,22 +78,22 @@ class TimeSeriesSampler {
   void SetClockForTest(ClockFn clock);
 
  private:
-  void CadenceLoop();
-  int64_t NowUs() const;
+  void CadenceLoop() BTRIM_EXCLUDES(thread_mu_);
+  int64_t NowUs() const BTRIM_REQUIRES(mu_);
 
   const MetricsRegistry* const registry_;
   const Options options_;
 
-  mutable std::mutex mu_;
-  std::vector<Sample> ring_;   // ring_[seq % capacity]
+  mutable Mutex mu_{LockRank::kSamplerRing, "obs.sampler_ring"};
+  std::vector<Sample> ring_ BTRIM_GUARDED_BY(mu_);  // ring_[seq % capacity]
   std::atomic<int64_t> next_seq_{0};
-  ClockFn clock_;              // null = steady_clock since construction
+  ClockFn clock_ BTRIM_GUARDED_BY(mu_);  // null = steady_clock since ctor
   std::chrono::steady_clock::time_point epoch_;
 
-  std::mutex thread_mu_;
-  std::condition_variable thread_cv_;
-  bool stop_requested_ = false;
-  std::thread thread_;
+  Mutex thread_mu_{LockRank::kSamplerThread, "obs.sampler_thread"};
+  CondVar thread_cv_;
+  bool stop_requested_ BTRIM_GUARDED_BY(thread_mu_) = false;
+  std::thread thread_ BTRIM_GUARDED_BY(thread_mu_);
 };
 
 }  // namespace obs

@@ -5,14 +5,15 @@
 #include <cstdint>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "common/counters.h"
+#include "common/mutex.h"
 #include "common/spinlock.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "page/device.h"
 #include "page/page.h"
 
@@ -138,33 +139,32 @@ class BufferCache {
  private:
   friend class PageGuard;
 
+  // All fields except `dirty` and `latch` are guarded by map_mu_; a nested
+  // struct cannot spell BTRIM_GUARDED_BY(map_mu_) on an outer-class member,
+  // so the contract is documented here and enforced at the access sites.
   struct FrameMeta {
-    PageId pid{};
-    bool valid = false;
+    PageId pid{};            // guarded by map_mu_
+    bool valid = false;      // guarded by map_mu_
     std::atomic<bool> dirty{false};
     uint32_t pin_count = 0;  // guarded by map_mu_
-    RwSpinLock latch;
-    std::list<size_t>::iterator lru_pos;
-    bool in_lru = false;
+    RwSpinLock latch{LockRank::kPageFrame, "page.frame"};
+    std::list<size_t>::iterator lru_pos;  // guarded by map_mu_
+    bool in_lru = false;                  // guarded by map_mu_
   };
 
   void Unfix(size_t frame, LatchMode mode);
   void MarkFrameDirty(size_t frame);
 
-  /// Picks an unpinned victim frame, evicting its current page (writing it
-  /// back if dirty). Returns Busy if all frames are pinned, or the device
-  /// error if the dirty write-back failed (the victim stays resident and
-  /// dirty, so no data is lost). Called with map_mu_ held.
-  Status EvictVictim(size_t* out_frame);
-
   const size_t num_frames_;
   std::unique_ptr<char[]> arena_;  // num_frames_ * kPageSize
   std::vector<FrameMeta> meta_;
 
-  mutable std::mutex map_mu_;
-  std::unordered_map<uint64_t, size_t> table_;  // PageId.Encode() -> frame
-  std::list<size_t> lru_;                       // front = MRU, back = LRU
-  std::vector<size_t> free_frames_;
+  mutable Mutex map_mu_{LockRank::kBufferMap, "page.buffer_map"};
+  // PageId.Encode() -> frame
+  std::unordered_map<uint64_t, size_t> table_ BTRIM_GUARDED_BY(map_mu_);
+  // front = MRU, back = LRU
+  std::list<size_t> lru_ BTRIM_GUARDED_BY(map_mu_);
+  std::vector<size_t> free_frames_ BTRIM_GUARDED_BY(map_mu_);
 
   std::vector<Device*> devices_;  // indexed by file_id
 

@@ -22,7 +22,7 @@ void MemDevice::SimulateLatency() {
 Status MemDevice::ReadPage(uint32_t page_no, char* buf) {
   SimulateLatency();
   reads_.fetch_add(1, std::memory_order_relaxed);
-  std::lock_guard<std::mutex> guard(mu_);
+  MutexGuard guard(mu_);
   if (page_no >= pages_.size() || pages_[page_no] == nullptr) {
     memset(buf, 0, kPageSize);
     return Status::OK();
@@ -34,7 +34,7 @@ Status MemDevice::ReadPage(uint32_t page_no, char* buf) {
 Status MemDevice::WritePage(uint32_t page_no, const char* buf) {
   SimulateLatency();
   writes_.fetch_add(1, std::memory_order_relaxed);
-  std::lock_guard<std::mutex> guard(mu_);
+  MutexGuard guard(mu_);
   if (page_no >= pages_.size()) {
     pages_.resize(page_no + 1);
   }
@@ -46,7 +46,7 @@ Status MemDevice::WritePage(uint32_t page_no, const char* buf) {
 }
 
 uint32_t MemDevice::NumPages() const {
-  std::lock_guard<std::mutex> guard(mu_);
+  MutexGuard guard(mu_);
   return static_cast<uint32_t>(pages_.size());
 }
 

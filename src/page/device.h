@@ -4,11 +4,12 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "page/page.h"
 
 namespace btrim {
@@ -61,8 +62,8 @@ class MemDevice : public Device {
   void SimulateLatency();
 
   const uint32_t latency_micros_;
-  mutable std::mutex mu_;
-  std::vector<std::unique_ptr<char[]>> pages_;
+  mutable Mutex mu_{LockRank::kDeviceInternal, "page.mem_device"};
+  std::vector<std::unique_ptr<char[]>> pages_ BTRIM_GUARDED_BY(mu_);
   std::atomic<int64_t> reads_{0};
   std::atomic<int64_t> writes_{0};
   std::atomic<int64_t> syncs_{0};

@@ -37,7 +37,7 @@ Status FaultyDevice::ReadPage(uint32_t page_no, char* buf) {
   }
   {
     // Reads observe the pending (OS-cache) image, like a real page cache.
-    std::lock_guard<std::mutex> guard(mu_);
+    MutexGuard guard(mu_);
     auto it = pending_.find(page_no);
     if (it != pending_.end()) {
       memcpy(buf, it->second.data(), kPageSize);
@@ -59,7 +59,7 @@ Status FaultyDevice::WritePage(uint32_t page_no, const char* buf) {
     return FaultPlan::InjectedError(target_, FaultOp::kWrite);
   }
 
-  std::lock_guard<std::mutex> guard(mu_);
+  MutexGuard guard(mu_);
   std::string& image = pending_[page_no];
   if (image.size() != kPageSize) {
     // First pending write for this page: the base image is whatever the
@@ -95,7 +95,7 @@ Status FaultyDevice::WritePage(uint32_t page_no, const char* buf) {
 }
 
 uint32_t FaultyDevice::NumPages() const {
-  std::lock_guard<std::mutex> guard(mu_);
+  MutexGuard guard(mu_);
   return std::max(inner_->NumPages(), pending_num_pages_);
 }
 
@@ -110,7 +110,7 @@ Status FaultyDevice::Sync() {
     return FaultPlan::InjectedError(target_, FaultOp::kSync);
   }
 
-  std::lock_guard<std::mutex> guard(mu_);
+  MutexGuard guard(mu_);
   for (auto it = pending_.begin(); it != pending_.end();) {
     BTRIM_RETURN_IF_ERROR(inner_->WritePage(it->first, it->second.data()));
     it = pending_.erase(it);
@@ -129,7 +129,7 @@ DeviceStats FaultyDevice::GetStats() const {
 }
 
 size_t FaultyDevice::PendingPages() const {
-  std::lock_guard<std::mutex> guard(mu_);
+  MutexGuard guard(mu_);
   return pending_.size();
 }
 

@@ -3,10 +3,11 @@
 
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 
 #include "common/fault_plan.h"
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "page/device.h"
 
 namespace btrim {
@@ -44,9 +45,11 @@ class FaultyDevice : public Device {
   const std::shared_ptr<FaultPlan> plan_;
   const std::string target_;
 
-  mutable std::mutex mu_;
-  std::map<uint32_t, std::string> pending_;  // page_no -> un-synced image
-  uint32_t pending_num_pages_ = 0;  // max page_no+1 among pending writes
+  mutable Mutex mu_{LockRank::kDeviceInternal, "page.faulty_device"};
+  // page_no -> un-synced image
+  std::map<uint32_t, std::string> pending_ BTRIM_GUARDED_BY(mu_);
+  // max page_no+1 among pending writes
+  uint32_t pending_num_pages_ BTRIM_GUARDED_BY(mu_) = 0;
 
   std::atomic<int64_t> reads_{0};
   std::atomic<int64_t> writes_{0};

@@ -50,7 +50,7 @@ Status LockManager::Acquire(uint64_t txn_id, uint64_t lock_id, LockMode mode,
                             int64_t timeout_ms) {
   acquisitions_.Inc();
   Stripe& stripe = StripeFor(lock_id);
-  std::unique_lock<std::mutex> lock(stripe.mu);
+  MutexGuard lock(stripe.mu);
   LockEntry& entry = stripe.locks[lock_id];
   if (TryGrantLocked(&entry, txn_id, mode)) return Status::OK();
 
@@ -58,7 +58,7 @@ Status LockManager::Acquire(uint64_t txn_id, uint64_t lock_id, LockMode mode,
   const auto deadline = std::chrono::steady_clock::now() +
                         std::chrono::milliseconds(timeout_ms);
   while (true) {
-    if (stripe.cv.wait_until(lock, deadline) == std::cv_status::timeout) {
+    if (stripe.cv.WaitUntil(lock, deadline) == std::cv_status::timeout) {
       // Final attempt after timeout (the lock may have just been released).
       LockEntry& e = stripe.locks[lock_id];
       if (TryGrantLocked(&e, txn_id, mode)) return Status::OK();
@@ -73,7 +73,7 @@ Status LockManager::Acquire(uint64_t txn_id, uint64_t lock_id, LockMode mode,
 Status LockManager::TryAcquire(uint64_t txn_id, uint64_t lock_id,
                                LockMode mode) {
   Stripe& stripe = StripeFor(lock_id);
-  std::lock_guard<std::mutex> lock(stripe.mu);
+  MutexGuard lock(stripe.mu);
   LockEntry& entry = stripe.locks[lock_id];
   if (TryGrantLocked(&entry, txn_id, mode)) {
     acquisitions_.Inc();
@@ -85,7 +85,7 @@ Status LockManager::TryAcquire(uint64_t txn_id, uint64_t lock_id,
 
 void LockManager::Release(uint64_t txn_id, uint64_t lock_id) {
   Stripe& stripe = StripeFor(lock_id);
-  std::lock_guard<std::mutex> lock(stripe.mu);
+  MutexGuard lock(stripe.mu);
   auto it = stripe.locks.find(lock_id);
   if (it == stripe.locks.end()) return;
   auto& holders = it->second.holders;
@@ -99,13 +99,13 @@ void LockManager::Release(uint64_t txn_id, uint64_t lock_id) {
   if (holders.empty()) {
     stripe.locks.erase(it);
   }
-  stripe.cv.notify_all();
+  stripe.cv.NotifyAll();
 }
 
 bool LockManager::Holds(uint64_t txn_id, uint64_t lock_id,
                         LockMode mode) const {
   Stripe& stripe = StripeFor(lock_id);
-  std::lock_guard<std::mutex> lock(stripe.mu);
+  MutexGuard lock(stripe.mu);
   auto it = stripe.locks.find(lock_id);
   if (it == stripe.locks.end()) return false;
   for (const auto& h : it->second.holders) {

@@ -1,16 +1,16 @@
 #ifndef BTRIM_TXN_LOCK_MANAGER_H_
 #define BTRIM_TXN_LOCK_MANAGER_H_
 
-#include <condition_variable>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "common/counters.h"
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 
 namespace btrim {
 
@@ -80,9 +80,9 @@ class LockManager {
     std::vector<Holder> holders;
   };
   struct Stripe {
-    mutable std::mutex mu;
-    std::condition_variable cv;
-    std::unordered_map<uint64_t, LockEntry> locks;
+    mutable Mutex mu{LockRank::kLockStripe, "txn.lock_stripe"};
+    CondVar cv;
+    std::unordered_map<uint64_t, LockEntry> locks BTRIM_GUARDED_BY(mu);
   };
 
   Stripe& StripeFor(uint64_t lock_id) const;

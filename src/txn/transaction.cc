@@ -34,7 +34,7 @@ std::unique_ptr<Transaction> TransactionManager::Begin() {
   while (true) {
     WaitWhilePaused();
     {
-      std::lock_guard<std::mutex> guard(shard.mu);
+      MutexGuard guard(shard.mu);
       // Snapshot read under the shard mutex: a horizon scan that misses this
       // entry acquired the mutex first, so its clock read is <= begin_ts.
       begin_ts = clock_.Now();
@@ -44,25 +44,26 @@ std::unique_ptr<Transaction> TransactionManager::Begin() {
     // A pause raced in between the gate check and the registration; back out
     // so the pauser's drain completes, then queue up at the gate.
     {
-      std::lock_guard<std::mutex> guard(shard.mu);
+      MutexGuard guard(shard.mu);
       shard.txns.erase(id);
     }
-    gate_cv_.notify_all();
+    gate_cv_.NotifyAll();
   }
   return std::unique_ptr<Transaction>(new Transaction(this, id, begin_ts));
 }
 
 void TransactionManager::WaitWhilePaused() {
   if (!paused_.load(std::memory_order_acquire)) return;
-  std::unique_lock<std::mutex> guard(gate_mu_);
-  gate_cv_.wait(guard,
-                [this] { return !paused_.load(std::memory_order_acquire); });
+  MutexGuard guard(gate_mu_);
+  while (paused_.load(std::memory_order_acquire)) {
+    gate_cv_.Wait(guard);
+  }
 }
 
 int64_t TransactionManager::ActiveCount() const {
   int64_t n = 0;
   for (const ActiveShard& shard : active_shards_) {
-    std::lock_guard<std::mutex> guard(shard.mu);
+    MutexGuard guard(shard.mu);
     n += static_cast<int64_t>(shard.txns.size());
   }
   return n;
@@ -78,17 +79,17 @@ void TransactionManager::ReleaseAllLocks(Transaction* txn) {
 void TransactionManager::Unregister(Transaction* txn) {
   ActiveShard& shard = ShardFor(txn->id_);
   {
-    std::lock_guard<std::mutex> guard(shard.mu);
+    MutexGuard guard(shard.mu);
     shard.txns.erase(txn->id_);
   }
   // Nudge a draining pauser; it re-counts on a short period regardless, so a
   // lost wakeup only delays it, never deadlocks it.
-  if (paused_.load(std::memory_order_acquire)) gate_cv_.notify_all();
+  if (paused_.load(std::memory_order_acquire)) gate_cv_.NotifyAll();
 }
 
 bool TransactionManager::PauseNewTransactions(int64_t wait_ms) {
   {
-    std::lock_guard<std::mutex> guard(gate_mu_);
+    MutexGuard guard(gate_mu_);
     bool expected = false;
     if (!paused_.compare_exchange_strong(expected, true)) {
       return false;  // another quiescence holder is active
@@ -104,18 +105,18 @@ bool TransactionManager::PauseNewTransactions(int64_t wait_ms) {
       ResumeNewTransactions();
       return false;
     }
-    std::unique_lock<std::mutex> guard(gate_mu_);
-    gate_cv_.wait_for(guard, std::chrono::milliseconds(1));
+    MutexGuard guard(gate_mu_);
+    gate_cv_.WaitFor(guard, std::chrono::milliseconds(1));
   }
   return true;
 }
 
 void TransactionManager::ResumeNewTransactions() {
   {
-    std::lock_guard<std::mutex> guard(gate_mu_);
+    MutexGuard guard(gate_mu_);
     paused_.store(false, std::memory_order_release);
   }
-  gate_cv_.notify_all();
+  gate_cv_.NotifyAll();
 }
 
 Status TransactionManager::Commit(
@@ -169,7 +170,7 @@ uint64_t TransactionManager::OldestActiveSnapshot() const {
   // took its snapshot after this read, so the result stays a lower bound.
   uint64_t oldest = clock_.Now();
   for (const ActiveShard& shard : active_shards_) {
-    std::lock_guard<std::mutex> guard(shard.mu);
+    MutexGuard guard(shard.mu);
     for (const auto& [id, begin_ts] : shard.txns) {
       if (begin_ts < oldest) oldest = begin_ts;
     }

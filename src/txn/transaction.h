@@ -1,18 +1,18 @@
 #ifndef BTRIM_TXN_TRANSACTION_H_
 #define BTRIM_TXN_TRANSACTION_H_
 
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "common/clock.h"
 #include "common/counters.h"
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "txn/lock_manager.h"
 
 namespace btrim {
@@ -192,8 +192,9 @@ class TransactionManager {
   friend class Transaction;
 
   struct alignas(kCacheLineSize) ActiveShard {
-    mutable std::mutex mu;
-    std::unordered_map<uint64_t, uint64_t> txns;  // txn_id -> begin_ts
+    mutable Mutex mu{LockRank::kTxnShard, "txn.active_shard"};
+    // txn_id -> begin_ts
+    std::unordered_map<uint64_t, uint64_t> txns BTRIM_GUARDED_BY(mu);
   };
 
   ActiveShard& ShardFor(uint64_t txn_id) {
@@ -221,8 +222,8 @@ class TransactionManager {
   // the scan sees the registration (and waits for it to drain) or the load
   // sees the pause (and Begin backs out and waits at the gate).
   std::atomic<bool> paused_{false};
-  mutable std::mutex gate_mu_;
-  std::condition_variable gate_cv_;
+  mutable Mutex gate_mu_{LockRank::kTxnGate, "txn.gate"};
+  CondVar gate_cv_;
 
   mutable ShardedCounter begun_, committed_, aborted_;
 };

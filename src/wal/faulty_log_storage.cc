@@ -36,7 +36,7 @@ void FaultyLogStorage::FlushTornTailLocked() {
 }
 
 Status FaultyLogStorage::Append(Slice data) {
-  std::lock_guard<std::mutex> guard(mu_);
+  MutexGuard guard(mu_);
   if (plan_->crashed()) return FaultPlan::CrashedError();
   const FaultOutcome outcome = plan_->OnOp(target_, FaultOp::kAppend);
   TraceFault(FaultOp::kAppend, outcome);
@@ -59,7 +59,7 @@ Status FaultyLogStorage::Append(Slice data) {
 }
 
 Status FaultyLogStorage::Sync() {
-  std::lock_guard<std::mutex> guard(mu_);
+  MutexGuard guard(mu_);
   if (plan_->crashed()) return FaultPlan::CrashedError();
   const FaultOutcome outcome = plan_->OnOp(target_, FaultOp::kSync);
   TraceFault(FaultOp::kSync, outcome);
@@ -85,7 +85,7 @@ Status FaultyLogStorage::Sync() {
 }
 
 Status FaultyLogStorage::ReadAll(std::string* out) {
-  std::lock_guard<std::mutex> guard(mu_);
+  MutexGuard guard(mu_);
   // Readers in-process see the OS-cache view: synced content + tail.
   BTRIM_RETURN_IF_ERROR(inner_->ReadAll(out));
   out->append(tail_);
@@ -93,19 +93,19 @@ Status FaultyLogStorage::ReadAll(std::string* out) {
 }
 
 Status FaultyLogStorage::Truncate() {
-  std::lock_guard<std::mutex> guard(mu_);
+  MutexGuard guard(mu_);
   if (plan_->crashed()) return FaultPlan::CrashedError();
   tail_.clear();
   return inner_->Truncate();
 }
 
 int64_t FaultyLogStorage::Size() const {
-  std::lock_guard<std::mutex> guard(mu_);
+  MutexGuard guard(mu_);
   return inner_->Size() + static_cast<int64_t>(tail_.size());
 }
 
 int64_t FaultyLogStorage::PendingBytes() const {
-  std::lock_guard<std::mutex> guard(mu_);
+  MutexGuard guard(mu_);
   return static_cast<int64_t>(tail_.size());
 }
 

@@ -2,10 +2,11 @@
 #define BTRIM_WAL_FAULTY_LOG_STORAGE_H_
 
 #include <memory>
-#include <mutex>
 #include <string>
 
 #include "common/fault_plan.h"
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "wal/log.h"
 
 namespace btrim {
@@ -39,16 +40,18 @@ class FaultyLogStorage : public LogStorage {
 
  private:
   /// Flushes a seeded prefix of the pending tail to the inner storage
-  /// (crash-time torn tail). Caller holds mu_.
-  void FlushTornTailLocked();
+  /// (crash-time torn tail).
+  void FlushTornTailLocked() BTRIM_REQUIRES(mu_);
 
   std::unique_ptr<LogStorage> const inner_;
   const std::shared_ptr<FaultPlan> plan_;
   const std::string target_;
 
-  mutable std::mutex mu_;
-  std::string tail_;          // appended but not yet synced
-  bool torn_flushed_ = false; // crash already materialized a torn tail
+  mutable Mutex mu_{LockRank::kLogInternal, "wal.faulty_storage"};
+  // Appended but not yet synced.
+  std::string tail_ BTRIM_GUARDED_BY(mu_);
+  // Crash already materialized a torn tail.
+  bool torn_flushed_ BTRIM_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace btrim

@@ -2,14 +2,14 @@
 #define BTRIM_WAL_GROUP_COMMIT_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
-#include <mutex>
 #include <string>
 
 #include "common/counters.h"
 #include "common/histogram.h"
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "wal/log.h"
 
 namespace btrim {
@@ -115,11 +115,15 @@ class GroupCommitter {
                          const std::string& subsystem) const;
 
  private:
-  Status CommitGroupBatched(Slice group, int64_t record_count);
+  Status CommitGroupBatched(Slice group, int64_t record_count)
+      BTRIM_EXCLUDES(mu_);
 
-  /// Runs one leader round: claims the staged batch, appends + syncs it
-  /// with `mu_` released, republishes state. Returns the batch status.
-  Status LeadBatch(std::unique_lock<std::mutex>* lk);
+  /// Runs one leader round: claims the staged batch (lingering for joiners
+  /// first), appends + syncs it with `mu_` released, republishes state.
+  /// Returns Status::OK() without doing anything when the leader race was
+  /// lost or `my_end` is already durable; returns the sticky error when the
+  /// committer is poisoned. Otherwise returns the batch status.
+  Status LeadBatch(uint64_t my_end) BTRIM_EXCLUDES(mu_);
 
   /// Lock-free bounded wait for the in-flight batch. Returns true once
   /// durable_end_ covers `my_end`; returns false when the round ended
@@ -129,12 +133,14 @@ class GroupCommitter {
   Log* const log_;
   const DurabilityOptions options_;
 
-  std::mutex mu_;
-  std::condition_variable cv_;
-  std::string pending_;          // staged groups not yet claimed by a leader
-  int64_t pending_records_ = 0;  // record count inside pending_
-  int64_t pending_groups_ = 0;   // transaction groups inside pending_
-  uint64_t staged_end_ = 0;  // logical byte offset: end of staged data
+  Mutex mu_{LockRank::kGroupCommit, "wal.group_commit"};
+  CondVar cv_;
+  // Staged groups not yet claimed by a leader.
+  std::string pending_ BTRIM_GUARDED_BY(mu_);
+  int64_t pending_records_ BTRIM_GUARDED_BY(mu_) = 0;  // records in pending_
+  int64_t pending_groups_ BTRIM_GUARDED_BY(mu_) = 0;   // groups in pending_
+  // Logical byte offset: end of staged data.
+  uint64_t staged_end_ BTRIM_GUARDED_BY(mu_) = 0;
   // durable_end_ / leader_active_ are written under mu_ but read lock-free
   // by spinning followers; durable_end_ only ever advances, and only after
   // a clean sync, so an acquire load observing coverage implies durability.
@@ -144,9 +150,10 @@ class GroupCommitter {
   // previous claimed batch size it derives from. Seeded at max so the very
   // first batch waits for a full group (or the latency bound) — the
   // optimistic start that makes batch formation deterministic in tests.
-  int64_t linger_target_;
-  int64_t last_batch_groups_;
-  Status sticky_error_;          // first IO failure; poisons the committer
+  int64_t linger_target_ BTRIM_GUARDED_BY(mu_);
+  int64_t last_batch_groups_ BTRIM_GUARDED_BY(mu_);
+  // First IO failure; poisons the committer.
+  Status sticky_error_ BTRIM_GUARDED_BY(mu_);
 
   mutable ShardedCounter groups_, batches_, batch_bytes_;
   AtomicGauge max_batch_groups_;

@@ -13,7 +13,7 @@ namespace btrim {
 // --- MemLogStorage ----------------------------------------------------------
 
 Status MemLogStorage::Append(Slice data) {
-  std::lock_guard<std::mutex> guard(mu_);
+  MutexGuard guard(mu_);
   buf_.append(data.data(), data.size());
   return Status::OK();
 }
@@ -21,19 +21,19 @@ Status MemLogStorage::Append(Slice data) {
 Status MemLogStorage::Sync() { return Status::OK(); }
 
 Status MemLogStorage::ReadAll(std::string* out) {
-  std::lock_guard<std::mutex> guard(mu_);
+  MutexGuard guard(mu_);
   *out = buf_;
   return Status::OK();
 }
 
 Status MemLogStorage::Truncate() {
-  std::lock_guard<std::mutex> guard(mu_);
+  MutexGuard guard(mu_);
   buf_.clear();
   return Status::OK();
 }
 
 int64_t MemLogStorage::Size() const {
-  std::lock_guard<std::mutex> guard(mu_);
+  MutexGuard guard(mu_);
   return static_cast<int64_t>(buf_.size());
 }
 

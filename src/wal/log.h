@@ -5,12 +5,13 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <string>
 
 #include "common/counters.h"
+#include "common/mutex.h"
 #include "common/spinlock.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "wal/log_record.h"
 
 namespace btrim {
@@ -40,8 +41,8 @@ class MemLogStorage : public LogStorage {
   int64_t Size() const override;
 
  private:
-  mutable std::mutex mu_;
-  std::string buf_;
+  mutable Mutex mu_{LockRank::kLogInternal, "wal.mem_storage"};
+  std::string buf_ BTRIM_GUARDED_BY(mu_);
 };
 
 /// File-backed log storage (durability across process restarts).
@@ -155,8 +156,8 @@ class Log {
   const bool sync_on_commit_;
 
   std::atomic<bool> poisoned_{false};
-  mutable SpinLock poison_mu_;  // guards poison_status_
-  Status poison_status_;
+  mutable SpinLock poison_mu_{LockRank::kLogInternal, "wal.poison"};
+  Status poison_status_ BTRIM_GUARDED_BY(poison_mu_);
 
   // Dirty tracking for sync elision. append_seq_ is bumped after a storage
   // append returns; synced_seq_ records the highest append_seq_ value known

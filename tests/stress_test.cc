@@ -23,6 +23,7 @@
 #include <gtest/gtest.h>
 
 #include "common/counters.h"
+#include "common/lock_order.h"
 #include "common/spinlock.h"
 #include "engine/database.h"
 #include "ilm/ilm_queue.h"
@@ -494,6 +495,18 @@ TEST(TpccStressTest, EightWorkersAgainstParallelPack) {
   Status v = db->ValidateInvariants(&report);
   EXPECT_TRUE(v.ok()) << v.ToString();
   EXPECT_GT(report.rows_checked, 0);
+}
+
+// Registered last so it runs after every hammer above: in debug/sanitizer
+// builds the lock-order validator has watched every acquisition the whole
+// suite made, and the acquisition graph must have stayed cycle-free.
+TEST(ZLockOrderHygiene, NoCyclesObservedAcrossSuite) {
+#if defined(BTRIM_LOCK_ORDER_CHECKS)
+  auto* validator = LockOrderValidator::Global();
+  EXPECT_EQ(validator->ViolationCount(), 0) << validator->Report();
+#else
+  GTEST_SKIP() << "BTRIM_LOCK_ORDER_CHECKS off (release build)";
+#endif
 }
 
 }  // namespace

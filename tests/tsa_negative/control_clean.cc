@@ -1,0 +1,40 @@
+// TSA positive control: correct guard discipline over annotated members.
+// MUST compile cleanly under -Werror=thread-safety — this proves the
+// harness actually builds the snippets (so the WILL_FAIL negatives above
+// are failing for the right reason, not because of a broken include path
+// or toolchain).
+
+#include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
+namespace {
+
+class Buffer {
+ public:
+  void Append(int v) BTRIM_EXCLUDES(mu_) {
+    btrim::MutexGuard guard(mu_);
+    AppendLocked(v);
+  }
+
+  int Size() const BTRIM_EXCLUDES(mu_) {
+    btrim::MutexGuard guard(mu_);
+    return static_cast<int>(items_.size());
+  }
+
+ private:
+  void AppendLocked(int v) BTRIM_REQUIRES(mu_) { items_.push_back(v); }
+
+  mutable btrim::Mutex mu_;
+  std::vector<int> items_ BTRIM_GUARDED_BY(mu_);
+};
+
+}  // namespace
+
+int main() {
+  Buffer b;
+  b.Append(1);
+  b.Append(2);
+  return b.Size() == 2 ? 0 : 1;
+}

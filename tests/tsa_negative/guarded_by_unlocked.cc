@@ -1,0 +1,25 @@
+// TSA negative test: writing a BTRIM_GUARDED_BY member without holding its
+// mutex. MUST NOT compile under -Werror=thread-safety (warning:
+// "writing variable 'value_' requires holding mutex 'mu_' exclusively").
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
+namespace {
+
+class Counter {
+ public:
+  void Bump() { ++value_; }  // missing MutexGuard guard(mu_)
+
+ private:
+  btrim::Mutex mu_;
+  int value_ BTRIM_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter c;
+  c.Bump();
+  return 0;
+}

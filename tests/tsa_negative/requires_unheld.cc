@@ -1,0 +1,31 @@
+// TSA negative test: calling a BTRIM_REQUIRES function without holding the
+// required mutex. MUST NOT compile under -Werror=thread-safety (warning:
+// "calling function 'AppendLocked' requires holding mutex 'mu_'").
+
+#include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
+namespace {
+
+class Buffer {
+ public:
+  void Append(int v) {
+    AppendLocked(v);  // missing MutexGuard guard(mu_)
+  }
+
+ private:
+  void AppendLocked(int v) BTRIM_REQUIRES(mu_) { items_.push_back(v); }
+
+  btrim::Mutex mu_;
+  std::vector<int> items_ BTRIM_GUARDED_BY(mu_);
+};
+
+}  // namespace
+
+int main() {
+  Buffer b;
+  b.Append(1);
+  return 0;
+}

@@ -1,0 +1,28 @@
+// TSA negative test: acquiring a mutex on one path and returning without
+// releasing it. MUST NOT compile under -Werror=thread-safety (warning:
+// "mutex 'mu_' is still held at the end of function").
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
+namespace {
+
+class Leaky {
+ public:
+  void TakeAndForget(bool flag) {
+    mu_.lock();
+    if (flag) return;  // leaks the lock on this path
+    mu_.unlock();
+  }
+
+ private:
+  btrim::Mutex mu_;
+};
+
+}  // namespace
+
+int main() {
+  Leaky l;
+  l.TakeAndForget(false);
+  return 0;
+}

@@ -20,6 +20,25 @@ Rules (each scans src/ only; tests and benches may take shortcuts):
                      every ignored Status-returning call into a compiler
                      warning, in every translation unit, with no lint run.
 
+  unannotated-lock-member  A SpinLock / RwSpinLock / Mutex member whose name
+                     never appears inside a BTRIM_* thread-safety annotation
+                     in the same file. Every lock must either guard something
+                     (BTRIM_GUARDED_BY / BTRIM_REQUIRES / ...) or be declared
+                     a serialization-only lock in the allowlist below.
+
+  direct-lock-call   Direct .lock()/.unlock()/.lock_shared()/... calls on a
+                     lock object instead of going through a scoped guard.
+                     Guards keep acquire/release balanced on every path and
+                     are what the thread-safety analysis and the lock-order
+                     validator see. Allowlisted files implement the guards
+                     themselves or transfer latch ownership (buffer cache).
+
+  raw-std-sync       Raw std::mutex / std::condition_variable members or
+                     std::lock_guard<std::mutex> / std::unique_lock guards
+                     outside common/mutex.h. All mutexes in src/ must be the
+                     annotated btrim::Mutex so thread-safety analysis and the
+                     lock-order validator cover them.
+
 Exit status: 0 when clean, 1 when any finding is reported.
 """
 
@@ -42,6 +61,43 @@ RAW_NEW_ALLOWLIST = {
     # The fragment allocator IS the owner: raw new[]/delete[] of arena
     # blocks is its job.
     "src/alloc/fragment_allocator.cc": "",
+    # The lock-order validator must outlive every static-destruction-order
+    # lock use, so its process singletons are intentionally leaked.
+    "src/common/lock_order.cc": "leaked singleton",
+}
+
+# Serialization-only locks: nothing is GUARDED_BY them — they exist to make
+# one activity mutually exclusive with itself (one drainer per GC shard, one
+# ILM tick at a time, ...) or to park condition-variable waiters. Keyed by
+# file -> member names exempt from unannotated-lock-member in that file.
+SERIALIZATION_ONLY_LOCKS = {
+    "src/engine/database.h": {"file_mu_", "ilm_tick_mu_", "gc_pass_mu_"},
+    "src/ilm/partition_state.h": {"pack_mu"},
+    "src/imrs/gc.h": {"drain_mu"},
+    "src/txn/transaction.h": {"gate_mu_"},
+    # Structure locks guarding page/tree topology rather than any single
+    # member (the guarded pages live behind the buffer cache).
+    "src/index/btree.h": {"tree_lock_"},
+    "src/page/buffer_cache.h": {"latch"},
+}
+
+# Files allowed to call .lock()/.unlock()/... directly: the lock and guard
+# implementations themselves, the validator, and the two latch-ownership
+# transfer sites (PageGuard hand-off, paranoid try-lock probe).
+DIRECT_LOCK_CALL_ALLOWLIST = {
+    "src/common/spinlock.h",
+    "src/common/mutex.h",
+    "src/common/lock_order.cc",
+    "src/page/buffer_cache.cc",
+    "src/engine/validate.cc",
+}
+
+# Files allowed to use raw standard-library synchronization primitives: the
+# annotated wrapper itself and the validator (which must sit below every
+# instrumented lock and so cannot use one).
+RAW_STD_SYNC_ALLOWLIST = {
+    "src/common/mutex.h",
+    "src/common/lock_order.cc",
 }
 
 NEW_RE = re.compile(r"\bnew\b")
@@ -50,8 +106,25 @@ NEW_RE = re.compile(r"\bnew\b")
 PLACEMENT_NEW_RE = re.compile(r"\bnew\s*\((?!\s*std::nothrow)")
 # `delete` as the expression keyword; `= delete` (deleted members) is fine.
 DELETE_RE = re.compile(r"(?<![=\w])\s*\bdelete\b(\s*\[\s*\])?\s+[\w(*]")
-LOCK_GUARD_RE = re.compile(r"std::lock_guard<\s*(SpinLock|RwSpinLock)\s*>")
+LOCK_GUARD_RE = re.compile(r"std::lock_guard<\s*(SpinLock|RwSpinLock|Mutex)\s*>")
 COMMENT_RE = re.compile(r"^\s*(//|/\*|\*|#)")
+
+# Lock-typed member declaration: `[mutable] SpinLock|RwSpinLock|Mutex name`
+# possibly followed by an initializer. Matches declarations only (line starts
+# with optional qualifiers then the type), not uses.
+LOCK_MEMBER_RE = re.compile(
+    r"^\s*(?:mutable\s+)?(?:SpinLock|RwSpinLock|Mutex)\s+(\w+)\s*(?:\{|;|=)")
+# Any BTRIM_* annotation and its argument list (one level of parens).
+ANNOTATION_ARGS_RE = re.compile(r"BTRIM_[A-Z_]+\(([^)]*)\)")
+# Direct acquire/release call on a lock object.
+DIRECT_LOCK_CALL_RE = re.compile(
+    r"\.\s*(?:lock|unlock|try_lock|lock_shared|unlock_shared|"
+    r"try_lock_shared)\s*\(")
+# Raw standard-library synchronization primitives.
+RAW_STD_SYNC_RE = re.compile(
+    r"std::lock_guard<\s*std::mutex\s*>|std::unique_lock\b|"
+    r"std::(?:mutex|timed_mutex|recursive_mutex|shared_mutex)\s+\w|"
+    r"std::condition_variable\w*\s+\w")
 
 
 def strip_strings(line: str) -> str:
@@ -66,15 +139,54 @@ def strip_trailing_comment(line: str) -> str:
 def lint_file(path: Path, findings: list) -> None:
     rel = path.relative_to(REPO).as_posix()
     text = path.read_text(encoding="utf-8", errors="replace")
+
+    # Identifiers appearing inside any BTRIM_* annotation argument list in
+    # this file: a lock named there guards something (or is required by a
+    # function) and counts as annotated.
+    annotated_names = set()
+    for m in ANNOTATION_ARGS_RE.finditer(text):
+        annotated_names.update(re.findall(r"[A-Za-z_]\w*", m.group(1)))
+    serialization_only = SERIALIZATION_ONLY_LOCKS.get(rel, set())
+
     for lineno, raw_line in enumerate(text.splitlines(), start=1):
         if COMMENT_RE.match(raw_line):
             continue
         line = strip_trailing_comment(strip_strings(raw_line))
 
+        member = LOCK_MEMBER_RE.match(line)
+        if member:
+            name = member.group(1)
+            if name not in annotated_names and name not in serialization_only:
+                findings.append(
+                    (rel, lineno, "unannotated-lock-member",
+                     f"lock member `{name}` is never referenced by a BTRIM_* "
+                     "annotation; add BTRIM_GUARDED_BY users or declare it "
+                     "serialization-only in tools/btrim_lint.py: "
+                     + raw_line.strip()))
+
+        if (DIRECT_LOCK_CALL_RE.search(line)
+                and rel not in DIRECT_LOCK_CALL_ALLOWLIST):
+            findings.append(
+                (rel, lineno, "direct-lock-call",
+                 "direct lock()/unlock() call bypasses the scoped guards "
+                 "(and the lock-order validator hooks); use "
+                 "MutexGuard/SpinLockGuard/RwSpinLock*Guard: "
+                 + raw_line.strip()))
+
+        if RAW_STD_SYNC_RE.search(line) and rel not in RAW_STD_SYNC_ALLOWLIST:
+            findings.append(
+                (rel, lineno, "raw-std-sync",
+                 "raw std synchronization primitive outside common/mutex.h; "
+                 "use btrim::Mutex / MutexGuard / CondVar so thread-safety "
+                 "analysis and the lock-order validator see it: "
+                 + raw_line.strip()))
+
         allocating_new = NEW_RE.search(line) and not PLACEMENT_NEW_RE.search(line)
         if allocating_new or DELETE_RE.search(line):
             allowed = RAW_NEW_ALLOWLIST.get(rel)
-            if allowed is None or (allowed and allowed not in line):
+            # Match against the raw line so a justification comment
+            # (e.g. "// leaked singleton") can satisfy the allowlist.
+            if allowed is None or (allowed and allowed not in raw_line):
                 findings.append(
                     (rel, lineno, "raw-new-delete",
                      "raw new/delete outside the allowlist; use "

@@ -24,6 +24,7 @@
 #include <string>
 #include <vector>
 
+#include "common/lock_order.h"
 #include "common/random.h"
 #include "testing/torture.h"
 
@@ -185,6 +186,19 @@ int main(int argc, char** argv) {
       std::fclose(f);
     }
   }
+
+#if defined(BTRIM_LOCK_ORDER_CHECKS)
+  // Every lock acquisition across every crash-point run fed the lock-order
+  // validator; the acquisition graph must have stayed cycle-free.
+  {
+    auto* validator = btrim::LockOrderValidator::Global();
+    if (validator->ViolationCount() != 0) {
+      std::fprintf(stderr, "lock-order violations observed:\n%s\n",
+                   validator->Report().c_str());
+      failures.emplace_back("lock-order validator reported cycles");
+    }
+  }
+#endif
 
   std::printf(
       "done: %zu crash points, %lld commits verified across runs, "
