@@ -17,6 +17,7 @@ const char* LockRankName(LockRank rank) {
     case LockRank::kTxnShard: return "txn_shard";
     case LockRank::kCatalog: return "catalog";
     case LockRank::kFilePool: return "file_pool";
+    case LockRank::kLockTable: return "lock_table";
     case LockRank::kLockStripe: return "lock_stripe";
     case LockRank::kRidMapStripe: return "rid_map_stripe";
     case LockRank::kHashBucket: return "hash_bucket";
@@ -26,12 +27,14 @@ const char* LockRankName(LockRank rank) {
     case LockRank::kBTreeRoot: return "btree_root";
     case LockRank::kBufferMap: return "buffer_map";
     case LockRank::kPageFrame: return "page_frame";
+    case LockRank::kIndexFreeList: return "index_free_list";
     case LockRank::kGroupCommit: return "group_commit";
     case LockRank::kLogInternal: return "log_internal";
     case LockRank::kDeviceInternal: return "device_internal";
     case LockRank::kFaultPlan: return "fault_plan";
     case LockRank::kAllocShard: return "alloc_shard";
     case LockRank::kGcDeferred: return "gc_deferred";
+    case LockRank::kGcReclaimHooks: return "gc_reclaim_hooks";
     case LockRank::kIlmLastCycle: return "ilm_last_cycle";
     case LockRank::kSamplerThread: return "sampler_thread";
     case LockRank::kSamplerRing: return "sampler_ring";

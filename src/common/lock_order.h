@@ -47,6 +47,8 @@ enum class LockRank : uint16_t {
   // --- Tier 3: catalog and per-row maps ------------------------------------
   kCatalog = 110,      ///< Database::catalog_mu_
   kFilePool = 120,     ///< Database::file_mu_
+  kLockTable = 125,    ///< LockManager::Stripe::table_lock (entry map; taken
+                       ///< before the stripe mutex on every slow path)
   kLockStripe = 130,   ///< LockManager::Stripe::mu
   kRidMapStripe = 140, ///< RidMap::Stripe::lock
   kHashBucket = 150,   ///< HashIndex::Bucket::lock
@@ -56,12 +58,16 @@ enum class LockRank : uint16_t {
 
   // --- Tier 4: page path ----------------------------------------------------
   // Frame latches rank *outside* the buffer map: latch-coupling paths hold a
-  // page latch and block on map_mu_ when fixing the next page. The reverse
-  // nesting inside FixPage (frame latch taken under map_mu_) is a try-lock
-  // asserted free, which records no ordering edge (see OnTryAcquire).
-  kBTreeRoot = 180,   ///< BTree::tree_lock_
-  kPageFrame = 190,   ///< BufferCache frame latches (latch-coupled in-rank)
-  kBufferMap = 200,   ///< BufferCache::map_mu_
+  // page latch and block on a shard mutex when fixing the next page. The
+  // reverse nesting inside FixPage (frame latch taken under the shard mutex)
+  // is a try-lock asserted free, which records no ordering edge (see
+  // OnTryAcquire). kIndexFreeList ranks inside kPageFrame because split
+  // writers allocate pages while holding the leaf latch.
+  kBTreeRoot = 180,      ///< reserved (tree_lock_ retired by the OLC rebuild;
+                         ///< the root pointer is now a lock-free atomic)
+  kPageFrame = 190,      ///< BufferCache frame latches (latch-coupled in-rank)
+  kBufferMap = 200,      ///< BufferCache::Shard::mu (sharded page map)
+  kIndexFreeList = 205,  ///< BTree::pages_mu_ (retired/free page lists)
 
   // --- Tier 5: durability internals -----------------------------------------
   kGroupCommit = 210,     ///< GroupCommitter::mu_
@@ -72,6 +78,8 @@ enum class LockRank : uint16_t {
   // --- Tier 6: leaf bookkeeping ---------------------------------------------
   kAllocShard = 250,    ///< FragmentAllocator shard locks
   kGcDeferred = 260,    ///< ImrsGc::deferred_mu_
+  kGcReclaimHooks = 265,///< ImrsGc::reclaim_mu_ (hook list; hooks run with
+                        ///< it released)
   kIlmLastCycle = 270,  ///< IlmManager::last_cycle_mu_
   kSamplerThread = 280, ///< TimeSeriesSampler::thread_mu_
   kSamplerRing = 290,   ///< TimeSeriesSampler::mu_

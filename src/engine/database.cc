@@ -214,12 +214,19 @@ Result<Table*> Database::CreateTable(TableOptions options) {
   const uint16_t slots_per_page =
       static_cast<uint16_t>(usable / (max_record + 4));
 
-  // Primary index.
+  // Primary index. Each tree's counters join the registry under its table
+  // + index name, and its retired pages drain on the GC cadence via a
+  // reclaim hook (trees live as long as the Database, so the raw pointer
+  // capture is safe).
   Result<uint16_t> pk_file = NewFile(options.name + ".pk");
   if (!pk_file.ok()) return pk_file.status();
   table->primary_ =
       std::make_unique<BTree>(*pk_file, &buffer_cache_, /*unique=*/true);
   BTRIM_RETURN_IF_ERROR(table->primary_->Create());
+  BTRIM_RETURN_IF_ERROR(table->primary_->RegisterMetrics(
+      &metrics_registry_, obs::MetricLabels{"index", options.name, "pk"}));
+  gc_->AddReclaimHook(
+      [tree = table->primary_.get()] { return tree->DrainRetired(); });
 
   // Secondary indexes.
   for (const IndexDef& def : options.secondary_indexes) {
@@ -234,6 +241,11 @@ Result<Table*> Database::CreateTable(TableOptions options) {
     sec.tree = std::make_unique<BTree>(*file, &buffer_cache_,
                                        /*unique=*/def.unique);
     BTRIM_RETURN_IF_ERROR(sec.tree->Create());
+    BTRIM_RETURN_IF_ERROR(sec.tree->RegisterMetrics(
+        &metrics_registry_,
+        obs::MetricLabels{"index", options.name, def.name}));
+    gc_->AddReclaimHook(
+        [tree = sec.tree.get()] { return tree->DrainRetired(); });
     table->secondaries_.push_back(std::move(sec));
   }
 
@@ -777,6 +789,27 @@ DatabaseStats Database::GetStats() const {
   s.buffer_cache = buffer_cache_.GetStats();
   s.imrs_cache = imrs_allocator_.GetStats();
   s.locks = lock_manager_.GetStats();
+  {
+    RwSpinLockReadGuard guard(catalog_mu_);
+    for (const auto& t : tables_) {
+      auto add = [&s](const BTreeStats& b) {
+        s.index.inserts += b.inserts;
+        s.index.deletes += b.deletes;
+        s.index.searches += b.searches;
+        s.index.scans += b.scans;
+        s.index.splits += b.splits;
+        s.index.height = std::max(s.index.height, b.height);
+        s.index.pages_allocated += b.pages_allocated;
+        s.index.olc_restarts += b.olc_restarts;
+        s.index.pessimistic_descents += b.pessimistic_descents;
+        s.index.pages_retired += b.pages_retired;
+        s.index.pages_reclaimed += b.pages_reclaimed;
+        s.index.pages_reused += b.pages_reused;
+      };
+      add(t->primary_->GetStats());
+      for (const auto& sec : t->secondaries_) add(sec.tree->GetStats());
+    }
+  }
   s.gc = gc_->GetStats();
   s.pack = ilm_->pack()->GetStats();
   s.rid_map = rid_map_.GetStats();

@@ -112,6 +112,7 @@ struct DatabaseStats {
   BufferCacheStats buffer_cache;
   FragmentAllocatorStats imrs_cache;
   LockManagerStats locks;
+  BTreeStats index;  ///< Aggregated over every table's B+Trees.
   GcStats gc;
   PackStats pack;
   RidMapStats rid_map;

@@ -68,10 +68,18 @@ std::string FormatDatabaseStats(const DatabaseStats& s) {
           Pct(s.buffer_cache.hits, s.buffer_cache.fixes),
           s.buffer_cache.evictions, s.buffer_cache.latch_contention);
   Appendf(&out,
-          "locks        : %" PRId64 " acquisitions, %" PRId64
-          " waits, %" PRId64 " timeouts, %" PRId64 " cond. denials\n",
-          s.locks.acquisitions, s.locks.waits, s.locks.timeouts,
-          s.locks.try_failures);
+          "locks        : %" PRId64 " acquisitions (%" PRId64
+          " fast), %" PRId64 " waits, %" PRId64 " timeouts, %" PRId64
+          " cond. denials\n",
+          s.locks.acquisitions, s.locks.fast_grants, s.locks.waits,
+          s.locks.timeouts, s.locks.try_failures);
+  Appendf(&out,
+          "index        : %" PRId64 " searches, %" PRId64
+          " inserts, %" PRId64 " splits, %" PRId64 " OLC restarts, %" PRId64
+          " pessimistic, %" PRId64 "/%" PRId64 " pages retired/reclaimed\n",
+          s.index.searches, s.index.inserts, s.index.splits,
+          s.index.olc_restarts, s.index.pessimistic_descents,
+          s.index.pages_retired, s.index.pages_reclaimed);
   Appendf(&out,
           "GC           : %" PRId64 " versions freed (%" PRId64
           " KiB), %" PRId64 " rows purged, %" PRId64 " pending\n",

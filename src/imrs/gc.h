@@ -49,6 +49,7 @@ struct GcStats {
   int64_t rows_enqueued_to_ilm = 0;
   int64_t work_pending = 0;
   int64_t deferred_pending = 0;
+  int64_t index_pages_reclaimed = 0;  ///< Pages recycled via reclaim hooks.
 };
 
 /// Non-blocking garbage collection for the IMRS (paper Sec. II "IMRS-GC").
@@ -99,6 +100,13 @@ class ImrsGc {
   /// snapshot predates `not_before_ts` has finished (used by Pack for the
   /// headers/versions of rows it removed).
   void DeferFree(void* fragment, uint64_t not_before_ts);
+
+  /// Registers an epoch-reclamation hook run at the end of every GC pass.
+  /// The hook returns how many items it reclaimed (e.g. retired B+Tree
+  /// pages whose readers have drained — BTree::DrainRetired). Hooks run
+  /// with no GC locks held and must be safe to call from any pass thread;
+  /// they cannot be unregistered, so the callee must outlive the GC.
+  void AddReclaimHook(std::function<int64_t()> hook);
 
   /// One GC pass. `oldest_snapshot` is
   /// TransactionManager::OldestActiveSnapshot() and `now` the current
@@ -159,8 +167,12 @@ class ImrsGc {
   mutable Mutex deferred_mu_{LockRank::kGcDeferred, "imrs.gc_deferred"};
   std::vector<Deferred> deferred_ BTRIM_GUARDED_BY(deferred_mu_);
 
+  mutable Mutex reclaim_mu_{LockRank::kGcReclaimHooks, "imrs.gc_reclaim"};
+  std::vector<std::function<int64_t()>> reclaim_hooks_
+      BTRIM_GUARDED_BY(reclaim_mu_);
+
   mutable ShardedCounter versions_freed_, bytes_freed_, rows_purged_,
-      rows_enqueued_;
+      rows_enqueued_, index_pages_reclaimed_;
 };
 
 }  // namespace btrim

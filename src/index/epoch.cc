@@ -1,0 +1,98 @@
+#include "index/epoch.h"
+
+#include <cstdint>
+#include <limits>
+
+namespace btrim {
+
+namespace {
+
+struct ThreadSlot {
+  IndexEpochManager::Record* rec = nullptr;
+  uint32_t depth = 0;
+};
+
+// Releases the thread's record back to the manager's free pool on thread
+// exit so long-lived processes with worker churn don't grow the list.
+struct ThreadSlotReleaser {
+  ThreadSlot slot;
+  ~ThreadSlotReleaser() {
+    if (slot.rec != nullptr) {
+      slot.rec->epoch.store(0, std::memory_order_release);
+      slot.rec->owned.store(false, std::memory_order_release);
+    }
+  }
+};
+
+ThreadSlot& Slot() {
+  thread_local ThreadSlotReleaser releaser;
+  return releaser.slot;
+}
+
+}  // namespace
+
+IndexEpochManager* IndexEpochManager::Global() {
+  static IndexEpochManager* instance = new IndexEpochManager();  // leaked singleton
+  return instance;
+}
+
+IndexEpochManager::Record* IndexEpochManager::ClaimRecord() {
+  for (Record* r = head_.load(std::memory_order_acquire); r != nullptr;
+       r = r->next.load(std::memory_order_acquire)) {
+    bool expected = false;
+    if (!r->owned.load(std::memory_order_acquire) &&
+        r->owned.compare_exchange_strong(expected, true,
+                                         std::memory_order_acq_rel)) {
+      return r;
+    }
+  }
+  Record* r = new Record();  // leaked singleton list: records live forever
+  r->owned.store(true, std::memory_order_relaxed);
+  Record* head = head_.load(std::memory_order_relaxed);
+  do {
+    r->next.store(head, std::memory_order_relaxed);
+  } while (!head_.compare_exchange_weak(head, r, std::memory_order_acq_rel,
+                                        std::memory_order_relaxed));
+  return r;
+}
+
+uint64_t IndexEpochManager::MinActive() const {
+  uint64_t min = std::numeric_limits<uint64_t>::max();
+  for (Record* r = head_.load(std::memory_order_acquire); r != nullptr;
+       r = r->next.load(std::memory_order_acquire)) {
+    const uint64_t e = r->epoch.load(std::memory_order_seq_cst);
+    if (e != 0 && e < min) min = e;
+  }
+  return min;
+}
+
+int64_t IndexEpochManager::ActiveReaders() const {
+  int64_t n = 0;
+  for (Record* r = head_.load(std::memory_order_acquire); r != nullptr;
+       r = r->next.load(std::memory_order_acquire)) {
+    if (r->epoch.load(std::memory_order_acquire) != 0) ++n;
+  }
+  return n;
+}
+
+IndexEpochGuard::IndexEpochGuard() {
+  ThreadSlot& s = Slot();
+  if (s.depth++ == 0) {
+    IndexEpochManager* mgr = IndexEpochManager::Global();
+    if (s.rec == nullptr) s.rec = mgr->ClaimRecord();
+    // Publish before any page access; the latch release that follows our
+    // first page read makes this store visible to any later unlinker (see
+    // the safety argument in epoch.h).
+    s.rec->epoch.store(mgr->global_.load(std::memory_order_acquire),
+                       std::memory_order_seq_cst);
+  }
+}
+
+IndexEpochGuard::~IndexEpochGuard() {
+  ThreadSlot& s = Slot();
+  if (--s.depth == 0) {
+    s.rec->epoch.store(0, std::memory_order_release);
+  }
+}
+
+}  // namespace btrim

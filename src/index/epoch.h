@@ -1,0 +1,95 @@
+#ifndef BTRIM_INDEX_EPOCH_H_
+#define BTRIM_INDEX_EPOCH_H_
+
+#include <atomic>
+#include <cstdint>
+
+namespace btrim {
+
+/// Epoch-based reclamation for B+Tree index pages (modeled on ERMIA's
+/// epoch manager; see DESIGN.md Sec. 13.4).
+///
+/// Readers descend the tree optimistically: between releasing one page
+/// latch and fixing the next they hold a bare page number, so a page that
+/// is unlinked from the tree cannot be recycled until every descent that
+/// could have captured its number has finished. Each index operation enters
+/// a read epoch; unlink retires the page stamped with a fresh epoch; the
+/// page number returns to the tree's free list only once the minimum
+/// active reader epoch has advanced past the retire stamp.
+///
+/// Why a retired page is never reused under a live pin: a reader that
+/// captured page P's number did so from a live parent under that parent's
+/// latch, after publishing its epoch slot. The unlinker modifies the parent
+/// under the exclusive latch — ordered after the reader's critical section —
+/// and only then advances the global epoch to stamp P. The global counter is
+/// monotone, so the retire stamp is strictly greater than the reader's
+/// published slot, and MinActive() pins P until that reader exits.
+///
+/// Thread records are claimed from a lock-free list on first use per thread
+/// and recycled on thread exit; Enter/Exit are two atomic stores. The
+/// manager is process-wide: the minimum is taken over index readers of all
+/// trees, which is conservative but keeps descents at zero shared writes
+/// beyond the slot itself.
+class IndexEpochManager {
+ public:
+  static IndexEpochManager* Global();
+
+  IndexEpochManager(const IndexEpochManager&) = delete;
+  IndexEpochManager& operator=(const IndexEpochManager&) = delete;
+
+  /// Advances the global epoch and returns the new value — the retire
+  /// stamp for a page being unlinked.
+  uint64_t Advance() {
+    return global_.fetch_add(1, std::memory_order_seq_cst) + 1;
+  }
+
+  uint64_t CurrentEpoch() const {
+    return global_.load(std::memory_order_acquire);
+  }
+
+  /// Minimum epoch over all threads currently inside an index operation;
+  /// UINT64_MAX when none are. A retired page with stamp <= MinActive() is
+  /// safe to recycle (strictly: stamp e is pinned only by readers that
+  /// entered with slot < e; see class comment).
+  uint64_t MinActive() const;
+
+  /// Number of threads currently inside an index operation (test hook).
+  int64_t ActiveReaders() const;
+
+  // One cache line per reader thread; records are pushed once and never
+  // freed (claimed/recycled via `owned`), bounding the list at the maximum
+  // number of concurrently live threads that ever touched an index.
+  // Public only so the thread-local slot holder in epoch.cc can name it.
+  struct alignas(64) Record {
+    std::atomic<uint64_t> epoch{0};  // 0 = quiescent
+    std::atomic<bool> owned{false};
+    std::atomic<Record*> next{nullptr};
+  };
+
+ private:
+  friend class IndexEpochGuard;
+
+  IndexEpochManager() = default;
+
+  Record* ClaimRecord();
+  static Record* ThreadRecord();
+
+  std::atomic<Record*> head_{nullptr};
+  std::atomic<uint64_t> global_{1};
+};
+
+/// RAII read-epoch pin wrapped around every public BTree operation.
+/// Re-entrant within a thread (only the outermost guard publishes/clears
+/// the slot), so internal restarts or nested tree calls stay pinned.
+class IndexEpochGuard {
+ public:
+  IndexEpochGuard();
+  ~IndexEpochGuard();
+
+  IndexEpochGuard(const IndexEpochGuard&) = delete;
+  IndexEpochGuard& operator=(const IndexEpochGuard&) = delete;
+};
+
+}  // namespace btrim
+
+#endif  // BTRIM_INDEX_EPOCH_H_

@@ -7,6 +7,31 @@
 
 namespace btrim {
 
+namespace {
+
+// SplitMix64 finalizer — PageId encodings are highly regular (file id in
+// the top bits, sequential page numbers below), so shard selection needs a
+// real mixer to avoid aliasing whole files onto one shard.
+uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+// Largest power of two <= min(16, num_frames/16): enough shards to spread
+// foreground fixers, never so many that a shard's LRU becomes too small a
+// sample (>= 16 frames each).
+size_t PickShardCount(size_t num_frames) {
+  size_t limit = num_frames / 16;
+  if (limit > 16) limit = 16;
+  size_t n = 1;
+  while (n * 2 <= limit) n *= 2;
+  return n;
+}
+
+}  // namespace
+
 PageGuard& PageGuard::operator=(PageGuard&& other) noexcept {
   if (this != &other) {
     Release();
@@ -40,10 +65,23 @@ BufferCache::BufferCache(size_t num_frames)
       arena_(std::make_unique<char[]>(num_frames * kPageSize)),
       meta_(num_frames),
       devices_(1 << 16, nullptr) {
-  free_frames_.reserve(num_frames);
-  for (size_t i = 0; i < num_frames; ++i) {
-    free_frames_.push_back(num_frames - 1 - i);
+  const size_t n = PickShardCount(num_frames);
+  shards_.reserve(n);
+  for (size_t s = 0; s < n; ++s) {
+    shards_.push_back(std::make_unique<Shard>());
   }
+  // Round-robin frame ownership: every shard gets an equal slice, and
+  // low-numbered frames are handed out first within each shard.
+  for (size_t i = 0; i < num_frames; ++i) {
+    const size_t frame = num_frames - 1 - i;
+    Shard& s = *shards_[frame % n];
+    meta_[frame].home_shard = static_cast<uint16_t>(frame % n);
+    s.free_frames.push_back(frame);
+  }
+}
+
+BufferCache::Shard& BufferCache::ShardFor(PageId pid) const {
+  return *shards_[Mix64(pid.Encode()) & (shards_.size() - 1)];
 }
 
 BufferCache::~BufferCache() = default;
@@ -58,39 +96,41 @@ Device* BufferCache::device(uint16_t file_id) const {
 
 // Justified suppression: FixPage acquires the frame latch and transfers its
 // ownership to the returned PageGuard (released later in Unfix), an
-// ownership hand-off thread-safety analysis cannot express. The map_mu_
+// ownership hand-off thread-safety analysis cannot express. The shard-mutex
 // critical sections inside still use MutexGuard, so their exclusion is
 // enforced dynamically by the lock-order validator instead.
 Result<PageGuard> BufferCache::FixPage(PageId pid, LatchMode mode)
     BTRIM_NO_THREAD_SAFETY_ANALYSIS {
   fixes_.Inc();
+  Shard& sh = ShardFor(pid);
   size_t frame;
   bool needs_read = false;
   bool counted_miss = false;
 
-  // Eviction write-back happens *outside* map_mu_: a dirty victim is pinned
-  // under the lock, written back under its shared frame latch with the map
-  // unlocked (so concurrent fixes of other pages — including other workers'
-  // evictions — proceed during the device write), and the eviction is then
-  // retried. The retry re-checks everything: the victim may have been
-  // re-fixed or re-dirtied meanwhile, or another thread may have loaded our
-  // page. Keeping the victim in the table during write-back is what makes a
-  // concurrent fix of *that* page a plain hit rather than a stale re-read.
+  // Eviction write-back happens *outside* the shard mutex: a dirty victim
+  // is pinned under the lock, written back under its shared frame latch
+  // with the shard unlocked (so concurrent fixes of other pages — including
+  // other workers' evictions — proceed during the device write), and the
+  // eviction is then retried. The retry re-checks everything: the victim
+  // may have been re-fixed or re-dirtied meanwhile, or another thread may
+  // have loaded our page. Keeping the victim in the table during write-back
+  // is what makes a concurrent fix of *that* page a plain hit rather than a
+  // stale re-read.
   for (;;) {
     size_t victim = 0;
     bool writeback = false;
     {
-      MutexGuard guard(map_mu_);
-      auto it = table_.find(pid.Encode());
-      if (it != table_.end()) {
+      MutexGuard guard(sh.mu);
+      auto it = sh.table.find(pid.Encode());
+      if (it != sh.table.end()) {
         if (!counted_miss) hits_.Inc();
         frame = it->second;
         FrameMeta& m = meta_[frame];
         m.pin_count++;
         if (m.in_lru) {
-          lru_.erase(m.lru_pos);
-          lru_.push_front(frame);
-          m.lru_pos = lru_.begin();
+          sh.lru.erase(m.lru_pos);
+          sh.lru.push_front(frame);
+          m.lru_pos = sh.lru.begin();
         }
         needs_read = false;
         break;
@@ -99,14 +139,14 @@ Result<PageGuard> BufferCache::FixPage(PageId pid, LatchMode mode)
         misses_.Inc();
         counted_miss = true;
       }
-      if (!free_frames_.empty()) {
-        frame = free_frames_.back();
-        free_frames_.pop_back();
+      if (!sh.free_frames.empty()) {
+        frame = sh.free_frames.back();
+        sh.free_frames.pop_back();
       } else {
         // Walk from the LRU end; the first unpinned frame wins. A clean
         // victim is evicted in place; a dirty one is pinned for write-back.
         bool found = false;
-        for (auto vit = lru_.rbegin(); vit != lru_.rend(); ++vit) {
+        for (auto vit = sh.lru.rbegin(); vit != sh.lru.rend(); ++vit) {
           const size_t f = *vit;
           FrameMeta& m = meta_[f];
           if (m.pin_count != 0) continue;
@@ -115,8 +155,8 @@ Result<PageGuard> BufferCache::FixPage(PageId pid, LatchMode mode)
             victim = f;
             writeback = true;
           } else {
-            table_.erase(m.pid.Encode());
-            lru_.erase(std::next(vit).base());
+            sh.table.erase(m.pid.Encode());
+            sh.lru.erase(std::next(vit).base());
             m.in_lru = false;
             m.valid = false;
             evictions_.Inc();
@@ -144,16 +184,16 @@ Result<PageGuard> BufferCache::FixPage(PageId pid, LatchMode mode)
         bool latched = m.latch.try_lock();
         assert(latched);
         (void)latched;
-        table_[pid.Encode()] = frame;
-        lru_.push_front(frame);
-        m.lru_pos = lru_.begin();
+        sh.table[pid.Encode()] = frame;
+        sh.lru.push_front(frame);
+        m.lru_pos = sh.lru.begin();
         m.in_lru = true;
         needs_read = true;
         break;
       }
     }
 
-    // Dirty-victim write-back, map unlocked. Latch shared so a concurrent
+    // Dirty-victim write-back, shard unlocked. Latch shared so a concurrent
     // writer cannot give us a torn image; clear the dirty flag inside the
     // latched region (same protocol as FlushAll) so a redirtying since our
     // write is never swallowed.
@@ -166,7 +206,7 @@ Result<PageGuard> BufferCache::FixPage(PageId pid, LatchMode mode)
     if (ws.ok()) vm.dirty.store(false, std::memory_order_relaxed);
     vm.latch.unlock_shared();
     {
-      MutexGuard guard(map_mu_);
+      MutexGuard guard(sh.mu);
       assert(vm.pin_count > 0);
       vm.pin_count--;
     }
@@ -199,7 +239,7 @@ Result<PageGuard> BufferCache::FixPage(PageId pid, LatchMode mode)
       // dangling frame; only this caller sees the error.
       memset(data, 0, kPageSize);
       m.latch.unlock();
-      MutexGuard guard(map_mu_);
+      MutexGuard guard(sh.mu);
       m.pin_count--;
       return s;
     }
@@ -239,7 +279,7 @@ void BufferCache::Unfix(size_t frame, LatchMode mode)
   } else {
     m.latch.unlock_shared();
   }
-  MutexGuard guard(map_mu_);
+  MutexGuard guard(shards_[m.home_shard]->mu);
   assert(m.pin_count > 0);
   m.pin_count--;
 }
@@ -249,16 +289,17 @@ void BufferCache::MarkFrameDirty(size_t frame) {
 }
 
 Status BufferCache::FlushAll() {
-  // Pin each dirty frame under map_mu_, then write it back with the map
-  // unlocked — the same protocol as FixPage's dirty-victim write-back.
-  // Blocking on a frame latch while holding map_mu_ would invert the
-  // frame-latch -> buffer-map order that latch-coupling fixers rely on
-  // (a guard holder blocked in FixPage on map_mu_ would deadlock with us);
-  // the lock-order validator caught exactly that inversion here.
+  // Pin each dirty frame under its shard mutex, then write it back with the
+  // shard unlocked — the same protocol as FixPage's dirty-victim
+  // write-back. Blocking on a frame latch while holding a shard mutex would
+  // invert the frame-latch -> buffer-map order that latch-coupling fixers
+  // rely on (a guard holder blocked in FixPage on the shard would deadlock
+  // with us); the lock-order validator caught exactly that inversion here.
   for (size_t i = 0; i < num_frames_; ++i) {
     FrameMeta& m = meta_[i];
+    Mutex& mu = shards_[m.home_shard]->mu;
     {
-      MutexGuard guard(map_mu_);
+      MutexGuard guard(mu);
       if (!m.valid || !m.dirty.load(std::memory_order_relaxed)) continue;
       m.pin_count++;  // keeps the frame resident while we write it back
     }
@@ -273,7 +314,7 @@ Status BufferCache::FlushAll() {
     if (s.ok()) m.dirty.store(false, std::memory_order_relaxed);
     m.latch.unlock_shared();
     {
-      MutexGuard guard(map_mu_);
+      MutexGuard guard(mu);
       assert(m.pin_count > 0);
       m.pin_count--;
     }
@@ -288,20 +329,21 @@ Status BufferCache::FlushAll() {
 
 Status BufferCache::DropAll() {
   BTRIM_RETURN_IF_ERROR(FlushAll());
-  MutexGuard guard(map_mu_);
   for (size_t i = 0; i < num_frames_; ++i) {
     FrameMeta& m = meta_[i];
+    Shard& sh = *shards_[m.home_shard];
+    MutexGuard guard(sh.mu);
     if (!m.valid) continue;
     if (m.pin_count != 0) {
       return Status::Busy("DropAll with pinned pages");
     }
-    table_.erase(m.pid.Encode());
+    sh.table.erase(m.pid.Encode());
     if (m.in_lru) {
-      lru_.erase(m.lru_pos);
+      sh.lru.erase(m.lru_pos);
       m.in_lru = false;
     }
     m.valid = false;
-    free_frames_.push_back(i);
+    sh.free_frames.push_back(i);
   }
   return Status::OK();
 }

@@ -93,10 +93,19 @@ class PageGuard {
 /// Fixed-capacity page cache shared by heap files and B+Tree index files.
 ///
 /// Pages are identified by (file_id, page_no); each file_id is backed by a
-/// Device registered with AttachDevice. Replacement is strict LRU over
-/// unpinned frames; dirty victims are written back on eviction. Reading a
-/// page the device has never seen yields a zeroed image, which callers
-/// detect via their page-format magic and initialize.
+/// Device registered with AttachDevice. Reading a page the device has never
+/// seen yields a zeroed image, which callers detect via their page-format
+/// magic and initialize.
+///
+/// The page map is sharded: frames are partitioned round-robin across
+/// shards at construction, a page id hashes to its home shard, and every
+/// map operation (hit lookup, LRU touch, eviction, pin bookkeeping) takes
+/// only that shard's mutex. Replacement is strict LRU *within* a shard —
+/// with frames spread round-robin and page ids hashed, per-shard LRU is a
+/// faithful sample of global LRU — and dirty victims are written back with
+/// the shard unlocked. A shard whose frames are all pinned reports Busy
+/// even if other shards have room; sizing keeps >= 16 frames per shard so
+/// this matches the single-map behavior in practice.
 ///
 /// Per-frame reader-writer latches protect page images. Failed first
 /// attempts at latch acquisition are counted as contention events, both
@@ -136,21 +145,38 @@ class BufferCache {
 
   size_t num_frames() const { return num_frames_; }
 
+  size_t num_shards() const { return shards_.size(); }
+
  private:
   friend class PageGuard;
 
-  // All fields except `dirty` and `latch` are guarded by map_mu_; a nested
-  // struct cannot spell BTRIM_GUARDED_BY(map_mu_) on an outer-class member,
-  // so the contract is documented here and enforced at the access sites.
+  // All fields except `dirty` and `latch` are guarded by the owning shard's
+  // mu (home_shard is immutable after construction); a nested struct cannot
+  // spell BTRIM_GUARDED_BY on an outer-class member, so the contract is
+  // documented here and enforced at the access sites.
   struct FrameMeta {
-    PageId pid{};            // guarded by map_mu_
-    bool valid = false;      // guarded by map_mu_
+    PageId pid{};            // guarded by shard mu
+    bool valid = false;      // guarded by shard mu
     std::atomic<bool> dirty{false};
-    uint32_t pin_count = 0;  // guarded by map_mu_
+    uint32_t pin_count = 0;  // guarded by shard mu
     RwSpinLock latch{LockRank::kPageFrame, "page.frame"};
-    std::list<size_t>::iterator lru_pos;  // guarded by map_mu_
-    bool in_lru = false;                  // guarded by map_mu_
+    std::list<size_t>::iterator lru_pos;  // guarded by shard mu
+    bool in_lru = false;                  // guarded by shard mu
+    uint16_t home_shard = 0;              // immutable after construction
   };
+
+  // Shard mutexes share rank kBufferMap; no code path holds two shards at
+  // once (every map operation resolves its single home shard first).
+  struct Shard {
+    mutable Mutex mu{LockRank::kBufferMap, "page.buffer_map"};
+    // PageId.Encode() -> frame
+    std::unordered_map<uint64_t, size_t> table BTRIM_GUARDED_BY(mu);
+    // front = MRU, back = LRU
+    std::list<size_t> lru BTRIM_GUARDED_BY(mu);
+    std::vector<size_t> free_frames BTRIM_GUARDED_BY(mu);
+  };
+
+  Shard& ShardFor(PageId pid) const;
 
   void Unfix(size_t frame, LatchMode mode);
   void MarkFrameDirty(size_t frame);
@@ -158,13 +184,7 @@ class BufferCache {
   const size_t num_frames_;
   std::unique_ptr<char[]> arena_;  // num_frames_ * kPageSize
   std::vector<FrameMeta> meta_;
-
-  mutable Mutex map_mu_{LockRank::kBufferMap, "page.buffer_map"};
-  // PageId.Encode() -> frame
-  std::unordered_map<uint64_t, size_t> table_ BTRIM_GUARDED_BY(map_mu_);
-  // front = MRU, back = LRU
-  std::list<size_t> lru_ BTRIM_GUARDED_BY(map_mu_);
-  std::vector<size_t> free_frames_ BTRIM_GUARDED_BY(map_mu_);
+  std::vector<std::unique_ptr<Shard>> shards_;  // size is a power of two
 
   std::vector<Device*> devices_;  // indexed by file_id
 

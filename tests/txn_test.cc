@@ -87,6 +87,54 @@ TEST_F(LockManagerTest, BlockedAcquireWakesOnRelease) {
   EXPECT_GE(lm_.GetStats().waits, 1);
 }
 
+TEST_F(LockManagerTest, PendingUpgradeBlocksNewSharedGrants) {
+  // Regression: a shared->exclusive upgrader must not starve behind a
+  // steady stream of new shared grants. Once txn 2's blocking upgrade is
+  // waiting, a *new* shared request from txn 3 is refused until the
+  // upgrade resolves.
+  ASSERT_TRUE(lm_.Acquire(1, 7, LockMode::kShared, 10).ok());
+  ASSERT_TRUE(lm_.Acquire(2, 7, LockMode::kShared, 10).ok());
+  const int64_t waits_before = lm_.GetStats().waits;
+  std::thread upgrader([&] {
+    Status s = lm_.Acquire(2, 7, LockMode::kExclusive, 5000);
+    EXPECT_TRUE(s.ok());
+  });
+  // Wait until the upgrade is registered (it counts as a blocked wait).
+  while (lm_.GetStats().waits == waits_before) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_TRUE(lm_.TryAcquire(3, 7, LockMode::kShared).IsBusy());
+  EXPECT_TRUE(lm_.Acquire(3, 7, LockMode::kShared, 50).IsAborted());
+  lm_.Release(1, 7);  // last other reader drains; upgrade grants
+  upgrader.join();
+  EXPECT_TRUE(lm_.Holds(2, 7, LockMode::kExclusive));
+  // Upgrade resolved: shared requests flow again once 2 releases.
+  lm_.Release(2, 7);
+  EXPECT_TRUE(lm_.Acquire(3, 7, LockMode::kShared, 10).ok());
+  lm_.Release(3, 7);
+}
+
+TEST_F(LockManagerTest, DeniedTryUpgradeDoesNotBlockReaders) {
+  // TryAcquire never registers upgrade intent: a Pack-style conditional
+  // upgrade that loses must leave no pending claim behind.
+  ASSERT_TRUE(lm_.Acquire(1, 8, LockMode::kShared, 10).ok());
+  ASSERT_TRUE(lm_.Acquire(2, 8, LockMode::kShared, 10).ok());
+  EXPECT_TRUE(lm_.TryAcquire(1, 8, LockMode::kExclusive).IsBusy());
+  EXPECT_TRUE(lm_.Acquire(3, 8, LockMode::kShared, 10).ok());
+  lm_.Release(1, 8);
+  lm_.Release(2, 8);
+  lm_.Release(3, 8);
+}
+
+TEST_F(LockManagerTest, FastPathGrantsAreCounted) {
+  // Uncontended exclusive locks take the atomic fast path.
+  ASSERT_TRUE(lm_.Acquire(1, 100, LockMode::kExclusive, 10).ok());
+  lm_.Release(1, 100);
+  ASSERT_TRUE(lm_.TryAcquire(2, 100, LockMode::kExclusive).ok());
+  lm_.Release(2, 100);
+  EXPECT_GE(lm_.GetStats().fast_grants, 2);
+}
+
 TEST_F(LockManagerTest, DistinctLocksDontInterfere) {
   ASSERT_TRUE(lm_.Acquire(1, 1, LockMode::kExclusive, 10).ok());
   ASSERT_TRUE(lm_.Acquire(2, 2, LockMode::kExclusive, 10).ok());

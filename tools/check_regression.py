@@ -26,6 +26,17 @@ absolute throughput depends on the runner, so the gate checks *shape*:
      simulated so the workload is latency-bound on any runner), and
      packed bytes/cycle — deterministic by construction — must not
      regress against the checked-in bench/BENCH_micro_pack.json.
+  6. Optionally (--index-current/--index-baseline), a `micro_index --out`
+     JSON is gated on the OLC read-scaling property: point_read tps at 8
+     threads must be >= 3x the 1-thread cell, and TPC-C tps at 8 workers
+     must be >= the 1-worker cell. Index reads are CPU-bound (not
+     simulated-latency-bound like pack), so these ratios only exist where
+     the hardware can express them: the floors scale with the hw_threads
+     field the bench records (>= 4 hw threads -> full floors; 2-3 ->
+     1.4x reads only; 1 -> liveness and shape checks only). The
+     single-threaded insert cell's splits-per-insert — deterministic by
+     construction — must also stay within threshold of the checked-in
+     bench/BENCH_micro_index.json.
 
 Exit 0 when green; exit 1 with one line per violation otherwise.
 """
@@ -66,6 +77,13 @@ REQUIRED_METRICS = [
     "partition.mode",
     "tpcc.committed", "tpcc.system_aborts", "tpcc.user_aborts",
     "tpcc.latency_us",
+    # OLC index + lock-table fast path (stats_printer's index/locks lines).
+    "index.searches", "index.inserts", "index.splits",
+    "index.olc_restarts", "index.pessimistic_descents",
+    "index.pages_retired", "index.pages_reclaimed",
+    "locks.fast_grants", "locks.wait_us", "locks.waiting_txns",
+    "locks.contended_stripes",
+    "gc.index_pages_reclaimed",
 ]
 
 FSYNC_EPSILON = 0.05  # absolute slack for near-zero fsyncs/commit cells
@@ -169,6 +187,72 @@ def check_pack(current, baseline, threshold, errors):
                 f"(floor {floor:.0f})")
 
 
+# Point-read throughput ratio, 8 threads over 1, and the TPC-C 8w/1w
+# floor. Mirrored in bench/micro_index.cc's --smoke gate — keep in sync.
+INDEX_READ_SCALING_FLOOR = 3.0   # enforced when hw_threads >= 4
+INDEX_READ_SCALING_FLOOR_2T = 1.4  # enforced when hw_threads in [2, 3]
+TPCC_SCALING_FLOOR = 1.0         # enforced when hw_threads >= 4
+
+
+def check_index(current, baseline, threshold, errors):
+    def by_key(doc):
+        return {(c["mode"], c["threads"]): c for c in doc["results"]}
+
+    cur = by_key(current)
+    base = by_key(baseline)
+    hw = int(current.get("hw_threads", 1))
+
+    # Gate 1: liveness. Every cell must have done work at a nonzero rate.
+    for key, c in sorted(cur.items()):
+        if c["ops"] <= 0 or c["tps"] <= 0:
+            errors.append(f"micro_index {key}: cell did no work")
+
+    # Gate 2: read scaling, where the hardware can express it. Shared-latch
+    # descents are the whole point of the OLC rewrite; a return to a
+    # serializing tree lock shows up as a flat ratio on any multi-core box.
+    one = cur.get(("point_read", 1))
+    eight = cur.get(("point_read", 8))
+    if one is None or eight is None:
+        errors.append("micro_index: missing point_read 1- or 8-thread cell")
+    elif one["tps"] > 0:
+        floor = (INDEX_READ_SCALING_FLOOR if hw >= 4 else
+                 INDEX_READ_SCALING_FLOOR_2T if hw >= 2 else 0.0)
+        ratio = eight["tps"] / one["tps"]
+        if floor > 0 and ratio < floor:
+            errors.append(
+                f"micro_index: point-read throughput at 8 threads is only "
+                f"{ratio:.2f}x 1-thread (floor {floor:.1f}x on "
+                f"{hw} hw threads)")
+        print(f"micro_index: point-read 8t/1t = {ratio:.2f}x "
+              f"(floor {floor:.1f}x on {hw} hw threads)")
+
+    # Gate 3: the TPC-C floor — eight terminals must not run slower than
+    # one through the full engine (locks, WAL, index) on real parallelism.
+    t1 = cur.get(("tpcc", 1))
+    t8 = cur.get(("tpcc", 8))
+    if t1 is not None and t8 is not None and t1["tps"] > 0 and hw >= 4:
+        ratio = t8["tps"] / t1["tps"]
+        if ratio < TPCC_SCALING_FLOOR:
+            errors.append(
+                f"micro_index: TPC-C at 8 workers is {ratio:.2f}x 1-worker "
+                f"(floor {TPCC_SCALING_FLOOR:.1f}x)")
+
+    # Gate 4: single-threaded splits-per-insert vs the checked-in baseline.
+    # The 1-thread insert cell is deterministic (same keys, same order), so
+    # structural drift — e.g. splits suddenly cascading — is a tight check.
+    key = ("insert", 1)
+    if key in cur and key in base:
+        c, b = cur[key], base[key]
+        if c["ops"] > 0 and b["ops"] > 0 and b["splits"] > 0:
+            cur_rate = c["splits"] / c["ops"]
+            base_rate = b["splits"] / b["ops"]
+            if cur_rate > base_rate * (1.0 + threshold):
+                errors.append(
+                    f"micro_index: splits/insert regressed "
+                    f"{base_rate:.5f} -> {cur_rate:.5f} "
+                    f"(> {threshold:.0%} above baseline)")
+
+
 def check_metrics_coverage(metrics_doc, errors):
     names = {m["name"] for m in metrics_doc["metrics"]}
     missing = [n for n in REQUIRED_METRICS if n not in names]
@@ -181,9 +265,9 @@ def check_metrics_coverage(metrics_doc, errors):
 
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--current", required=True,
+    parser.add_argument("--current",
                         help="micro_commit --out JSON from this run")
-    parser.add_argument("--baseline", required=True,
+    parser.add_argument("--baseline",
                         help="checked-in bench/BENCH_micro_commit.json")
     parser.add_argument("--metrics",
                         help="optional metrics export (tpcc_cli --metrics-out)"
@@ -192,16 +276,28 @@ def main():
                         help="micro_pack --smoke --out JSON from this run")
     parser.add_argument("--pack-baseline",
                         help="checked-in bench/BENCH_micro_pack.json")
+    parser.add_argument("--index-current",
+                        help="micro_index --out JSON from this run")
+    parser.add_argument("--index-baseline",
+                        help="checked-in bench/BENCH_micro_index.json")
     parser.add_argument("--threshold", type=float, default=0.25,
                         help="relative regression tolerance (default 0.25)")
     args = parser.parse_args()
 
+    if not (args.current or args.pack_current or args.index_current
+            or args.metrics):
+        parser.error("nothing to check: pass --current, --pack-current, "
+                     "--index-current, and/or --metrics")
+
     errors = []
-    with open(args.current) as f:
-        current = json.load(f)
-    with open(args.baseline) as f:
-        baseline = json.load(f)
-    check_bench(current, baseline, args.threshold, errors)
+    if args.current:
+        if not args.baseline:
+            parser.error("--current requires --baseline")
+        with open(args.current) as f:
+            current = json.load(f)
+        with open(args.baseline) as f:
+            baseline = json.load(f)
+        check_bench(current, baseline, args.threshold, errors)
 
     if args.pack_current:
         with open(args.pack_current) as f:
@@ -211,6 +307,15 @@ def main():
             with open(args.pack_baseline) as f:
                 pack_baseline = json.load(f)
         check_pack(pack_current, pack_baseline, args.threshold, errors)
+
+    if args.index_current:
+        with open(args.index_current) as f:
+            index_current = json.load(f)
+        index_baseline = {"results": []}
+        if args.index_baseline:
+            with open(args.index_baseline) as f:
+                index_baseline = json.load(f)
+        check_index(index_current, index_baseline, args.threshold, errors)
 
     if args.metrics:
         with open(args.metrics) as f:
