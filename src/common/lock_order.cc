@@ -5,6 +5,7 @@ namespace btrim {
 const char* LockRankName(LockRank rank) {
   switch (rank) {
     case LockRank::kUnranked: return "unranked";
+    case LockRank::kCheckpointGate: return "checkpoint_gate";
     case LockRank::kBackgroundQuiesce: return "background_quiesce";
     case LockRank::kIlmTick: return "ilm_tick";
     case LockRank::kGcPass: return "gc_pass";
@@ -33,6 +34,7 @@ const char* LockRankName(LockRank rank) {
     case LockRank::kDeviceInternal: return "device_internal";
     case LockRank::kFaultPlan: return "fault_plan";
     case LockRank::kAllocShard: return "alloc_shard";
+    case LockRank::kCheckpointStash: return "checkpoint_stash";
     case LockRank::kGcDeferred: return "gc_deferred";
     case LockRank::kGcReclaimHooks: return "gc_reclaim_hooks";
     case LockRank::kIlmLastCycle: return "ilm_last_cycle";

@@ -27,6 +27,9 @@ enum class LockRank : uint16_t {
   kUnranked = 0,
 
   // --- Tier 0: background orchestration gates -----------------------------
+  kCheckpointGate = 5,      ///< Database::checkpoint_mu_ (one checkpointer at
+                            ///< a time; held across a shared background_rw_
+                            ///< hold, hence the outermost rank)
   kBackgroundQuiesce = 10,  ///< Database::background_rw_
   kIlmTick = 20,            ///< Database::ilm_tick_mu_
   kGcPass = 30,             ///< Database::gc_pass_mu_
@@ -77,6 +80,9 @@ enum class LockRank : uint16_t {
 
   // --- Tier 6: leaf bookkeeping ---------------------------------------------
   kAllocShard = 250,    ///< FragmentAllocator shard locks
+  kCheckpointStash = 255, ///< Database::CheckpointState::stash_mu (CoW
+                          ///< pre-image side buffer; leaf — no lock is ever
+                          ///< taken while it is held)
   kGcDeferred = 260,    ///< ImrsGc::deferred_mu_
   kGcReclaimHooks = 265,///< ImrsGc::reclaim_mu_ (hook list; hooks run with
                         ///< it released)

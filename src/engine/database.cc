@@ -77,10 +77,12 @@ Status Database::Init() {
   // IMRS.
   imrs_ = std::make_unique<ImrsStore>(&imrs_allocator_, &rid_map_);
 
-  // Shared background worker pool: pack-cycle fan-out and GC shard drains
-  // both run on it (one knob, one set of threads). <= 1 workers means a
-  // no-thread pool whose RunTasks executes inline on the caller.
-  background_pool_ = std::make_unique<ThreadPool>(options_.pack_workers);
+  // Shared background worker pool: pack-cycle fan-out, GC shard drains, and
+  // recovery replay shards all run on it (one knob set, one set of
+  // threads). <= 1 workers means a no-thread pool whose RunTasks executes
+  // inline on the caller.
+  background_pool_ = std::make_unique<ThreadPool>(
+      std::max(options_.pack_workers, options_.recovery_workers));
 
   // ILM (needs `this` as PackClient).
   ilm_ = std::make_unique<IlmManager>(options_.ilm, &imrs_allocator_, this);
@@ -135,6 +137,22 @@ Status Database::RegisterAllMetrics() {
   BTRIM_RETURN_IF_ERROR(rid_map_.RegisterMetrics(r, "imrs"));
   BTRIM_RETURN_IF_ERROR(imrs_allocator_.RegisterMetrics(r, "imrs"));
   BTRIM_RETURN_IF_ERROR(ilm_->RegisterMetrics(r));
+  const obs::MetricLabels ckpt{"checkpoint", "", ""};
+  BTRIM_RETURN_IF_ERROR(r->RegisterCounter("checkpoint.completed", ckpt,
+                                           &ckpt_.completed));
+  BTRIM_RETURN_IF_ERROR(r->RegisterCounter("checkpoint.snapshot_rows", ckpt,
+                                           &ckpt_.snapshot_rows));
+  BTRIM_RETURN_IF_ERROR(r->RegisterCounter("checkpoint.stashed_rows", ckpt,
+                                           &ckpt_.stashed_rows));
+  BTRIM_RETURN_IF_ERROR(r->RegisterGaugeFn(
+      "checkpoint.last_pause_us", ckpt,
+      [this] { return ckpt_.last_pause_us.load(std::memory_order_relaxed); }));
+  BTRIM_RETURN_IF_ERROR(r->RegisterGaugeFn(
+      "checkpoint.max_pause_us", ckpt,
+      [this] { return ckpt_.max_pause_us.load(std::memory_order_relaxed); }));
+  BTRIM_RETURN_IF_ERROR(r->RegisterGaugeFn(
+      "checkpoint.last_total_us", ckpt,
+      [this] { return ckpt_.last_total_us.load(std::memory_order_relaxed); }));
   const obs::MetricLabels pool{"pool", "", ""};
   BTRIM_RETURN_IF_ERROR(r->RegisterCounter("pool.tasks_executed", pool,
                                            background_pool_->tasks_executed()));
@@ -409,43 +427,6 @@ void Database::RunIlmTickOnce() {
   ParanoidValidate();
 }
 
-Status Database::Checkpoint() {
-  obs::TraceSpan span(obs::TraceRing::Global(), "checkpoint", "engine");
-  // Coarse quiescence: no pack relocation or GC purge may move rows
-  // between stores while the flush + sync barrier + truncate sequence
-  // establishes its durability point.
-  RwSpinLockWriteGuard quiesce(background_rw_);
-  BTRIM_RETURN_IF_ERROR(buffer_cache_.FlushAll());
-  // WAL rule at the durability boundary: a data page must not become
-  // durable before the log records describing its changes. Force both logs
-  // down before the device sync barrier (unconditional: checkpoint is the
-  // periodic durability point even under kNoSync).
-  BTRIM_RETURN_IF_ERROR(syslogs_->SyncStorage());
-  BTRIM_RETURN_IF_ERROR(sysimrslogs_->SyncStorage());
-  for (const auto& dev : devices_) {
-    if (dev != nullptr) BTRIM_RETURN_IF_ERROR(dev->Sync());
-  }
-  LogRecord rec;
-  rec.type = LogRecordType::kCheckpoint;
-  BTRIM_RETURN_IF_ERROR(syslogs_->AppendRecord(rec));
-  // Quiescent contract: no active transactions -> every logged page-store
-  // change is reflected in the flushed pages, so syslogs can restart.
-  if (txn_manager_.GetStats().active == 0) {
-    // Truncating syslogs also discards the winner evidence that flagged
-    // (mixed-store) IMRS commit groups are arbitrated against at recovery.
-    // Write a durable marker into sysimrslogs first: groups committed
-    // before the marker predate this quiescent point, their page-store
-    // effects are in the just-synced pages, and recovery applies them
-    // unconditionally (see recovery.cc).
-    LogRecord marker;
-    marker.type = LogRecordType::kCheckpoint;
-    BTRIM_RETURN_IF_ERROR(sysimrslogs_->AppendRecord(marker));
-    BTRIM_RETURN_IF_ERROR(sysimrslogs_->SyncStorage());
-    BTRIM_RETURN_IF_ERROR(syslogs_->Truncate());
-  }
-  return Status::OK();
-}
-
 PackBatchOutcome Database::PackBatch(PartitionState* partition,
                                      const std::vector<ImrsRow*>& batch,
                                      std::vector<ImrsRow*>* requeue) {
@@ -596,6 +577,10 @@ PackBatchOutcome Database::PackBatch(PartitionState* partition,
     AppendLogRecord(txn->imrs_redo_buffer(), pack_rec);
     txn->CountImrsRecord();
 
+    // CoW hook: an in-flight overlapped checkpoint may not have reached
+    // this row's RID-map stripe yet — stash its snapshot-visible pre-image
+    // before the erase makes the walk miss it (checkpoint.cc).
+    StashCheckpointPreImage(row);
     row->SetFlag(kRowPacked);
     rid_map_.Erase(row->rid);
     if (table->hash_index() != nullptr) {
@@ -731,9 +716,15 @@ Result<int64_t> Database::PrewarmTable(Table* table) {
 
 bool Database::PurgePageStoreHome(ImrsRow* row) {
   Table* table = GetTable(row->table_id);
-  if (table == nullptr) return true;
+  if (table == nullptr) {
+    StashCheckpointPreImage(row);  // every true return leads to a GC purge
+    return true;
+  }
   TablePartition* tpart = table->PartitionForRid(row->rid);
-  if (tpart == nullptr) return true;
+  if (tpart == nullptr) {
+    StashCheckpointPreImage(row);
+    return true;
+  }
 
   std::unique_ptr<Transaction> txn = Begin();
   if (!txn->TryAcquireLock(row->rid.Encode(), LockMode::kExclusive).ok()) {
@@ -780,6 +771,12 @@ bool Database::PurgePageStoreHome(ImrsRow* row) {
   }
   Status s = Commit(txn.get());
   (void)s;  // either way is crash-consistent: kPsDelete is undone if loser
+  // Returning true tells GC to purge the row from the IMRS. If an
+  // overlapped checkpoint is mid-walk, its snapshot must keep the tombstone:
+  // the kPsDelete just committed may still be a loser after a crash (commit
+  // record not yet durable), and then only the snapshotted tombstone masks
+  // the resurrected page-store home (checkpoint.cc).
+  StashCheckpointPreImage(row);
   return true;
 }
 

@@ -71,6 +71,13 @@ struct DatabaseOptions {
   /// thread — the deterministic baseline).
   int pack_workers = 1;
 
+  /// Worker threads for sharded log replay during Recover(). Replay fans
+  /// out across the background pool by RID hash (16 shards, matching GC);
+  /// <= 1 replays every shard inline in shard order — the deterministic
+  /// baseline the parallel paths are checked against. 0 inherits
+  /// pack_workers so one knob sizes the whole background pool.
+  int recovery_workers = 0;
+
   /// Lock wait budget before timeout-abort (deadlock resolution).
   int64_t lock_timeout_ms = 1000;
 
@@ -104,6 +111,10 @@ struct ValidateReport {
   int64_t queued_rows = 0;        ///< rows found across all ILM queues
   int64_t partitions_checked = 0;
   int64_t page_homes_checked = 0; ///< page-store slot existence probes
+  /// False when the gauge phase was skipped because foreground transactions
+  /// were running (tolerant validation only compares gauges when provably
+  /// no transaction overlapped the walk).
+  bool gauges_checked = false;
 };
 
 /// Aggregate engine statistics snapshot (feeds the experiment harness).
@@ -195,9 +206,21 @@ class Database : public PackClient {
   /// Runs one synchronous ILM background tick (TSF/tuning/pack).
   void RunIlmTickOnce();
 
-  /// Flushes the buffer cache and (quiescently) truncates syslogs. The
-  /// IMRS log is never truncated: IMRS contents are recovered by redo-only
-  /// replay (paper Sec. II).
+  /// Overlapped consistent-snapshot checkpoint (DESIGN.md Sec. 14).
+  ///
+  /// The only foreground stall is the begin barrier: a brief
+  /// PauseNewTransactions drain that turns the snapshot epoch into a clean
+  /// cut (every commit with cts <= epoch is fully applied in memory).
+  /// Everything after — the RID-map snapshot walk, chunked snapshot-row
+  /// appends to sysimrslogs, buffer-cache flush, device syncs — runs with
+  /// commits, pack, and GC proceeding concurrently. The snapshot epoch is
+  /// pinned into the GC horizon for the duration, and pack stashes the
+  /// snapshot-visible pre-image of any row it evicts mid-walk into a side
+  /// buffer the checkpointer drains before writing the end record.
+  ///
+  /// Concludes with an opportunistic quiescent syslogs truncation when no
+  /// transactions are active (the page-store log still needs quiescence to
+  /// truncate — undo of in-flight transactions lives there).
   Status Checkpoint();
 
   /// Rebuilds page store, IMRS, and all indexes from the two logs. Call on
@@ -227,13 +250,15 @@ class Database : public PackClient {
   /// Cross-structure invariant checker (src/engine/validate.cc): verifies
   /// RID-map <-> IMRS version chains <-> page-store slots <-> ILM queue
   /// membership <-> partition byte/row counters. Requires quiescence
-  /// (returns Busy while transactions are active); excludes background GC
-  /// and pack for the duration of the walk. Returns Corruption with a
-  /// description of the first violation.
+  /// (returns Busy while transactions are active); excludes pack cycles and
+  /// GC passes via their serialization mutexes — background_rw_ is only
+  /// held *shared*, so a checkpoint in flight no longer blocks validation
+  /// and vice versa. Returns Corruption with a description of the first
+  /// violation.
   ///
-  /// Built with -DBTRIM_PARANOID_CHECKS=ON, the engine also runs this after
-  /// every pack cycle that reaches a quiescent point and aborts the process
-  /// on violation.
+  /// Built with -DBTRIM_PARANOID_CHECKS=ON, the engine also runs a tolerant
+  /// variant after every pack cycle (no foreground pause, uncommitted heads
+  /// allowed) and aborts the process on violation.
   Status ValidateInvariants(ValidateReport* report = nullptr);
 
   /// --- introspection ---------------------------------------------------------
@@ -334,13 +359,37 @@ class Database : public PackClient {
 
   /// --- invariant checking (validate.cc) -----------------------------------
 
-  /// Body of ValidateInvariants; caller holds background_rw_ exclusive.
-  Status ValidateLocked(ValidateReport* report) BTRIM_REQUIRES(background_rw_);
+  /// Body of ValidateInvariants. Caller holds background_rw_ shared plus
+  /// ilm_tick_mu_ and gc_pass_mu_ (equivalent exclusion of pack and GC:
+  /// every pack runs inside a tick, every GC pass inside a pass), and has
+  /// the foreground paused unless `tolerant` is set. Tolerant mode accepts
+  /// transient states a concurrent foreground can produce (uncommitted
+  /// chain heads, in-flight queue membership) and skips the partition
+  /// gauge cross-check.
+  Status ValidateLocked(ValidateReport* report, bool tolerant)
+      BTRIM_REQUIRES_SHARED(background_rw_)
+          BTRIM_REQUIRES(ilm_tick_mu_, gc_pass_mu_);
 
-  /// Paranoid-build hook run after each pack cycle: opportunistically takes
-  /// background_rw_ exclusive, validates when quiescent, aborts on
-  /// corruption. No-op unless compiled with BTRIM_PARANOID_CHECKS.
+  /// Paranoid-build hook run after each pack cycle: validates tolerantly
+  /// under try-locked tick/pass mutexes (never pausing the foreground),
+  /// aborts on corruption. No-op unless compiled with BTRIM_PARANOID_CHECKS.
   void ParanoidValidate();
+
+  /// --- overlapped checkpoint (checkpoint.cc) -------------------------------
+
+  /// Pack's CoW hook: called (before the RID-map erase) for every row pack
+  /// is about to evict from the IMRS. If a checkpoint is active and the row
+  /// has a version visible at the snapshot epoch, its pre-image is
+  /// serialized into the checkpoint side buffer so the snapshot walk cannot
+  /// miss it. Cheap no-op (one relaxed load) when no checkpoint runs.
+  void StashCheckpointPreImage(ImrsRow* row);
+
+  /// Serializes the snapshot-visible version of `row` (live or tombstone)
+  /// as a kImrsSnapshotRow/Del record into `dst`. Returns false when the
+  /// row has no committed version at `snapshot_ts` (born later, or fully
+  /// uncommitted) — such rows are outside the snapshot.
+  bool AppendSnapshotRecord(ImrsRow* row, uint64_t snapshot_ts,
+                            std::string* dst);
 
   /// --- members ------------------------------------------------------------
 
@@ -403,6 +452,35 @@ class Database : public PackClient {
   Mutex gc_pass_mu_{LockRank::kGcPass, "engine.gc_pass"};
   std::atomic<bool> background_running_{false};
   std::vector<std::thread> background_threads_;
+
+  // Overlapped checkpoint (checkpoint.cc; DESIGN.md Sec. 14). checkpoint_mu_
+  // admits one checkpointer at a time and ranks outermost because the
+  // checkpointer takes background_rw_ shared (and much else) under it.
+  Mutex checkpoint_mu_{LockRank::kCheckpointGate, "engine.checkpoint_gate"};
+  struct CheckpointState {
+    /// A checkpoint is between its begin barrier and its stash drain.
+    /// Written under stash_mu (so the pack-side re-check under stash_mu is
+    /// race-free); read lock-free on the pack fast path.
+    std::atomic<bool> active{false};
+    /// The in-flight checkpoint's snapshot epoch (valid while active).
+    std::atomic<uint64_t> snapshot_ts{0};
+    /// CoW side buffer: serialized kImrsSnapshotRow/Del records for rows
+    /// pack evicted after the begin barrier (the snapshot walk may already
+    /// have passed their RID-map stripe). Leaf lock; drained by the
+    /// checkpointer before the end record.
+    SpinLock stash_mu{LockRank::kCheckpointStash, "engine.checkpoint_stash"};
+    std::string stash BTRIM_GUARDED_BY(stash_mu);
+    int64_t stash_records BTRIM_GUARDED_BY(stash_mu) = 0;
+
+    // Metrics (registered as checkpoint.* in RegisterAllMetrics).
+    ShardedCounter completed;      ///< checkpoints finished
+    ShardedCounter snapshot_rows;  ///< snapshot records written (walk+stash)
+    ShardedCounter stashed_rows;   ///< of which came through the CoW stash
+    std::atomic<int64_t> last_pause_us{0};  ///< begin-barrier stall, last run
+    std::atomic<int64_t> max_pause_us{0};   ///< ... and the process-wide max
+    std::atomic<int64_t> last_total_us{0};  ///< wall time of the whole call
+  };
+  CheckpointState ckpt_;
 
   // Engine-level ISUD routing counters (hit-rate reporting, Fig. 1).
   mutable ShardedCounter imrs_ops_, page_ops_;

@@ -1,7 +1,7 @@
 // Cross-structure invariant checker (the BTRIM_PARANOID_CHECKS machinery).
 //
-// Verifies, under quiescence, that the redundant views the engine keeps of
-// every IMRS-resident row agree with each other:
+// Verifies that the redundant views the engine keeps of every IMRS-resident
+// row agree with each other:
 //
 //   RID-map entry  <->  ImrsRow identity + flags
 //   version chain  <->  commit-timestamp ordering, no uncommitted versions
@@ -15,11 +15,27 @@
 //                       queue in the kSingleGlobal ablation mode)
 //   partition gauges <-> sum of fragment footprints / live-row counts
 //
-// Callers: Database::ValidateInvariants (tests, experiments) and the
-// paranoid post-pack hook. Both hold background_rw_ exclusively (no GC pass,
-// ILM tick or pack cycle runs concurrently) and the transaction-manager
-// quiescence gate (no transaction is active and none can begin), so raw
-// ImrsRow pointers collected from the RID-map stay valid for the whole walk.
+// Locking: ValidateLocked requires background_rw_ SHARED plus ilm_tick_mu_
+// and gc_pass_mu_. Holding the two pass mutexes excludes exactly the
+// mutators that would break a walk — pack cycles (inside ILM ticks) and GC
+// passes — without quiescing the whole engine the way the old exclusive
+// background_rw_ hold did, so an overlapped checkpoint (shared
+// background_rw_) and validation can coexist. Every structure the checker
+// dereferences stays valid under those two mutexes alone: rows and versions
+// freed by foreground aborts go through gc_->DeferFree, and the deferred
+// list drains only inside GC passes, which we exclude.
+//
+// Two strictness levels share the walk:
+//
+//   strict  (ValidateInvariants): also pauses the transaction gate, so the
+//           engine is fully idle; every check runs, any disagreement is
+//           corruption.
+//   tolerant (ParanoidValidate):  foreground commits keep flowing. Checks
+//           that can legitimately disagree mid-transaction are skipped:
+//           the RID-map size counter (racing inserts), uncommitted
+//           versions (a prepended version is stamped only at commit), the
+//           hash index (mid-commit upsert/erase), and the partition gauges
+//           unless provably no transaction overlapped the walk.
 
 #include <cinttypes>
 #include <cstdio>
@@ -49,7 +65,11 @@ constexpr int64_t kMaxChainLength = 1 << 20;
 
 }  // namespace
 
-Status Database::ValidateLocked(ValidateReport* report) {
+Status Database::ValidateLocked(ValidateReport* report, bool tolerant) {
+  // Transaction activity snapshot: the gauge phase (C) only runs when it
+  // can prove no transaction overlapped phases A/B.
+  const TransactionManagerStats stats_before = txn_manager_.GetStats();
+
   // --- Phase A: RID-map entries, row identity, version chains, page homes,
   // hash-index agreement; accumulate per-partition footprints. -------------
   std::vector<std::pair<Rid, ImrsRow*>> entries;
@@ -57,7 +77,9 @@ Status Database::ValidateLocked(ValidateReport* report) {
     entries.emplace_back(rid, row);
   });
 
-  if (rid_map_.Size() != static_cast<int64_t>(entries.size())) {
+  // Tolerant: concurrent inserts/aborts race the per-stripe counters
+  // against our walk; the two are only comparable at a fixed point.
+  if (!tolerant && rid_map_.Size() != static_cast<int64_t>(entries.size())) {
     return Status::Corruption(
         "RID-map entry counter (" + std::to_string(rid_map_.Size()) +
         ") disagrees with actual entries (" + std::to_string(entries.size()) +
@@ -87,6 +109,9 @@ Status Database::ValidateLocked(ValidateReport* report) {
                                 " maps to a row that believes it is " +
                                 row->rid.ToString());
     }
+    // Purge/pack set these flags immediately before erasing the entry, and
+    // both run under the mutexes we hold — no transient window even with
+    // foreground traffic.
     if (row->HasFlag(kRowPurged)) {
       return Status::Corruption("purged " + Describe(row) +
                                 " still present in the RID-map");
@@ -117,20 +142,33 @@ Status Database::ValidateLocked(ValidateReport* report) {
                                 " partition has no ILM state registered");
     }
 
-    // Version chain: newest-first, fully committed under quiescence.
+    // Version chain: newest-first. Under strict quiescence every version
+    // is committed; tolerant walks skip uncommitted links (cts == 0) —
+    // a version is prepended first and stamped at commit, so an in-flight
+    // writer legitimately leaves one at the head.
     RowVersion* head = row->latest.load(std::memory_order_acquire);
     if (head == nullptr) {
       return Status::Corruption(Describe(row) + " has an empty version chain");
     }
     uint64_t prev_ts = UINT64_MAX;
     int64_t chain_len = 0;
+    RowVersion* newest_committed = nullptr;
     for (RowVersion* v = head; v != nullptr;
          v = v->older.load(std::memory_order_acquire)) {
+      if (++chain_len > kMaxChainLength) {
+        return Status::Corruption(Describe(row) +
+                                  " version chain exceeds " +
+                                  std::to_string(kMaxChainLength) +
+                                  " links (cycle?)");
+      }
       const uint64_t cts = v->commit_ts.load(std::memory_order_acquire);
       if (cts == 0) {
-        return Status::Corruption(
-            Describe(row) + " has an uncommitted version (txn " +
-            std::to_string(v->txn_id) + ") while the system is quiescent");
+        if (!tolerant) {
+          return Status::Corruption(
+              Describe(row) + " has an uncommitted version (txn " +
+              std::to_string(v->txn_id) + ") while the system is quiescent");
+        }
+        continue;  // in-flight writer; ordering applies to committed links
       }
       if (cts > prev_ts) {
         return Status::Corruption(Describe(row) +
@@ -139,18 +177,15 @@ Status Database::ValidateLocked(ValidateReport* report) {
                                   std::to_string(prev_ts) + ")");
       }
       prev_ts = cts;
-      if (++chain_len > kMaxChainLength) {
-        return Status::Corruption(Describe(row) +
-                                  " version chain exceeds " +
-                                  std::to_string(kMaxChainLength) +
-                                  " links (cycle?)");
-      }
+      if (newest_committed == nullptr) newest_committed = v;
       ++report->versions_checked;
     }
 
     // Page-store home: migrated/cached rows keep their slot until GC purges
     // the whole row; inserted rows never had one (Pack removes the row from
-    // the RID-map in the same cycle that places it).
+    // the RID-map in the same cycle that places it). Foreground traffic
+    // never creates or removes a home for an IMRS-resident row, so this
+    // holds in tolerant mode too.
     const bool has_home = part->heap->Exists(rid);
     ++report->page_homes_checked;
     if (row->source == RowSource::kInserted) {
@@ -168,9 +203,12 @@ Status Database::ValidateLocked(ValidateReport* report) {
     // Hash index: the pk of the newest committed payload must map back to
     // exactly this row. Skipped for tombstones (the index entry is dropped
     // when the delete is processed; the pk may legitimately be reused by a
-    // newer insert while the tombstone awaits GC).
-    if (table->hash_index() != nullptr && !head->is_delete) {
-      const std::string pk = table->pk_encoder().KeyForRecord(head->payload());
+    // newer insert while the tombstone awaits GC) and in tolerant mode
+    // (commit actions upsert/erase entries while we walk).
+    if (!tolerant && table->hash_index() != nullptr &&
+        newest_committed != nullptr && !newest_committed->is_delete) {
+      const std::string pk =
+          table->pk_encoder().KeyForRecord(newest_committed->payload());
       ImrsRow* indexed = table->hash_index()->Lookup(Slice(pk), nullptr);
       if (indexed != row) {
         return Status::Corruption(
@@ -187,6 +225,12 @@ Status Database::ValidateLocked(ValidateReport* report) {
   }
 
   // --- Phase B: ILM queue membership. --------------------------------------
+  // Queues mutate only inside pack cycles and GC passes (enqueue of newly
+  // committed rows is a GC hook, not a commit action), so membership is
+  // stable under the mutexes we hold even in tolerant mode. Rows committed
+  // after the entry collection above are not yet queued, and queued rows
+  // are always committed (never erased by a foreground abort), so the
+  // leaked-row cross-check is exact in both modes.
   std::unordered_set<ImrsRow*> queued;
   auto check_queue = [&](const IlmQueue& q, const std::string& what,
                          const PartitionState* owner,
@@ -259,56 +303,80 @@ Status Database::ValidateLocked(ValidateReport* report) {
   }
 
   // --- Phase C: partition byte/row gauges. ---------------------------------
-  for (PartitionState* p : ilm_->Partitions()) {
-    const PartitionTally t = tallies.count(p) ? tallies[p] : PartitionTally{};
-    const int64_t gauge_bytes = p->metrics.imrs_bytes.Load();
-    const int64_t gauge_rows = p->metrics.imrs_rows.Load();
-    if (gauge_rows != t.rows) {
-      return Status::Corruption(
-          "partition " + p->name + " imrs_rows gauge (" +
-          std::to_string(gauge_rows) + ") disagrees with live rows (" +
-          std::to_string(t.rows) + ")");
+  // Comparable only at a fixed point: strict mode pauses the gate, so
+  // always; tolerant mode only when no transaction was active when the walk
+  // started and none began since (then no commit action or abort-undo could
+  // have moved a gauge mid-walk).
+  bool gauges_comparable = !tolerant;
+  if (tolerant && stats_before.active == 0) {
+    const TransactionManagerStats stats_after = txn_manager_.GetStats();
+    gauges_comparable = stats_after.begun == stats_before.begun;
+  }
+  if (gauges_comparable) {
+    for (PartitionState* p : ilm_->Partitions()) {
+      const PartitionTally t = tallies.count(p) ? tallies[p] : PartitionTally{};
+      const int64_t gauge_bytes = p->metrics.imrs_bytes.Load();
+      const int64_t gauge_rows = p->metrics.imrs_rows.Load();
+      if (gauge_rows != t.rows) {
+        return Status::Corruption(
+            "partition " + p->name + " imrs_rows gauge (" +
+            std::to_string(gauge_rows) + ") disagrees with live rows (" +
+            std::to_string(t.rows) + ")");
+      }
+      if (gauge_bytes != t.bytes) {
+        return Status::Corruption(
+            "partition " + p->name + " imrs_bytes gauge (" +
+            std::to_string(gauge_bytes) + ") disagrees with summed row "
+            "footprints (" + std::to_string(t.bytes) + ")");
+      }
+      ++report->partitions_checked;
     }
-    if (gauge_bytes != t.bytes) {
-      return Status::Corruption(
-          "partition " + p->name + " imrs_bytes gauge (" +
-          std::to_string(gauge_bytes) + ") disagrees with summed row "
-          "footprints (" + std::to_string(t.bytes) + ")");
-    }
-    ++report->partitions_checked;
+    report->gauges_checked = true;
   }
 
   return Status::OK();
 }
 
 Status Database::ValidateInvariants(ValidateReport* report) {
-  // Exclusive quiescence: waits out any in-flight ILM tick / GC pass and
-  // keeps new ones (which take background_rw_ shared) from starting.
-  RwSpinLockWriteGuard quiesce(background_rw_);
+  // Shared (not exclusive) hold: an overlapped checkpoint also runs under a
+  // shared background_rw_ hold, so validation no longer serializes against
+  // it. The two pass mutexes exclude pack cycles and GC passes; the gate
+  // pause drains foreground transactions for the strict checks.
+  RwSpinLockReadGuard background(background_rw_);
+  MutexGuard tick(ilm_tick_mu_);
+  MutexGuard pass(gc_pass_mu_);
   if (!txn_manager_.PauseNewTransactions(/*wait_ms=*/1000)) {
     return Status::Busy(
         "validate requires quiescence: active transactions did not drain");
   }
   ValidateReport local;
-  Status s = ValidateLocked(report != nullptr ? report : &local);
+  Status s = ValidateLocked(report != nullptr ? report : &local,
+                            /*tolerant=*/false);
   txn_manager_.ResumeNewTransactions();
   return s;
 }
 
 void Database::ParanoidValidate() BTRIM_NO_THREAD_SAFETY_ANALYSIS {
 #ifdef BTRIM_PARANOID_CHECKS
-  // Opportunistic on both gates: if another background pass holds the
-  // rwlock or the workload doesn't drain quickly, skip this cycle rather
-  // than stalling foreground commits behind the Begin() gate.
-  if (!background_rw_.try_lock()) return;
-  if (!txn_manager_.PauseNewTransactions(/*wait_ms=*/50)) {
-    background_rw_.unlock();
+  // Opportunistic and tolerant: never blocks a background pass that is
+  // already running, and — unlike the old implementation — never pauses
+  // the transaction gate, so paranoid CI builds no longer serialize the
+  // foreground every pack cycle.
+  if (!background_rw_.try_lock_shared()) return;
+  if (!ilm_tick_mu_.try_lock()) {
+    background_rw_.unlock_shared();
+    return;
+  }
+  if (!gc_pass_mu_.try_lock()) {
+    ilm_tick_mu_.unlock();
+    background_rw_.unlock_shared();
     return;
   }
   ValidateReport report;
-  const Status s = ValidateLocked(&report);
-  txn_manager_.ResumeNewTransactions();
-  background_rw_.unlock();
+  const Status s = ValidateLocked(&report, /*tolerant=*/true);
+  gc_pass_mu_.unlock();
+  ilm_tick_mu_.unlock();
+  background_rw_.unlock_shared();
   if (!s.ok()) {
     std::fprintf(stderr,
                  "[btrim] BTRIM_PARANOID_CHECKS: invariant violation after "

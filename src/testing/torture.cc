@@ -13,6 +13,7 @@
 #include <filesystem>
 #include <map>
 #include <set>
+#include <thread>
 
 #include "common/random.h"
 #include "engine/database.h"
@@ -114,6 +115,15 @@ void RunWorkload(const TortureConfig& config, Database* db, Table* table,
   Random rng(config.workload_seed);
   bool force_ps = false;
 
+  // Overlapped mode: the previous checkpoint runs on this thread while the
+  // writer loop below keeps committing. Joined before the next checkpoint
+  // spawns and at workload end. The thread only touches
+  // stats->checkpoints_completed, which the writer never reads or writes.
+  std::thread ckpt_thread;
+  auto join_checkpoint = [&ckpt_thread] {
+    if (ckpt_thread.joinable()) ckpt_thread.join();
+  };
+
   for (int i = 0; i < config.num_txns; ++i) {
     if (plan != nullptr && plan->crashed()) break;
     if (i % 7 == 0) {
@@ -212,14 +222,26 @@ void RunWorkload(const TortureConfig& config, Database* db, Table* table,
     }
 
     if (i % 16 == 15) {
-      Status s = db->Checkpoint();
-      (void)s;
+      if (config.overlapped_checkpoints) {
+        join_checkpoint();
+        ckpt_thread = std::thread([db, stats] {
+          Status s = db->Checkpoint();
+          if (s.ok()) ++stats->checkpoints_completed;
+        });
+      } else {
+        Status s = db->Checkpoint();
+        if (s.ok()) ++stats->checkpoints_completed;
+      }
     }
+    // In overlapped mode these ticks race the checkpoint thread on purpose:
+    // pack evictions and GC purges during the snapshot walk are what the
+    // copy-on-write stash exists for.
     if (i % 10 == 9) {
       db->RunIlmTickOnce();
       db->RunGcOnce();
     }
   }
+  join_checkpoint();
 }
 
 /// Reopens `config.dir` without fault injection, recovers, and checks the

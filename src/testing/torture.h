@@ -32,6 +32,15 @@ struct TortureConfig {
   /// per-tick fan-out is still a barrier, so the workload script itself
   /// stays deterministic even though op interleaving within a tick is not).
   int pack_workers = 1;
+
+  /// When true, periodic checkpoints run on a spawned thread while the
+  /// writer keeps committing (joined at the next checkpoint step), so crash
+  /// points land *inside* an overlapped checkpoint: after the begin barrier
+  /// became durable, mid-snapshot-walk, or with the end record torn. The
+  /// workload script stays deterministic; only op interleaving (and hence
+  /// which phase a given crash index hits) varies run to run — the recovery
+  /// contract being verified is interleaving-independent.
+  bool overlapped_checkpoints = false;
 };
 
 /// Counters reported by a crash-point run (for sweep summaries).
@@ -43,6 +52,7 @@ struct TortureStats {
   bool txn_indeterminate = false;  ///< a commit errored at the crash point
   int64_t keys_verified = 0;  ///< point reads checked after recovery
   int64_t rows_recovered = 0; ///< rows the post-recovery full scan returned
+  int64_t checkpoints_completed = 0;  ///< Checkpoint() calls that returned OK
 };
 
 /// Runs the scripted workload against a fault-free (but traced) plan and

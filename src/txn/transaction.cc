@@ -24,7 +24,28 @@ Status Transaction::TryAcquireLock(uint64_t lock_id, LockMode mode) {
 }
 
 TransactionManager::TransactionManager(LockManager* lock_manager)
-    : lock_manager_(lock_manager) {}
+    : lock_manager_(lock_manager) {
+  for (auto& slot : pinned_snapshots_) {
+    slot.store(UINT64_MAX, std::memory_order_relaxed);
+  }
+}
+
+int TransactionManager::PinSnapshot(uint64_t ts) {
+  for (size_t i = 0; i < kSnapshotPinSlots; ++i) {
+    uint64_t expected = UINT64_MAX;
+    if (pinned_snapshots_[i].compare_exchange_strong(
+            expected, ts, std::memory_order_acq_rel)) {
+      return static_cast<int>(i);
+    }
+  }
+  return -1;
+}
+
+void TransactionManager::UnpinSnapshot(int slot) {
+  if (slot < 0) return;
+  pinned_snapshots_[static_cast<size_t>(slot)].store(
+      UINT64_MAX, std::memory_order_release);
+}
 
 std::unique_ptr<Transaction> TransactionManager::Begin() {
   begun_.Inc();
@@ -174,6 +195,13 @@ uint64_t TransactionManager::OldestActiveSnapshot() const {
     for (const auto& [id, begin_ts] : shard.txns) {
       if (begin_ts < oldest) oldest = begin_ts;
     }
+  }
+  // Snapshot pins clamp the horizon exactly like an active transaction at
+  // that timestamp. Pinners read the clock before publishing, so any pin a
+  // load here misses took its snapshot after our initial clock read.
+  for (const auto& slot : pinned_snapshots_) {
+    const uint64_t pinned = slot.load(std::memory_order_acquire);
+    if (pinned < oldest) oldest = pinned;
   }
   return oldest;
 }

@@ -29,12 +29,24 @@ enum class LogRecordType : uint8_t {
   kPsCommit = 4,
   kPsAbort = 5,
   kCheckpoint = 6,
+  /// Overlapped-checkpoint markers (both logs). `cts` carries the snapshot
+  /// epoch: every commit with cts <= epoch is inside the snapshot, every
+  /// later one outside it. A begin without a matching end (crash mid
+  /// checkpoint) is ignored by recovery.
+  kCheckpointBegin = 7,
+  kCheckpointEnd = 8,
   // sysimrslogs
   kImrsInsert = 16,
   kImrsUpdate = 17,
   kImrsDelete = 18,
   kImrsPack = 19,  ///< row left the IMRS (its page-store insert is in syslogs)
   kImrsCommit = 20,
+  /// One IMRS-resident row of an overlapped-checkpoint snapshot (live row /
+  /// tombstone). Snapshot chunks interleave with concurrent commit groups;
+  /// recovery applies the chosen checkpoint's snapshot rows before any
+  /// post-snapshot group (see recovery.cc).
+  kImrsSnapshotRow = 21,
+  kImrsSnapshotDel = 22,
 };
 
 /// A parsed log record. All fields are serialized for every type; unused

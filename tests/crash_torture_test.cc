@@ -12,6 +12,7 @@
 //   tools/torture --seed S --crash-op K
 // (add BTRIM_TORTURE_VERBOSE=1 for a transaction-by-transaction narration).
 
+#include <algorithm>
 #include <cstdint>
 #include <filesystem>
 #include <string>
@@ -101,6 +102,96 @@ TEST(CrashTortureTest, FiftySeedsRandomCrashPoints) {
       // The sweep must exercise real recoveries, not no-op ones.
       EXPECT_TRUE(stats.crash_fired)
           << "seed=" << seed << " crash_op=" << crash_op;
+    }
+  }
+}
+
+// Overlapped-checkpoint torture: checkpoints run on their own thread while
+// the writer keeps committing, so crash points land inside an in-flight
+// checkpoint — after the begin barrier became durable, mid-snapshot-walk,
+// or with the end record torn. The recovery contract is unchanged and
+// interleaving-independent: the recovered state must be a consistent cut
+// (exactly the acknowledged commits), never a mix of snapshot and live
+// state. Crash points are drawn from sysimrslogs operations of a traced
+// run — that is where begin records, snapshot chunks, and end records go —
+// plus seeded extras over the whole op range.
+TEST(CrashTortureTest, OverlappedCheckpointCrashPoints) {
+  constexpr int kLogPoints = 12;
+  constexpr int kRandomPoints = 6;
+
+  ScratchDir dir("overlap");
+  testing::TortureConfig config;
+  config.dir = dir.path();
+  config.workload_seed = 3;
+  config.overlapped_checkpoints = true;
+
+  std::vector<TraceEntry> trace;
+  Result<uint64_t> total = testing::CountStorageOps(config, &trace);
+  ASSERT_TRUE(total.ok()) << total.status().ToString();
+  ASSERT_GT(*total, 0u);
+
+  // Indexes of operations against the IMRS log (interleaving shifts them a
+  // little run to run, but they stay dense inside checkpoint activity).
+  std::vector<uint64_t> log_ops;
+  for (uint64_t i = 0; i < trace.size(); ++i) {
+    if (trace[i].target.find("sysimrslogs") != std::string::npos) {
+      log_ops.push_back(i);
+    }
+  }
+  ASSERT_GT(log_ops.size(), 0u);
+
+  std::vector<uint64_t> points;
+  const size_t stride = std::max<size_t>(1, log_ops.size() / kLogPoints);
+  for (size_t i = 0; i < log_ops.size(); i += stride) {
+    points.push_back(log_ops[i]);
+  }
+  Random rng(0x0bef0bef);
+  for (int p = 0; p < kRandomPoints; ++p) points.push_back(rng.Uniform(*total));
+
+  for (uint64_t crash_op : points) {
+    testing::TortureStats stats;
+    Status s = testing::RunCrashPoint(config, crash_op, &stats);
+    EXPECT_TRUE(s.ok()) << "seed=" << config.workload_seed
+                        << " crash_op=" << crash_op << " (overlap): "
+                        << s.ToString();
+  }
+}
+
+// Multi-seed overlapped sweep (the in-suite slice of the nightly >= 5-seed
+// sweep): every seed must complete at least one overlapped checkpoint when
+// the crash point is beyond the workload, and seeded mid-workload crashes
+// must recover to a consistent cut.
+TEST(CrashTortureTest, OverlappedCheckpointFiveSeedSweep) {
+  constexpr uint64_t kSeeds = 5;
+  constexpr int kPointsPerSeed = 2;
+
+  for (uint64_t seed = 1; seed <= kSeeds; ++seed) {
+    ScratchDir dir("overlap_seed_" + std::to_string(seed));
+    testing::TortureConfig config;
+    config.dir = dir.path();
+    config.workload_seed = seed;
+    config.overlapped_checkpoints = true;
+
+    Result<uint64_t> total = testing::CountStorageOps(config);
+    ASSERT_TRUE(total.ok())
+        << "seed=" << seed << ": " << total.status().ToString();
+
+    // No crash: the overlapped checkpoints themselves must succeed.
+    {
+      testing::TortureStats stats;
+      Status s = testing::RunCrashPoint(config, *total * 2 + 1000, &stats);
+      EXPECT_TRUE(s.ok()) << "seed=" << seed << ": " << s.ToString();
+      EXPECT_FALSE(stats.crash_fired) << "seed=" << seed;
+      EXPECT_GT(stats.checkpoints_completed, 0) << "seed=" << seed;
+    }
+
+    Random rng(seed * 0x9e3779b97f4a7c15ULL + 7);
+    for (int p = 0; p < kPointsPerSeed; ++p) {
+      const uint64_t crash_op = rng.Uniform(*total);
+      testing::TortureStats stats;
+      Status s = testing::RunCrashPoint(config, crash_op, &stats);
+      EXPECT_TRUE(s.ok()) << "seed=" << seed << " crash_op=" << crash_op
+                          << " (overlap): " << s.ToString();
     }
   }
 }

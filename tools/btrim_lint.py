@@ -80,7 +80,10 @@ RAW_NEW_ALLOWLIST = {
 # ILM tick at a time, ...) or to park condition-variable waiters. Keyed by
 # file -> member names exempt from unannotated-lock-member in that file.
 SERIALIZATION_ONLY_LOCKS = {
-    "src/engine/database.h": {"file_mu_", "ilm_tick_mu_", "gc_pass_mu_"},
+    # checkpoint_mu_ makes checkpoints mutually exclusive with each other;
+    # the snapshot/stash state they protect is guarded by ckpt_.stash_mu.
+    "src/engine/database.h": {"file_mu_", "ilm_tick_mu_", "gc_pass_mu_",
+                              "checkpoint_mu_"},
     "src/ilm/partition_state.h": {"pack_mu"},
     "src/imrs/gc.h": {"drain_mu"},
     "src/txn/transaction.h": {"gate_mu_"},

@@ -84,6 +84,10 @@ REQUIRED_METRICS = [
     "locks.fast_grants", "locks.wait_us", "locks.waiting_txns",
     "locks.contended_stripes",
     "gc.index_pages_reclaimed",
+    # Overlapped checkpoint (DESIGN.md Sec. 14).
+    "checkpoint.completed", "checkpoint.snapshot_rows",
+    "checkpoint.stashed_rows", "checkpoint.last_pause_us",
+    "checkpoint.max_pause_us", "checkpoint.last_total_us",
 ]
 
 FSYNC_EPSILON = 0.05  # absolute slack for near-zero fsyncs/commit cells
@@ -253,6 +257,86 @@ def check_index(current, baseline, threshold, errors):
                     f"(> {threshold:.0%} above baseline)")
 
 
+# The overlapped checkpoint's foreground stall budget: the begin barrier
+# may cost at most this fraction of the full checkpoint duration (the
+# quiescent design it replaced stalled commits for the whole duration, so
+# this ratio is literally "new pause / old pause"). Mirrored in
+# bench/micro_recovery.cc's --smoke gate — keep in sync.
+CHECKPOINT_PAUSE_FRACTION = 0.10
+CHECKPOINT_PAUSE_EPSILON_US = 500   # clock-granularity slack on fast runs
+RECOVERY_SCALING_FLOOR = 2.0        # 1w/4w replay time, hw_threads >= 4
+RECOVERY_SCALING_FLOOR_2T = 1.2     # enforced when hw_threads in [2, 3]
+
+
+def check_recovery(current, baseline, errors):
+    hw = int(current.get("hw_threads", 1))
+    ckpt = current.get("checkpoint", {})
+    cells = {c["workers"]: c for c in current.get("results", [])}
+
+    # Gate 1: pause budget. Hardware-independent by construction — both
+    # sides of the ratio come from the same run on the same machine.
+    pause = ckpt.get("pause_us", -1)
+    total = ckpt.get("total_us", 0)
+    if pause < 0 or total <= 0:
+        errors.append("micro_recovery: checkpoint pause/total metrics missing")
+    elif pause > total * CHECKPOINT_PAUSE_FRACTION + CHECKPOINT_PAUSE_EPSILON_US:
+        errors.append(
+            f"micro_recovery: begin-barrier pause {pause}us exceeds "
+            f"{CHECKPOINT_PAUSE_FRACTION:.0%} of checkpoint duration "
+            f"{total}us")
+    else:
+        print(f"micro_recovery: pause/total = {pause / total:.2%} "
+              f"(budget {CHECKPOINT_PAUSE_FRACTION:.0%})")
+
+    # Gate 2: liveness + within-run determinism. Every worker count replays
+    # the same logs, so the recovered row count and restored commit clock
+    # must be byte-identical across cells. (They are NOT compared against
+    # the baseline: the history includes rows from free-running writer
+    # threads, so absolute counts vary run to run by design.)
+    anchor = None
+    for workers in sorted(cells):
+        c = cells[workers]
+        if c["imrs_rows"] <= 0 or c["recover_s"] <= 0:
+            errors.append(f"micro_recovery workers={workers}: cell did no work")
+            continue
+        if anchor is None:
+            anchor = c
+        elif (c["imrs_rows"] != anchor["imrs_rows"]
+              or c.get("clock_now") != anchor.get("clock_now")):
+            errors.append(
+                f"micro_recovery: workers={workers} recovered "
+                f"{c['imrs_rows']} rows / clock {c.get('clock_now')} but "
+                f"workers={anchor['workers']} recovered "
+                f"{anchor['imrs_rows']} / {anchor.get('clock_now')} — "
+                f"parallel replay is nondeterministic")
+
+    # Gate 3: replay scaling, where the hardware can express it (same
+    # hw-scaled floor scheme as micro_index; replay is CPU-bound).
+    one = cells.get(1)
+    four = cells.get(4)
+    if one is None or four is None:
+        errors.append("micro_recovery: missing 1- or 4-worker recovery cell")
+    elif one["recover_s"] > 0 and four["recover_s"] > 0:
+        floor = (RECOVERY_SCALING_FLOOR if hw >= 4 else
+                 RECOVERY_SCALING_FLOOR_2T if hw >= 2 else 0.0)
+        ratio = one["recover_s"] / four["recover_s"]
+        if floor > 0 and ratio < floor:
+            errors.append(
+                f"micro_recovery: 4-worker replay is only {ratio:.2f}x "
+                f"serial (floor {floor:.1f}x on {hw} hw threads)")
+        print(f"micro_recovery: replay 4w speedup = {ratio:.2f}x "
+              f"(floor {floor:.1f}x on {hw} hw threads)")
+
+    # The baseline is a schema anchor only (absolute times and row counts
+    # are machine- and run-specific): its presence must match this format.
+    if baseline.get("results") is not None:
+        for field in ("checkpoint", "hw_threads", "results"):
+            if field not in baseline:
+                errors.append(
+                    f"micro_recovery: baseline missing '{field}' — "
+                    f"regenerate bench/BENCH_micro_recovery.json")
+
+
 def check_metrics_coverage(metrics_doc, errors):
     names = {m["name"] for m in metrics_doc["metrics"]}
     missing = [n for n in REQUIRED_METRICS if n not in names]
@@ -280,14 +364,18 @@ def main():
                         help="micro_index --out JSON from this run")
     parser.add_argument("--index-baseline",
                         help="checked-in bench/BENCH_micro_index.json")
+    parser.add_argument("--recovery-current",
+                        help="micro_recovery --out JSON from this run")
+    parser.add_argument("--recovery-baseline",
+                        help="checked-in bench/BENCH_micro_recovery.json")
     parser.add_argument("--threshold", type=float, default=0.25,
                         help="relative regression tolerance (default 0.25)")
     args = parser.parse_args()
 
     if not (args.current or args.pack_current or args.index_current
-            or args.metrics):
+            or args.recovery_current or args.metrics):
         parser.error("nothing to check: pass --current, --pack-current, "
-                     "--index-current, and/or --metrics")
+                     "--index-current, --recovery-current, and/or --metrics")
 
     errors = []
     if args.current:
@@ -316,6 +404,15 @@ def main():
             with open(args.index_baseline) as f:
                 index_baseline = json.load(f)
         check_index(index_current, index_baseline, args.threshold, errors)
+
+    if args.recovery_current:
+        with open(args.recovery_current) as f:
+            recovery_current = json.load(f)
+        recovery_baseline = {}
+        if args.recovery_baseline:
+            with open(args.recovery_baseline) as f:
+                recovery_baseline = json.load(f)
+        check_recovery(recovery_current, recovery_baseline, errors)
 
     if args.metrics:
         with open(args.metrics) as f:

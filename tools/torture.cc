@@ -10,7 +10,7 @@
 //
 // Usage:
 //   torture [--seed N] [--points N] [--txns N] [--dir PATH]
-//           [--failures-file PATH] [--crash-op K]
+//           [--failures-file PATH] [--crash-op K] [--overlap]
 //
 // Every failure line carries (seed, crash_op); replay one with
 // --seed N --crash-op K.
@@ -38,6 +38,7 @@ struct DriverOptions {
   std::string failures_file;
   int64_t crash_op = -1;  // >= 0: replay exactly one crash point
   int pack_workers = 1;
+  bool overlap = false;
   bool dump_trace = false;
 };
 
@@ -45,7 +46,7 @@ void Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--seed N] [--points N] [--txns N] [--dir PATH]\n"
                "          [--failures-file PATH] [--crash-op K]\n"
-               "          [--pack-workers N]\n",
+               "          [--pack-workers N] [--overlap]\n",
                argv0);
   std::exit(2);
 }
@@ -71,6 +72,8 @@ bool ParseArgs(int argc, char** argv, DriverOptions* opt) {
       opt->crash_op = std::atoll(next());
     } else if (arg == "--pack-workers") {
       opt->pack_workers = std::atoi(next());
+    } else if (arg == "--overlap") {
+      opt->overlap = true;
     } else if (arg == "--dump-trace") {
       opt->dump_trace = true;
     } else {
@@ -95,6 +98,7 @@ int main(int argc, char** argv) {
   config.workload_seed = opt.seed;
   config.num_txns = opt.txns;
   config.pack_workers = opt.pack_workers;
+  config.overlapped_checkpoints = opt.overlap;
 
   // Phase 1: fault-free traced run enumerates the op sequence.
   std::vector<btrim::TraceEntry> trace;
