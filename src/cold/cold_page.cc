@@ -1,0 +1,565 @@
+// Column-grouped compressed cold segment codec (DESIGN.md Sec. 15).
+//
+// A segment is the unit Pack seals cold rows into: a versioned header, the
+// row RID array, a per-column directory, and one encoded chunk per column.
+// Encodings are chosen per column per segment from the actual data:
+//
+//   integers  -> min-size of plain, frame-of-reference (base = min, deltas
+//                narrowed to 1/2/4/8 bytes), and — when the column is
+//                monotone non-decreasing in RID order — delta (base = first
+//                value, per-step deltas, prefix-summed on read);
+//   strings   -> dictionary (insertion-ordered distinct values + 1/2-byte
+//                codes) when there are <= 65535 distinct values AND it
+//                encodes smaller than plain, else plain;
+//   doubles   -> plain (bit patterns rarely cluster; not worth the paths).
+//
+// Every encoding is random-access (delta pays O(row) on point access, which
+// only point reads take — scans bulk-decode). The payload carries an FNV
+// checksum so a torn flush tail is detected at load and dropped.
+
+#include "cold/cold_page.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+#include <unordered_map>
+
+#include "common/coding.h"
+
+namespace btrim {
+
+namespace {
+
+constexpr uint32_t kColdSegmentMagic = 0x31534342;  // "BCS1" little-endian
+constexpr uint16_t kColdSegmentVersion = 1;
+constexpr size_t kHeaderBytes = 4 + 2 + 2 + 4 + 4 + 8 + 4 + 8 + 4 + 4;
+constexpr size_t kDirEntryBytes = 1 + 1 + 2 + 4 + 4 + 8;
+
+uint32_t Fnv1a(const char* data, size_t n) {
+  uint32_t h = 2166136261u;
+  for (size_t i = 0; i < n; ++i) {
+    h ^= static_cast<unsigned char>(data[i]);
+    h *= 16777619u;
+  }
+  return h;
+}
+
+/// Narrowest little-endian width in {1,2,4,8} holding `v`.
+uint8_t WidthFor(uint64_t v) {
+  if (v <= 0xffull) return 1;
+  if (v <= 0xffffull) return 2;
+  if (v <= 0xffffffffull) return 4;
+  return 8;
+}
+
+void PutNarrow(std::string* dst, uint64_t v, uint8_t width) {
+  char buf[8];
+  EncodeFixed64(buf, v);
+  dst->append(buf, width);
+}
+
+uint64_t GetNarrow(const char* src, uint8_t width) {
+  uint64_t v = 0;
+  memcpy(&v, src, width);
+  return v;
+}
+
+size_t RawColumnBytes(const Column& c, size_t rows, uint64_t str_bytes) {
+  switch (c.type) {
+    case ColumnType::kInt32:
+      return rows * 4;
+    case ColumnType::kInt64:
+    case ColumnType::kDouble:
+      return rows * 8;
+    case ColumnType::kString:
+      return rows * 2 + str_bytes;  // u16 length prefix + bytes
+  }
+  return 0;
+}
+
+}  // namespace
+
+const char* ColdEncodingName(ColdEncoding e) {
+  switch (e) {
+    case ColdEncoding::kPlain: return "plain";
+    case ColdEncoding::kDict: return "dict";
+    case ColdEncoding::kFor: return "for";
+    case ColdEncoding::kDelta: return "delta";
+  }
+  return "unknown";
+}
+
+// --- builder ----------------------------------------------------------------
+
+ColdPageBuilder::ColdPageBuilder(const Schema* schema)
+    : schema_(schema), columns_(schema->num_columns()) {}
+
+Status ColdPageBuilder::Add(Rid rid, Slice record) {
+  RecordView view(schema_, record);
+  if (!view.valid()) {
+    return Status::InvalidArgument("cold builder: record does not decode "
+                                   "against the table schema");
+  }
+  rids_.push_back(rid.Encode());
+  for (size_t c = 0; c < schema_->num_columns(); ++c) {
+    ColumnScratch& s = columns_[c];
+    switch (schema_->column(c).type) {
+      case ColumnType::kInt32:
+        s.ints.push_back(view.GetInt32(c));
+        break;
+      case ColumnType::kInt64:
+        s.ints.push_back(view.GetInt64(c));
+        break;
+      case ColumnType::kDouble:
+        s.doubles.push_back(view.GetDouble(c));
+        break;
+      case ColumnType::kString: {
+        const Slice v = view.GetString(c);
+        s.strs.emplace_back(v.data(), v.size());
+        break;
+      }
+    }
+  }
+  raw_bytes_ += record.size();
+  return Status::OK();
+}
+
+void ColdPageBuilder::Reset() {
+  rids_.clear();
+  for (ColumnScratch& s : columns_) {
+    s.ints.clear();
+    s.doubles.clear();
+    s.strs.clear();
+  }
+  raw_bytes_ = 0;
+}
+
+std::string ColdPageBuilder::Finish(uint32_t table_id, uint32_t partition_id,
+                                    uint64_t seq,
+                                    std::vector<ColdColumnStats>* stats) {
+  const size_t rows = rids_.size();
+  const size_t ncols = schema_->num_columns();
+
+  struct Encoded {
+    ColdEncoding encoding = ColdEncoding::kPlain;
+    uint8_t width = 0;
+    uint64_t base = 0;
+    std::string chunk;
+    uint64_t distinct = 0;
+  };
+  std::vector<Encoded> encoded(ncols);
+
+  for (size_t c = 0; c < ncols; ++c) {
+    const Column& col = schema_->column(c);
+    ColumnScratch& s = columns_[c];
+    Encoded& e = encoded[c];
+    switch (col.type) {
+      case ColumnType::kInt32:
+      case ColumnType::kInt64: {
+        const uint8_t plain_width = col.type == ColumnType::kInt32 ? 4 : 8;
+        const size_t plain_size = rows * plain_width;
+        // Frame of reference: base = min, unsigned deltas from it.
+        uint8_t for_width = 8;
+        int64_t min_v = 0;
+        size_t for_size = plain_size + 1;
+        // Delta: legal only when monotone non-decreasing in RID order.
+        bool monotone = true;
+        uint8_t delta_width = 1;
+        size_t delta_size = plain_size + 1;
+        if (rows > 0) {
+          min_v = *std::min_element(s.ints.begin(), s.ints.end());
+          const int64_t max_v =
+              *std::max_element(s.ints.begin(), s.ints.end());
+          for_width = WidthFor(static_cast<uint64_t>(max_v) -
+                               static_cast<uint64_t>(min_v));
+          for_size = rows * for_width;
+          for (size_t i = 1; i < rows; ++i) {
+            if (s.ints[i] < s.ints[i - 1]) {
+              monotone = false;
+              break;
+            }
+            delta_width = std::max(
+                delta_width,
+                WidthFor(static_cast<uint64_t>(s.ints[i]) -
+                         static_cast<uint64_t>(s.ints[i - 1])));
+          }
+          if (monotone) delta_size = rows * delta_width;
+        }
+        if (monotone && rows > 0 && delta_size < plain_size &&
+            delta_size <= for_size) {
+          e.encoding = ColdEncoding::kDelta;
+          e.width = delta_width;
+          e.base = static_cast<uint64_t>(s.ints[0]);
+          e.chunk.reserve(delta_size);
+          int64_t prev = s.ints[0];
+          for (size_t i = 0; i < rows; ++i) {
+            PutNarrow(&e.chunk,
+                      static_cast<uint64_t>(s.ints[i]) -
+                          static_cast<uint64_t>(prev),
+                      delta_width);
+            prev = s.ints[i];
+          }
+        } else if (rows > 0 && for_size < plain_size) {
+          e.encoding = ColdEncoding::kFor;
+          e.width = for_width;
+          e.base = static_cast<uint64_t>(min_v);
+          e.chunk.reserve(for_size);
+          for (size_t i = 0; i < rows; ++i) {
+            PutNarrow(&e.chunk,
+                      static_cast<uint64_t>(s.ints[i]) -
+                          static_cast<uint64_t>(min_v),
+                      for_width);
+          }
+        } else {
+          e.encoding = ColdEncoding::kPlain;
+          e.width = plain_width;
+          e.chunk.reserve(plain_size);
+          for (size_t i = 0; i < rows; ++i) {
+            PutNarrow(&e.chunk, static_cast<uint64_t>(s.ints[i]),
+                      plain_width);
+          }
+        }
+        break;
+      }
+      case ColumnType::kDouble: {
+        e.encoding = ColdEncoding::kPlain;
+        e.width = 8;
+        e.chunk.reserve(rows * 8);
+        for (size_t i = 0; i < rows; ++i) {
+          uint64_t bits;
+          memcpy(&bits, &s.doubles[i], 8);
+          PutFixed64(&e.chunk, bits);
+        }
+        break;
+      }
+      case ColumnType::kString: {
+        uint64_t blob_bytes = 0;
+        for (const std::string& v : s.strs) blob_bytes += v.size();
+        const size_t plain_size = (rows + 1) * 4 + blob_bytes;
+        // Dictionary in insertion order (deterministic across runs).
+        std::unordered_map<std::string, uint32_t> codes;
+        std::vector<const std::string*> dict;
+        bool overflow = false;
+        for (const std::string& v : s.strs) {
+          auto [it, inserted] =
+              codes.emplace(v, static_cast<uint32_t>(dict.size()));
+          if (inserted) {
+            dict.push_back(&it->first);
+            if (dict.size() > 65535) {
+              overflow = true;  // code space exhausted -> plain fallback
+              break;
+            }
+          }
+        }
+        size_t dict_size = plain_size + 1;
+        uint8_t code_width = 1;
+        uint64_t dict_blob = 0;
+        if (!overflow && rows > 0) {
+          for (const std::string* v : dict) dict_blob += v->size();
+          code_width = dict.size() <= 255 ? 1 : 2;
+          dict_size = 4 + (dict.size() + 1) * 4 + dict_blob +
+                      rows * code_width;
+        }
+        if (!overflow && rows > 0 && dict_size < plain_size) {
+          e.encoding = ColdEncoding::kDict;
+          e.width = code_width;
+          e.base = dict.size();
+          e.distinct = dict.size();
+          e.chunk.reserve(dict_size);
+          PutFixed32(&e.chunk, static_cast<uint32_t>(dict_blob));
+          uint32_t off = 0;
+          for (const std::string* v : dict) {
+            PutFixed32(&e.chunk, off);
+            off += static_cast<uint32_t>(v->size());
+          }
+          PutFixed32(&e.chunk, off);
+          for (const std::string* v : dict) e.chunk.append(*v);
+          for (const std::string& v : s.strs) {
+            PutNarrow(&e.chunk, codes[v], code_width);
+          }
+        } else {
+          e.encoding = ColdEncoding::kPlain;
+          e.width = 0;
+          e.chunk.reserve(plain_size);
+          uint32_t off = 0;
+          for (const std::string& v : s.strs) {
+            PutFixed32(&e.chunk, off);
+            off += static_cast<uint32_t>(v.size());
+          }
+          PutFixed32(&e.chunk, off);
+          for (const std::string& v : s.strs) e.chunk.append(v);
+        }
+        break;
+      }
+    }
+  }
+
+  // Payload: RID array, directory, chunks.
+  std::string payload;
+  for (uint64_t rid : rids_) PutFixed64(&payload, rid);
+  uint32_t chunk_off = 0;
+  for (size_t c = 0; c < ncols; ++c) {
+    const Encoded& e = encoded[c];
+    payload.push_back(static_cast<char>(e.encoding));
+    payload.push_back(static_cast<char>(e.width));
+    PutFixed16(&payload, 0);  // reserved
+    PutFixed32(&payload, chunk_off);
+    PutFixed32(&payload, static_cast<uint32_t>(e.chunk.size()));
+    PutFixed64(&payload, e.base);
+    chunk_off += static_cast<uint32_t>(e.chunk.size());
+  }
+  for (const Encoded& e : encoded) payload.append(e.chunk);
+
+  std::string out;
+  out.reserve(kHeaderBytes + payload.size());
+  PutFixed32(&out, kColdSegmentMagic);
+  PutFixed16(&out, kColdSegmentVersion);
+  PutFixed16(&out, static_cast<uint16_t>(ncols));
+  PutFixed32(&out, table_id);
+  PutFixed32(&out, partition_id);
+  PutFixed64(&out, seq);
+  PutFixed32(&out, static_cast<uint32_t>(rows));
+  PutFixed64(&out, raw_bytes_);
+  PutFixed32(&out, static_cast<uint32_t>(payload.size()));
+  PutFixed32(&out, Fnv1a(payload.data(), payload.size()));
+  out.append(payload);
+
+  if (stats != nullptr) {
+    stats->clear();
+    for (size_t c = 0; c < ncols; ++c) {
+      const ColumnScratch& s = columns_[c];
+      uint64_t str_bytes = 0;
+      for (const std::string& v : s.strs) str_bytes += v.size();
+      ColdColumnStats cs;
+      cs.encoding = encoded[c].encoding;
+      cs.raw_bytes = RawColumnBytes(schema_->column(c), rows, str_bytes);
+      cs.encoded_bytes = encoded[c].chunk.size();
+      cs.distinct = encoded[c].distinct;
+      stats->push_back(cs);
+    }
+  }
+
+  Reset();
+  return out;
+}
+
+// --- segment ----------------------------------------------------------------
+
+Result<std::shared_ptr<ColdSegment>> ColdSegment::Parse(std::string bytes,
+                                                        const Schema* schema) {
+  if (bytes.size() < kHeaderBytes) {
+    return Status::Corruption("cold segment shorter than its header");
+  }
+  const char* p = bytes.data();
+  if (DecodeFixed32(p) != kColdSegmentMagic) {
+    return Status::Corruption("cold segment magic mismatch");
+  }
+  const uint16_t version = DecodeFixed16(p + 4);
+  if (version != kColdSegmentVersion) {
+    return Status::Corruption("cold segment version " +
+                              std::to_string(version) + " is not supported");
+  }
+  const uint16_t ncols = DecodeFixed16(p + 6);
+  if (ncols != schema->num_columns()) {
+    return Status::Corruption("cold segment column count disagrees with the "
+                              "table schema");
+  }
+  auto seg = std::make_shared<ColdSegment>(ParseTag{});
+  seg->schema_ = schema;
+  seg->table_id_ = DecodeFixed32(p + 8);
+  seg->partition_id_ = DecodeFixed32(p + 12);
+  seg->seq_ = DecodeFixed64(p + 16);
+  seg->row_count_ = DecodeFixed32(p + 24);
+  seg->raw_bytes_ = DecodeFixed64(p + 28);
+  const uint32_t payload_len = DecodeFixed32(p + 36);
+  const uint32_t checksum = DecodeFixed32(p + 40);
+  if (bytes.size() != kHeaderBytes + payload_len) {
+    return Status::Corruption("cold segment payload length mismatch");
+  }
+  const char* payload = p + kHeaderBytes;
+  if (Fnv1a(payload, payload_len) != checksum) {
+    return Status::Corruption("cold segment checksum mismatch");
+  }
+  const size_t fixed = static_cast<size_t>(seg->row_count_) * 8 +
+                       static_cast<size_t>(ncols) * kDirEntryBytes;
+  if (payload_len < fixed) {
+    return Status::Corruption("cold segment payload shorter than its RID "
+                              "array + directory");
+  }
+  seg->bytes_ = std::move(bytes);
+  // Re-anchor pointers into the moved-in buffer.
+  payload = seg->bytes_.data() + kHeaderBytes;
+  seg->rids_ = payload;
+  const char* dir = payload + static_cast<size_t>(seg->row_count_) * 8;
+  seg->chunks_ = dir + static_cast<size_t>(ncols) * kDirEntryBytes;
+  const size_t chunk_area = payload_len - fixed;
+  seg->dir_.resize(ncols);
+  for (size_t c = 0; c < ncols; ++c) {
+    const char* d = dir + c * kDirEntryBytes;
+    ColumnDir& e = seg->dir_[c];
+    e.encoding = static_cast<ColdEncoding>(static_cast<uint8_t>(d[0]));
+    e.width = static_cast<uint8_t>(d[1]);
+    e.offset = DecodeFixed32(d + 4);
+    e.len = DecodeFixed32(d + 8);
+    e.base = DecodeFixed64(d + 12);
+    if (static_cast<size_t>(e.offset) + e.len > chunk_area) {
+      return Status::Corruption("cold segment column chunk out of bounds");
+    }
+  }
+  return seg;
+}
+
+Rid ColdSegment::RidAt(uint32_t row) const {
+  assert(row < row_count_);
+  return Rid::Decode(DecodeFixed64(rids_ + static_cast<size_t>(row) * 8));
+}
+
+ColdEncoding ColdSegment::ColumnEncoding(size_t col) const {
+  return dir_[col].encoding;
+}
+
+uint64_t ColdSegment::ColumnBytes(size_t col) const { return dir_[col].len; }
+
+const char* ColdSegment::ChunkData(size_t col) const {
+  return chunks_ + dir_[col].offset;
+}
+
+int64_t ColdSegment::IntAt(size_t col, uint32_t row) const {
+  assert(row < row_count_);
+  const ColumnDir& d = dir_[col];
+  const char* chunk = ChunkData(col);
+  switch (d.encoding) {
+    case ColdEncoding::kPlain: {
+      const uint64_t raw =
+          GetNarrow(chunk + static_cast<size_t>(row) * d.width, d.width);
+      if (d.width == 4) return static_cast<int32_t>(raw);
+      return static_cast<int64_t>(raw);
+    }
+    case ColdEncoding::kFor:
+      return static_cast<int64_t>(
+          d.base +
+          GetNarrow(chunk + static_cast<size_t>(row) * d.width, d.width));
+    case ColdEncoding::kDelta: {
+      uint64_t v = d.base;
+      // delta[0] is always 0 (base = first value); sum the steps after it.
+      for (uint32_t i = 1; i <= row; ++i) {
+        v += GetNarrow(chunk + static_cast<size_t>(i) * d.width, d.width);
+      }
+      return static_cast<int64_t>(v);
+    }
+    case ColdEncoding::kDict:
+      break;
+  }
+  assert(false && "integer access on a dict column");
+  return 0;
+}
+
+double ColdSegment::DoubleAt(size_t col, uint32_t row) const {
+  assert(row < row_count_ && dir_[col].encoding == ColdEncoding::kPlain);
+  const uint64_t bits =
+      DecodeFixed64(ChunkData(col) + static_cast<size_t>(row) * 8);
+  double v;
+  memcpy(&v, &bits, 8);
+  return v;
+}
+
+Slice ColdSegment::StringAt(size_t col, uint32_t row) const {
+  assert(row < row_count_);
+  const ColumnDir& d = dir_[col];
+  const char* chunk = ChunkData(col);
+  if (d.encoding == ColdEncoding::kDict) {
+    const uint32_t dict_blob = DecodeFixed32(chunk);
+    const char* offsets = chunk + 4;
+    const char* blob = offsets + (static_cast<size_t>(d.base) + 1) * 4;
+    const char* codes = blob + dict_blob;
+    const uint64_t code =
+        GetNarrow(codes + static_cast<size_t>(row) * d.width, d.width);
+    const uint32_t beg = DecodeFixed32(offsets + code * 4);
+    const uint32_t end = DecodeFixed32(offsets + (code + 1) * 4);
+    return Slice(blob + beg, end - beg);
+  }
+  const char* offsets = chunk;
+  const char* blob = offsets + (static_cast<size_t>(row_count_) + 1) * 4;
+  const uint32_t beg = DecodeFixed32(offsets + static_cast<size_t>(row) * 4);
+  const uint32_t end =
+      DecodeFixed32(offsets + (static_cast<size_t>(row) + 1) * 4);
+  return Slice(blob + beg, end - beg);
+}
+
+Status ColdSegment::DecodeInts(size_t col, std::vector<int64_t>* out) const {
+  const ColumnDir& d = dir_[col];
+  const char* chunk = ChunkData(col);
+  out->clear();
+  out->reserve(row_count_);
+  switch (d.encoding) {
+    case ColdEncoding::kPlain:
+      for (uint32_t i = 0; i < row_count_; ++i) {
+        const uint64_t raw =
+            GetNarrow(chunk + static_cast<size_t>(i) * d.width, d.width);
+        out->push_back(d.width == 4 ? static_cast<int32_t>(raw)
+                                    : static_cast<int64_t>(raw));
+      }
+      return Status::OK();
+    case ColdEncoding::kFor:
+      for (uint32_t i = 0; i < row_count_; ++i) {
+        out->push_back(static_cast<int64_t>(
+            d.base +
+            GetNarrow(chunk + static_cast<size_t>(i) * d.width, d.width)));
+      }
+      return Status::OK();
+    case ColdEncoding::kDelta: {
+      uint64_t v = d.base;
+      for (uint32_t i = 0; i < row_count_; ++i) {
+        if (i > 0) {
+          v += GetNarrow(chunk + static_cast<size_t>(i) * d.width, d.width);
+        }
+        out->push_back(static_cast<int64_t>(v));
+      }
+      return Status::OK();
+    }
+    case ColdEncoding::kDict:
+      break;
+  }
+  return Status::InvalidArgument("DecodeInts on a non-integer column");
+}
+
+Status ColdSegment::DecodeDoubles(size_t col,
+                                  std::vector<double>* out) const {
+  if (schema_->column(col).type != ColumnType::kDouble) {
+    return Status::InvalidArgument("DecodeDoubles on a non-double column");
+  }
+  out->clear();
+  out->reserve(row_count_);
+  for (uint32_t i = 0; i < row_count_; ++i) out->push_back(DoubleAt(col, i));
+  return Status::OK();
+}
+
+void ColdSegment::MaterializeRow(uint32_t row, std::string* out) const {
+  out->clear();
+  for (size_t c = 0; c < schema_->num_columns(); ++c) {
+    switch (schema_->column(c).type) {
+      case ColumnType::kInt32:
+        PutFixed32(out, static_cast<uint32_t>(
+                            static_cast<int32_t>(IntAt(c, row))));
+        break;
+      case ColumnType::kInt64:
+        PutFixed64(out, static_cast<uint64_t>(IntAt(c, row)));
+        break;
+      case ColumnType::kDouble: {
+        const double v = DoubleAt(c, row);
+        uint64_t bits;
+        memcpy(&bits, &v, 8);
+        PutFixed64(out, bits);
+        break;
+      }
+      case ColumnType::kString: {
+        const Slice v = StringAt(c, row);
+        PutFixed16(out, static_cast<uint16_t>(v.size()));
+        out->append(v.data(), v.size());
+        break;
+      }
+    }
+  }
+}
+
+}  // namespace btrim

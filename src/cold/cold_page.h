@@ -1,0 +1,144 @@
+#ifndef BTRIM_COLD_COLD_PAGE_H_
+#define BTRIM_COLD_COLD_PAGE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/slice.h"
+#include "common/status.h"
+#include "engine/schema.h"
+#include "page/page.h"
+
+namespace btrim {
+
+/// Per-column physical encoding inside a cold segment (DESIGN.md Sec. 15).
+/// The builder picks whichever encodes smallest for the actual data and
+/// falls back to kPlain when nothing pays — every encoding must round-trip
+/// bit-exactly, so the choice is purely a size decision.
+enum class ColdEncoding : uint8_t {
+  kPlain = 0,  ///< fixed-width values / offset-indexed string blob
+  kDict = 1,   ///< strings: distinct-value dictionary + narrow codes
+  kFor = 2,    ///< integers: frame-of-reference (base = min, narrow deltas)
+  kDelta = 3,  ///< monotone integers: base + per-step deltas (prefix sum)
+};
+
+const char* ColdEncodingName(ColdEncoding e);
+
+/// What one column of one sealed segment compressed to.
+struct ColdColumnStats {
+  ColdEncoding encoding = ColdEncoding::kPlain;
+  uint64_t raw_bytes = 0;      ///< row-format footprint of the column
+  uint64_t encoded_bytes = 0;  ///< chunk bytes in the segment
+  uint64_t distinct = 0;       ///< dictionary entries (kDict only)
+};
+
+/// Accumulates row-format records and serializes them as one column-grouped
+/// compressed segment. Single-writer: the owning ColdStore builder lock
+/// serializes all access.
+class ColdPageBuilder {
+ public:
+  explicit ColdPageBuilder(const Schema* schema);
+
+  /// Decodes `record` (row codec, schema order) into the column scratch.
+  Status Add(Rid rid, Slice record);
+
+  size_t row_count() const { return rids_.size(); }
+  uint64_t raw_bytes() const { return raw_bytes_; }
+
+  /// Serializes the accumulated rows as a versioned segment image and
+  /// resets the builder. `stats` (optional) receives one entry per column.
+  std::string Finish(uint32_t table_id, uint32_t partition_id, uint64_t seq,
+                     std::vector<ColdColumnStats>* stats = nullptr);
+
+  void Reset();
+
+ private:
+  struct ColumnScratch {
+    std::vector<int64_t> ints;      // kInt32 / kInt64
+    std::vector<double> doubles;    // kDouble
+    std::vector<std::string> strs;  // kString
+  };
+
+  const Schema* const schema_;
+  std::vector<uint64_t> rids_;
+  std::vector<ColumnScratch> columns_;
+  uint64_t raw_bytes_ = 0;
+};
+
+/// An immutable, parsed cold segment. Owns its serialized bytes; all
+/// accessors are lock-free and safe to call concurrently. Row liveness is
+/// NOT a segment property — the ColdStore rid index is the truth, and scans
+/// must skip rows whose rid no longer maps to (this segment, this row).
+class ColdSegment {
+ public:
+  /// Construction passkey: only Parse can mint one, but it keeps the
+  /// constructor public enough for std::make_shared to reach.
+  class ParseTag {
+   private:
+    friend class ColdSegment;
+    ParseTag() = default;
+  };
+
+  explicit ColdSegment(ParseTag) {}
+
+  /// Parses and validates a serialized segment (magic, version, checksum,
+  /// directory bounds). Corruption on any mismatch.
+  static Result<std::shared_ptr<ColdSegment>> Parse(std::string bytes,
+                                                    const Schema* schema);
+
+  uint32_t table_id() const { return table_id_; }
+  uint32_t partition_id() const { return partition_id_; }
+  uint64_t seq() const { return seq_; }
+  uint32_t row_count() const { return row_count_; }
+  uint64_t raw_bytes() const { return raw_bytes_; }
+  /// Full serialized size (header + payload).
+  size_t encoded_size() const { return bytes_.size(); }
+
+  Rid RidAt(uint32_t row) const;
+
+  ColdEncoding ColumnEncoding(size_t col) const;
+  /// Encoded chunk bytes of one column (projection bytes-scanned unit).
+  uint64_t ColumnBytes(size_t col) const;
+
+  /// Point accessors. kDelta integer access walks a prefix sum (O(row));
+  /// bulk readers should use the Decode* helpers instead.
+  int64_t IntAt(size_t col, uint32_t row) const;
+  double DoubleAt(size_t col, uint32_t row) const;
+  Slice StringAt(size_t col, uint32_t row) const;
+
+  /// Bulk column decode for scans (one pass regardless of encoding).
+  Status DecodeInts(size_t col, std::vector<int64_t>* out) const;
+  Status DecodeDoubles(size_t col, std::vector<double>* out) const;
+
+  /// Re-encodes row `row` in the row codec (point reads, index rebuild).
+  void MaterializeRow(uint32_t row, std::string* out) const;
+
+ private:
+  struct ColumnDir {
+    ColdEncoding encoding = ColdEncoding::kPlain;
+    uint8_t width = 0;    // value bytes for plain/FOR/delta ints, code bytes
+                          // for dict
+    uint32_t offset = 0;  // into the chunk area
+    uint32_t len = 0;
+    uint64_t base = 0;    // FOR/delta base (bit pattern); dict entry count
+  };
+
+  const char* ChunkData(size_t col) const;
+
+  const Schema* schema_ = nullptr;
+  std::string bytes_;
+  uint32_t table_id_ = 0;
+  uint32_t partition_id_ = 0;
+  uint64_t seq_ = 0;
+  uint32_t row_count_ = 0;
+  uint64_t raw_bytes_ = 0;
+  const char* rids_ = nullptr;    // row_count * u64, little-endian
+  const char* chunks_ = nullptr;  // chunk area base
+  std::vector<ColumnDir> dir_;
+};
+
+}  // namespace btrim
+
+#endif  // BTRIM_COLD_COLD_PAGE_H_

@@ -21,6 +21,9 @@ const char* LockRankName(LockRank rank) {
     case LockRank::kLockTable: return "lock_table";
     case LockRank::kLockStripe: return "lock_stripe";
     case LockRank::kRidMapStripe: return "rid_map_stripe";
+    case LockRank::kColdBuilder: return "cold_builder";
+    case LockRank::kColdSegments: return "cold_segments";
+    case LockRank::kColdIndexShard: return "cold_index_shard";
     case LockRank::kHashBucket: return "hash_bucket";
     case LockRank::kIlmQueue: return "ilm_queue";
     case LockRank::kTsfModel: return "tsf_model";

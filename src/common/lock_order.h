@@ -54,6 +54,11 @@ enum class LockRank : uint16_t {
                        ///< before the stripe mutex on every slow path)
   kLockStripe = 130,   ///< LockManager::Stripe::mu
   kRidMapStripe = 140, ///< RidMap::Stripe::lock
+  kColdBuilder = 142,  ///< ColdStore::PartitionBuilders::mu (open builders;
+                       ///< appends to the cold segment file and takes the
+                       ///< segment list + index shards while held)
+  kColdSegments = 143, ///< ColdStore::segments_mu_ (sealed-segment list)
+  kColdIndexShard = 144, ///< ColdStore::IndexShard::mu (rid -> location)
   kHashBucket = 150,   ///< HashIndex::Bucket::lock
   kIlmQueue = 160,     ///< IlmQueue::lock_
   kTsfModel = 170,     ///< TsfLearner::mu_

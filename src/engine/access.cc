@@ -262,6 +262,12 @@ Status Database::ReadVisible(Transaction* txn, Table* table,
   Status s = loc.part->heap->Read(loc.rid, out, &contended);
   loc.part->ilm->metrics.page_ops.Inc();
   if (contended) loc.part->ilm->metrics.page_contention.Inc();
+  if (s.IsNotFound()) {
+    // No heap slot: the row's home may be cold-columnar (Pack relocated it
+    // there). Still a committed read — cold rows only change under the
+    // exclusive row lock our shared lock excludes.
+    s = cold_->ReadRow(loc.rid, out);
+  }
   if (!s.ok()) return s;
   page_ops_.Inc();
   return Status::OK();
@@ -363,9 +369,14 @@ Status Database::UpdatePageStoreRow(Transaction* txn, Table* table,
                                         mutator) {
   std::string before;
   bool contended = false;
+  bool cold_home = false;
   Status s = part->heap->Read(rid, &before, &contended);
   part->ilm->metrics.page_ops.Inc();
   if (contended) part->ilm->metrics.page_contention.Inc();
+  if (s.IsNotFound() && cold_->ReadRow(rid, &before).ok()) {
+    cold_home = true;
+    s = Status::OK();
+  }
   if (!s.ok()) return s;
 
   std::string payload = before;
@@ -383,6 +394,31 @@ Status Database::UpdatePageStoreRow(Transaction* txn, Table* table,
       return Status::OK();
     }
     if (!ms.IsNoSpace()) return ms;
+  }
+
+  if (cold_home) {
+    // A written cold row turns hot again: erase the cold home (logged) and
+    // give the new image a heap slot. Keeping updates out of the cold store
+    // means it only ever holds committed images, which is what lets the
+    // HTAP scan read segments and staged rows lock-free.
+    LogRecord erase;
+    erase.type = LogRecordType::kColdErase;
+    erase.txn_id = txn->id();
+    erase.table_id = table->id();
+    erase.partition_id = part->ilm->partition_id;
+    erase.rid = rid.Encode();
+    erase.before = before;
+    BTRIM_RETURN_IF_ERROR(syslogs_->AppendRecord(erase));
+    txn->MarkPageStoreChange();
+    cold_->Erase(rid);
+    txn->AddUndo([this, table_id = table->id(),
+                  partition_id = part->ilm->partition_id, rid, before] {
+      Status st = cold_->Place(table_id, partition_id, rid, Slice(before));
+      (void)st;
+    });
+    Status ps = InsertToPageStore(txn, table, part, rid, Slice(payload));
+    if (ps.ok()) page_ops_.Inc();
+    return ps;
   }
 
   // In-place page-store update (redo-undo logged).
@@ -496,6 +532,33 @@ Status Database::Delete(Transaction* txn, Table* table, Slice pk) {
   Status s = loc.part->heap->Read(loc.rid, &before, &contended);
   loc.part->ilm->metrics.page_ops.Inc();
   if (contended) loc.part->ilm->metrics.page_contention.Inc();
+  if (s.IsNotFound() && cold_->ReadRow(loc.rid, &before).ok()) {
+    // Cold-columnar home: logged erase, undo re-places the image, index
+    // entries drop at commit like the heap path.
+    LogRecord erase;
+    erase.type = LogRecordType::kColdErase;
+    erase.txn_id = txn->id();
+    erase.table_id = table->id();
+    erase.partition_id = loc.part->ilm->partition_id;
+    erase.rid = loc.rid.Encode();
+    erase.before = before;
+    BTRIM_RETURN_IF_ERROR(syslogs_->AppendRecord(erase));
+    txn->MarkPageStoreChange();
+    cold_->Erase(loc.rid);
+    page_ops_.Inc();
+    txn->AddUndo([this, table_id = table->id(),
+                  partition_id = loc.part->ilm->partition_id, rid = loc.rid,
+                  before] {
+      Status st = cold_->Place(table_id, partition_id, rid, Slice(before));
+      (void)st;
+    });
+    const std::string pk_cold = pk.ToString();
+    txn->AddCommitAction(
+        [this, table, before, pk_cold, rid = loc.rid](uint64_t) {
+          RemoveIndexEntries(table, Slice(before), Slice(pk_cold), rid);
+        });
+    return Status::OK();
+  }
   if (!s.ok()) return s;
 
   LogRecord rec;

@@ -226,6 +226,10 @@ Status Database::Checkpoint() {
       // device sync barrier makes the flushed pages durable (unconditional:
       // checkpoint is the periodic durability point even under kNoSync).
       status = buffer_cache_.FlushAll();
+      // Cold-columnar homes join the same barrier: every staged cold row is
+      // sealed and the segment file synced, so pages, logs, and cold
+      // segments all reach the device before the end record.
+      if (status.ok()) status = cold_->Flush();
       if (status.ok()) status = syslogs_->SyncStorage();
       if (status.ok()) status = sysimrslogs_->SyncStorage();
       for (const auto& dev : devices_) {
@@ -274,6 +278,9 @@ Status Database::Checkpoint() {
     // groups before it predate this quiescent point and apply
     // unconditionally (see recovery.cc).
     trunc = buffer_cache_.FlushAll();
+    // Same repeat for cold placements: kColdPlace records about to be
+    // truncated are the only other evidence of rows staged since phase 3.
+    if (trunc.ok()) trunc = cold_->Flush();
     for (const auto& dev : devices_) {
       if (!trunc.ok()) break;
       if (dev != nullptr) trunc = dev->Sync();

@@ -74,6 +74,20 @@ Status Database::Init() {
   sysimrslogs_committer_ =
       std::make_unique<GroupCommitter>(sysimrslogs_.get(), durability);
 
+  // Cold-columnar store. Its segment file is append-only framed storage, so
+  // it reuses the LogStorage abstraction (and the faulty decorator, so the
+  // torture harness can tear cold flushes too).
+  cold_ = std::make_unique<ColdStore>(options_.cold_segment_rows);
+  if (options_.in_memory) {
+    cold_->AttachStorage(
+        wrap_log(std::make_unique<MemLogStorage>(), "coldstore"));
+  } else {
+    Result<std::unique_ptr<FileLogStorage>> seg =
+        FileLogStorage::Open(options_.data_dir + "/coldstore.seg");
+    if (!seg.ok()) return seg.status();
+    cold_->AttachStorage(wrap_log(std::move(*seg), "coldstore"));
+  }
+
   // IMRS.
   imrs_ = std::make_unique<ImrsStore>(&imrs_allocator_, &rid_map_);
 
@@ -137,6 +151,7 @@ Status Database::RegisterAllMetrics() {
   BTRIM_RETURN_IF_ERROR(rid_map_.RegisterMetrics(r, "imrs"));
   BTRIM_RETURN_IF_ERROR(imrs_allocator_.RegisterMetrics(r, "imrs"));
   BTRIM_RETURN_IF_ERROR(ilm_->RegisterMetrics(r));
+  BTRIM_RETURN_IF_ERROR(cold_->RegisterMetrics(r, "cold"));
   const obs::MetricLabels ckpt{"checkpoint", "", ""};
   BTRIM_RETURN_IF_ERROR(r->RegisterCounter("checkpoint.completed", ckpt,
                                            &ckpt_.completed));
@@ -284,6 +299,10 @@ Result<Table*> Database::CreateTable(TableOptions options) {
     BTRIM_RETURN_IF_ERROR(part.ilm->RegisterMetrics(&metrics_registry_));
     table->partition_by_file_[*file] = static_cast<size_t>(p);
   }
+
+  // Cold store needs the schema to column-split this table's records (the
+  // Table object is heap-owned by the catalog, so the pointer is stable).
+  cold_->RegisterTable(table->id_, &table->schema_);
 
   Table* raw = table.get();
   {
@@ -451,6 +470,8 @@ PackBatchOutcome Database::PackBatch(PartitionState* partition,
     std::string payload;
     LogRecordType type;
     std::string before;  // prior heap image, for kPsUpdate undo
+    bool cold = false;           // placement targets the cold store
+    bool had_heap_home = false;  // cold path deleted a stale heap home
   };
   std::vector<Staged> staged;
   staged.reserve(batch.size());
@@ -506,14 +527,48 @@ PackBatchOutcome Database::PackBatch(PartitionState* partition,
     st.payload = latest->payload().ToString();
 
     // Move the latest image to the page store: logged insert (no home yet)
-    // or logged update (stale home image).
+    // or logged update (stale home image). With cold_columnar, the target
+    // is the cold store instead: any stale heap home is deleted (logged)
+    // first — a rid has at most one home, and redo in log order must
+    // converge on the cold one — and the kColdPlace carries the superseded
+    // cold image as its before-image so loser undo can re-place it. The
+    // cold store itself is only touched in phase 3, after the batch log
+    // append succeeds, so there is nothing to roll back on log failure.
     LogRecord rec;
     rec.txn_id = txn->id();
     rec.table_id = table->id();
     rec.partition_id = partition->partition_id;
     rec.rid = row->rid.Encode();
     Status ps;
-    if (tpart->heap->Exists(row->rid)) {
+    if (options_.cold_columnar) {
+      st.cold = true;
+      if (tpart->heap->Exists(row->rid)) {
+        ps = tpart->heap->Read(row->rid, &st.before);
+        if (ps.ok()) {
+          LogRecord del;
+          del.type = LogRecordType::kPsDelete;
+          del.txn_id = txn->id();
+          del.table_id = table->id();
+          del.partition_id = partition->partition_id;
+          del.rid = row->rid.Encode();
+          del.before = st.before;
+          ps = tpart->heap->Delete(row->rid);
+          if (ps.ok()) {
+            st.had_heap_home = true;
+            AppendLogRecord(&log_buf, del);
+            ++log_records;
+          }
+        }
+      }
+      if (ps.ok()) {
+        rec.type = LogRecordType::kColdPlace;
+        std::string prior;
+        if (cold_->ReadRow(row->rid, &prior).ok()) {
+          rec.before = std::move(prior);
+        }
+        rec.after = st.payload;
+      }
+    } else if (tpart->heap->Exists(row->rid)) {
       ps = tpart->heap->Read(row->rid, &st.before);
       if (ps.ok()) {
         rec.type = LogRecordType::kPsUpdate;
@@ -549,10 +604,19 @@ PackBatchOutcome Database::PackBatch(PartitionState* partition,
       // no page image gets ahead of the log, then requeue. The failure
       // poisoned syslogs; the pack subsystem backs off.
       for (auto it = staged.rbegin(); it != staged.rend(); ++it) {
-        Status undo = it->type == LogRecordType::kPsUpdate
-                          ? it->tpart->heap->Update(it->row->rid,
-                                                    Slice(it->before))
-                          : it->tpart->heap->Delete(it->row->rid);
+        Status undo;
+        if (it->cold) {
+          // Cold store untouched in phase 1; just restore any deleted
+          // heap home.
+          if (it->had_heap_home) {
+            undo = it->tpart->heap->Place(it->row->rid, Slice(it->before));
+          }
+        } else {
+          undo = it->type == LogRecordType::kPsUpdate
+                     ? it->tpart->heap->Update(it->row->rid,
+                                               Slice(it->before))
+                     : it->tpart->heap->Delete(it->row->rid);
+        }
         (void)undo;  // heap ops are in-memory here; the page stays dirty
         requeue->push_back(it->row);
       }
@@ -568,6 +632,24 @@ PackBatchOutcome Database::PackBatch(PartitionState* partition,
   // deferred memory release.
   for (const Staged& st : staged) {
     ImrsRow* row = st.row;
+    if (st.cold) {
+      // Apply the logged cold placement. On failure (the segment file
+      // rejected an auto-seal append) the row stays IMRS-resident: restore
+      // the heap home the in-memory state expects and requeue. The log
+      // disagrees with memory then, but crash replay redoes delete+place,
+      // which is self-consistent.
+      Status cs = cold_->Place(partition->table_id, partition->partition_id,
+                               row->rid, Slice(st.payload));
+      if (!cs.ok()) {
+        if (st.had_heap_home) {
+          Status rs = st.tpart->heap->Place(row->rid, Slice(st.before));
+          (void)rs;
+        }
+        requeue->push_back(row);
+        outcome.io_error = true;
+        continue;
+      }
+    }
     LogRecord pack_rec;
     pack_rec.type = LogRecordType::kImrsPack;
     pack_rec.txn_id = txn->id();
@@ -767,6 +849,28 @@ bool Database::PurgePageStoreHome(ImrsRow* row) {
       txn->MarkPageStoreChange();
       Status ds = tpart->heap->Delete(row->rid);
       (void)ds;
+    }
+  } else if (cold_->Exists(row->rid)) {
+    // Cold-columnar home: same unloggable-abort discipline as the heap
+    // branch — an unlogged erase would resurrect the row after a crash
+    // once the masking tombstone is purged.
+    std::string before;
+    if (cold_->ReadRow(row->rid, &before).ok()) {
+      LogRecord rec;
+      rec.type = LogRecordType::kColdErase;
+      rec.txn_id = txn->id();
+      rec.table_id = table->id();
+      rec.partition_id = tpart->id;
+      rec.rid = row->rid.Encode();
+      rec.before = std::move(before);
+      Status ls = syslogs_->AppendRecord(rec);
+      if (!ls.ok()) {
+        Status as = Abort(txn.get());
+        (void)as;
+        return false;
+      }
+      txn->MarkPageStoreChange();
+      cold_->Erase(row->rid);
     }
   }
   Status s = Commit(txn.get());

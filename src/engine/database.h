@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "alloc/fragment_allocator.h"
+#include "cold/cold_store.h"
 #include "common/fault_plan.h"
 #include "common/mutex.h"
 #include "common/spinlock.h"
@@ -81,6 +82,17 @@ struct DatabaseOptions {
   /// Lock wait budget before timeout-abort (deadlock resolution).
   int64_t lock_timeout_ms = 1000;
 
+  /// Columnar cold storage (DESIGN.md Sec. 15). When set, Pack relocates
+  /// cold rows into compressed column-grouped segments (src/cold/) instead
+  /// of the slotted-page heap; point accesses, GC, checkpoints, and
+  /// recovery resolve cold-columnar homes transparently. Off, the cold
+  /// store still exists (its metrics read zero) but Pack targets the heap.
+  bool cold_columnar = false;
+
+  /// Rows per cold segment before the staging builder seals (per table
+  /// partition). Checkpoints seal early regardless.
+  size_t cold_segment_rows = 4096;
+
   /// Metrics time-series sampling. `metrics_sample_interval_us > 0` starts
   /// a background sampler thread snapshotting the registry on that cadence;
   /// 0 leaves the sampler on-demand only (SampleNow at transaction-count
@@ -102,6 +114,48 @@ struct ScanRow {
   Rid rid;
   std::string payload;
   bool from_imrs = false;
+};
+
+/// Analytical scan configuration (Database::ScanTable).
+struct HtapScanOptions {
+  /// Projected column indexes. Cold segments only decode (and count toward
+  /// bytes-scanned) the listed columns. Empty = all columns.
+  std::vector<size_t> columns;
+};
+
+/// One row surfaced by Database::ScanTable. Column accessors are valid only
+/// inside the visitor callback: the row either points into an immutable
+/// cold segment (columnar access, no materialization) or at a row-codec
+/// record (IMRS version / staged cold row / heap slot).
+struct HtapRow {
+  Rid rid;
+
+  int64_t Int(size_t col) const {
+    return seg != nullptr ? seg->IntAt(col, seg_row) : view->GetInt(col);
+  }
+  double Double(size_t col) const {
+    return seg != nullptr ? seg->DoubleAt(col, seg_row)
+                          : view->GetDouble(col);
+  }
+  Slice Str(size_t col) const {
+    return seg != nullptr ? seg->StringAt(col, seg_row)
+                          : view->GetString(col);
+  }
+
+  // Backing storage (set by the scan; treat as opaque).
+  const ColdSegment* seg = nullptr;
+  uint32_t seg_row = 0;
+  const RecordView* view = nullptr;
+};
+
+/// Where ScanTable's rows came from and what it cost.
+struct HtapScanStats {
+  int64_t rows_emitted = 0;
+  int64_t rows_from_imrs = 0;
+  int64_t rows_from_cold = 0;    ///< sealed segments + staged builder rows
+  int64_t rows_from_heap = 0;
+  int64_t rows_skipped = 0;      ///< dead segment rows / invisible versions
+  int64_t bytes_scanned_cold = 0;  ///< encoded bytes of projected columns
 };
 
 /// What the invariant checker visited (src/engine/validate.cc).
@@ -194,6 +248,23 @@ class Database : public PackClient {
   Status ScanIndex(Transaction* txn, Table* table, int index_no, Slice lower,
                    Slice upper, size_t limit, std::vector<ScanRow>* out);
 
+  /// --- analytical scan (scan.cc; DESIGN.md Sec. 15) ------------------------
+  ///
+  /// Full-table scan merging both stores under one snapshot: cold columnar
+  /// segments and staged cold rows are read lock-free (immutable data +
+  /// liveness re-check against the rid index), IMRS rows at the
+  /// transaction's begin timestamp, and remaining heap rows as committed
+  /// reads. Every live row is visited exactly once; rows the IMRS masks are
+  /// served from their visible IMRS version, not their cold/heap home.
+  /// Projection pushdown: with `options.columns` set, sealed segments only
+  /// count the projected columns toward bytes-scanned (and only those are
+  /// meaningful to access on cold-backed rows). The visitor returns false
+  /// to stop early.
+  Status ScanTable(Transaction* txn, Table* table,
+                   const HtapScanOptions& options,
+                   const std::function<bool(const HtapRow&)>& visitor,
+                   HtapScanStats* stats = nullptr);
+
   /// --- background / lifecycle ----------------------------------------------
 
   /// Starts pack + GC threads. Idempotent.
@@ -285,6 +356,8 @@ class Database : public PackClient {
   RidMap* rid_map() { return &rid_map_; }
   Log* syslogs() { return syslogs_.get(); }
   Log* sysimrslogs() { return sysimrslogs_.get(); }
+  ColdStore* cold() { return cold_.get(); }
+  const ColdStore* cold() const { return cold_.get(); }
   GroupCommitter* syslogs_committer() { return syslogs_committer_.get(); }
   GroupCommitter* sysimrslogs_committer() {
     return sysimrslogs_committer_.get();
@@ -421,6 +494,10 @@ class Database : public PackClient {
 
   // ILM.
   std::unique_ptr<IlmManager> ilm_;
+
+  // Cold-columnar store (src/cold/). Always constructed — so cold.* metrics
+  // exist uniformly — but only fed by Pack when options_.cold_columnar.
+  std::unique_ptr<ColdStore> cold_;
 
   // Catalog. Reader-writer: GetTable sits on the commit-adjacent hot path
   // (pack, purge, recovery routing) while writers are DDL-only.

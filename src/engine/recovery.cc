@@ -138,9 +138,21 @@ Status Database::Recover() {
   uint64_t max_cts = 0;
   uint64_t max_txn_id = 0;
 
+  // --- cold-columnar store: reload flushed segments -------------------------
+  // Tables (and so schemas) were re-created by the caller before Recover().
+  // The segment file is the checkpointed base state; kColdPlace/kColdErase
+  // records in syslogs carry the post-flush delta and replay on top of it
+  // below (checkpoint.cc flushes the cold store before every truncation, so
+  // between the two sources every live cold row is covered).
+  BTRIM_RETURN_IF_ERROR(cold_->Load());
+
   // --- syslogs pass 1: analysis (serial) ------------------------------------
   std::unordered_map<uint64_t, uint64_t> winners;  // txn -> cts
   std::array<std::vector<LogRecord>, kRecoveryShards> ps_shards;
+  // Cold ops replay serially: segment sealing inside ColdStore::Place makes
+  // per-shard fan-out not worth the synchronization, and cold volumes are a
+  // small fraction of a batch's records.
+  std::vector<LogRecord> cold_ops;
   BTRIM_RETURN_IF_ERROR(syslogs_->Replay([&](const LogRecord& rec) {
     if (rec.txn_id > max_txn_id) max_txn_id = rec.txn_id;
     switch (rec.type) {
@@ -152,6 +164,10 @@ Status Database::Recover() {
       case LogRecordType::kPsUpdate:
       case LogRecordType::kPsDelete:
         ps_shards[ShardForRid(rec.rid)].push_back(rec);
+        break;
+      case LogRecordType::kColdPlace:
+      case LogRecordType::kColdErase:
+        cold_ops.push_back(rec);
         break;
       default:
         break;  // aborts/checkpoint markers carry no work
@@ -227,6 +243,63 @@ Status Database::Recover() {
       });
     }
     run_sharded(std::move(tasks));
+  }
+
+  // --- cold-columnar ops: serial undo-then-redo on the loaded base ----------
+  // Same undo/redo argument as the heap: cold placements are value-logged
+  // under the row's exclusive lock, so per-rid segments never interleave.
+  // Cold and heap mutations of one rid target disjoint structures, so
+  // running this after the sharded heap pass preserves nothing it needs —
+  // each store's final state is decided by its own last op.
+  {
+    Status cold_status;
+    auto cold_place = [&](const LogRecord& rec, const std::string& data) {
+      if (!cold_status.ok()) return;
+      // Skip placements already covered by the loaded segment base: replay
+      // after a flush would otherwise re-stage (and eventually re-seal)
+      // identical rows on every recovery.
+      std::string current;
+      if (cold_->ReadRow(Rid::Decode(rec.rid), &current).ok() &&
+          current == data) {
+        return;
+      }
+      cold_status = cold_->Place(rec.table_id, rec.partition_id,
+                                 Rid::Decode(rec.rid), Slice(data));
+    };
+    // Undo losers in reverse order.
+    for (auto it = cold_ops.rbegin(); it != cold_ops.rend(); ++it) {
+      const LogRecord& rec = *it;
+      if (winners.find(rec.txn_id) != winners.end()) continue;
+      Rid rid;
+      TablePartition* part = part_for_rid(rec.rid, &rid);
+      if (part == nullptr) continue;
+      shard_cursors[ShardForRid(rec.rid)].See(rid,
+                                              part->heap->slots_per_page());
+      if (rec.type == LogRecordType::kColdPlace) {
+        if (rec.before.empty()) {
+          cold_->Erase(rid);
+        } else {
+          cold_place(rec, rec.before);
+        }
+      } else {  // kColdErase
+        cold_place(rec, rec.before);
+      }
+    }
+    // Redo winners in log order.
+    for (const LogRecord& rec : cold_ops) {
+      if (winners.find(rec.txn_id) == winners.end()) continue;
+      Rid rid;
+      TablePartition* part = part_for_rid(rec.rid, &rid);
+      if (part == nullptr) continue;
+      shard_cursors[ShardForRid(rec.rid)].See(rid,
+                                              part->heap->slots_per_page());
+      if (rec.type == LogRecordType::kColdPlace) {
+        cold_place(rec, rec.after);
+      } else {  // kColdErase
+        cold_->Erase(rid);
+      }
+    }
+    BTRIM_RETURN_IF_ERROR(cold_status);
   }
 
   // --- sysimrslogs pass 1: collect groups, markers, checkpoints (serial) ----
@@ -474,7 +547,10 @@ Status Database::Recover() {
       if (latest == nullptr || !latest->is_delete) return;
       Rid decoded;
       TablePartition* part = part_for_rid(rid.Encode(), &decoded);
-      if (part == nullptr || part->heap->Exists(rid)) return;
+      if (part == nullptr || part->heap->Exists(rid) ||
+          cold_->Exists(rid)) {
+        return;  // still masks a materialized home (heap or cold-columnar)
+      }
       dead.push_back(DeadRow{rid, row, part->ilm});
     });
     for (const DeadRow& d : dead) {
@@ -501,6 +577,14 @@ Status Database::Recover() {
   // below.
   CursorTracker cursors;
   for (const CursorTracker& shard : shard_cursors) cursors.Merge(shard);
+  // Cold rows' heap slots are vacated at pack, so MaxDurableRow cannot see
+  // them, and after a truncation their rids survive only in the segment
+  // file — sweep the cold index so AllocateRid never re-issues them.
+  cold_->ForEachRid([&](Rid rid) {
+    Rid decoded;
+    TablePartition* part = part_for_rid(rid.Encode(), &decoded);
+    if (part != nullptr) cursors.See(decoded, part->heap->slots_per_page());
+  });
   for (Table* table : Tables()) {
     for (size_t p = 0; p < table->num_partitions(); ++p) {
       HeapFile* heap = table->partition(p).heap.get();
@@ -552,6 +636,26 @@ Status Database::Recover() {
       BTRIM_RETURN_IF_ERROR(st);
     }
   }
+  // Cold-columnar rows (serial sweep: the same IMRS-wins masking rule as
+  // the heap scan; no hash-index entries — the hash index is IMRS-only).
+  cold_->ForEachLive([this](uint32_t table_id, uint32_t partition_id,
+                            Rid rid, const std::string& payload) {
+    (void)partition_id;
+    if (rid_map_.Lookup(rid) != nullptr) return;  // IMRS wins
+    Table* table = GetTable(table_id);
+    if (table == nullptr) return;
+    const std::string pk = table->pk_encoder().KeyForRecord(Slice(payload));
+    Status is = table->primary_index()->Insert(Slice(pk), rid.Encode());
+    (void)is;
+    for (SecondaryIndex& sec : table->secondaries()) {
+      std::string skey = sec.encoder->KeyForRecord(Slice(payload));
+      if (!sec.def.unique) {
+        skey = BTree::MakeNonUniqueKey(Slice(skey), rid);
+      }
+      is = sec.tree->Insert(Slice(skey), rid.Encode());
+      (void)is;
+    }
+  });
   {
     // IMRS rows: collect entries once, then shard the sweep.
     std::vector<std::pair<Rid, ImrsRow*>> entries;

@@ -181,13 +181,21 @@ Status Database::ValidateLocked(ValidateReport* report, bool tolerant) {
       ++report->versions_checked;
     }
 
-    // Page-store home: migrated/cached rows keep their slot until GC purges
-    // the whole row; inserted rows never had one (Pack removes the row from
-    // the RID-map in the same cycle that places it). Foreground traffic
-    // never creates or removes a home for an IMRS-resident row, so this
-    // holds in tolerant mode too.
-    const bool has_home = part->heap->Exists(rid);
+    // Page-store home: migrated/cached rows keep their slot (heap, or cold
+    // segment under cold_columnar) until GC purges the whole row; inserted
+    // rows never had one (Pack removes the row from the RID-map in the same
+    // cycle that places it). Foreground traffic never creates or removes a
+    // home for an IMRS-resident row, so this holds in tolerant mode too. A
+    // rid must never have both kinds of home at once.
+    const bool heap_home = part->heap->Exists(rid);
+    const bool cold_home = cold_->Exists(rid);
     ++report->page_homes_checked;
+    if (heap_home && cold_home) {
+      return Status::Corruption(Describe(row) +
+                                " has both a heap slot and a cold-columnar "
+                                "placement");
+    }
+    const bool has_home = heap_home || cold_home;
     if (row->source == RowSource::kInserted) {
       if (has_home) {
         return Status::Corruption(Describe(row) +
@@ -222,6 +230,28 @@ Status Database::ValidateLocked(ValidateReport* report, bool tolerant) {
     t.bytes += ImrsStore::RowFootprint(row);
     t.rows += 1;
     ++report->rows_checked;
+  }
+
+  // Cold-home exclusivity for rows the RID-map does NOT mask: every live
+  // cold placement must be the rid's only home (IMRS-resident rids were
+  // checked above). Skipped when the cold store is empty.
+  if (cold_->rows() > 0) {
+    Status cold_status;
+    cold_->ForEachLive([&](uint32_t table_id, uint32_t, Rid rid,
+                           const std::string&) {
+      if (!cold_status.ok()) return;
+      Table* table = GetTable(table_id);
+      if (table == nullptr) return;
+      TablePartition* part = table->PartitionForRid(rid);
+      if (part == nullptr) return;
+      if (part->heap->Exists(rid)) {
+        cold_status = Status::Corruption(
+            "rid " + rid.ToString() +
+            " has both a heap slot and a cold-columnar placement");
+      }
+      ++report->page_homes_checked;
+    });
+    BTRIM_RETURN_IF_ERROR(cold_status);
   }
 
   // --- Phase B: ILM queue membership. --------------------------------------

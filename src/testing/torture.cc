@@ -68,6 +68,9 @@ DatabaseOptions TortureDbOptions(const TortureConfig& config,
   options.ilm.pack_batch_rows = 8;
   options.pack_workers = config.pack_workers;
   options.lock_timeout_ms = 100;
+  options.cold_columnar = config.cold_columnar;
+  // Tiny segments so a torture run seals (and tears) real segment frames.
+  options.cold_segment_rows = 16;
   options.fault_plan = std::move(plan);
   return options;
 }

@@ -41,6 +41,12 @@ struct TortureConfig {
   /// which phase a given crash index hits) varies run to run — the recovery
   /// contract being verified is interleaving-independent.
   bool overlapped_checkpoints = false;
+
+  /// When true, Pack relocates cold rows into the columnar cold store
+  /// (DatabaseOptions::cold_columnar), so crash points land inside cold
+  /// placements, segment seals, and the erase journal; recovery must then
+  /// replay kColdPlace/kColdErase on top of the loaded segment file.
+  bool cold_columnar = false;
 };
 
 /// Counters reported by a crash-point run (for sweep summaries).

@@ -35,6 +35,13 @@ enum class LogRecordType : uint8_t {
   /// checkpoint) is ignored by recovery.
   kCheckpointBegin = 7,
   kCheckpointEnd = 8,
+  /// Cold-columnar relocations (syslogs, redo-undo like the other kPs*
+  /// types). kColdPlace redoes an upsert of `after` into the cold store at
+  /// `rid` and undoes by erasing; kColdErase redoes a tolerant erase and
+  /// undoes by re-placing `before`. Value-logged, so replay is idempotent
+  /// and converges in log order (see src/cold/ and engine/recovery.cc).
+  kColdPlace = 9,
+  kColdErase = 10,
   // sysimrslogs
   kImrsInsert = 16,
   kImrsUpdate = 17,

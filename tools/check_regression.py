@@ -43,52 +43,48 @@ Exit 0 when green; exit 1 with one line per violation otherwise.
 
 import argparse
 import json
+import os
 import sys
 
-# Every stats field FormatDatabaseStats() used to print has to stay visible
-# through the registry export (ISSUE: >= 95% coverage; we require 100% of
-# this enumerated list).
-REQUIRED_METRICS = [
-    "txn.committed", "txn.aborted", "txn.active",
-    "engine.imrs_ops", "engine.page_ops",
-    "imrs_cache.in_use_bytes", "imrs_cache.capacity_bytes",
-    "rid_map.entries",
-    "buffer_cache.fixes", "buffer_cache.hits", "buffer_cache.evictions",
-    "buffer_cache.latch_contention",
-    "locks.acquisitions", "locks.waits", "locks.timeouts",
-    "locks.try_failures",
-    "gc.versions_freed", "gc.bytes_freed", "gc.rows_purged",
-    "gc.work_pending",
-    "pack.cycles", "pack.rows_packed", "pack.bytes_packed",
-    "pack.rows_skipped_hot", "pack.transactions", "pack.bypass_activations",
-    "pack.lock_wait_us", "pack.partition_pack_us", "pack.worker_bytes_packed",
-    "pool.tasks_executed", "pool.queue_depth", "pool.queue_wait_us",
-    "pool.workers",
-    "wal.records_appended", "wal.bytes_appended", "wal.groups_appended",
-    "wal.syncs", "wal.syncs_elided", "wal.append_failures",
-    "wal.sync_failures",
-    "commit.groups", "commit.batches", "commit.batch_bytes",
-    "commit.max_batch_groups", "commit.latency_us",
-    "partition.imrs_bytes", "partition.imrs_rows",
-    "partition.reuse_select", "partition.reuse_update",
-    "partition.reuse_delete", "partition.inserts_imrs",
-    "partition.migrations", "partition.cachings",
-    "partition.rows_packed", "partition.rows_skipped_hot",
-    "partition.mode",
-    "tpcc.committed", "tpcc.system_aborts", "tpcc.user_aborts",
-    "tpcc.latency_us",
-    # OLC index + lock-table fast path (stats_printer's index/locks lines).
-    "index.searches", "index.inserts", "index.splits",
-    "index.olc_restarts", "index.pessimistic_descents",
-    "index.pages_retired", "index.pages_reclaimed",
-    "locks.fast_grants", "locks.wait_us", "locks.waiting_txns",
-    "locks.contended_stripes",
-    "gc.index_pages_reclaimed",
-    # Overlapped checkpoint (DESIGN.md Sec. 14).
-    "checkpoint.completed", "checkpoint.snapshot_rows",
-    "checkpoint.stashed_rows", "checkpoint.last_pause_us",
-    "checkpoint.max_pause_us", "checkpoint.last_total_us",
-]
+# The required-metric names live in tools/required_metrics.json next to
+# this script: "required" is every stats field FormatDatabaseStats() used
+# to print plus the cold-columnar counters (ISSUE: >= 95% coverage; we
+# require 100% of the enumerated list), "known_optional" is the rest of
+# the exported universe. A metrics export containing a name in neither
+# list fails the drift lint — new metrics must be recorded in the manifest.
+MANIFEST_PATH = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                             "required_metrics.json")
+
+
+def load_manifest(errors):
+    """Loads and lints the metric-name manifest. Returns (required,
+    known_optional) as lists; appends lint violations to `errors`."""
+    try:
+        with open(MANIFEST_PATH) as f:
+            manifest = json.load(f)
+    except (OSError, ValueError) as e:
+        errors.append(f"metric manifest {MANIFEST_PATH}: unreadable ({e})")
+        return [], []
+    out = []
+    for key in ("required", "known_optional"):
+        names = manifest.get(key)
+        if (not isinstance(names, list)
+                or not all(isinstance(n, str) for n in names)):
+            errors.append(
+                f"metric manifest: '{key}' must be a list of strings")
+            names = []
+        if len(set(names)) != len(names):
+            dupes = sorted({n for n in names if names.count(n) > 1})
+            errors.append(f"metric manifest: duplicate names in '{key}': "
+                          f"{', '.join(dupes)}")
+        if names != sorted(names):
+            errors.append(f"metric manifest: '{key}' must be sorted")
+        out.append(names)
+    overlap = sorted(set(out[0]) & set(out[1]))
+    if overlap:
+        errors.append("metric manifest: names in both 'required' and "
+                      f"'known_optional': {', '.join(overlap)}")
+    return out[0], out[1]
 
 FSYNC_EPSILON = 0.05  # absolute slack for near-zero fsyncs/commit cells
 
@@ -337,14 +333,83 @@ def check_recovery(current, baseline, errors):
                     f"regenerate bench/BENCH_micro_recovery.json")
 
 
+# HTAP gates over micro_htap --out JSON. Constants mirrored in
+# bench/micro_htap.cc's --smoke gate — keep in sync.
+HTAP_COMPRESSION_FLOOR = 1.1    # cold bytes raw / compressed
+HTAP_DIP_FLOOR = 0.3            # mixed/alone OLTP tpm, hw_threads >= 4
+HTAP_DIP_FLOOR_1T = 0.2         # mixed/alone OLTP tpm, hw_threads < 4
+
+
+def check_htap(current, baseline, threshold, errors):
+    hw = int(current.get("hw_threads", 1))
+    cold = current.get("cold", {})
+    proj = current.get("projection", {})
+    oltp = current.get("oltp", {})
+
+    # Gate 1: Pack landed columnar data and it compressed. The ratio is
+    # workload-determined (same tables, same generators), so it is also
+    # compared against the checked-in baseline within threshold.
+    if cold.get("rows", 0) <= 0 or cold.get("segments", 0) <= 0:
+        errors.append(f"micro_htap: no cold columnar data "
+                      f"(rows={cold.get('rows')} "
+                      f"segments={cold.get('segments')})")
+    ratio = cold.get("compression_ratio", 0.0)
+    if ratio < HTAP_COMPRESSION_FLOOR:
+        errors.append(
+            f"micro_htap: compression ratio {ratio:.2f} below floor "
+            f"{HTAP_COMPRESSION_FLOOR:.2f}")
+    base_ratio = baseline.get("cold", {}).get("compression_ratio", 0.0)
+    if base_ratio > 0 and ratio < base_ratio * (1.0 - threshold):
+        errors.append(
+            f"micro_htap: compression ratio regressed "
+            f"{base_ratio:.2f} -> {ratio:.2f} "
+            f"(> {threshold:.0%} below baseline)")
+
+    # Gate 2: projection pushdown scans strictly fewer cold bytes than the
+    # full-row scan. Hardware-independent: both sides come from the same
+    # quiesced database.
+    full = proj.get("full_bytes_scanned_cold", 0)
+    projected = proj.get("projected_bytes_scanned_cold", 0)
+    if projected <= 0 or full <= 0 or projected >= full:
+        errors.append(
+            f"micro_htap: projected scan ({projected}B) not cheaper than "
+            f"full-row scan ({full}B)")
+    else:
+        print(f"micro_htap: projection scans {projected}B of {full}B cold "
+              f"({projected / full:.0%}); compression {ratio:.2f}x")
+
+    # Gate 3: the scanner made progress and OLTP kept a bounded fraction of
+    # its standalone throughput under concurrent scans (within-run ratio,
+    # hw-scaled floor as elsewhere).
+    if oltp.get("scans_during_mixed", 0) < 1:
+        errors.append("micro_htap: no query-suite pass finished during the "
+                      "mixed phase")
+    dip = oltp.get("dip_ratio", 0.0)
+    floor = HTAP_DIP_FLOOR if hw >= 4 else HTAP_DIP_FLOOR_1T
+    if dip < floor:
+        errors.append(
+            f"micro_htap: OLTP under concurrent scans kept only "
+            f"{dip:.0%} of alone throughput (floor {floor:.0%} on "
+            f"{hw} hw threads)")
+    else:
+        print(f"micro_htap: OLTP kept {dip:.0%} under scans "
+              f"(floor {floor:.0%} on {hw} hw threads)")
+
+
 def check_metrics_coverage(metrics_doc, errors):
+    required, known_optional = load_manifest(errors)
     names = {m["name"] for m in metrics_doc["metrics"]}
-    missing = [n for n in REQUIRED_METRICS if n not in names]
-    covered = len(REQUIRED_METRICS) - len(missing)
-    print(f"metrics coverage: {covered}/{len(REQUIRED_METRICS)} required "
+    missing = [n for n in required if n not in names]
+    covered = len(required) - len(missing)
+    print(f"metrics coverage: {covered}/{len(required)} required "
           f"names present ({len(names)} exported)")
     for name in missing:
         errors.append(f"required metric missing from export: {name}")
+    # Drift lint: every exported name must be recorded in the manifest, so
+    # adding a metric without updating tools/required_metrics.json fails.
+    for name in sorted(names - set(required) - set(known_optional)):
+        errors.append(f"metric exported but absent from "
+                      f"tools/required_metrics.json (manifest drift): {name}")
 
 
 def main():
@@ -368,14 +433,19 @@ def main():
                         help="micro_recovery --out JSON from this run")
     parser.add_argument("--recovery-baseline",
                         help="checked-in bench/BENCH_micro_recovery.json")
+    parser.add_argument("--htap-current",
+                        help="micro_htap --out JSON from this run")
+    parser.add_argument("--htap-baseline",
+                        help="checked-in bench/BENCH_micro_htap.json")
     parser.add_argument("--threshold", type=float, default=0.25,
                         help="relative regression tolerance (default 0.25)")
     args = parser.parse_args()
 
     if not (args.current or args.pack_current or args.index_current
-            or args.recovery_current or args.metrics):
+            or args.recovery_current or args.htap_current or args.metrics):
         parser.error("nothing to check: pass --current, --pack-current, "
-                     "--index-current, --recovery-current, and/or --metrics")
+                     "--index-current, --recovery-current, --htap-current, "
+                     "and/or --metrics")
 
     errors = []
     if args.current:
@@ -413,6 +483,15 @@ def main():
             with open(args.recovery_baseline) as f:
                 recovery_baseline = json.load(f)
         check_recovery(recovery_current, recovery_baseline, errors)
+
+    if args.htap_current:
+        with open(args.htap_current) as f:
+            htap_current = json.load(f)
+        htap_baseline = {}
+        if args.htap_baseline:
+            with open(args.htap_baseline) as f:
+                htap_baseline = json.load(f)
+        check_htap(htap_current, htap_baseline, args.threshold, errors)
 
     if args.metrics:
         with open(args.metrics) as f:

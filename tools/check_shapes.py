@@ -20,6 +20,11 @@ Subcommands:
       high-water mark is monotone non-decreasing in the steady-cache
       threshold.
 
+  htap --run RUN.json
+      HTAP interference (micro_htap --metrics-out): per-window OLTP
+      throughput with concurrent analytical scans stays within a bounded
+      dip of the oltp-alone phase on the same run.
+
 All checks read the unified export schema:
   {"meta": {...}, "metrics": [...], "series": [{"marker":.., "metrics":[..]}]}
 
@@ -119,6 +124,62 @@ def check_fig6(args, errors):
     print(f"fig6: reuse/row {summary}")
 
 
+# OLTP-throughput floor under concurrent analytical scans, as a fraction
+# of the oltp-alone phase's throughput. Mirrors the dip constants in
+# bench/micro_htap.cc / tools/check_regression.py check_htap, applied here
+# per sampler window rather than to whole-phase totals.
+HTAP_DIP_FLOOR = 0.3      # hw_threads >= 4
+HTAP_DIP_FLOOR_1T = 0.2   # hw_threads < 4
+
+
+def phase_rates(doc, first_seq, last_seq):
+    """Committed-txns/s between consecutive sampler windows of one phase.
+
+    micro_htap samples at committed-transaction windows with the committed
+    count as the marker, so the rate axis is marker delta over wall delta.
+    """
+    windows = [w for w in doc["series"]
+               if first_seq <= w["seq"] < last_seq and w["marker"] >= 0]
+    rates = []
+    for a, b in zip(windows, windows[1:]):
+        dt_us = b["wall_us"] - a["wall_us"]
+        dm = b["marker"] - a["marker"]
+        if dt_us > 0 and dm > 0:
+            rates.append(dm / (dt_us / 1e6))
+    return rates
+
+
+def check_htap(args, errors):
+    doc = load(args.run)
+    meta = doc.get("meta", {})
+    alone_seq = meta.get("htap_oltp_alone_first_seq")
+    mixed_seq = meta.get("htap_mixed_first_seq")
+    if alone_seq is None or mixed_seq is None:
+        errors.append("htap: meta.htap_*_first_seq missing — produce the "
+                      "export with micro_htap --metrics-out")
+        return
+    alone = phase_rates(doc, alone_seq, mixed_seq)
+    mixed = phase_rates(doc, mixed_seq, 1 << 62)
+    if len(alone) < 2 or len(mixed) < 2:
+        errors.append("htap: need >= 2 rate windows per phase "
+                      f"(got {len(alone)} alone / {len(mixed)} mixed)")
+        return
+    hw = int(meta.get("hw_threads", 1))
+    floor = HTAP_DIP_FLOOR if hw >= 4 else HTAP_DIP_FLOOR_1T
+    alone_rate, mixed_rate = mean(alone), mean(mixed)
+    if alone_rate <= 0:
+        errors.append("htap: oltp-alone phase shows no throughput")
+        return
+    dip = mixed_rate / alone_rate
+    if dip < floor:
+        errors.append(
+            f"htap: OLTP under concurrent scans kept only {dip:.0%} of "
+            f"alone throughput ({alone_rate:.0f} -> {mixed_rate:.0f} txn/s, "
+            f"floor {floor:.0%} on {hw} hw threads)")
+    print(f"htap: oltp alone {alone_rate:.0f} txn/s, with scans "
+          f"{mixed_rate:.0f} txn/s ({dip:.0%}, floor {floor:.0%})")
+
+
 def steady_hwm(doc):
     vals = [v for _, v in series_of(doc, "imrs_cache.in_use_bytes")]
     if not vals:
@@ -168,10 +229,15 @@ def main():
     p9 = sub.add_parser("fig9", help="steady HWM monotone in threshold")
     p9.add_argument("runs", nargs="+", metavar="PCT=FILE")
 
+    ph = sub.add_parser("htap",
+                        help="OLTP throughput dip under concurrent scans")
+    ph.add_argument("--run", required=True,
+                    help="a micro_htap --metrics-out export")
+
     args = parser.parse_args()
     errors = []
-    {"fig2": check_fig2, "fig6": check_fig6, "fig9": check_fig9}[
-        args.figure](args, errors)
+    {"fig2": check_fig2, "fig6": check_fig6, "fig9": check_fig9,
+     "htap": check_htap}[args.figure](args, errors)
     if errors:
         for e in errors:
             print(f"SHAPE FAIL: {e}", file=sys.stderr)

@@ -39,6 +39,7 @@ struct DriverOptions {
   int64_t crash_op = -1;  // >= 0: replay exactly one crash point
   int pack_workers = 1;
   bool overlap = false;
+  bool cold_columnar = false;
   bool dump_trace = false;
 };
 
@@ -46,7 +47,7 @@ void Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--seed N] [--points N] [--txns N] [--dir PATH]\n"
                "          [--failures-file PATH] [--crash-op K]\n"
-               "          [--pack-workers N] [--overlap]\n",
+               "          [--pack-workers N] [--overlap] [--cold-columnar]\n",
                argv0);
   std::exit(2);
 }
@@ -74,6 +75,8 @@ bool ParseArgs(int argc, char** argv, DriverOptions* opt) {
       opt->pack_workers = std::atoi(next());
     } else if (arg == "--overlap") {
       opt->overlap = true;
+    } else if (arg == "--cold-columnar") {
+      opt->cold_columnar = true;
     } else if (arg == "--dump-trace") {
       opt->dump_trace = true;
     } else {
@@ -99,6 +102,7 @@ int main(int argc, char** argv) {
   config.num_txns = opt.txns;
   config.pack_workers = opt.pack_workers;
   config.overlapped_checkpoints = opt.overlap;
+  config.cold_columnar = opt.cold_columnar;
 
   // Phase 1: fault-free traced run enumerates the op sequence.
   std::vector<btrim::TraceEntry> trace;
