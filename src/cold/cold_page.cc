@@ -393,10 +393,15 @@ Result<std::shared_ptr<ColdSegment>> ColdSegment::Parse(std::string bytes,
   const char* dir = payload + static_cast<size_t>(seg->row_count_) * 8;
   seg->chunks_ = dir + static_cast<size_t>(ncols) * kDirEntryBytes;
   const size_t chunk_area = payload_len - fixed;
+  const uint32_t rows = seg->row_count_;
   seg->dir_.resize(ncols);
   for (size_t c = 0; c < ncols; ++c) {
     const char* d = dir + c * kDirEntryBytes;
     ColumnDir& e = seg->dir_[c];
+    if (static_cast<uint8_t>(d[0]) >
+        static_cast<uint8_t>(ColdEncoding::kDelta)) {
+      return Status::Corruption("cold segment column encoding byte invalid");
+    }
     e.encoding = static_cast<ColdEncoding>(static_cast<uint8_t>(d[0]));
     e.width = static_cast<uint8_t>(d[1]);
     e.offset = DecodeFixed32(d + 4);
@@ -404,6 +409,56 @@ Result<std::shared_ptr<ColdSegment>> ColdSegment::Parse(std::string bytes,
     e.base = DecodeFixed64(d + 12);
     if (static_cast<size_t>(e.offset) + e.len > chunk_area) {
       return Status::Corruption("cold segment column chunk out of bounds");
+    }
+    // Structural guards beyond the checksum: a frame can checksum cleanly
+    // yet carry a directory the accessors would index out of bounds
+    // (writer version drift, in-memory corruption). The accessors trust
+    // the directory, so reject such frames here as Corruption.
+    const ColumnType type = schema->column(c).type;
+    switch (e.encoding) {
+      case ColdEncoding::kPlain:
+        if (type == ColumnType::kString) {
+          // Offset array: rows+1 u32 entries ahead of the blob.
+          if (e.width != 0 ||
+              e.len < (static_cast<uint64_t>(rows) + 1) * 4) {
+            return Status::Corruption("cold segment plain string column "
+                                      "shorter than its offset array");
+          }
+          continue;
+        }
+        if (e.width != (type == ColumnType::kInt32 ? 4 : 8)) {
+          return Status::Corruption("cold segment plain column width "
+                                    "disagrees with its type");
+        }
+        break;
+      case ColdEncoding::kFor:
+      case ColdEncoding::kDelta:
+        if (type == ColumnType::kString || type == ColumnType::kDouble ||
+            (e.width != 1 && e.width != 2 && e.width != 4 && e.width != 8)) {
+          return Status::Corruption("cold segment integer encoding on a "
+                                    "non-integer column or invalid width");
+        }
+        break;
+      case ColdEncoding::kDict: {
+        if (type != ColumnType::kString || (e.width != 1 && e.width != 2) ||
+            e.base > 65535 || e.len < 4) {
+          return Status::Corruption("cold segment dictionary directory "
+                                    "entry invalid");
+        }
+        const uint64_t dict_blob = DecodeFixed32(seg->chunks_ + e.offset);
+        if (4 + (e.base + 1) * 4 + dict_blob +
+                static_cast<uint64_t>(rows) * e.width !=
+            e.len) {
+          return Status::Corruption("cold segment dictionary chunk length "
+                                    "disagrees with its shape");
+        }
+        continue;
+      }
+    }
+    // Fixed-width int/double chunk: exactly rows * width bytes.
+    if (static_cast<uint64_t>(rows) * e.width != e.len) {
+      return Status::Corruption("cold segment column chunk length disagrees "
+                                "with the row count");
     }
   }
   return seg;

@@ -95,6 +95,9 @@ class ColdSegment {
   uint64_t raw_bytes() const { return raw_bytes_; }
   /// Full serialized size (header + payload).
   size_t encoded_size() const { return bytes_.size(); }
+  /// The full serialized image (what Parse consumed); lets a writer parse
+  /// first and append the validated bytes after.
+  Slice serialized() const { return Slice(bytes_); }
 
   Rid RidAt(uint32_t row) const;
 

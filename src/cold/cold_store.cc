@@ -201,25 +201,37 @@ Status ColdStore::SealLocked(PartitionBuilder* b) {
   std::string blob =
       builder.Finish(b->table_id, b->partition_id, b->next_seq, &stats);
 
-  std::string frame;
-  frame.reserve(kFrameHeaderBytes + blob.size());
-  PutFixed32(&frame, kColdFrameMagic);
-  PutFixed32(&frame, static_cast<uint32_t>(blob.size()));
-  frame.append(blob);
-  // Storage append failures leave the staged rows in place: the seal is
-  // retried by the next trigger, and the log-side kColdPlace records keep
-  // the rows recoverable meanwhile.
-  BTRIM_RETURN_IF_ERROR(storage_->Append(Slice(frame)));
-
+  // Parse BEFORE appending: a blob the reader rejects must never become
+  // durable (a dead frame the retry would duplicate), and a parse failure
+  // must leave storage untouched so the staged rows simply retry.
   Result<std::shared_ptr<ColdSegment>> seg =
       ColdSegment::Parse(std::move(blob), b->schema);
   if (!seg.ok()) return seg.status();
-  ++b->next_seq;
+
+  std::string frame;
+  frame.reserve(kFrameHeaderBytes + (*seg)->encoded_size());
+  PutFixed32(&frame, kColdFrameMagic);
+  PutFixed32(&frame, static_cast<uint32_t>((*seg)->encoded_size()));
+  const Slice image = (*seg)->serialized();
+  frame.append(image.data(), image.size());
+
   {
     MutexGuard sg(segments_mu_);
+    // Pending erases MUST reach the file before this segment frame: a
+    // staged row may be a re-placement of an erased rid, and Load replays
+    // in file order — an erase frame written after this segment would kill
+    // the live re-placed row. Holding segments_mu_ across both appends
+    // keeps concurrent seals/flushes from interleaving their frames into a
+    // bad order.
+    BTRIM_RETURN_IF_ERROR(AppendEraseFrameLocked());
+    // Storage append failures leave the staged rows in place: the seal is
+    // retried by the next trigger, and the log-side kColdPlace records keep
+    // the rows recoverable meanwhile.
+    BTRIM_RETURN_IF_ERROR(storage_->Append(Slice(frame)));
     segments_.push_back(*seg);
     AccumulateStatsLocked(b->table_id, stats);
   }
+  ++b->next_seq;
   uint32_t row = 0;
   for (const auto& [rid_enc, payload] : b->rows) {
     IndexShard& s = ShardFor(rid_enc);
@@ -240,6 +252,20 @@ Status ColdStore::SealLocked(PartitionBuilder* b) {
   return Status::OK();
 }
 
+Status ColdStore::AppendEraseFrameLocked() {
+  if (pending_erases_.empty() || storage_ == nullptr) return Status::OK();
+  std::string frame;
+  frame.reserve(kFrameHeaderBytes + pending_erases_.size() * 8);
+  PutFixed32(&frame, kColdEraseMagic);
+  PutFixed32(&frame, static_cast<uint32_t>(pending_erases_.size() * 8));
+  for (uint64_t rid_enc : pending_erases_) PutFixed64(&frame, rid_enc);
+  // Failure keeps the journal intact for the retry; the failed seal/flush
+  // fails its checkpoint, so syslogs keeps its kColdErase evidence.
+  BTRIM_RETURN_IF_ERROR(storage_->Append(Slice(frame)));
+  pending_erases_.clear();
+  return Status::OK();
+}
+
 void ColdStore::AccumulateStatsLocked(
     uint32_t table_id, const std::vector<ColdColumnStats>& stats) {
   std::vector<ColdColumnStats>& agg = column_stats_[table_id];
@@ -253,29 +279,14 @@ void ColdStore::AccumulateStatsLocked(
 }
 
 Status ColdStore::Flush() {
-  // Persist the erase journal FIRST: pending erases predate the rows being
-  // sealed below, and a later segment frame must be able to re-place an
-  // erased rid (Load applies frames in file order).
-  std::vector<uint64_t> erases;
-  {
+  // Persist the erase journal even when no builder has rows to seal:
+  // pending erases of already-flushed rows must be durable before the
+  // checkpoint truncates syslogs. SealLocked drains it again ahead of
+  // every segment frame it appends, so file order always reads
+  // erase-then-re-place for a re-placed rid.
+  if (storage_ != nullptr) {
     MutexGuard sg(segments_mu_);
-    erases.swap(pending_erases_);
-  }
-  if (!erases.empty() && storage_ != nullptr) {
-    std::string frame;
-    frame.reserve(kFrameHeaderBytes + erases.size() * 8);
-    PutFixed32(&frame, kColdEraseMagic);
-    PutFixed32(&frame, static_cast<uint32_t>(erases.size() * 8));
-    for (uint64_t rid_enc : erases) PutFixed64(&frame, rid_enc);
-    Status s = storage_->Append(Slice(frame));
-    if (!s.ok()) {
-      // Put the journal back so the retry re-writes it; the failed Flush
-      // fails the checkpoint, so syslogs keeps its kColdErase evidence.
-      MutexGuard sg(segments_mu_);
-      pending_erases_.insert(pending_erases_.begin(), erases.begin(),
-                             erases.end());
-      return s;
-    }
+    BTRIM_RETURN_IF_ERROR(AppendEraseFrameLocked());
   }
   std::vector<std::shared_ptr<PartitionBuilder>> all;
   {

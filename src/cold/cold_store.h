@@ -161,10 +161,18 @@ class ColdStore {
                                                uint32_t partition_id,
                                                bool create);
 
-  /// Seals `pb`'s staged rows into one segment: serialize, append the
-  /// storage frame, publish the segment, repoint the index. Caller holds
-  /// pb->mu. No-op on an empty builder.
+  /// Seals `pb`'s staged rows into one segment: serialize, parse-validate,
+  /// append the storage frame (after draining the erase journal), publish
+  /// the segment, repoint the index. Caller holds pb->mu. No-op on an
+  /// empty builder.
   Status SealLocked(PartitionBuilder* pb) BTRIM_REQUIRES(pb->mu);
+
+  /// Appends one erase frame covering every pending erase and clears the
+  /// journal. On append failure the journal is kept for the retry. Must be
+  /// called ahead of every segment-frame append (and holding segments_mu_
+  /// across both appends) so Load's file-order replay never sees an erase
+  /// land after a re-placement of the same rid.
+  Status AppendEraseFrameLocked() BTRIM_REQUIRES(segments_mu_);
 
   void AccumulateStatsLocked(uint32_t table_id,
                              const std::vector<ColdColumnStats>& stats)
@@ -188,10 +196,11 @@ class ColdStore {
       BTRIM_GUARDED_BY(segments_mu_);
   /// Erase journal: segment frames are immutable, so erases of flushed rows
   /// must persist separately or a crash after a log truncation would
-  /// resurrect them from the segment file. Drained into one erase frame at
-  /// the START of every Flush — pending erases predate the rows currently
+  /// resurrect them from the segment file. Drained into one erase frame
+  /// BEFORE every segment-frame append (seal or flush, under segments_mu_
+  /// across both appends) — pending erases predate the rows currently
   /// staged, and a later segment frame must be able to re-place an erased
-  /// rid.
+  /// rid, so an erase frame may never land after the re-placing segment.
   std::vector<uint64_t> pending_erases_ BTRIM_GUARDED_BY(segments_mu_);
 
   std::unique_ptr<IndexShard[]> index_;

@@ -641,6 +641,11 @@ PackBatchOutcome Database::PackBatch(PartitionState* partition,
       Status cs = cold_->Place(partition->table_id, partition->partition_id,
                                row->rid, Slice(st.payload));
       if (!cs.ok()) {
+        // Place stages the row (builder + rid index) before the triggered
+        // seal, and a failed seal keeps the staged rows — erase the cold
+        // entry so the restored heap home is the rid's only home again
+        // (ValidateLocked rejects dual homes).
+        cold_->Erase(row->rid);
         if (st.had_heap_home) {
           Status rs = st.tpart->heap->Place(row->rid, Slice(st.before));
           (void)rs;

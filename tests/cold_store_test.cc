@@ -15,6 +15,7 @@
 
 #include "cold/cold_page.h"
 #include "cold/cold_store.h"
+#include "common/coding.h"
 #include "engine/database.h"
 
 namespace btrim {
@@ -133,6 +134,46 @@ TEST_F(ColdCodecTest, MonotoneIntsUseDeltaNonMonotoneDoNot) {
   }
 }
 
+TEST_F(ColdCodecTest, CorruptDirectoryEntryIsRejectedNotIndexed) {
+  // A frame can checksum cleanly yet carry a directory whose width/encoding
+  // the accessors would index out of bounds with (writer version drift,
+  // in-memory corruption). Corrupt a dir byte, re-checksum, and expect
+  // Parse to reject the blob as Corruption instead of handing it out.
+  std::vector<std::string> rows;
+  for (int64_t i = 0; i < 16; ++i) rows.push_back(Row(i, "t", i, 0.0));
+  ColdPageBuilder builder(&schema_);
+  for (uint32_t i = 0; i < rows.size(); ++i) {
+    ASSERT_TRUE(builder.Add(MakeRid(i), Slice(rows[i])).ok());
+  }
+  const std::string blob = builder.Finish(7, 0, 0, nullptr);
+  // Layout: 44-byte header (payload checksum at offset 40), then 16 u64
+  // RIDs, then 20-byte dir entries ([0] = encoding byte, [1] = width).
+  const size_t kHeader = 44;
+  const size_t kChecksumOff = 40;
+  const size_t dir0 = kHeader + 16 * 8;
+  auto corrupt = [&](size_t off, char value) {
+    std::string c = blob;
+    c[off] = value;
+    uint32_t h = 2166136261u;  // FNV-1a: keep the checksum valid so only
+    for (size_t i = kHeader; i < c.size(); ++i) {  // the dir guards can object
+      h ^= static_cast<unsigned char>(c[i]);
+      h *= 16777619u;
+    }
+    EncodeFixed32(&c[kChecksumOff], h);
+    return ColdSegment::Parse(std::move(c), &schema_);
+  };
+  ASSERT_TRUE(ColdSegment::Parse(std::string(blob), &schema_).ok());
+  auto bad_encoding = corrupt(dir0, 7);  // past kDelta
+  ASSERT_FALSE(bad_encoding.ok());
+  EXPECT_TRUE(bad_encoding.status().IsCorruption());
+  auto bad_width = corrupt(dir0 + 1, 3);  // not in {1,2,4,8}
+  ASSERT_FALSE(bad_width.ok());
+  EXPECT_TRUE(bad_width.status().IsCorruption());
+  auto bad_len = corrupt(dir0 + 1, 2);  // legal width, rows*width != len
+  ASSERT_FALSE(bad_len.ok());
+  EXPECT_TRUE(bad_len.status().IsCorruption());
+}
+
 // --- framed storage: torn tails and the erase journal -----------------------
 
 class ColdStorageTest : public ::testing::Test {
@@ -234,6 +275,40 @@ TEST_F(ColdStorageTest, LaterFrameSupersedesEarlierPlacement) {
   ASSERT_TRUE(store->ReadRow(MakeRid(1), &out).ok());
   RecordView v(schema_.get(), Slice(out));
   EXPECT_EQ(v.GetString(1).ToString(), "rewritten");
+}
+
+TEST_F(ColdStorageTest, EraseThenReplaceSurvivesAutoSealAndReload) {
+  // Regression: a builder-full auto-seal must drain the erase journal
+  // BEFORE appending its segment frame. If the erase frame lands after a
+  // segment that re-places the erased rid, Load's file-order replay kills
+  // the live row.
+  {
+    auto store = OpenStore(/*segment_rows=*/8);
+    for (int64_t i = 0; i < 8; ++i) {  // fills the builder -> auto-seal
+      ASSERT_TRUE(store->Place(1, 0, MakeRid(i), Slice(Row(i))).ok());
+    }
+    ASSERT_TRUE(store->Flush().ok());
+    EXPECT_EQ(store->sealed_segments(), 1);
+    // Erase a sealed row (queues its erase-journal entry), then re-place it
+    // and fill the builder so it auto-seals with NO Flush in between.
+    EXPECT_TRUE(store->Erase(MakeRid(3)));
+    RecordBuilder b(schema_.get());
+    b.AddInt64(3).AddString("re-placed");
+    ASSERT_TRUE(store->Place(1, 0, MakeRid(3), b.Finish()).ok());
+    for (int64_t i = 8; i < 15; ++i) {
+      ASSERT_TRUE(store->Place(1, 0, MakeRid(i), Slice(Row(i))).ok());
+    }
+    EXPECT_EQ(store->sealed_segments(), 2);  // the builder auto-sealed
+    ASSERT_TRUE(store->Flush().ok());
+  }
+  auto store = OpenStore(/*segment_rows=*/8);
+  ASSERT_TRUE(store->Load().ok());
+  EXPECT_EQ(store->rows(), 15);
+  std::string out;
+  ASSERT_TRUE(store->ReadRow(MakeRid(3), &out).ok())
+      << "erase frame resurrected after the re-placing segment";
+  RecordView v(schema_.get(), Slice(out));
+  EXPECT_EQ(v.GetString(1).ToString(), "re-placed");
 }
 
 // --- engine integration -----------------------------------------------------
