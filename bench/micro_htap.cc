@@ -95,7 +95,7 @@ DatabaseOptions MakeOptions(const RunParams& p) {
 
 int64_t ReadColdCounter(Database* db, const char* name) {
   obs::MetricSample sample;
-  if (!db->metrics_registry()->Lookup(name, obs::MetricLabels{"cold", "", ""},
+  if (!db->metrics_registry()->Lookup(name, obs::MetricLabels{"cold", "", "", ""},
                                       &sample)) {
     return -1;
   }

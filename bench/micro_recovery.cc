@@ -122,7 +122,7 @@ bool LoadRows(Database* db, Table* table, int64_t first, int64_t count,
 int64_t ReadGauge(Database* db, const char* name) {
   obs::MetricSample sample;
   if (!db->metrics_registry()->Lookup(name, obs::MetricLabels{"checkpoint",
-                                                              "", ""},
+                                                              "", "", ""},
                                       &sample)) {
     return -1;
   }

@@ -387,7 +387,7 @@ FragmentAllocatorStats FragmentAllocator::GetStats() const {
 
 Status FragmentAllocator::RegisterMetrics(obs::MetricsRegistry* registry,
                                           const std::string& subsystem) const {
-  const obs::MetricLabels l{subsystem, "", ""};
+  const obs::MetricLabels l{subsystem, "", "", ""};
   BTRIM_RETURN_IF_ERROR(registry->RegisterGaugeFn(
       "imrs_cache.capacity_bytes", l,
       [this] { return static_cast<int64_t>(capacity_); }));

@@ -478,7 +478,7 @@ std::vector<ColdColumnStats> ColdStore::ColumnStats(uint32_t table_id) const {
 
 Status ColdStore::RegisterMetrics(obs::MetricsRegistry* registry,
                                   const std::string& subsystem) const {
-  const obs::MetricLabels l{subsystem, "", ""};
+  const obs::MetricLabels l{subsystem, "", "", ""};
   BTRIM_RETURN_IF_ERROR(registry->RegisterCounter("cold.bytes_packed_raw", l,
                                                   &bytes_packed_raw_));
   BTRIM_RETURN_IF_ERROR(registry->RegisterCounter(

@@ -46,6 +46,13 @@ class ThreadPool {
   /// exist, inline on the caller otherwise.
   void RunTasks(std::vector<std::function<void()>> tasks);
 
+  /// Fire-and-forget: enqueues one task and returns immediately (inline
+  /// mode runs it on the caller before returning). No completion channel —
+  /// callers needing one build it into the task (the net server signals
+  /// per-connection state under its own lock). Tasks queued at destruction
+  /// time still run: the destructor drains the queue before joining.
+  void Submit(std::function<void()> fn);
+
   /// Executing lane of the current thread: 0 = not a pool worker.
   static int CurrentWorkerId();
 

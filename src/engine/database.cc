@@ -134,7 +134,7 @@ Status Database::Init() {
 
 Status Database::RegisterAllMetrics() {
   obs::MetricsRegistry* r = &metrics_registry_;
-  const obs::MetricLabels engine{"engine", "", ""};
+  const obs::MetricLabels engine{"engine", "", "", ""};
   BTRIM_RETURN_IF_ERROR(r->RegisterCounter("engine.imrs_ops", engine,
                                            &imrs_ops_));
   BTRIM_RETURN_IF_ERROR(r->RegisterCounter("engine.page_ops", engine,
@@ -152,7 +152,7 @@ Status Database::RegisterAllMetrics() {
   BTRIM_RETURN_IF_ERROR(imrs_allocator_.RegisterMetrics(r, "imrs"));
   BTRIM_RETURN_IF_ERROR(ilm_->RegisterMetrics(r));
   BTRIM_RETURN_IF_ERROR(cold_->RegisterMetrics(r, "cold"));
-  const obs::MetricLabels ckpt{"checkpoint", "", ""};
+  const obs::MetricLabels ckpt{"checkpoint", "", "", ""};
   BTRIM_RETURN_IF_ERROR(r->RegisterCounter("checkpoint.completed", ckpt,
                                            &ckpt_.completed));
   BTRIM_RETURN_IF_ERROR(r->RegisterCounter("checkpoint.snapshot_rows", ckpt,
@@ -168,7 +168,7 @@ Status Database::RegisterAllMetrics() {
   BTRIM_RETURN_IF_ERROR(r->RegisterGaugeFn(
       "checkpoint.last_total_us", ckpt,
       [this] { return ckpt_.last_total_us.load(std::memory_order_relaxed); }));
-  const obs::MetricLabels pool{"pool", "", ""};
+  const obs::MetricLabels pool{"pool", "", "", ""};
   BTRIM_RETURN_IF_ERROR(r->RegisterCounter("pool.tasks_executed", pool,
                                            background_pool_->tasks_executed()));
   BTRIM_RETURN_IF_ERROR(r->RegisterGaugeFn("pool.queue_depth", pool, [this] {
@@ -257,7 +257,7 @@ Result<Table*> Database::CreateTable(TableOptions options) {
       std::make_unique<BTree>(*pk_file, &buffer_cache_, /*unique=*/true);
   BTRIM_RETURN_IF_ERROR(table->primary_->Create());
   BTRIM_RETURN_IF_ERROR(table->primary_->RegisterMetrics(
-      &metrics_registry_, obs::MetricLabels{"index", options.name, "pk"}));
+      &metrics_registry_, obs::MetricLabels{"index", options.name, "pk", ""}));
   gc_->AddReclaimHook(
       [tree = table->primary_.get()] { return tree->DrainRetired(); });
 
@@ -276,7 +276,7 @@ Result<Table*> Database::CreateTable(TableOptions options) {
     BTRIM_RETURN_IF_ERROR(sec.tree->Create());
     BTRIM_RETURN_IF_ERROR(sec.tree->RegisterMetrics(
         &metrics_registry_,
-        obs::MetricLabels{"index", options.name, def.name}));
+        obs::MetricLabels{"index", options.name, def.name, ""}));
     gc_->AddReclaimHook(
         [tree = sec.tree.get()] { return tree->DrainRetired(); });
     table->secondaries_.push_back(std::move(sec));

@@ -1,0 +1,71 @@
+#ifndef BTRIM_ENGINE_SESSION_H_
+#define BTRIM_ENGINE_SESSION_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "engine/database.h"
+
+namespace btrim {
+
+/// One client's engine-facing state: the server-side object behind a
+/// network connection (DESIGN.md Sec. 16). A Session owns at most one open
+/// transaction and exposes a small key-value surface over Database's DML
+/// API:
+///
+///  - Begin/Commit/Abort manage an explicit transaction. Without one, each
+///    operation runs auto-commit (its own one-shot transaction).
+///  - Get/Put/Scan address *kv-shaped* tables only — schema exactly
+///    [Int64 key, String value] with the primary key on column 0. The
+///    server's preloaded `kv` table has this shape; TPC-C tables are
+///    driven through the kTpcc opcode instead, never row-by-row over the
+///    wire.
+///  - A failed operation inside an explicit transaction aborts it (the
+///    engine may already have released its locks on conflict; keeping a
+///    poisoned transaction open would let later ops silently run outside
+///    it). The reply carries the original error.
+///
+/// Sessions are single-threaded by contract: the server processes one
+/// connection's requests in order on one worker at a time.
+class Session {
+ public:
+  explicit Session(Database* db) : db_(db) {}
+  ~Session();
+
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  Status Begin();
+  Status Commit();
+  Status Abort();
+  bool in_txn() const { return txn_ != nullptr; }
+
+  Status Get(const std::string& table, int64_t key, std::string* value);
+  Status Put(const std::string& table, int64_t key, Slice value);
+
+  struct Row {
+    int64_t key = 0;
+    std::string value;
+  };
+  /// Primary-key range scan from `start_key` to the end of the table,
+  /// capped at `limit` rows (limit 0 = empty result).
+  Status Scan(const std::string& table, int64_t start_key, size_t limit,
+              std::vector<Row>* rows);
+
+ private:
+  /// Resolves `name` to a kv-shaped table (see class comment).
+  Result<Table*> ResolveKv(const std::string& name);
+
+  /// Runs `op` in the open transaction, or auto-commit in a one-shot one.
+  Status RunOp(const std::function<Status(Transaction*)>& op);
+
+  Database* const db_;
+  std::unique_ptr<Transaction> txn_;
+};
+
+}  // namespace btrim
+
+#endif  // BTRIM_ENGINE_SESSION_H_

@@ -415,7 +415,7 @@ PackStats PackSubsystem::GetStats() const {
 
 Status PackSubsystem::RegisterMetrics(obs::MetricsRegistry* registry,
                                       const std::string& subsystem) const {
-  const obs::MetricLabels l{subsystem, "", ""};
+  const obs::MetricLabels l{subsystem, "", "", ""};
   BTRIM_RETURN_IF_ERROR(registry->RegisterCounter("pack.cycles", l, &cycles_));
   BTRIM_RETURN_IF_ERROR(
       registry->RegisterCounter("pack.bytes_packed", l, &bytes_packed_));
@@ -440,7 +440,7 @@ Status PackSubsystem::RegisterMetrics(obs::MetricsRegistry* registry,
   // One throughput counter per executing lane; the lane index rides in the
   // `partition` label (lane 0 = driver/inline execution).
   for (size_t lane = 0; lane < worker_bytes_packed_.size(); ++lane) {
-    const obs::MetricLabels wl{subsystem, "", std::to_string(lane)};
+    const obs::MetricLabels wl{subsystem, "", std::to_string(lane), ""};
     BTRIM_RETURN_IF_ERROR(registry->RegisterCounter(
         "pack.worker_bytes_packed", wl, worker_bytes_packed_[lane].get()));
   }

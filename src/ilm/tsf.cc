@@ -60,7 +60,7 @@ TsfStats TsfLearner::GetStats() const {
 
 Status TsfLearner::RegisterMetrics(obs::MetricsRegistry* registry,
                                    const std::string& subsystem) const {
-  const obs::MetricLabels l{subsystem, "", ""};
+  const obs::MetricLabels l{subsystem, "", "", ""};
   BTRIM_RETURN_IF_ERROR(registry->RegisterGaugeFn(
       "tsf.tau", l, [this] { return static_cast<int64_t>(Tau()); }));
   BTRIM_RETURN_IF_ERROR(registry->RegisterGaugeFn(

@@ -114,7 +114,7 @@ TuningReport PartitionTuner::RunWindow(
 
 Status PartitionTuner::RegisterMetrics(obs::MetricsRegistry* registry,
                                        const std::string& subsystem) const {
-  const obs::MetricLabels l{subsystem, "", ""};
+  const obs::MetricLabels l{subsystem, "", "", ""};
   BTRIM_RETURN_IF_ERROR(registry->RegisterCounterFn(
       "tuner.total_disables", l, [this] { return total_disables(); }));
   BTRIM_RETURN_IF_ERROR(registry->RegisterCounterFn(

@@ -248,7 +248,7 @@ GcStats ImrsGc::GetStats() const {
 
 Status ImrsGc::RegisterMetrics(obs::MetricsRegistry* registry,
                                const std::string& subsystem) const {
-  const obs::MetricLabels l{subsystem, "", ""};
+  const obs::MetricLabels l{subsystem, "", "", ""};
   BTRIM_RETURN_IF_ERROR(
       registry->RegisterCounter("gc.versions_freed", l, &versions_freed_));
   BTRIM_RETURN_IF_ERROR(

@@ -93,7 +93,7 @@ class RidMap {
   /// are purged or packed out of the IMRS.
   Status RegisterMetrics(obs::MetricsRegistry* registry,
                          const std::string& subsystem) const {
-    const obs::MetricLabels l{subsystem, "", ""};
+    const obs::MetricLabels l{subsystem, "", "", ""};
     BTRIM_RETURN_IF_ERROR(registry->RegisterGaugeFn(
         "rid_map.entries", l, [this] { return entries_.Load(); }));
     BTRIM_RETURN_IF_ERROR(

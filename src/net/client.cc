@@ -1,0 +1,191 @@
+#include "net/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace btrim {
+namespace net {
+
+namespace {
+
+Status Errno(const std::string& what) {
+  return Status::IOError(what + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+Result<std::unique_ptr<Client>> Client::ConnectRaw(const std::string& host,
+                                                   int port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) return Errno("socket");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return Status::InvalidArgument("bad host: " + host);
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    Status s = Errno("connect " + host + ":" + std::to_string(port));
+    ::close(fd);
+    return s;
+  }
+  int one = 1;
+  (void)::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return std::make_unique<Client>(fd);
+}
+
+Result<std::unique_ptr<Client>> Client::Connect(const std::string& host,
+                                                int port,
+                                                const std::string& tenant) {
+  Result<std::unique_ptr<Client>> client = ConnectRaw(host, port);
+  if (!client.ok()) return client;
+  Request hello;
+  hello.op = OpCode::kHello;
+  hello.magic = kMagic;
+  hello.version = kProtocolVersion;
+  hello.tenant = tenant;
+  Result<Response> resp = (*client)->Call(hello);
+  if (!resp.ok()) return resp.status();
+  if (!resp->ok()) {
+    return Status::IOError("handshake rejected: " + resp->message);
+  }
+  return client;
+}
+
+Client::~Client() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Status Client::SendBytes(const void* data, size_t size) {
+  const char* p = static_cast<const char*>(data);
+  while (size > 0) {
+    const ssize_t n = ::send(fd_, p, size, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Errno("send");
+    }
+    p += n;
+    size -= static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+Result<std::string> Client::RecvFramePayload() {
+  for (;;) {
+    size_t frame_len = 0;
+    Slice payload;
+    const FrameGate gate =
+        TryExtractFrame(in_.data(), in_.size(), &frame_len, &payload);
+    if (gate == FrameGate::kReady) {
+      std::string out = payload.ToString();
+      in_.erase(0, frame_len);
+      return out;
+    }
+    if (gate == FrameGate::kTooBig) {
+      return Status::Corruption("oversized frame from server");
+    }
+    char buf[16 * 1024];
+    const ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+    if (n == 0) return Status::IOError("connection closed");
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      // The server's hard-drop path (shutdown on a poisoned connection)
+      // surfaces as ECONNRESET; fold it into the same "closed" signal.
+      if (errno == ECONNRESET) return Status::IOError("connection closed");
+      return Errno("recv");
+    }
+    in_.append(buf, static_cast<size_t>(n));
+  }
+}
+
+Result<Response> Client::RecvResponse() {
+  Result<std::string> payload = RecvFramePayload();
+  if (!payload.ok()) return payload.status();
+  Response resp;
+  BTRIM_RETURN_IF_ERROR(ParseResponse(Slice(*payload), &resp));
+  return resp;
+}
+
+Result<Response> Client::Call(const Request& req) {
+  std::string frame;
+  AppendRequestFrame(&frame, req);
+  BTRIM_RETURN_IF_ERROR(SendBytes(frame.data(), frame.size()));
+  return RecvResponse();
+}
+
+Result<Response> Client::Ping() {
+  Request req;
+  req.op = OpCode::kPing;
+  return Call(req);
+}
+
+Result<Response> Client::Begin() {
+  Request req;
+  req.op = OpCode::kBegin;
+  return Call(req);
+}
+
+Result<Response> Client::Commit() {
+  Request req;
+  req.op = OpCode::kCommit;
+  return Call(req);
+}
+
+Result<Response> Client::Abort() {
+  Request req;
+  req.op = OpCode::kAbort;
+  return Call(req);
+}
+
+Result<Response> Client::Tpcc(uint8_t txn_type, uint32_t warehouse) {
+  Request req;
+  req.op = OpCode::kTpcc;
+  req.txn_type = txn_type;
+  req.warehouse = warehouse;
+  return Call(req);
+}
+
+Result<Response> Client::Get(const std::string& table, int64_t key) {
+  Request req;
+  req.op = OpCode::kGet;
+  req.table = table;
+  req.key = key;
+  return Call(req);
+}
+
+Result<Response> Client::Put(const std::string& table, int64_t key,
+                             const std::string& value) {
+  Request req;
+  req.op = OpCode::kPut;
+  req.table = table;
+  req.key = key;
+  req.value = value;
+  return Call(req);
+}
+
+Result<Response> Client::Scan(const std::string& table, int64_t start_key,
+                              uint32_t limit) {
+  Request req;
+  req.op = OpCode::kScan;
+  req.table = table;
+  req.key = start_key;
+  req.limit = limit;
+  return Call(req);
+}
+
+Result<Response> Client::Mark(int64_t marker) {
+  Request req;
+  req.op = OpCode::kMark;
+  req.marker = marker;
+  return Call(req);
+}
+
+}  // namespace net
+}  // namespace btrim

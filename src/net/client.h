@@ -1,0 +1,79 @@
+#ifndef BTRIM_NET_CLIENT_H_
+#define BTRIM_NET_CLIENT_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+#include "net/protocol.h"
+
+namespace btrim {
+namespace net {
+
+/// Blocking client for the btrim wire protocol: one TCP connection, one
+/// request/response exchange at a time (Call). tools/btrim_client runs one
+/// Client per driver thread. The raw Send/Recv surface exists for the
+/// protocol tests, which need to write malformed bytes and observe exactly
+/// what the server does.
+class Client {
+ public:
+  /// Connects and completes the kHello handshake under `tenant`
+  /// ("" = server default).
+  static Result<std::unique_ptr<Client>> Connect(const std::string& host,
+                                                 int port,
+                                                 const std::string& tenant);
+
+  /// Connects WITHOUT the handshake — protocol-test entry point.
+  static Result<std::unique_ptr<Client>> ConnectRaw(const std::string& host,
+                                                    int port);
+
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Sends one request and blocks for its reply. An error Status here is a
+  /// transport failure; a protocol-level error arrives as Response::code.
+  Result<Response> Call(const Request& req);
+
+  /// Typed conveniences over Call().
+  Result<Response> Ping();
+  Result<Response> Begin();
+  Result<Response> Commit();
+  Result<Response> Abort();
+  /// txn_type in Mix order (0 = NewOrder .. 4 = StockLevel); warehouse 0
+  /// lets the server pick.
+  Result<Response> Tpcc(uint8_t txn_type, uint32_t warehouse);
+  Result<Response> Get(const std::string& table, int64_t key);
+  Result<Response> Put(const std::string& table, int64_t key,
+                       const std::string& value);
+  Result<Response> Scan(const std::string& table, int64_t start_key,
+                        uint32_t limit);
+  Result<Response> Mark(int64_t marker);
+
+  /// --- raw surface (protocol tests) ----------------------------------------
+
+  /// Writes bytes verbatim (no framing added).
+  Status SendBytes(const void* data, size_t size);
+
+  /// Reads one frame's payload. IOError("connection closed") on EOF —
+  /// the tests' signal that the server dropped the connection.
+  Result<std::string> RecvFramePayload();
+
+  /// Reads + parses one response frame.
+  Result<Response> RecvResponse();
+
+  /// Not for direct use — Connect/ConnectRaw are the entry points (public
+  /// only so make_unique can see it).
+  explicit Client(int fd) : fd_(fd) {}
+
+ private:
+  const int fd_;
+  std::string in_;  ///< receive buffer (partial frames)
+};
+
+}  // namespace net
+}  // namespace btrim
+
+#endif  // BTRIM_NET_CLIENT_H_

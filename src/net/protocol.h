@@ -1,0 +1,152 @@
+#ifndef BTRIM_NET_PROTOCOL_H_
+#define BTRIM_NET_PROTOCOL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/slice.h"
+#include "common/status.h"
+
+namespace btrim {
+namespace net {
+
+/// The wire protocol (DESIGN.md Sec. 16). Everything is little-endian.
+///
+/// Framing: [u32 payload_len][payload], payload_len in
+/// [1, kMaxFrameBytes]. A frame whose header claims more than
+/// kMaxFrameBytes is a protocol error — the server replies kInvalidArgument
+/// and drops the connection (it cannot resynchronize the stream).
+///
+/// Payload: [u8 opcode][body]. Field encodings: u8/u16/u32/u64 fixed-width
+/// LE, i64 as two's-complement u64, strings as u16 length + bytes (so a
+/// string never exceeds 64 KiB).
+///
+/// Responses echo the request opcode, then carry
+/// [u8 status][string message][op-specific extras]; `status` is the
+/// Status::Code byte (0 = OK). Responses are delivered in request order per
+/// connection — clients may pipeline.
+///
+/// tests/net_test.cc pins the encoding with golden hex fixtures: changing
+/// any layout here requires a version bump in the handshake, not a silent
+/// re-encode.
+
+/// Frame header bytes (u32 payload length).
+constexpr size_t kFrameHeaderBytes = 4;
+
+/// Hard ceiling on one payload. Bigger claims shed the connection.
+constexpr size_t kMaxFrameBytes = 1u << 20;
+
+/// Handshake magic: "BTRM" read as LE u32.
+constexpr uint32_t kMagic = 0x4D525442u;
+
+/// Protocol version carried in the handshake.
+constexpr uint16_t kProtocolVersion = 1;
+
+enum class OpCode : uint8_t {
+  kHello = 0x01,  ///< u32 magic, u16 version, string tenant
+  kPing = 0x02,   ///< (empty)
+  kBegin = 0x10,  ///< (empty) explicit transaction begin
+  kCommit = 0x11, ///< (empty)
+  kAbort = 0x12,  ///< (empty)
+  kTpcc = 0x13,   ///< u8 txn_type (0..4 in Mix order), u32 warehouse
+                  ///< (0 = server-random); executes one full TPC-C
+                  ///< transaction server-side
+  kGet = 0x20,    ///< string table, i64 key
+  kPut = 0x21,    ///< string table, i64 key, string value (upsert)
+  kScan = 0x22,   ///< string table, i64 start_key, u32 limit
+  kMark = 0x30,   ///< i64 marker: stamps a sampler window server-side
+                  ///< (scenario drivers mark phase boundaries with it)
+};
+
+/// Number of opcodes, for per-type metric arrays.
+constexpr int kOpCount = 10;
+
+/// Every opcode, in OpIndex order (per-type metric registration).
+constexpr OpCode kAllOps[kOpCount] = {
+    OpCode::kHello, OpCode::kPing, OpCode::kBegin, OpCode::kCommit,
+    OpCode::kAbort, OpCode::kTpcc, OpCode::kGet,   OpCode::kPut,
+    OpCode::kScan,  OpCode::kMark,
+};
+
+/// Dense [0, kOpCount) index for per-type counters; -1 for unknown bytes.
+int OpIndex(uint8_t opcode);
+
+/// Wire name of an opcode ("hello", "tpcc", ...), "?" when unknown.
+const char* OpName(OpCode op);
+
+/// One parsed request.
+struct Request {
+  OpCode op = OpCode::kPing;
+  // kHello
+  uint32_t magic = 0;
+  uint16_t version = 0;
+  std::string tenant;
+  // kTpcc
+  uint8_t txn_type = 0;
+  uint32_t warehouse = 0;
+  // kGet / kPut / kScan
+  std::string table;
+  int64_t key = 0;
+  std::string value;
+  uint32_t limit = 0;
+  // kMark
+  int64_t marker = 0;
+};
+
+/// One response (decoded client-side, encoded server-side).
+struct Response {
+  OpCode op = OpCode::kPing;
+  Status::Code code = Status::Code::kOk;
+  std::string message;
+  // kGet
+  std::string value;
+  // kScan
+  struct Row {
+    int64_t key = 0;
+    std::string value;
+  };
+  std::vector<Row> rows;
+  // kTpcc
+  bool committed = false;
+  bool user_abort = false;
+
+  bool ok() const { return code == Status::Code::kOk; }
+};
+
+/// --- framing ---------------------------------------------------------------
+
+enum class FrameGate {
+  kNeedMore,  ///< incomplete header or payload; read more bytes
+  kReady,     ///< *payload/*frame_len set; consume frame_len bytes
+  kTooBig,    ///< header claims > kMaxFrameBytes; drop the connection
+};
+
+/// Inspects the front of a receive buffer for one complete frame.
+FrameGate TryExtractFrame(const char* data, size_t size, size_t* frame_len,
+                          Slice* payload);
+
+/// --- encode ----------------------------------------------------------------
+
+/// Appends one framed request (header + payload).
+void AppendRequestFrame(std::string* out, const Request& req);
+
+/// Appends one framed response (header + payload).
+void AppendResponseFrame(std::string* out, const Response& resp);
+
+/// Convenience: a response carrying just a status (most replies).
+void AppendStatusFrame(std::string* out, OpCode op, const Status& status);
+
+/// --- decode ----------------------------------------------------------------
+
+/// Parses one request payload (no frame header). InvalidArgument on any
+/// malformed input: unknown opcode, truncated field, trailing garbage.
+Status ParseRequest(Slice payload, Request* out);
+
+/// Parses one response payload (no frame header).
+Status ParseResponse(Slice payload, Response* out);
+
+}  // namespace net
+}  // namespace btrim
+
+#endif  // BTRIM_NET_PROTOCOL_H_

@@ -1,0 +1,603 @@
+#include "net/server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+
+#include "engine/database.h"
+#include "obs/metrics_registry.h"
+#include "obs/time_series_sampler.h"
+
+namespace btrim {
+namespace net {
+
+namespace {
+
+Status Errno(const std::string& what) {
+  return Status::IOError(what + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+Server::Conn::~Conn() {
+  if (fd >= 0) ::close(fd);
+}
+
+Server::Server(Database* db, ServerOptions options)
+    : db_(db), options_(std::move(options)) {}
+
+Server::~Server() { Stop(); }
+
+int64_t Server::NowMicros() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+Result<std::unique_ptr<Server>> Server::Start(Database* db,
+                                              ServerOptions options) {
+  auto server = std::make_unique<Server>(db, std::move(options));
+  BTRIM_RETURN_IF_ERROR(server->Init());
+  server->lanes_ = std::make_unique<ThreadPool>(server->options_.worker_lanes);
+  server->loop_ = std::thread([s = server.get()] { s->EventLoop(); });
+  return server;
+}
+
+Status Server::Init() {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (listen_fd_ < 0) return Errno("socket");
+  int one = 1;
+  (void)::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(options_.port));
+  if (::inet_pton(AF_INET, options_.host.c_str(), &addr.sin_addr) != 1) {
+    return Status::InvalidArgument("bad listen host: " + options_.host);
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    return Errno("bind " + options_.host);
+  }
+  if (::listen(listen_fd_, 128) != 0) return Errno("listen");
+
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len) !=
+      0) {
+    return Errno("getsockname");
+  }
+  port_ = ntohs(bound.sin_port);
+
+  epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  if (epoll_fd_ < 0) return Errno("epoll_create1");
+  wake_fd_ = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+  if (wake_fd_ < 0) return Errno("eventfd");
+
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.fd = listen_fd_;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, listen_fd_, &ev) != 0) {
+    return Errno("epoll_ctl(listen)");
+  }
+  ev.data.fd = wake_fd_;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &ev) != 0) {
+    return Errno("epoll_ctl(wake)");
+  }
+  return RegisterMetrics();
+}
+
+Status Server::RegisterMetrics() {
+  obs::MetricsRegistry* reg = db_->metrics_registry();
+  obs::MetricLabels labels;
+  labels.subsystem = "net";
+  BTRIM_RETURN_IF_ERROR(
+      reg->RegisterCounter("net.accepted_conns", labels, &accepted_conns_));
+  BTRIM_RETURN_IF_ERROR(
+      reg->RegisterGauge("net.active_conns", labels, &active_conns_));
+  BTRIM_RETURN_IF_ERROR(reg->RegisterCounter("net.requests", labels,
+                                             &requests_));
+  for (int i = 0; i < kOpCount; ++i) {
+    BTRIM_RETURN_IF_ERROR(reg->RegisterCounter(
+        std::string("net.req_") + OpName(kAllOps[i]), labels,
+        &requests_by_op_[i]));
+  }
+  BTRIM_RETURN_IF_ERROR(
+      reg->RegisterGauge("net.queue_depth", labels, &queue_depth_));
+  BTRIM_RETURN_IF_ERROR(reg->RegisterCounter("net.shed", labels, &shed_));
+  BTRIM_RETURN_IF_ERROR(
+      reg->RegisterCounter("net.bytes_in", labels, &bytes_in_));
+  BTRIM_RETURN_IF_ERROR(
+      reg->RegisterCounter("net.bytes_out", labels, &bytes_out_));
+  BTRIM_RETURN_IF_ERROR(
+      reg->RegisterCounter("net.protocol_errors", labels, &protocol_errors_));
+  BTRIM_RETURN_IF_ERROR(reg->RegisterHistogram("net.request_latency_us",
+                                               labels, &request_latency_));
+  BTRIM_RETURN_IF_ERROR(
+      reg->RegisterCounter("net.tpcc_committed", labels, &tpcc_committed_));
+  return reg->RegisterCounter("net.tpcc_user_aborts", labels,
+                              &tpcc_user_aborts_);
+}
+
+void Server::Stop() {
+  bool expected = false;
+  if (!stopped_.compare_exchange_strong(expected, true)) return;
+  stopping_.store(true, std::memory_order_release);
+  if (wake_fd_ >= 0) {
+    uint64_t one = 1;
+    ssize_t r = ::write(wake_fd_, &one, sizeof(one));
+    (void)r;
+  }
+  if (loop_.joinable()) loop_.join();
+  // Drains every queued DrainConn task, then joins the lanes: no request
+  // that was parsed before the loop exited is dropped unanswered.
+  lanes_.reset();
+
+  std::map<int, std::shared_ptr<Conn>> conns;
+  {
+    MutexGuard guard(conns_mu_);
+    conns.swap(conns_);
+  }
+  for (auto& [fd, conn] : conns) {
+    (void)fd;
+    conn->dead.store(true, std::memory_order_release);
+    active_conns_.Sub(1);
+  }
+  conns.clear();  // destructors close the sockets
+
+  if (epoll_fd_ >= 0) {
+    ::close(epoll_fd_);
+    epoll_fd_ = -1;
+  }
+  if (wake_fd_ >= 0) {
+    ::close(wake_fd_);
+    wake_fd_ = -1;
+  }
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+
+  obs::MetricLabels labels;
+  labels.subsystem = "net";
+  db_->metrics_registry()->UnregisterMatching(labels);
+}
+
+void Server::EventLoop() {
+  std::vector<epoll_event> events(64);
+  while (!stopping_.load(std::memory_order_acquire)) {
+    const int n =
+        ::epoll_wait(epoll_fd_, events.data(),
+                     static_cast<int>(events.size()), /*timeout=*/-1);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return;
+    }
+    for (int i = 0; i < n; ++i) {
+      const int fd = events[i].data.fd;
+      if (fd == listen_fd_) {
+        AcceptReady();
+        continue;
+      }
+      if (fd == wake_fd_) {
+        uint64_t drained;
+        ssize_t r = ::read(wake_fd_, &drained, sizeof(drained));
+        (void)r;
+        continue;
+      }
+      std::shared_ptr<Conn> conn;
+      {
+        MutexGuard guard(conns_mu_);
+        auto it = conns_.find(fd);
+        if (it != conns_.end()) conn = it->second;
+      }
+      if (conn == nullptr) continue;
+      if ((events[i].events & (EPOLLHUP | EPOLLERR)) != 0) {
+        CloseConn(conn);
+        continue;
+      }
+      if ((events[i].events & EPOLLOUT) != 0) WriteReady(conn);
+      if ((events[i].events & EPOLLIN) != 0) ReadReady(conn);
+    }
+  }
+}
+
+void Server::AcceptReady() {
+  for (;;) {
+    const int fd =
+        ::accept4(listen_fd_, nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return;  // EAGAIN, or a transient accept failure: retry on next event
+    }
+    int one = 1;
+    (void)::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    auto conn = std::make_shared<Conn>(fd, next_conn_id_++);
+    {
+      MutexGuard guard(conns_mu_);
+      conns_[fd] = conn;
+    }
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.fd = fd;
+    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) != 0) {
+      MutexGuard guard(conns_mu_);
+      conns_.erase(fd);
+      continue;
+    }
+    accepted_conns_.Inc();
+    active_conns_.Add(1);
+  }
+}
+
+void Server::ReadReady(const std::shared_ptr<Conn>& conn) {
+  if (conn->dead.load(std::memory_order_acquire)) return;
+  char buf[64 * 1024];
+  bool peer_closed = false;
+  for (;;) {
+    const ssize_t n = ::recv(conn->fd, buf, sizeof(buf), 0);
+    if (n > 0) {
+      bytes_in_.Add(n);
+      if (!conn->read_broken) conn->in.append(buf, static_cast<size_t>(n));
+      continue;
+    }
+    if (n == 0) {
+      peer_closed = true;
+      break;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    if (errno == EINTR) continue;
+    peer_closed = true;
+    break;
+  }
+
+  std::vector<Pending> batch;
+  size_t off = 0;
+  while (!conn->read_broken) {
+    size_t frame_len = 0;
+    Slice payload;
+    const FrameGate gate = TryExtractFrame(
+        conn->in.data() + off, conn->in.size() - off, &frame_len, &payload);
+    if (gate == FrameGate::kNeedMore) break;
+    Pending p;
+    p.enqueue_us = NowMicros();
+    if (gate == FrameGate::kTooBig) {
+      protocol_errors_.Inc();
+      p.broken = true;
+      p.error = "oversized frame";
+      conn->read_broken = true;
+      batch.push_back(std::move(p));
+      break;
+    }
+    off += frame_len;
+    Status s = ParseRequest(payload, &p.req);
+    if (!s.ok()) {
+      protocol_errors_.Inc();
+      p.broken = true;
+      p.error = s.message();
+      conn->read_broken = true;
+      batch.push_back(std::move(p));
+      break;
+    }
+    requests_.Inc();
+    requests_by_op_[OpIndex(static_cast<uint8_t>(p.req.op))].Inc();
+    batch.push_back(std::move(p));
+  }
+  if (off > 0) conn->in.erase(0, off);
+
+  if (!batch.empty()) {
+    for (Pending& p : batch) {
+      queue_depth_.Add(1);
+      // Control ops (handshake, liveness, sampler marks) are never shed —
+      // backpressure applies to the data path.
+      const bool exempt = p.broken || p.req.op == OpCode::kHello ||
+                          p.req.op == OpCode::kPing ||
+                          p.req.op == OpCode::kMark;
+      if (!exempt &&
+          queue_depth_.Load() > static_cast<int64_t>(options_.max_inflight)) {
+        p.shed = true;
+        shed_.Inc();
+      }
+    }
+    bool schedule = false;
+    {
+      MutexGuard guard(conn->mu);
+      for (Pending& p : batch) conn->pending.push_back(std::move(p));
+      if (!conn->worker_active) {
+        conn->worker_active = true;
+        schedule = true;
+      }
+    }
+    if (schedule) {
+      // Submit outside conn->mu: with worker_lanes <= 1 the task runs
+      // inline right here and re-locks it.
+      std::shared_ptr<Conn> c = conn;
+      lanes_->Submit([this, c] { DrainConn(c); });
+    }
+  }
+
+  if (peer_closed) CloseConn(conn);
+}
+
+void Server::WriteReady(const std::shared_ptr<Conn>& conn) {
+  MutexGuard guard(conn->mu);
+  FlushLocked(conn.get());
+}
+
+void Server::CloseConn(const std::shared_ptr<Conn>& conn) {
+  {
+    MutexGuard guard(conns_mu_);
+    if (conns_.erase(conn->fd) == 0) return;  // already reaped
+  }
+  (void)::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, conn->fd, nullptr);
+  conn->dead.store(true, std::memory_order_release);
+  active_conns_.Sub(1);
+  // The fd closes when the last reference (possibly a still-draining
+  // worker) releases the Conn.
+}
+
+void Server::FlushLocked(Conn* conn) {
+  if (conn->dead.load(std::memory_order_acquire)) {
+    conn->out.clear();
+    conn->out_off = 0;
+    return;
+  }
+  while (conn->out_off < conn->out.size()) {
+    const ssize_t n =
+        ::send(conn->fd, conn->out.data() + conn->out_off,
+               conn->out.size() - conn->out_off, MSG_NOSIGNAL);
+    if (n > 0) {
+      conn->out_off += static_cast<size_t>(n);
+      bytes_out_.Add(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      if (conn->out_off > 0) {
+        conn->out.erase(0, conn->out_off);
+        conn->out_off = 0;
+      }
+      if (!conn->want_write) {
+        conn->want_write = true;
+        epoll_event ev{};
+        ev.events = EPOLLIN | EPOLLOUT;
+        ev.data.fd = conn->fd;
+        (void)::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, conn->fd, &ev);
+      }
+      return;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    // Peer is gone; the loop observes HUP and reaps the connection.
+    conn->out.clear();
+    conn->out_off = 0;
+    (void)::shutdown(conn->fd, SHUT_RDWR);
+    return;
+  }
+  conn->out.clear();
+  conn->out_off = 0;
+  if (conn->want_write) {
+    conn->want_write = false;
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.fd = conn->fd;
+    (void)::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, conn->fd, &ev);
+  }
+  if (conn->closing) (void)::shutdown(conn->fd, SHUT_RDWR);
+}
+
+void Server::DrainConn(std::shared_ptr<Conn> conn) {
+  for (;;) {
+    Pending item;
+    {
+      MutexGuard guard(conn->mu);
+      if (conn->pending.empty()) {
+        conn->worker_active = false;
+        return;
+      }
+      item = std::move(conn->pending.front());
+      conn->pending.pop_front();
+    }
+
+    Response resp;
+    if (item.broken) {
+      resp.op = item.req.op;
+      resp.code = Status::Code::kInvalidArgument;
+      resp.message = item.error;
+      conn->close_after = true;
+    } else if (item.shed) {
+      resp.op = item.req.op;
+      resp.code = Status::Code::kBusy;
+      resp.message = "admission control: too many requests in flight";
+    } else {
+      resp = Execute(conn.get(), item.req);
+    }
+    request_latency_.Record(NowMicros() - item.enqueue_us);
+    queue_depth_.Sub(1);
+    const bool close_after = conn->close_after;
+    conn->close_after = false;
+
+    {
+      MutexGuard guard(conn->mu);
+      if (conn->dead.load(std::memory_order_acquire)) continue;
+      AppendResponseFrame(&conn->out, resp);
+      if (close_after) conn->closing = true;
+      if (conn->out.size() - conn->out_off > options_.max_conn_outbuf) {
+        // Backpressure of last resort: the reader fell hopelessly behind.
+        conn->out.clear();
+        conn->out_off = 0;
+        conn->want_write = false;
+        conn->dead.store(true, std::memory_order_release);
+        (void)::shutdown(conn->fd, SHUT_RDWR);
+        continue;
+      }
+      FlushLocked(conn.get());
+    }
+  }
+}
+
+Response Server::Execute(Conn* conn, const Request& req) {
+  Response resp;
+  resp.op = req.op;
+  auto set = [&resp](const Status& s) {
+    resp.code = s.code();
+    resp.message = s.message();
+  };
+
+  if (!conn->handshaken && req.op != OpCode::kHello) {
+    set(Status::InvalidArgument("handshake required"));
+    conn->close_after = true;
+    return resp;
+  }
+  if (conn->tenant_requests != nullptr) conn->tenant_requests->Inc();
+
+  switch (req.op) {
+    case OpCode::kHello: {
+      if (conn->handshaken) {
+        set(Status::InvalidArgument("duplicate handshake"));
+        break;
+      }
+      if (req.magic != kMagic) {
+        set(Status::InvalidArgument("bad magic"));
+        conn->close_after = true;
+        break;
+      }
+      if (req.version != kProtocolVersion) {
+        set(Status::NotSupported("unsupported protocol version"));
+        conn->close_after = true;
+        break;
+      }
+      conn->handshaken = true;
+      conn->tenant = req.tenant.empty() ? "default" : req.tenant;
+      conn->session = std::make_unique<Session>(db_);
+      conn->rnd = std::make_unique<tpcc::TpccRandom>(
+          options_.seed ^ (conn->id * 0x9e3779b97f4a7c15ull));
+      conn->tenant_requests = TenantCounter(conn->tenant);
+      conn->tenant_requests->Inc();
+      break;
+    }
+    case OpCode::kPing:
+      break;
+    case OpCode::kBegin:
+      set(conn->session->Begin());
+      break;
+    case OpCode::kCommit:
+      set(conn->session->Commit());
+      break;
+    case OpCode::kAbort:
+      set(conn->session->Abort());
+      break;
+    case OpCode::kGet:
+      set(conn->session->Get(req.table, req.key, &resp.value));
+      break;
+    case OpCode::kPut:
+      set(conn->session->Put(req.table, req.key, req.value));
+      break;
+    case OpCode::kScan: {
+      std::vector<Session::Row> rows;
+      Status s = conn->session->Scan(req.table, req.key, req.limit, &rows);
+      set(s);
+      if (s.ok()) {
+        resp.rows.reserve(rows.size());
+        for (Session::Row& row : rows) {
+          resp.rows.push_back(Response::Row{row.key, std::move(row.value)});
+        }
+      }
+      break;
+    }
+    case OpCode::kTpcc:
+      return ExecuteTpcc(conn, req);
+    case OpCode::kMark:
+      db_->metrics_sampler()->SampleNow(req.marker);
+      break;
+  }
+  return resp;
+}
+
+Response Server::ExecuteTpcc(Conn* conn, const Request& req) {
+  Response resp;
+  resp.op = OpCode::kTpcc;
+  auto set = [&resp](const Status& s) {
+    resp.code = s.code();
+    resp.message = s.message();
+  };
+  tpcc::TpccContext* ctx = options_.tpcc;
+  if (ctx == nullptr) {
+    set(Status::NotSupported("server started without a TPC-C context"));
+    return resp;
+  }
+  if (conn->session->in_txn()) {
+    set(Status::InvalidArgument("kTpcc inside an explicit transaction"));
+    return resp;
+  }
+  if (req.txn_type > 4) {
+    set(Status::InvalidArgument("bad txn_type"));
+    return resp;
+  }
+  const int warehouses = ctx->scale.warehouses;
+  const int w_id =
+      req.warehouse == 0
+          ? static_cast<int>(conn->rnd->Uniform(1, warehouses))
+          : static_cast<int>(req.warehouse);
+  if (w_id < 1 || w_id > warehouses) {
+    set(Status::InvalidArgument("warehouse out of range"));
+    return resp;
+  }
+  tpcc::TpccRandom* rnd = conn->rnd.get();
+  tpcc::TxnResult result;
+  switch (req.txn_type) {
+    case 0: result = tpcc::RunNewOrder(ctx, rnd, w_id); break;
+    case 1: result = tpcc::RunPayment(ctx, rnd, w_id); break;
+    case 2: result = tpcc::RunOrderStatus(ctx, rnd, w_id); break;
+    case 3: result = tpcc::RunDelivery(ctx, rnd, w_id); break;
+    default: result = tpcc::RunStockLevel(ctx, rnd, w_id); break;
+  }
+  // Lock-fight aborts are an outcome, not a server error: the reply stays
+  // OK with committed=false so the client can count and retry. Anything
+  // else (corruption, IO) propagates as the error it is.
+  if (!result.status.ok() && !result.status.IsBusy() &&
+      !result.status.IsAborted()) {
+    set(result.status);
+    return resp;
+  }
+  resp.committed = result.committed;
+  resp.user_abort = result.user_abort;
+  if (result.committed) tpcc_committed_.Inc();
+  if (result.user_abort) tpcc_user_aborts_.Inc();
+  return resp;
+}
+
+ShardedCounter* Server::TenantCounter(const std::string& tenant) {
+  ShardedCounter* counter = nullptr;
+  bool created = false;
+  {
+    MutexGuard guard(tenants_mu_);
+    auto it = tenants_.find(tenant);
+    if (it == tenants_.end()) {
+      it = tenants_.emplace(tenant, std::make_unique<ShardedCounter>()).first;
+      created = true;
+    }
+    counter = it->second.get();
+  }
+  if (created) {
+    obs::MetricLabels labels;
+    labels.subsystem = "net";
+    labels.tenant = tenant;
+    // Replaces a retained entry if a previous server on this registry had
+    // the same tenant; a duplicate live entry cannot happen (one counter
+    // per tenant name, created once).
+    Status s = db_->metrics_registry()->RegisterCounter("net.tenant_requests",
+                                                        labels, counter);
+    (void)s;
+  }
+  return counter;
+}
+
+}  // namespace net
+}  // namespace btrim

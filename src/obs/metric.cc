@@ -65,6 +65,10 @@ void AppendLabelsJson(std::string* out, const MetricLabels& labels) {
   AppendJsonString(out, labels.table);
   out->append(", \"partition\": ");
   AppendJsonString(out, labels.partition);
+  if (!labels.tenant.empty()) {
+    out->append(", \"tenant\": ");
+    AppendJsonString(out, labels.tenant);
+  }
   out->push_back('}');
 }
 

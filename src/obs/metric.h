@@ -21,15 +21,18 @@ const char* MetricTypeName(MetricType type);
 /// The stable label set of the export schema (DESIGN.md Sec. 10):
 /// `subsystem` names the producing component instance ("wal/syslogs",
 /// "buffer_cache", "ilm"), `table`/`partition` scope per-partition metrics
-/// and stay empty for process-wide ones.
+/// and stay empty for process-wide ones. `tenant` scopes per-client-tenant
+/// metrics from the net server (DESIGN.md Sec. 16); the JSON exporter
+/// omits it when empty so pre-server exports are byte-identical.
 struct MetricLabels {
   std::string subsystem;
   std::string table;
   std::string partition;
+  std::string tenant;
 
   bool operator==(const MetricLabels& other) const {
     return subsystem == other.subsystem && table == other.table &&
-           partition == other.partition;
+           partition == other.partition && tenant == other.tenant;
   }
 };
 

@@ -7,7 +7,7 @@ std::string MetricsRegistry::Key(const std::string& name,
                                  const MetricLabels& labels) {
   std::string key;
   key.reserve(name.size() + labels.subsystem.size() + labels.table.size() +
-              labels.partition.size() + 3);
+              labels.partition.size() + labels.tenant.size() + 4);
   key.append(name);
   key.push_back('\x1f');
   key.append(labels.subsystem);
@@ -15,6 +15,8 @@ std::string MetricsRegistry::Key(const std::string& name,
   key.append(labels.table);
   key.push_back('\x1f');
   key.append(labels.partition);
+  key.push_back('\x1f');
+  key.append(labels.tenant);
   return key;
 }
 
@@ -107,7 +109,8 @@ void MetricsRegistry::UnregisterMatching(const MetricLabels& labels) {
     (void)key;
     if (field_matches(labels.subsystem, entry.labels.subsystem) &&
         field_matches(labels.table, entry.labels.table) &&
-        field_matches(labels.partition, entry.labels.partition)) {
+        field_matches(labels.partition, entry.labels.partition) &&
+        field_matches(labels.tenant, entry.labels.tenant)) {
       Retain(&entry);
     }
   }

@@ -363,7 +363,7 @@ BufferCacheStats BufferCache::GetStats() const {
 
 Status BufferCache::RegisterMetrics(obs::MetricsRegistry* registry,
                                     const std::string& subsystem) const {
-  const obs::MetricLabels l{subsystem, "", ""};
+  const obs::MetricLabels l{subsystem, "", "", ""};
   BTRIM_RETURN_IF_ERROR(
       registry->RegisterCounter("buffer_cache.fixes", l, &fixes_));
   BTRIM_RETURN_IF_ERROR(

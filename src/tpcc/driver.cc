@@ -8,7 +8,7 @@ namespace btrim {
 namespace tpcc {
 
 Status TpccDriver::RegisterMetrics(obs::MetricsRegistry* registry) const {
-  const obs::MetricLabels l{"tpcc", "", ""};
+  const obs::MetricLabels l{"tpcc", "", "", ""};
   BTRIM_RETURN_IF_ERROR(registry->RegisterCounterFn(
       "tpcc.committed", l,
       [this] { return committed_.load(std::memory_order_relaxed); }));

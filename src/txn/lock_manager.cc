@@ -276,7 +276,7 @@ LockManagerStats LockManager::GetStats() const {
 
 Status LockManager::RegisterMetrics(obs::MetricsRegistry* registry,
                                     const std::string& subsystem) const {
-  const obs::MetricLabels l{subsystem, "", ""};
+  const obs::MetricLabels l{subsystem, "", "", ""};
   BTRIM_RETURN_IF_ERROR(
       registry->RegisterCounter("locks.acquisitions", l, &acquisitions_));
   BTRIM_RETURN_IF_ERROR(

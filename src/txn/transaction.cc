@@ -217,7 +217,7 @@ TransactionManagerStats TransactionManager::GetStats() const {
 
 Status TransactionManager::RegisterMetrics(obs::MetricsRegistry* registry,
                                            const std::string& subsystem) const {
-  const obs::MetricLabels l{subsystem, "", ""};
+  const obs::MetricLabels l{subsystem, "", "", ""};
   BTRIM_RETURN_IF_ERROR(registry->RegisterCounter("txn.begun", l, &begun_));
   BTRIM_RETURN_IF_ERROR(
       registry->RegisterCounter("txn.committed", l, &committed_));

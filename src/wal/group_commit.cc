@@ -189,7 +189,7 @@ Status GroupCommitter::LeadBatch(uint64_t my_end) {
 
 Status GroupCommitter::RegisterMetrics(obs::MetricsRegistry* registry,
                                        const std::string& subsystem) const {
-  const obs::MetricLabels l{subsystem, "", ""};
+  const obs::MetricLabels l{subsystem, "", "", ""};
   BTRIM_RETURN_IF_ERROR(registry->RegisterCounter("commit.groups", l, &groups_));
   BTRIM_RETURN_IF_ERROR(
       registry->RegisterCounter("commit.batches", l, &batches_));

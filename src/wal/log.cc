@@ -230,7 +230,7 @@ LogStats Log::GetStats() const {
 
 Status Log::RegisterMetrics(obs::MetricsRegistry* registry,
                             const std::string& subsystem) const {
-  const obs::MetricLabels l{subsystem, "", ""};
+  const obs::MetricLabels l{subsystem, "", "", ""};
   BTRIM_RETURN_IF_ERROR(
       registry->RegisterCounter("wal.records_appended", l, &records_));
   BTRIM_RETURN_IF_ERROR(

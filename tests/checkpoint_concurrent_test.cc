@@ -290,7 +290,7 @@ TEST_F(CheckpointConcurrentTest, PauseIsFractionOfCheckpointDuration) {
     EXPECT_TRUE(s.ok()) << s.ToString();
   });
 
-  const obs::MetricLabels labels{"checkpoint", "", ""};
+  const obs::MetricLabels labels{"checkpoint", "", "", ""};
   obs::MetricSample pause_sample, total_sample;
   ASSERT_TRUE(db_->metrics_registry()->Lookup("checkpoint.last_pause_us",
                                               labels, &pause_sample));

@@ -1061,7 +1061,7 @@ TEST_F(EngineTest, StatsPrinterKeepsRetiredPartitionCounts) {
 
   // Lookup still serves the retained sample directly.
   obs::MetricSample sample;
-  obs::MetricLabels labels{"ilm", "kv", "0"};
+  obs::MetricLabels labels{"ilm", "kv", "0", ""};
   ASSERT_TRUE(db_->metrics_registry()->Lookup("partition.rows_skipped_hot",
                                               labels, &sample));
   EXPECT_TRUE(sample.retained);

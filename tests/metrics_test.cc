@@ -26,7 +26,7 @@ TEST(MetricsRegistryTest, RegisterLookupRoundTrip) {
   ShardedCounter counter;
   AtomicGauge gauge;
   LatencyHistogram hist;
-  MetricLabels labels{"wal", "", ""};
+  MetricLabels labels{"wal", "", "", ""};
 
   ASSERT_TRUE(registry.RegisterCounter("wal.syncs", labels, &counter).ok());
   ASSERT_TRUE(registry.RegisterGauge("wal.depth", labels, &gauge).ok());
@@ -56,28 +56,28 @@ TEST(MetricsRegistryTest, RegisterLookupRoundTrip) {
   EXPECT_EQ(sample.value, 41);
 
   EXPECT_FALSE(registry.Lookup("wal.nope", labels, &sample));
-  EXPECT_FALSE(registry.Lookup("wal.syncs", MetricLabels{"page", "", ""},
+  EXPECT_FALSE(registry.Lookup("wal.syncs", MetricLabels{"page", "", "", ""},
                                &sample));
 }
 
 TEST(MetricsRegistryTest, DoubleRegisterIsAlreadyExists) {
   MetricsRegistry registry;
   ShardedCounter a, b;
-  MetricLabels labels{"wal", "", ""};
+  MetricLabels labels{"wal", "", "", ""};
   ASSERT_TRUE(registry.RegisterCounter("wal.syncs", labels, &a).ok());
   Status dup = registry.RegisterCounter("wal.syncs", labels, &b);
   EXPECT_TRUE(dup.IsAlreadyExists()) << dup.ToString();
 
   // Same name under different labels is a distinct metric.
   EXPECT_TRUE(registry
-                  .RegisterCounter("wal.syncs", MetricLabels{"imrs", "", ""},
+                  .RegisterCounter("wal.syncs", MetricLabels{"imrs", "", "", ""},
                                    &b)
                   .ok());
 }
 
 TEST(MetricsRegistryTest, UnregisterRetainsFinalValue) {
   MetricsRegistry registry;
-  MetricLabels labels{"ilm", "orders", "0"};
+  MetricLabels labels{"ilm", "orders", "0", ""};
   {
     ShardedCounter counter;
     ASSERT_TRUE(
@@ -106,15 +106,15 @@ TEST(MetricsRegistryTest, UnregisterMatchingUsesWildcards) {
   ShardedCounter c0, c1, other;
   ASSERT_TRUE(registry
                   .RegisterCounter("partition.rows_packed",
-                                   MetricLabels{"ilm", "orders", "0"}, &c0)
+                                   MetricLabels{"ilm", "orders", "0", ""}, &c0)
                   .ok());
   ASSERT_TRUE(registry
                   .RegisterCounter("partition.imrs_rows",
-                                   MetricLabels{"ilm", "orders", "0"}, &c1)
+                                   MetricLabels{"ilm", "orders", "0", ""}, &c1)
                   .ok());
   ASSERT_TRUE(registry
                   .RegisterCounter("partition.rows_packed",
-                                   MetricLabels{"ilm", "orders", "1"}, &other)
+                                   MetricLabels{"ilm", "orders", "1", ""}, &other)
                   .ok());
   c0.Add(5);
 
@@ -125,15 +125,15 @@ TEST(MetricsRegistryTest, UnregisterMatchingUsesWildcards) {
 
   MetricSample sample;
   ASSERT_TRUE(registry.Lookup("partition.rows_packed",
-                              MetricLabels{"ilm", "orders", "0"}, &sample));
+                              MetricLabels{"ilm", "orders", "0", ""}, &sample));
   EXPECT_TRUE(sample.retained);
   EXPECT_EQ(sample.value, 5);
   ASSERT_TRUE(registry.Lookup("partition.imrs_rows",
-                              MetricLabels{"ilm", "orders", "0"}, &sample));
+                              MetricLabels{"ilm", "orders", "0", ""}, &sample));
   EXPECT_TRUE(sample.retained);
   // The sibling partition stays live.
   ASSERT_TRUE(registry.Lookup("partition.rows_packed",
-                              MetricLabels{"ilm", "orders", "1"}, &sample));
+                              MetricLabels{"ilm", "orders", "1", ""}, &sample));
   EXPECT_FALSE(sample.retained);
 }
 
@@ -141,11 +141,11 @@ TEST(MetricsRegistryTest, SnapshotIsDeterministicallyOrdered) {
   MetricsRegistry registry;
   ShardedCounter a, b, c;
   ASSERT_TRUE(
-      registry.RegisterCounter("z.last", MetricLabels{"s", "", ""}, &a).ok());
+      registry.RegisterCounter("z.last", MetricLabels{"s", "", "", ""}, &a).ok());
   ASSERT_TRUE(
-      registry.RegisterCounter("a.first", MetricLabels{"s", "", ""}, &b).ok());
+      registry.RegisterCounter("a.first", MetricLabels{"s", "", "", ""}, &b).ok());
   ASSERT_TRUE(
-      registry.RegisterCounter("m.mid", MetricLabels{"s", "", ""}, &c).ok());
+      registry.RegisterCounter("m.mid", MetricLabels{"s", "", "", ""}, &c).ok());
   std::vector<MetricSample> snap = registry.Snapshot();
   ASSERT_EQ(snap.size(), 3u);
   EXPECT_EQ(snap[0].name, "a.first");
@@ -161,12 +161,12 @@ TEST(MetricsJsonTest, ExportSchemaRoundTrip) {
   LatencyHistogram hist;
   ASSERT_TRUE(registry
                   .RegisterCounter("pack.cycles",
-                                   MetricLabels{"ilm", "orders", "0"},
+                                   MetricLabels{"ilm", "orders", "0", ""},
                                    &counter)
                   .ok());
   ASSERT_TRUE(registry
                   .RegisterHistogram("commit.latency_us",
-                                     MetricLabels{"syslogs", "", ""}, &hist)
+                                     MetricLabels{"syslogs", "", "", ""}, &hist)
                   .ok());
   counter.Add(9);
   hist.Record(64);
@@ -192,7 +192,7 @@ TEST(MetricsJsonTest, MetricsDocumentCombinesMetaRegistryAndSeries) {
   MetricsRegistry registry;
   ShardedCounter counter;
   ASSERT_TRUE(registry
-                  .RegisterCounter("txn.committed", MetricLabels{"txn", "", ""},
+                  .RegisterCounter("txn.committed", MetricLabels{"txn", "", "", ""},
                                    &counter)
                   .ok());
   TimeSeriesSampler sampler(&registry, {});
@@ -214,7 +214,7 @@ TEST(TimeSeriesSamplerTest, WindowingIsDeterministicUnderFakeClock) {
   MetricsRegistry registry;
   ShardedCounter committed;
   ASSERT_TRUE(registry
-                  .RegisterCounter("txn.committed", MetricLabels{"txn", "", ""},
+                  .RegisterCounter("txn.committed", MetricLabels{"txn", "", "", ""},
                                    &committed)
                   .ok());
   TimeSeriesSampler sampler(&registry, {});
@@ -313,13 +313,13 @@ TEST(ObservabilityConcurrencyTest, IncrementSnapshotRecordHammer) {
   for (int i = 0; i < 4; ++i) {
     ASSERT_TRUE(registry
                     .RegisterCounter("hammer.c" + std::to_string(i),
-                                     MetricLabels{"test", "", ""},
+                                     MetricLabels{"test", "", "", ""},
                                      &counters[i])
                     .ok());
   }
   ASSERT_TRUE(registry
                   .RegisterHistogram("hammer.lat",
-                                     MetricLabels{"test", "", ""}, &hist)
+                                     MetricLabels{"test", "", "", ""}, &hist)
                   .ok());
   TimeSeriesSampler sampler(&registry, {});
   TraceRing ring(64);

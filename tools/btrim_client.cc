@@ -1,0 +1,365 @@
+// btrim_client: workload driver for btrim_server over the wire protocol.
+// Two modes:
+//
+//   --mode tpcc       N threads issuing kTpcc ops (standard mix, server-side
+//                     warehouse pick). Counts *acked* commits — replies the
+//                     server answered committed=true — which CI's server-e2e
+//                     job cross-checks against the server's own
+//                     net.tpcc_committed metric.
+//   --mode scenario   YCSB-style fleet against the preloaded `kv` table:
+//       --scenario ycsb       uniform keys, read/scan/write mix
+//       --scenario hotkey     90% of ops on the hottest 1% of the keyspace
+//       --scenario skewshift  first half on the low half of the keyspace,
+//                             then a sampler mark, then the high half —
+//                             stresses ILM timestamp-filter re-learning
+//       --scenario burst      bursts of load with idle gaps (drain check)
+//
+//   ./build/tools/btrim_client [options]
+//     --host H          server address       (default 127.0.0.1)
+//     --port N          server port          (default 7421)
+//     --mode M          tpcc | scenario      (default tpcc)
+//     --scenario S      see above            (default ycsb)
+//     --threads N       client connections   (default 4)
+//     --ops N           total operations     (default 20000)
+//     --txns N          alias for --ops
+//     --keys N          kv keyspace size     (default 10000)
+//     --read-pct N      % of kv ops as Get   (default 80)
+//     --scan-pct N      % of kv ops as Scan  (default 5)
+//     --scan-limit N    rows per Scan        (default 20)
+//     --value-bytes N   Put payload size     (default 64)
+//     --table T         kv table name        (default kv)
+//     --tenant T        handshake tenant     (default "")
+//     --seed N                               (default 11)
+//     --json-out FILE   also write the summary JSON to FILE
+//
+// Prints one summary JSON line; exits nonzero on any transport failure,
+// any unexpected error reply, or (tpcc mode) zero acked commits.
+
+#include <atomic>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <random>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/clock.h"
+#include "net/client.h"
+#include "obs/metrics_io.h"
+
+using namespace btrim;
+using btrim::net::Client;
+using btrim::net::Response;
+
+namespace {
+
+struct CliOptions {
+  std::string host = "127.0.0.1";
+  int port = 7421;
+  std::string mode = "tpcc";
+  std::string scenario = "ycsb";
+  int threads = 4;
+  int64_t ops = 20000;
+  int64_t keys = 10000;
+  int read_pct = 80;
+  int scan_pct = 5;
+  int scan_limit = 20;
+  int value_bytes = 64;
+  std::string table = "kv";
+  std::string tenant;
+  uint64_t seed = 11;
+  std::string json_out;
+};
+
+bool ParseArgs(int argc, char** argv, CliOptions* opts) {
+  for (int i = 1; i < argc; ++i) {
+    auto int_arg = [&](const char* name, auto* out) {
+      if (strcmp(argv[i], name) == 0 && i + 1 < argc) {
+        *out = static_cast<std::remove_pointer_t<decltype(out)>>(
+            atoll(argv[++i]));
+        return true;
+      }
+      return false;
+    };
+    auto str_arg = [&](const char* name, std::string* out) {
+      if (strcmp(argv[i], name) == 0 && i + 1 < argc) {
+        *out = argv[++i];
+        return true;
+      }
+      return false;
+    };
+    if (int_arg("--port", &opts->port)) continue;
+    if (int_arg("--threads", &opts->threads)) continue;
+    if (int_arg("--ops", &opts->ops)) continue;
+    if (int_arg("--txns", &opts->ops)) continue;  // alias
+    if (int_arg("--keys", &opts->keys)) continue;
+    if (int_arg("--read-pct", &opts->read_pct)) continue;
+    if (int_arg("--scan-pct", &opts->scan_pct)) continue;
+    if (int_arg("--scan-limit", &opts->scan_limit)) continue;
+    if (int_arg("--value-bytes", &opts->value_bytes)) continue;
+    if (int_arg("--seed", &opts->seed)) continue;
+    if (str_arg("--host", &opts->host)) continue;
+    if (str_arg("--mode", &opts->mode)) continue;
+    if (str_arg("--scenario", &opts->scenario)) continue;
+    if (str_arg("--table", &opts->table)) continue;
+    if (str_arg("--tenant", &opts->tenant)) continue;
+    if (str_arg("--json-out", &opts->json_out)) continue;
+    fprintf(stderr, "unknown option: %s (see the header of btrim_client.cc)\n",
+            argv[i]);
+    return false;
+  }
+  return true;
+}
+
+struct WorkerStats {
+  int64_t ops = 0;
+  int64_t ok = 0;
+  int64_t busy = 0;        ///< kBusy replies: shed by admission control
+  int64_t not_found = 0;   ///< kNotFound on Get (expected on cold keys)
+  int64_t errors = 0;      ///< any other error reply
+  int64_t transport = 0;   ///< send/recv failures
+  int64_t acked_commits = 0;
+  int64_t user_aborts = 0;
+  int64_t sys_aborts = 0;
+  int64_t rows_scanned = 0;
+  std::string first_error;
+
+  void Merge(const WorkerStats& o) {
+    ops += o.ops;
+    ok += o.ok;
+    busy += o.busy;
+    not_found += o.not_found;
+    errors += o.errors;
+    transport += o.transport;
+    acked_commits += o.acked_commits;
+    user_aborts += o.user_aborts;
+    sys_aborts += o.sys_aborts;
+    rows_scanned += o.rows_scanned;
+    if (first_error.empty()) first_error = o.first_error;
+  }
+
+  void Error(const std::string& what) {
+    ++errors;
+    if (first_error.empty()) first_error = what;
+  }
+};
+
+/// Standard TPC-C mix: 45/43/4/4/4 across NewOrder..StockLevel.
+uint8_t PickTpccType(std::mt19937_64* rnd) {
+  const int roll = static_cast<int>((*rnd)() % 100);
+  if (roll < 45) return 0;
+  if (roll < 88) return 1;
+  if (roll < 92) return 2;
+  if (roll < 96) return 3;
+  return 4;
+}
+
+void RunTpccWorker(Client* client, int64_t ops, uint64_t seed,
+                   WorkerStats* st) {
+  std::mt19937_64 rnd(seed);
+  for (int64_t i = 0; i < ops; ++i) {
+    Result<Response> resp = client->Tpcc(PickTpccType(&rnd), /*warehouse=*/0);
+    ++st->ops;
+    if (!resp.ok()) {
+      ++st->transport;
+      if (st->first_error.empty()) st->first_error = resp.status().ToString();
+      return;  // the connection is gone; keep the partial counts
+    }
+    if (resp->code == Status::Code::kBusy) {
+      ++st->busy;
+      continue;
+    }
+    if (!resp->ok()) {
+      st->Error(std::string(resp->message));
+      continue;
+    }
+    ++st->ok;
+    if (resp->committed) {
+      ++st->acked_commits;
+    } else if (resp->user_abort) {
+      ++st->user_aborts;
+    } else {
+      ++st->sys_aborts;
+    }
+  }
+}
+
+/// One slice of kv ops against keys in [key_lo, key_hi). `hot` focuses 90%
+/// of ops on the lowest 1% of the range (hot-key storm).
+void RunKvWorker(Client* client, const CliOptions& cli, int64_t ops,
+                 int64_t key_lo, int64_t key_hi, bool hot, uint64_t seed,
+                 WorkerStats* st) {
+  std::mt19937_64 rnd(seed);
+  const int64_t span = key_hi > key_lo ? key_hi - key_lo : 1;
+  const int64_t hot_span = std::max<int64_t>(span / 100, 1);
+  const std::string value(static_cast<size_t>(cli.value_bytes), 'w');
+  for (int64_t i = 0; i < ops; ++i) {
+    int64_t key = key_lo + static_cast<int64_t>(rnd() % span);
+    if (hot && rnd() % 10 != 0) key = key_lo + static_cast<int64_t>(
+                                          rnd() % hot_span);
+    const int roll = static_cast<int>(rnd() % 100);
+    Result<Response> resp =
+        roll < cli.read_pct
+            ? client->Get(cli.table, key)
+            : roll < cli.read_pct + cli.scan_pct
+                  ? client->Scan(cli.table, key,
+                                 static_cast<uint32_t>(cli.scan_limit))
+                  : client->Put(cli.table, key, value);
+    ++st->ops;
+    if (!resp.ok()) {
+      ++st->transport;
+      if (st->first_error.empty()) st->first_error = resp.status().ToString();
+      return;
+    }
+    if (resp->ok()) {
+      ++st->ok;
+      st->rows_scanned += static_cast<int64_t>(resp->rows.size());
+    } else if (resp->code == Status::Code::kBusy) {
+      ++st->busy;
+    } else if (resp->code == Status::Code::kNotFound) {
+      ++st->not_found;
+    } else {
+      st->Error(std::string(resp->message));
+    }
+  }
+}
+
+/// Runs one kv phase across all clients (one thread per client).
+void RunKvPhase(std::vector<std::unique_ptr<Client>>* clients,
+                const CliOptions& cli, int64_t total_ops, int64_t key_lo,
+                int64_t key_hi, bool hot, uint64_t phase_seed,
+                std::vector<WorkerStats>* stats) {
+  const int threads = static_cast<int>(clients->size());
+  const int64_t per = total_ops / threads;
+  std::vector<std::thread> pool;
+  pool.reserve(threads);
+  for (int t = 0; t < threads; ++t) {
+    const int64_t ops = t == threads - 1 ? total_ops - per * (threads - 1)
+                                         : per;
+    pool.emplace_back([&, t, ops] {
+      RunKvWorker((*clients)[t].get(), cli, ops, key_lo, key_hi, hot,
+                  phase_seed * 1000003u + t, &(*stats)[t]);
+    });
+  }
+  for (std::thread& th : pool) th.join();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliOptions cli;
+  if (!ParseArgs(argc, argv, &cli)) return 2;
+  if (cli.threads < 1) cli.threads = 1;
+
+  std::vector<std::unique_ptr<Client>> clients;
+  for (int t = 0; t < cli.threads; ++t) {
+    Result<std::unique_ptr<Client>> c =
+        Client::Connect(cli.host, cli.port, cli.tenant);
+    if (!c.ok()) {
+      fprintf(stderr, "connect: %s\n", c.status().ToString().c_str());
+      return 1;
+    }
+    clients.push_back(std::move(*c));
+  }
+
+  std::vector<WorkerStats> stats(cli.threads);
+  WallTimer timer;
+
+  if (cli.mode == "tpcc") {
+    const int64_t per = cli.ops / cli.threads;
+    std::vector<std::thread> pool;
+    for (int t = 0; t < cli.threads; ++t) {
+      const int64_t ops =
+          t == cli.threads - 1 ? cli.ops - per * (cli.threads - 1) : per;
+      pool.emplace_back([&, t, ops] {
+        RunTpccWorker(clients[t].get(), ops, cli.seed * 7919u + t, &stats[t]);
+      });
+    }
+    for (std::thread& th : pool) th.join();
+  } else if (cli.mode == "scenario") {
+    if (cli.scenario == "ycsb") {
+      RunKvPhase(&clients, cli, cli.ops, 0, cli.keys, /*hot=*/false, cli.seed,
+                 &stats);
+    } else if (cli.scenario == "hotkey") {
+      RunKvPhase(&clients, cli, cli.ops, 0, cli.keys, /*hot=*/true, cli.seed,
+                 &stats);
+    } else if (cli.scenario == "skewshift") {
+      // Low half, mark the shift in the sampler series, then high half:
+      // the server-side ILM filters must re-learn the hot range.
+      const int64_t half = cli.keys / 2;
+      RunKvPhase(&clients, cli, cli.ops / 2, 0, half, /*hot=*/false, cli.seed,
+                 &stats);
+      Result<Response> mark = clients[0]->Mark(1);
+      if (!mark.ok() || !(*mark).ok()) {
+        fprintf(stderr, "mark failed\n");
+        return 1;
+      }
+      RunKvPhase(&clients, cli, cli.ops - cli.ops / 2, half, cli.keys,
+                 /*hot=*/false, cli.seed + 1, &stats);
+    } else if (cli.scenario == "burst") {
+      constexpr int kCycles = 8;
+      for (int c = 0; c < kCycles; ++c) {
+        RunKvPhase(&clients, cli, cli.ops / kCycles, 0, cli.keys,
+                   /*hot=*/false, cli.seed + c, &stats);
+        Result<Response> mark = clients[0]->Mark(c + 1);
+        if (!mark.ok() || !(*mark).ok()) {
+          fprintf(stderr, "mark failed\n");
+          return 1;
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(150));
+      }
+    } else {
+      fprintf(stderr, "unknown scenario: %s\n", cli.scenario.c_str());
+      return 2;
+    }
+  } else {
+    fprintf(stderr, "unknown mode: %s\n", cli.mode.c_str());
+    return 2;
+  }
+
+  const double elapsed = timer.ElapsedSeconds();
+  WorkerStats total;
+  for (const WorkerStats& st : stats) total.Merge(st);
+  const double tps =
+      elapsed > 0 ? static_cast<double>(total.ops) / elapsed : 0.0;
+
+  char json[1024];
+  snprintf(json, sizeof(json),
+           "{\"mode\": \"%s\", \"scenario\": \"%s\", \"threads\": %d, "
+           "\"ops\": %lld, \"ok\": %lld, \"busy\": %lld, "
+           "\"not_found\": %lld, \"errors\": %lld, \"transport_errors\": "
+           "%lld, \"acked_commits\": %lld, \"user_aborts\": %lld, "
+           "\"sys_aborts\": %lld, \"rows_scanned\": %lld, "
+           "\"elapsed_s\": %.3f, \"tps\": %.1f}",
+           cli.mode.c_str(),
+           cli.mode == "scenario" ? cli.scenario.c_str() : "-", cli.threads,
+           static_cast<long long>(total.ops),
+           static_cast<long long>(total.ok),
+           static_cast<long long>(total.busy),
+           static_cast<long long>(total.not_found),
+           static_cast<long long>(total.errors),
+           static_cast<long long>(total.transport),
+           static_cast<long long>(total.acked_commits),
+           static_cast<long long>(total.user_aborts),
+           static_cast<long long>(total.sys_aborts),
+           static_cast<long long>(total.rows_scanned), elapsed, tps);
+  printf("%s\n", json);
+  if (!cli.json_out.empty()) {
+    Status s = obs::WriteFileOrError(cli.json_out, std::string(json) + "\n");
+    if (!s.ok()) {
+      fprintf(stderr, "json-out: %s\n", s.ToString().c_str());
+      return 1;
+    }
+  }
+
+  if (!total.first_error.empty()) {
+    fprintf(stderr, "first error: %s\n", total.first_error.c_str());
+  }
+  if (total.transport > 0 || total.errors > 0) return 1;
+  if (cli.mode == "tpcc" && total.acked_commits == 0) {
+    fprintf(stderr, "no acked commits\n");
+    return 1;
+  }
+  return 0;
+}

@@ -37,6 +37,12 @@ absolute throughput depends on the runner, so the gate checks *shape*:
      single-threaded insert cell's splits-per-insert — deterministic by
      construction — must also stay within threshold of the checked-in
      bench/BENCH_micro_index.json.
+  7. Optionally (--server-current/--server-baseline), a `micro_server
+     --out` JSON is gated on liveness, error-freedom, zero admission sheds
+     at low load, a liveness-grade p99 ceiling, and within-run concurrency
+     sanity (4-thread throughput >= 0.5x 1-thread). With --server-metrics,
+     a btrim_server metrics export must cover every name in the manifest's
+     "server_required" (net.*) list.
 
 Exit 0 when green; exit 1 with one line per violation otherwise.
 """
@@ -58,15 +64,18 @@ MANIFEST_PATH = os.path.join(os.path.dirname(os.path.abspath(__file__)),
 
 def load_manifest(errors):
     """Loads and lints the metric-name manifest. Returns (required,
-    known_optional) as lists; appends lint violations to `errors`."""
+    known_optional, server_required) as lists; appends lint violations to
+    `errors`. `server_required` is the net.* surface a btrim_server export
+    must cover; it is disjoint from the other two because pre-server
+    workloads (tpcc_cli, the benches) never register net.* metrics."""
     try:
         with open(MANIFEST_PATH) as f:
             manifest = json.load(f)
     except (OSError, ValueError) as e:
         errors.append(f"metric manifest {MANIFEST_PATH}: unreadable ({e})")
-        return [], []
+        return [], [], []
     out = []
-    for key in ("required", "known_optional"):
+    for key in ("required", "known_optional", "server_required"):
         names = manifest.get(key)
         if (not isinstance(names, list)
                 or not all(isinstance(n, str) for n in names)):
@@ -80,11 +89,15 @@ def load_manifest(errors):
         if names != sorted(names):
             errors.append(f"metric manifest: '{key}' must be sorted")
         out.append(names)
-    overlap = sorted(set(out[0]) & set(out[1]))
-    if overlap:
-        errors.append("metric manifest: names in both 'required' and "
-                      f"'known_optional': {', '.join(overlap)}")
-    return out[0], out[1]
+    for a, b in (("required", "known_optional"),
+                 ("required", "server_required"),
+                 ("known_optional", "server_required")):
+        overlap = sorted(set(manifest.get(a) or []) &
+                         set(manifest.get(b) or []))
+        if overlap:
+            errors.append(f"metric manifest: names in both '{a}' and "
+                          f"'{b}': {', '.join(overlap)}")
+    return out[0], out[1], out[2]
 
 FSYNC_EPSILON = 0.05  # absolute slack for near-zero fsyncs/commit cells
 
@@ -396,8 +409,77 @@ def check_htap(current, baseline, threshold, errors):
               f"(floor {floor:.0%} on {hw} hw threads)")
 
 
+# Gates over micro_server --out JSON. The floors are deliberately
+# machine-portable: loopback RTT and runner core count dominate absolute
+# numbers, so the gate checks liveness, error-freedom, the zero-shed
+# property at low load, a liveness-grade p99 ceiling, and that concurrency
+# does not collapse throughput within the same run. kSmoke* constants are
+# mirrored in bench/micro_server.cc's --smoke gate — keep in sync.
+SERVER_P99_CEILING_US = 2_000_000
+SERVER_CONCURRENCY_COLLAPSE_FLOOR = 0.5  # tps(4t) / tps(1t)
+
+
+def check_server(current, baseline, errors):
+    cells = {c["threads"]: c for c in current.get("results", [])}
+    if not cells:
+        errors.append("micro_server: no result cells")
+        return
+
+    # Gate 1: liveness + error-freedom + zero sheds + p99 ceiling, per cell.
+    for threads in sorted(cells):
+        c = cells[threads]
+        if c["ops"] <= 0 or c["tps"] <= 0:
+            errors.append(f"micro_server threads={threads}: cell did no work")
+            continue
+        if c["errors"] > 0:
+            errors.append(f"micro_server threads={threads}: "
+                          f"{c['errors']} error replies")
+        if c["sheds"] > 0:
+            errors.append(f"micro_server threads={threads}: {c['sheds']} "
+                          f"requests shed at low load")
+        if c["p99_us"] > SERVER_P99_CEILING_US:
+            errors.append(f"micro_server threads={threads}: p99 "
+                          f"{c['p99_us']}us above {SERVER_P99_CEILING_US}us")
+
+    # Gate 2: within-run concurrency sanity. Four client threads must keep
+    # at least half of single-client throughput — a collapse here means the
+    # lanes serialize (e.g. a lock held across engine calls).
+    one = cells.get(1)
+    four = cells.get(4)
+    if one is None or four is None:
+        errors.append("micro_server: missing 1- or 4-thread cell")
+    elif one["tps"] > 0:
+        ratio = four["tps"] / one["tps"]
+        if ratio < SERVER_CONCURRENCY_COLLAPSE_FLOOR:
+            errors.append(
+                f"micro_server: 4-thread throughput is only {ratio:.2f}x "
+                f"1-thread (floor {SERVER_CONCURRENCY_COLLAPSE_FLOOR:.1f}x)")
+        else:
+            print(f"micro_server: 4t/1t throughput = {ratio:.2f}x "
+                  f"(floor {SERVER_CONCURRENCY_COLLAPSE_FLOOR:.1f}x)")
+
+    # The baseline is a schema anchor (absolute tps is machine-specific):
+    # its shape must match this format so drift is caught at review time.
+    if baseline:
+        if "hw_threads" not in baseline or "results" not in baseline:
+            errors.append("micro_server: baseline missing 'hw_threads' or "
+                          "'results' — regenerate "
+                          "bench/BENCH_micro_server.json")
+        else:
+            fields = {"threads", "ops", "tps", "p50_us", "p99_us", "sheds",
+                      "errors"}
+            for cell in baseline["results"]:
+                missing = sorted(fields - set(cell))
+                if missing:
+                    errors.append(
+                        f"micro_server: baseline cell missing fields "
+                        f"{', '.join(missing)} — regenerate "
+                        f"bench/BENCH_micro_server.json")
+                    break
+
+
 def check_metrics_coverage(metrics_doc, errors):
-    required, known_optional = load_manifest(errors)
+    required, known_optional, server_required = load_manifest(errors)
     names = {m["name"] for m in metrics_doc["metrics"]}
     missing = [n for n in required if n not in names]
     covered = len(required) - len(missing)
@@ -407,7 +489,29 @@ def check_metrics_coverage(metrics_doc, errors):
         errors.append(f"required metric missing from export: {name}")
     # Drift lint: every exported name must be recorded in the manifest, so
     # adding a metric without updating tools/required_metrics.json fails.
-    for name in sorted(names - set(required) - set(known_optional)):
+    # (server_required counts as known here: a combined export from a
+    # server run legitimately carries net.* names.)
+    known = set(required) | set(known_optional) | set(server_required)
+    for name in sorted(names - known):
+        errors.append(f"metric exported but absent from "
+                      f"tools/required_metrics.json (manifest drift): {name}")
+
+
+def check_server_metrics(metrics_doc, errors):
+    """Coverage gate for a btrim_server --metrics-out export: every
+    server_required (net.*) name present, plus the same drift lint. The
+    tpcc.* driver names from the 'required' list are NOT expected here —
+    the server has no in-process TpccDriver."""
+    required, known_optional, server_required = load_manifest(errors)
+    names = {m["name"] for m in metrics_doc["metrics"]}
+    missing = [n for n in server_required if n not in names]
+    covered = len(server_required) - len(missing)
+    print(f"server metrics coverage: {covered}/{len(server_required)} "
+          f"net.* names present ({len(names)} exported)")
+    for name in missing:
+        errors.append(f"server metric missing from export: {name}")
+    known = set(required) | set(known_optional) | set(server_required)
+    for name in sorted(names - known):
         errors.append(f"metric exported but absent from "
                       f"tools/required_metrics.json (manifest drift): {name}")
 
@@ -437,15 +541,23 @@ def main():
                         help="micro_htap --out JSON from this run")
     parser.add_argument("--htap-baseline",
                         help="checked-in bench/BENCH_micro_htap.json")
+    parser.add_argument("--server-current",
+                        help="micro_server --out JSON from this run")
+    parser.add_argument("--server-baseline",
+                        help="checked-in bench/BENCH_micro_server.json")
+    parser.add_argument("--server-metrics",
+                        help="btrim_server --metrics-out export to validate "
+                             "net.* coverage")
     parser.add_argument("--threshold", type=float, default=0.25,
                         help="relative regression tolerance (default 0.25)")
     args = parser.parse_args()
 
     if not (args.current or args.pack_current or args.index_current
-            or args.recovery_current or args.htap_current or args.metrics):
+            or args.recovery_current or args.htap_current
+            or args.server_current or args.server_metrics or args.metrics):
         parser.error("nothing to check: pass --current, --pack-current, "
                      "--index-current, --recovery-current, --htap-current, "
-                     "and/or --metrics")
+                     "--server-current, --server-metrics, and/or --metrics")
 
     errors = []
     if args.current:
@@ -492,6 +604,19 @@ def main():
             with open(args.htap_baseline) as f:
                 htap_baseline = json.load(f)
         check_htap(htap_current, htap_baseline, args.threshold, errors)
+
+    if args.server_current:
+        with open(args.server_current) as f:
+            server_current = json.load(f)
+        server_baseline = {}
+        if args.server_baseline:
+            with open(args.server_baseline) as f:
+                server_baseline = json.load(f)
+        check_server(server_current, server_baseline, errors)
+
+    if args.server_metrics:
+        with open(args.server_metrics) as f:
+            check_server_metrics(json.load(f), errors)
 
     if args.metrics:
         with open(args.metrics) as f:

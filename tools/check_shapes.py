@@ -25,6 +25,18 @@ Subcommands:
       throughput with concurrent analytical scans stays within a bounded
       dip of the oltp-alone phase on the same run.
 
+  scenarios --scenario NAME --run RUN.json
+      Server scenario-fleet shapes (btrim_server --metrics-out after a
+      btrim_client --mode scenario run). Common gates for every scenario:
+      enough sampler windows, traffic flowed, the request queue drained,
+      and zero protocol errors / sheds (scenario clients are synchronous,
+      so shedding means the admission gate misfired). Per-scenario:
+        ycsb      read+write+scan mix actually exercised
+        hotkey    IMRS footprint plateaus under the hot-key storm
+        skewshift packing resumes within --recovery-windows of the
+                  client's mid-run Mark (ILM re-learns the shifted skew)
+        burst     the queue is drained at every burst-boundary Mark
+
 All checks read the unified export schema:
   {"meta": {...}, "metrics": [...], "series": [{"marker":.., "metrics":[..]}]}
 
@@ -215,6 +227,118 @@ def check_fig9(args, errors):
           ", ".join(f"{p:.0f}%={h // 1024} KiB" for p, h in points))
 
 
+def final_value(doc, name):
+    """Final snapshot value of a global metric (live or retained)."""
+    for m in doc["metrics"]:
+        if m["name"] == name and "value" in m:
+            return m["value"]
+    return None
+
+
+# Queue depth observed inside a Mark's own SampleNow includes the Mark
+# request itself (it is still in flight), so "drained" is <= this bound,
+# not == 0. Synchronous scenario clients keep at most one request per
+# thread in flight on top of that.
+SCENARIO_MARK_DEPTH_CEILING = 4
+
+
+def check_scenarios(args, errors):
+    doc = load(args.run)
+    scen = args.scenario
+
+    windows = doc["series"]
+    if len(windows) < 6:
+        errors.append(f"scenarios/{scen}: need >= 6 sampler windows "
+                      f"(got {len(windows)}) — run the scenario longer or "
+                      "sample faster")
+        return
+    requests = [v for _, v in series_of(doc, "net.requests")]
+    if not requests or requests[-1] <= requests[0]:
+        errors.append(f"scenarios/{scen}: no request traffic across the "
+                      "sampler series")
+
+    for name, want in (("net.queue_depth", 0), ("net.protocol_errors", 0),
+                       ("net.shed", 0)):
+        got = final_value(doc, name)
+        if got is None:
+            errors.append(f"scenarios/{scen}: final {name} missing from "
+                          "the export")
+        elif got != want:
+            errors.append(f"scenarios/{scen}: final {name} = {got}, "
+                          f"want {want}")
+
+    if scen == "ycsb":
+        for name in ("net.req_get", "net.req_put", "net.req_scan"):
+            if not final_value(doc, name):
+                errors.append(f"scenarios/ycsb: {name} is zero — the mix "
+                              "did not exercise this op")
+
+    elif scen == "hotkey":
+        vals = [v for _, v in series_of(doc, "imrs_cache.in_use_bytes")]
+        third = len(vals) // 3
+        mid, late = mean(vals[third:2 * third]), mean(vals[2 * third:])
+        if mid > 0 and late > mid * 1.35:
+            errors.append(
+                "scenarios/hotkey: IMRS footprint did not plateau under "
+                f"the hot-key storm (mid {mid:.0f} -> late {late:.0f}, "
+                "> +35%)")
+
+    elif scen == "skewshift":
+        shift = next((i for i, w in enumerate(windows) if w["marker"] >= 1),
+                     None)
+        if shift is None:
+            errors.append("scenarios/skewshift: no marker window — the "
+                          "client's mid-run Mark never landed")
+            return
+        if len(windows) - shift - 1 < 2:
+            errors.append("scenarios/skewshift: < 2 post-shift windows — "
+                          "run the post-shift half longer")
+            return
+        packed = [v for _, v in series_of(doc, "pack.bytes_packed")]
+        if len(packed) != len(windows):
+            errors.append("scenarios/skewshift: pack.bytes_packed missing "
+                          "from some windows")
+            return
+        if packed[shift] <= 0:
+            errors.append(
+                "scenarios/skewshift: no pack activity before the shift — "
+                "size the server's IMRS cache below the working set "
+                "(e.g. btrim_server --imrs-mb 5 for 20k x 64B rows)")
+            return
+        k = args.recovery_windows
+        recovery = packed[shift + 1:shift + 1 + k]
+        if not any(v > packed[shift] for v in recovery):
+            errors.append(
+                f"scenarios/skewshift: packing did not resume within {k} "
+                f"windows of the skew shift (stuck at {packed[shift]} "
+                "bytes) — ILM failed to re-learn the shifted skew")
+        else:
+            print(f"scenarios/skewshift: pack bytes {packed[shift]} at "
+                  f"shift -> {packed[-1]} final "
+                  f"({len(windows) - shift - 1} post-shift windows)")
+
+    elif scen == "burst":
+        marks = [(w["marker"], w) for w in windows if w["marker"] >= 1]
+        if len(marks) < 4:
+            errors.append(f"scenarios/burst: only {len(marks)} burst-"
+                          "boundary marker windows (want >= 4)")
+        for marker, w in marks:
+            depth = next((m["value"] for m in w["metrics"]
+                          if m["name"] == "net.queue_depth"), None)
+            if depth is None or depth > SCENARIO_MARK_DEPTH_CEILING:
+                errors.append(
+                    f"scenarios/burst: queue not drained at burst {marker} "
+                    f"(depth {depth}, ceiling "
+                    f"{SCENARIO_MARK_DEPTH_CEILING})")
+
+    else:
+        errors.append(f"scenarios: unknown scenario '{scen}'")
+        return
+    if not errors:
+        print(f"scenarios/{scen}: {len(windows)} windows, "
+              f"{requests[-1]} requests, queue drained")
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     sub = parser.add_subparsers(dest="figure", required=True)
@@ -234,10 +358,20 @@ def main():
     ph.add_argument("--run", required=True,
                     help="a micro_htap --metrics-out export")
 
+    ps = sub.add_parser("scenarios",
+                        help="server scenario-fleet sampler shapes")
+    ps.add_argument("--scenario", required=True,
+                    choices=["ycsb", "hotkey", "skewshift", "burst"])
+    ps.add_argument("--run", required=True,
+                    help="a btrim_server --metrics-out export")
+    ps.add_argument("--recovery-windows", type=int, default=4,
+                    help="windows allowed for post-shift pack recovery")
+
     args = parser.parse_args()
     errors = []
     {"fig2": check_fig2, "fig6": check_fig6, "fig9": check_fig9,
-     "htap": check_htap}[args.figure](args, errors)
+     "htap": check_htap, "scenarios": check_scenarios}[args.figure](args,
+                                                                    errors)
     if errors:
         for e in errors:
             print(f"SHAPE FAIL: {e}", file=sys.stderr)
